@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks for the numeric and codec substrates: the φ
+//! mapping, digit-space arithmetic vs. bignum arithmetic (the optimization
+//! §2.1 claims over conventional VQ), and whole-block encode/decode under
+//! each coding mode.
+
+use avq_codec::{BlockCodec, CodingMode, RepChoice};
+use avq_num::{BigUnsigned, MixedRadix};
+use avq_schema::Tuple;
+use avq_workload::SyntheticSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_phi(c: &mut Criterion) {
+    let spec = SyntheticSpec::section_5_2(1);
+    let schema = spec.schema();
+    let radix = schema.radix().clone();
+    let digits: Vec<u64> = spec.generate().tuples()[0].digits().to_vec();
+    let value = radix.rank(&digits);
+
+    let mut g = c.benchmark_group("phi");
+    g.bench_function("rank_16attr", |b| {
+        b.iter(|| black_box(radix.rank(black_box(&digits))))
+    });
+    g.bench_function("unrank_16attr", |b| {
+        b.iter(|| black_box(radix.unrank(black_box(&value))))
+    });
+    g.finish();
+}
+
+fn bench_digit_vs_bignum(c: &mut Criterion) {
+    let radix = MixedRadix::new(vec![8, 16, 64, 64, 64, 256, 1024, 4096]).unwrap();
+    let a = vec![7u64, 12, 60, 33, 10, 200, 1000, 4000];
+    let b_digits = vec![7u64, 12, 59, 60, 63, 100, 900, 100];
+    let ra = radix.rank(&a);
+    let rb = radix.rank(&b_digits);
+
+    let mut g = c.benchmark_group("difference");
+    g.bench_function("digit_space_sub", |bch| {
+        bch.iter(|| black_box(radix.checked_sub(black_box(&a), black_box(&b_digits))))
+    });
+    g.bench_function("bignum_sub_with_unrank", |bch| {
+        bch.iter(|| {
+            let d = black_box(&ra).checked_sub(black_box(&rb)).unwrap();
+            black_box(radix.unrank(&d))
+        })
+    });
+    g.bench_function("bignum_roundtrip_rank_sub_unrank", |bch| {
+        bch.iter(|| {
+            let ra = radix.rank(black_box(&a));
+            let rb = radix.rank(black_box(&b_digits));
+            let d = ra.checked_sub(&rb).unwrap();
+            black_box(radix.unrank(&d))
+        })
+    });
+    g.finish();
+}
+
+fn bench_bignum_ops(c: &mut Criterion) {
+    let big = BigUnsigned::from_bytes_be(&[0xAB; 40]);
+    let small = BigUnsigned::from_bytes_be(&[0x11; 39]);
+    let mut g = c.benchmark_group("bignum");
+    g.bench_function("add_320bit", |b| {
+        b.iter(|| black_box(black_box(&big).add(black_box(&small))))
+    });
+    g.bench_function("sub_320bit", |b| {
+        b.iter(|| black_box(black_box(&big).checked_sub(black_box(&small))))
+    });
+    g.bench_function("divmod_u64_320bit", |b| {
+        b.iter(|| black_box(black_box(&big).divmod_u64(black_box(12345))))
+    });
+    g.bench_function("to_bytes_320bit", |b| {
+        b.iter(|| black_box(black_box(&big).to_bytes_be()))
+    });
+    g.finish();
+}
+
+fn block_tuples(n: usize) -> (std::sync::Arc<avq_schema::Schema>, Vec<Tuple>) {
+    let spec = SyntheticSpec::section_5_2(n);
+    let schema = spec.schema();
+    let mut tuples = spec.generate().into_tuples();
+    tuples.sort_unstable();
+    tuples.dedup();
+    (schema, tuples)
+}
+
+fn bench_block_codec(c: &mut Criterion) {
+    let (schema, tuples) = block_tuples(4096);
+    // One block-sized run (~200-400 tuples for 8 KiB chained blocks).
+    let run = &tuples[..400.min(tuples.len())];
+
+    let mut g = c.benchmark_group("block_codec");
+    g.throughput(Throughput::Elements(run.len() as u64));
+    for mode in CodingMode::ALL {
+        let codec = BlockCodec::with_options(schema.clone(), mode, RepChoice::Median);
+        let coded = codec.encode(run).unwrap();
+        g.bench_with_input(BenchmarkId::new("encode", mode), &codec, |b, codec| {
+            b.iter(|| black_box(codec.encode(black_box(run)).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", mode), &codec, |b, codec| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                codec.decode_into(black_box(&coded), &mut out).unwrap();
+                black_box(&out);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("measure", mode), &codec, |b, codec| {
+            b.iter(|| black_box(codec.measure(black_box(run))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_phi,
+    bench_digit_vs_bignum,
+    bench_bignum_ops,
+    bench_block_codec
+);
+criterion_main!(benches);

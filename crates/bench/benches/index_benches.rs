@@ -1,0 +1,151 @@
+//! Criterion benchmarks for the access-method substrate: B⁺-tree bulk
+//! build, point lookup, floor search, range scan, and insertion, plus the
+//! end-to-end indexed selection of §5.3 on an in-memory (zero-latency)
+//! device — isolating CPU cost from the simulated disk.
+
+use avq_codec::{CodecOptions, CodingMode};
+use avq_db::{Database, DbConfig};
+use avq_index::{BPlusTree, HashIndex};
+use avq_storage::{BlockDevice, BufferPool, DiskProfile};
+use avq_workload::SyntheticSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn pool() -> Arc<BufferPool> {
+    BufferPool::new(BlockDevice::new(8192, DiskProfile::instant()), 1024)
+}
+
+fn pairs(n: u64) -> Vec<(Vec<u8>, u64)> {
+    (0..n)
+        .map(|i| ((i * 7).to_be_bytes().to_vec(), i))
+        .collect()
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let n = 50_000u64;
+    let data = pairs(n);
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(20);
+
+    g.bench_function("bulk_build_50k", |b| {
+        b.iter(|| {
+            let t = BPlusTree::bulk_build(pool(), usize::MAX, black_box(&data)).unwrap();
+            black_box(t.root())
+        })
+    });
+
+    let tree = BPlusTree::bulk_build(pool(), usize::MAX, &data).unwrap();
+    let mut i = 0u64;
+    g.bench_function("get_hit", |b| {
+        b.iter(|| {
+            i = (i + 9973) % n;
+            black_box(tree.get(&(i * 7).to_be_bytes()).unwrap())
+        })
+    });
+    g.bench_function("floor_between_keys", |b| {
+        b.iter(|| {
+            i = (i + 9973) % n;
+            black_box(tree.floor(&(i * 7 + 3).to_be_bytes()).unwrap())
+        })
+    });
+    g.bench_function("range_100_keys", |b| {
+        b.iter(|| {
+            i = (i + 9973) % (n - 200);
+            let lo = (i * 7).to_be_bytes();
+            let hi = ((i + 100) * 7).to_be_bytes();
+            black_box(tree.range(&lo, &hi).unwrap())
+        })
+    });
+
+    g.bench_function("insert_1k_into_50k", |b| {
+        b.iter_batched(
+            || BPlusTree::bulk_build(pool(), usize::MAX, &data).unwrap(),
+            |mut t| {
+                for j in 0..1000u64 {
+                    t.insert(&(j * 7 + 1).to_be_bytes(), j).unwrap();
+                }
+                black_box(t.root())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_indexed_selection(c: &mut Criterion) {
+    // End-to-end σ over a secondary index, CPU-only (instant disk).
+    let relation = SyntheticSpec::section_5_2(20_000).generate();
+    let config = DbConfig {
+        codec: CodecOptions {
+            mode: CodingMode::AvqChained,
+            ..Default::default()
+        },
+        disk: DiskProfile::instant(),
+        buffer_frames: 4096,
+        ..Default::default()
+    };
+    let mut db = Database::new(config);
+    db.create_relation("r", &relation).unwrap();
+    db.create_secondary_index("r", 13).unwrap();
+
+    let mut g = c.benchmark_group("selection");
+    g.sample_size(20);
+    g.bench_function("secondary_range_20k_tuples", |b| {
+        b.iter(|| black_box(db.select_range_ordinal("r", 13, 32, 63).unwrap()))
+    });
+    g.bench_function("clustered_prefix_range", |b| {
+        b.iter(|| black_box(db.select_range_ordinal("r", 0, 0, 0).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_hash_index(c: &mut Criterion) {
+    let n = 50_000u64;
+    let mut g = c.benchmark_group("hash_index");
+    g.sample_size(20);
+    g.bench_function("insert_50k", |b| {
+        b.iter_batched(
+            || HashIndex::create(pool()).unwrap(),
+            |mut h| {
+                for i in 0..n {
+                    h.insert(i % 1000, i).unwrap();
+                }
+                black_box(h.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    let mut h = HashIndex::create(pool()).unwrap();
+    for i in 0..n {
+        h.insert(i % 1000, i).unwrap();
+    }
+    let mut probe = 0u64;
+    g.bench_function("get_multivalue", |b| {
+        b.iter(|| {
+            probe = (probe + 7) % 1000;
+            black_box(h.get(probe).unwrap())
+        })
+    });
+
+    // Head-to-head with the B+ tree on the same point-probe workload.
+    let pairs: Vec<(Vec<u8>, u64)> = (0..1000u64)
+        .map(|i| (i.to_be_bytes().to_vec(), i))
+        .collect();
+    let tree = BPlusTree::bulk_build(pool(), usize::MAX, &pairs).unwrap();
+    g.bench_function("btree_point_probe_baseline", |b| {
+        b.iter(|| {
+            probe = (probe + 7) % 1000;
+            black_box(tree.get(&probe.to_be_bytes()).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_btree,
+    bench_indexed_selection,
+    bench_hash_index
+);
+criterion_main!(benches);

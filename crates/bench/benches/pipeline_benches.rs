@@ -1,0 +1,160 @@
+//! Criterion benchmarks for the end-to-end compression pipeline (§3: sort →
+//! partition → code) and for the §4.2 block updates, at several relation
+//! sizes. These back the E6 (Fig. 5.9 rows 1–2) numbers with
+//! statistically-sound measurements.
+
+use avq_codec::{
+    compress, compress_parallel, delete_from_block, insert_into_block, BlockCodec, CodecOptions,
+    CodingMode, InsertOutcome, RepChoice,
+};
+use avq_db::{DbConfig, StoredRelation};
+use avq_schema::Relation;
+use avq_storage::{BlockDevice, BufferPool, DiskProfile};
+use avq_workload::SyntheticSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn relation(n: usize) -> Relation {
+    SyntheticSpec::section_5_2(n).generate()
+}
+
+fn bench_compress_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compress_pipeline");
+    g.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let rel = relation(n);
+        g.throughput(Throughput::Elements(n as u64));
+        for mode in CodingMode::ALL {
+            g.bench_with_input(BenchmarkId::new(mode.to_string(), n), &rel, |b, rel| {
+                let opts = CodecOptions {
+                    mode,
+                    ..Default::default()
+                };
+                b.iter(|| black_box(compress(black_box(rel), opts).unwrap()))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decompress");
+    g.sample_size(20);
+    let n = 10_000usize;
+    let rel = relation(n);
+    g.throughput(Throughput::Elements(n as u64));
+    for mode in CodingMode::ALL {
+        let coded = compress(
+            &rel,
+            CodecOptions {
+                mode,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new(mode.to_string(), n), &coded, |b, coded| {
+            b.iter(|| black_box(coded.decompress().unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_updates(c: &mut Criterion) {
+    // Fig. 4.6 at micro scale: insert/delete one tuple into an 8 KiB block.
+    let spec = SyntheticSpec::section_5_2(4_096);
+    let schema = spec.schema();
+    let mut tuples = spec.generate().into_tuples();
+    tuples.sort_unstable();
+    tuples.dedup();
+    let codec = BlockCodec::with_options(schema, CodingMode::AvqChained, RepChoice::Median);
+    // Build one near-full block.
+    let mut len = tuples.len().min(64);
+    while codec.measure(&tuples[..len]) < 7000 && len < tuples.len() {
+        len += 1;
+    }
+    let run = &tuples[..len];
+    let block = codec.encode(run).unwrap();
+    let victim = run[len / 3].clone();
+
+    let mut g = c.benchmark_group("block_update");
+    g.bench_function("insert_one_tuple", |b| {
+        b.iter(|| {
+            let out = insert_into_block(&codec, black_box(&block), &victim, 16384).unwrap();
+            let InsertOutcome::InPlace(bytes) = out else {
+                panic!("capacity is ample")
+            };
+            black_box(bytes)
+        })
+    });
+    g.bench_function("delete_one_tuple", |b| {
+        b.iter(|| black_box(delete_from_block(&codec, black_box(&block), &victim).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_parallel_compress(c: &mut Criterion) {
+    let rel = relation(50_000);
+    let opts = CodecOptions::default();
+    let mut g = c.benchmark_group("parallel_compress");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(50_000));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(compress_parallel(black_box(&rel), opts, threads).unwrap()))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_external_sort(c: &mut Criterion) {
+    let rel = relation(20_000);
+    let schema = rel.schema().clone();
+    let tuples = rel.into_tuples();
+    let mut g = c.benchmark_group("external_sort");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(20_000));
+    for budget in [512usize, 4096] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |b, &budget| {
+                b.iter_batched(
+                    || tuples.clone(),
+                    |input| {
+                        let device = BlockDevice::new(8192, DiskProfile::instant());
+                        let pool = BufferPool::new(device.clone(), 256);
+                        let stored = StoredRelation::bulk_load_streaming(
+                            device,
+                            pool,
+                            schema.clone(),
+                            input,
+                            DbConfig {
+                                disk: DiskProfile::instant(),
+                                ..Default::default()
+                            },
+                            budget,
+                        )
+                        .unwrap();
+                        black_box(stored.block_count())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compress_pipeline,
+    bench_decompress,
+    bench_block_updates,
+    bench_parallel_compress,
+    bench_external_sort
+);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Experiment E9+ — the DESIGN.md ablations, quantifying the design choices
+//! the paper asserts but does not isolate:
+//!
+//! 1. coding mode (field-wise vs basic AVQ vs chained AVQ);
+//! 2. representative choice (median vs first vs last — §3.4 claims the
+//!    median minimizes total distortion);
+//! 3. block size (§3.3's partition size);
+//! 4. attribute order (φ weights attributes by position);
+//! 5. buffer-pool warmth (the paper assumes cold reads).
+//!
+//! Usage: `cargo run --release -p avq-bench --bin exp_ablations [n]`
+
+use avq_bench::harness;
+use avq_bench::report::Table;
+use avq_codec::{compress, CodecOptions, CodingMode, RepChoice};
+use avq_schema::{Relation, Schema, Tuple};
+use avq_workload::SyntheticSpec;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let (_, relation) = harness::timing_relation(n);
+
+    // 1 + 2: mode × representative.
+    println!("ablation 1+2 — coding mode × representative ({n} tuples, 8 KiB blocks)");
+    let mut t = Table::new(["mode", "rep", "blocks", "payload B", "block red."]);
+    for mode in CodingMode::ALL {
+        for rep in RepChoice::ALL {
+            let coded = compress(
+                &relation,
+                CodecOptions {
+                    mode,
+                    rep,
+                    block_capacity: 8192,
+                },
+            )
+            .unwrap();
+            let st = coded.stats();
+            t.row([
+                mode.to_string(),
+                rep.to_string(),
+                st.coded_blocks.to_string(),
+                st.coded_payload_bytes.to_string(),
+                format!("{:.1}%", st.block_reduction_percent()),
+            ]);
+            if mode == CodingMode::FieldWise {
+                break;
+            }
+        }
+    }
+    t.print();
+
+    // 3: block size.
+    println!("\nablation 3 — block size (chained AVQ, median)");
+    let mut t = Table::new(["block size", "uncoded blocks", "coded blocks", "reduction"]);
+    for shift in 10..=16 {
+        let cap = 1usize << shift;
+        let coded = compress(
+            &relation,
+            CodecOptions {
+                block_capacity: cap,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let st = coded.stats();
+        t.row([
+            format!("{} KiB", cap >> 10),
+            st.uncoded_blocks.to_string(),
+            st.coded_blocks.to_string(),
+            format!("{:.1}%", st.block_reduction_percent()),
+        ]);
+    }
+    t.print();
+
+    // 4: attribute order — original vs reversed vs widest-first.
+    println!("\nablation 4 — attribute order (φ weights attributes by position)");
+    let mut t = Table::new(["order", "blocks", "payload B", "block red."]);
+    let orders: Vec<(&str, Vec<usize>)> = {
+        let arity = relation.schema().arity();
+        let identity: Vec<usize> = (0..arity).collect();
+        let reversed: Vec<usize> = (0..arity).rev().collect();
+        // Widest byte-width first (high-cardinality leading).
+        let mut widest = identity.clone();
+        widest.sort_by_key(|&i| std::cmp::Reverse(relation.schema().byte_width(i)));
+        vec![
+            ("as declared (low-card first)", identity),
+            ("reversed (key first)", reversed),
+            ("widest attributes first", widest),
+        ]
+    };
+    for (name, perm) in orders {
+        let permuted = permute_relation(&relation, &perm);
+        let coded = compress(&permuted, CodecOptions::default()).unwrap();
+        let st = coded.stats();
+        t.row([
+            name.to_string(),
+            st.coded_blocks.to_string(),
+            st.coded_payload_bytes.to_string(),
+            format!("{:.1}%", st.block_reduction_percent()),
+        ]);
+    }
+    t.print();
+
+    // 5: buffer-pool warmth on the response-time query.
+    println!("\nablation 5 — buffer-pool warmth (σ over one non-key attribute)");
+    let spec = SyntheticSpec::section_5_2(n);
+    // A pool large enough to retain the whole working set across runs (the
+    // harness default of 64 frames deliberately thrashes).
+    let mut db = avq_db::Database::new(avq_db::DbConfig {
+        codec: CodecOptions::default(),
+        buffer_frames: 4096,
+        cpu_ms_per_block: 13.85,
+        ..Default::default()
+    });
+    db.create_relation(harness::REL, &relation).unwrap();
+    db.create_secondary_index(harness::REL, 13).unwrap();
+    let (lo, hi) = harness::query_bounds(&spec, 13);
+    let mut t = Table::new(["run", "N (logical)", "physical reads", "data time (s)"]);
+    db.drop_caches();
+    db.reset_measurements();
+    for run in 1..=3 {
+        db.reset_measurements();
+        let (_, cost) = db.select_range_ordinal(harness::REL, 13, lo, hi).unwrap();
+        t.row([
+            format!("{run} ({})", if run == 1 { "cold" } else { "warm" }),
+            cost.data_blocks.to_string(),
+            cost.data_reads.to_string(),
+            format!("{:.3}", cost.data_ms / 1000.0),
+        ]);
+    }
+    t.print();
+    println!("\n(the paper's Eq. 5.7 assumes cold reads; warmth shifts C toward pure CPU)");
+
+    // 6: byte-aligned (§3.4) vs bit-aligned entries, by schema shape.
+    println!("\nablation 6 — §3.4 byte-aligned RLE vs bit-aligned entries");
+    let mut t = Table::new(["relation", "mode", "payload B", "reduction"]);
+    let small_domains = SyntheticSpec::test3(n).generate();
+    for (name, rel) in [
+        ("§5.1 small domains", &small_domains),
+        ("§5.2 wide domains", &relation),
+    ] {
+        for mode in [CodingMode::AvqChained, CodingMode::AvqChainedBits] {
+            let coded = compress(
+                rel,
+                CodecOptions {
+                    mode,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let st = coded.stats();
+            t.row([
+                name.to_string(),
+                mode.to_string(),
+                st.coded_payload_bytes.to_string(),
+                format!("{:.1}%", st.payload_reduction_percent()),
+            ]);
+        }
+    }
+    t.print();
+    println!("\n(bit alignment wins exactly where digit cells are sparsely used: small");
+    println!(" domains padded to whole bytes. On the §5.2 relation diff digits fill");
+    println!(" their cells and §3.4's byte-aligned code is already near-optimal.)");
+}
+
+/// Rebuilds a relation with its attributes permuted.
+fn permute_relation(relation: &Relation, perm: &[usize]) -> Relation {
+    let schema = relation.schema();
+    let attrs: Vec<_> = perm
+        .iter()
+        .map(|&i| {
+            (
+                schema.attribute(i).name().to_owned(),
+                schema.attribute(i).domain().clone(),
+            )
+        })
+        .collect();
+    let new_schema = Schema::from_pairs(attrs).unwrap();
+    let tuples: Vec<Tuple> = relation
+        .tuples()
+        .iter()
+        .map(|t| Tuple::new(perm.iter().map(|&i| t.digits()[i]).collect()))
+        .collect();
+    Relation::from_tuples(new_schema, tuples).unwrap()
+}

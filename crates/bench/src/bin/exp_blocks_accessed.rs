@@ -1,0 +1,70 @@
+//! Experiment E7 — Fig. 5.8: `N`, the number of blocks accessed when
+//! executing `σ_{a ≤ A_k ≤ b}(R)` for each attribute `k`, on the uncoded
+//! and the AVQ-coded copies of the §5.2 relation.
+//!
+//! Usage: `cargo run --release -p avq-bench --bin exp_blocks_accessed [n]`
+//! (default n = 100000, the paper's size)
+
+use avq_bench::harness;
+use avq_bench::report::Table;
+use avq_codec::CodingMode;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let (spec, relation) = harness::timing_relation(n);
+    eprintln!("loading uncoded database ({n} tuples)...");
+    let uncoded = harness::load_database(&relation, CodingMode::FieldWise, 0.0);
+    eprintln!("loading AVQ database...");
+    let coded = harness::load_database(&relation, CodingMode::AvqChained, 0.0);
+
+    let total_uncoded = uncoded.relation(harness::REL).unwrap().block_count();
+    let total_coded = coded.relation(harness::REL).unwrap().block_count();
+    println!(
+        "data blocks: {} uncoded, {} AVQ-coded ({:.1}% reduction)\n",
+        total_uncoded,
+        total_coded,
+        100.0 * (1.0 - total_coded as f64 / total_uncoded as f64)
+    );
+
+    eprintln!("running the per-attribute query suite...");
+    let nu = harness::blocks_accessed(&uncoded, &spec);
+    let nc = harness::blocks_accessed(&coded, &spec);
+
+    let mut table = Table::new(["Attribute No.", "No coding (N)", "AVQ (N)", "ratio"]);
+    let mut sum_u = 0u64;
+    let mut sum_c = 0u64;
+    for (k, (&(u, _), &(c, _))) in nu.iter().zip(&nc).enumerate() {
+        sum_u += u;
+        sum_c += c;
+        table.row([
+            format!("{}", k + 1),
+            u.to_string(),
+            c.to_string(),
+            if c > 0 {
+                format!("{:.2}", u as f64 / c as f64)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    let avg_u = sum_u as f64 / nu.len() as f64;
+    let avg_c = sum_c as f64 / nc.len() as f64;
+    table.row([
+        "average".to_string(),
+        format!("{avg_u:.1}"),
+        format!("{avg_c:.1}"),
+        format!("{:.2}", avg_u / avg_c),
+    ]);
+    table.print();
+
+    println!(
+        "\nAVQ reduces average blocks accessed by {:.1}% (paper: 100(1-55/153.6) = 64.2%)",
+        100.0 * (1.0 - avg_c / avg_u)
+    );
+    println!("paper shape: non-key attributes touch ~every data block (189 vs 64);");
+    println!("the clustering attribute (k=1) touches a contiguous fraction; the");
+    println!("primary-key attribute (k=16) touches exactly one block in both stores.");
+}

@@ -1,0 +1,22 @@
+//! # avq-bench — experiment harness for the ICDE 1995 AVQ paper
+//!
+//! One binary per paper table/figure (see `DESIGN.md` §5 for the index):
+//!
+//! * `exp_compression` — Fig. 5.7: compression efficiency across the four
+//!   workload characteristics and relation sizes.
+//! * `exp_codec_time` — Fig. 5.9 rows 1–2: block coding/decoding time on
+//!   the §5.2 relation, measured on the host and scaled to the paper's
+//!   machines.
+//! * `exp_blocks_accessed` — Fig. 5.8: `N` per queried attribute.
+//! * `exp_response_time` — Fig. 5.9: the full response-time table.
+//! * `exp_ablations` — the DESIGN.md ablations (mode, representative,
+//!   block size, attribute order, buffer pool).
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod measure;
+pub mod report;

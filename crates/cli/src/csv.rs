@@ -1,0 +1,214 @@
+//! A small, dependency-free CSV reader/writer (RFC 4180 subset).
+//!
+//! Supports quoted fields with doubled-quote escapes, embedded commas and
+//! newlines inside quotes, and both `\n` and `\r\n` record separators —
+//! enough to ingest real exports without pulling in a crate.
+
+/// Errors raised while parsing CSV text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line where the field started.
+        line: usize,
+    },
+    /// Characters followed a closing quote without a separator.
+    GarbageAfterQuote {
+        /// 1-based line of the offending field.
+        line: usize,
+    },
+}
+
+impl core::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::GarbageAfterQuote { line } => {
+                write!(
+                    f,
+                    "unexpected characters after closing quote on line {line}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses CSV text into records of fields. Empty trailing lines are
+/// ignored; an entirely empty input yields no records.
+pub fn parse(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+    let mut in_quotes = false;
+    let mut quote_line = 1usize;
+    let mut field_started = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                        // Only a separator (or EOF) may follow.
+                        match chars.peek() {
+                            None | Some(',') | Some('\n') | Some('\r') => {}
+                            Some(_) => return Err(CsvError::GarbageAfterQuote { line }),
+                        }
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() && !field_started => {
+                in_quotes = true;
+                quote_line = line;
+                field_started = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                field_started = false;
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                line += 1;
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+                field_started = false;
+            }
+            '\n' => {
+                line += 1;
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+                field_started = false;
+            }
+            _ => {
+                field.push(c);
+                field_started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: quote_line });
+    }
+    if field_started || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Renders one record as a CSV line (quoting only when needed).
+pub fn write_record(fields: &[String]) -> String {
+    let mut out = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r') {
+            out.push('"');
+            out.push_str(&f.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(f);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(fields: &[&str]) -> Vec<String> {
+        fields.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn simple_records() {
+        let got = parse("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(got, vec![rec(&["a", "b", "c"]), rec(&["1", "2", "3"])]);
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let got = parse("a,b\n1,2").unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1], rec(&["1", "2"]));
+    }
+
+    #[test]
+    fn crlf_records() {
+        let got = parse("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(got, vec![rec(&["a", "b"]), rec(&["1", "2"])]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let got = parse("\"hello, world\",\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(got, vec![rec(&["hello, world", "say \"hi\""])]);
+    }
+
+    #[test]
+    fn newline_inside_quotes() {
+        let got = parse("\"two\nlines\",x\n").unwrap();
+        assert_eq!(got, vec![rec(&["two\nlines", "x"])]);
+    }
+
+    #[test]
+    fn empty_fields() {
+        let got = parse(",a,,\n").unwrap();
+        assert_eq!(got, vec![rec(&["", "a", "", ""])]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("\n").unwrap() == vec![rec(&[""])]);
+    }
+
+    #[test]
+    fn unterminated_quote() {
+        assert_eq!(
+            parse("\"oops\n1,2\n").unwrap_err(),
+            CsvError::UnterminatedQuote { line: 1 }
+        );
+    }
+
+    #[test]
+    fn garbage_after_quote() {
+        assert_eq!(
+            parse("\"x\"y,z\n").unwrap_err(),
+            CsvError::GarbageAfterQuote { line: 1 }
+        );
+    }
+
+    #[test]
+    fn write_and_reparse_roundtrip() {
+        let cases = vec![
+            rec(&["plain", "with,comma", "with\"quote", "multi\nline", ""]),
+            rec(&["1", "2", "3"]),
+        ];
+        for fields in cases {
+            let line = write_record(&fields) + "\n";
+            let back = parse(&line).unwrap();
+            assert_eq!(back, vec![fields]);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! `avqtool` — see `avq_cli::commands::USAGE`.
+
+use avq_cli::commands;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("avqtool: {e}");
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, commands::CliError> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match (cmd, &args[1..]) {
+        ("create", rest) if rest.len() >= 3 => commands::create(
+            Path::new(&rest[0]),
+            Path::new(&rest[1]),
+            Path::new(&rest[2]),
+            rest.get(3).map(String::as_str),
+            rest.get(4).map(|s| s.parse()).transpose()?,
+        ),
+        ("info", [path]) => commands::info(Path::new(path)),
+        ("dump", [path]) => commands::dump(Path::new(path)),
+        ("verify", [path]) => commands::verify(Path::new(path)),
+        ("query", [path, attr, lo, hi]) => commands::query(Path::new(path), attr, lo, hi),
+        ("convert", rest) if rest.len() >= 3 => commands::convert(
+            Path::new(&rest[0]),
+            Path::new(&rest[1]),
+            &rest[2],
+            rest.get(3).map(|s| s.parse()).transpose()?,
+        ),
+        ("help", _) | ("--help", _) | ("-h", _) => Ok(commands::USAGE.to_string()),
+        (other, _) => Err(format!("unknown or malformed command {other:?}").into()),
+    }
+}

@@ -1,0 +1,190 @@
+//! Schema specification files for `avqtool create`.
+//!
+//! One attribute per line, `name:type`, where `type` is one of:
+//!
+//! ```text
+//! uint:<size>            # ordinals 0 .. size-1
+//! int:<min>:<max>        # signed integers, inclusive
+//! enum:<v1>,<v2>,…       # enumerated strings in ordinal order
+//! ```
+//!
+//! Blank lines and `#` comments are ignored.
+
+use avq_schema::{Domain, Schema, SchemaError};
+use std::sync::Arc;
+
+/// Errors raised while parsing a schema spec.
+#[derive(Debug)]
+pub enum SpecError {
+    /// A line did not match `name:type`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// The resulting schema was invalid.
+    Schema(SchemaError),
+}
+
+impl core::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpecError::Malformed { line, detail } => {
+                write!(f, "schema spec line {line}: {detail}")
+            }
+            SpecError::Schema(e) => write!(f, "invalid schema: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<SchemaError> for SpecError {
+    fn from(e: SchemaError) -> Self {
+        SpecError::Schema(e)
+    }
+}
+
+/// Parses a schema spec document.
+pub fn parse_schema_spec(text: &str) -> Result<Arc<Schema>, SpecError> {
+    let mut pairs = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, ty) = line.split_once(':').ok_or_else(|| SpecError::Malformed {
+            line: line_no,
+            detail: "expected name:type".into(),
+        })?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(SpecError::Malformed {
+                line: line_no,
+                detail: "empty attribute name".into(),
+            });
+        }
+        let domain = parse_domain(ty.trim()).map_err(|detail| SpecError::Malformed {
+            line: line_no,
+            detail,
+        })?;
+        pairs.push((name.to_string(), domain));
+    }
+    Ok(Schema::from_pairs(pairs)?)
+}
+
+fn parse_domain(ty: &str) -> Result<Domain, String> {
+    if let Some(rest) = ty.strip_prefix("uint:") {
+        let size: u64 = rest
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad uint size {rest:?}"))?;
+        return Domain::uint(size).map_err(|e| e.to_string());
+    }
+    if let Some(rest) = ty.strip_prefix("int:") {
+        let (min, max) = rest
+            .split_once(':')
+            .ok_or_else(|| "int needs min:max".to_string())?;
+        let min: i64 = min.trim().parse().map_err(|_| format!("bad min {min:?}"))?;
+        let max: i64 = max.trim().parse().map_err(|_| format!("bad max {max:?}"))?;
+        return Domain::int_range(min, max).map_err(|e| e.to_string());
+    }
+    if let Some(rest) = ty.strip_prefix("enum:") {
+        let values: Vec<&str> = rest.split(',').map(str::trim).collect();
+        if values.iter().any(|v| v.is_empty()) {
+            return Err("enum values must be non-empty".into());
+        }
+        return Domain::enumerated(values).map_err(|e| e.to_string());
+    }
+    Err(format!("unknown type {ty:?} (expected uint:/int:/enum:)"))
+}
+
+/// Renders a schema back into spec format (inverse of
+/// [`parse_schema_spec`]).
+pub fn render_schema_spec(schema: &Schema) -> String {
+    let mut out = String::new();
+    for attr in schema.attributes() {
+        out.push_str(attr.name());
+        out.push(':');
+        match attr.domain() {
+            Domain::Uint { size } => out.push_str(&format!("uint:{size}")),
+            Domain::IntRange { min, max } => out.push_str(&format!("int:{min}:{max}")),
+            Domain::Enumerated { values, .. } => {
+                out.push_str("enum:");
+                out.push_str(&values.join(","));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "\
+# employee relation
+department:enum:hq,lab,plant
+years:uint:64
+delta:int:-10:10
+";
+
+    #[test]
+    fn parse_roundtrip() {
+        let schema = parse_schema_spec(SPEC).unwrap();
+        assert_eq!(schema.arity(), 3);
+        assert_eq!(schema.attribute(0).name(), "department");
+        assert_eq!(schema.attribute(0).domain().size(), 3);
+        assert_eq!(schema.attribute(1).domain().size(), 64);
+        assert_eq!(schema.attribute(2).domain().size(), 21);
+
+        let rendered = render_schema_spec(&schema);
+        let back = parse_schema_spec(&rendered).unwrap();
+        assert_eq!(back.as_ref(), schema.as_ref());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let schema = parse_schema_spec("\n# c\n\nx:uint:4\n").unwrap();
+        assert_eq!(schema.arity(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(matches!(
+            parse_schema_spec("garbage"),
+            Err(SpecError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_schema_spec("x:float:3"),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_schema_spec("x:uint:abc"),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_schema_spec("x:int:5"),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_schema_spec(":uint:4"),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_schema_spec("x:enum:a,,b"),
+            Err(SpecError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_spec_is_invalid_schema() {
+        assert!(matches!(
+            parse_schema_spec("# nothing\n"),
+            Err(SpecError::Schema(_))
+        ));
+    }
+}

@@ -1,0 +1,267 @@
+//! Bit-level I/O and Elias-gamma codes for the bit-aligned coding mode.
+//!
+//! The paper's §3.4 run-length coder is *byte*-aligned: a difference costs
+//! `1 + (m − leading-zero-bytes)` whole bytes, wasting up to 7 bits at each
+//! end. [`crate::CodingMode::AvqChainedBits`] (a DESIGN.md extension)
+//! removes that slack: each difference is stored as
+//! `gamma(bitlen + 1) ‖ bitlen raw bits` of its φ-distance, where `gamma`
+//! is the Elias-gamma prefix code. This module supplies the MSB-first
+//! [`BitWriter`]/[`BitReader`] pair and the gamma code.
+
+use avq_num::BigUnsigned;
+
+/// Writes bits MSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub(crate) struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the final byte (0 ⇒ byte boundary).
+    used: u8,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bits written so far.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn bit_len(&self) -> usize {
+        // `used` counts the free bits remaining in the last byte.
+        self.bytes.len() * 8 - self.used as usize
+    }
+
+    /// Writes a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+            self.used = 8;
+        }
+        self.used -= 1;
+        if bit {
+            *self.bytes.last_mut().expect("pushed above") |= 1 << self.used;
+        }
+    }
+
+    /// Writes the low `n` bits of `v`, MSB first.
+    pub fn push_bits_u64(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.push_bit(v >> i & 1 == 1);
+        }
+    }
+
+    /// Writes the `n` low bits of a bignum, MSB first (`n ≥ v.bit_len()`).
+    pub fn push_bits_big(&mut self, v: &BigUnsigned, n: usize) {
+        debug_assert!(n >= v.bit_len());
+        let bytes = v.to_bytes_be();
+        let total = bytes.len() * 8;
+        // Leading padding zeros.
+        for _ in 0..n.saturating_sub(total) {
+            self.push_bit(false);
+        }
+        let skip = total.saturating_sub(n);
+        for i in skip..total {
+            let byte = bytes[i / 8];
+            self.push_bit(byte >> (7 - i % 8) & 1 == 1);
+        }
+    }
+
+    /// Elias-gamma code of `v` (`v ≥ 1`): ⌊log₂ v⌋ zeros then the binary
+    /// representation of `v`.
+    pub fn push_gamma(&mut self, v: u64) {
+        debug_assert!(v >= 1, "gamma codes positive integers only");
+        let n = 63 - v.leading_zeros();
+        for _ in 0..n {
+            self.push_bit(false);
+        }
+        self.push_bits_u64(v, n + 1);
+    }
+
+    /// Finishes, returning the padded byte vector.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub(crate) struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Bits consumed so far.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one bit; `None` past the end.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        let byte = *self.bytes.get(self.pos / 8)?;
+        let bit = byte >> (7 - self.pos % 8) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `n` bits into a u64, MSB first.
+    pub fn read_bits_u64(&mut self, n: u32) -> Option<u64> {
+        debug_assert!(n <= 64);
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = v << 1 | self.read_bit()? as u64;
+        }
+        Some(v)
+    }
+
+    /// Reads `n` bits into a bignum, MSB first.
+    pub fn read_bits_big(&mut self, n: usize) -> Option<BigUnsigned> {
+        let nbytes = n.div_ceil(8);
+        let mut bytes = vec![0u8; nbytes];
+        let lead = nbytes * 8 - n;
+        for i in 0..n {
+            let bit = self.read_bit()? as u8;
+            let at = lead + i;
+            bytes[at / 8] |= bit << (7 - at % 8);
+        }
+        Some(BigUnsigned::from_bytes_be(&bytes))
+    }
+
+    /// Reads an Elias-gamma-coded positive integer.
+    pub fn read_gamma(&mut self) -> Option<u64> {
+        let mut zeros = 0u32;
+        loop {
+            if self.read_bit()? {
+                break;
+            }
+            zeros += 1;
+            if zeros > 63 {
+                return None; // malformed: would overflow u64
+            }
+        }
+        let rest = self.read_bits_u64(zeros)?;
+        Some(1u64 << zeros | rest)
+    }
+}
+
+/// Bits needed for the gamma code of `v ≥ 1`.
+pub(crate) fn gamma_len(v: u64) -> usize {
+    debug_assert!(v >= 1);
+    (2 * (63 - v.leading_zeros()) + 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, false, true, true];
+        for &b in &pattern {
+            w.push_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn u64_fields_roundtrip() {
+        let mut w = BitWriter::new();
+        w.push_bits_u64(0b101, 3);
+        w.push_bits_u64(u64::MAX, 64);
+        w.push_bits_u64(0, 5);
+        w.push_bits_u64(42, 17);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits_u64(3), Some(0b101));
+        assert_eq!(r.read_bits_u64(64), Some(u64::MAX));
+        assert_eq!(r.read_bits_u64(5), Some(0));
+        assert_eq!(r.read_bits_u64(17), Some(42));
+    }
+
+    #[test]
+    fn gamma_roundtrip() {
+        let mut w = BitWriter::new();
+        let values = [1u64, 2, 3, 4, 7, 8, 100, 1_000_000, u32::MAX as u64];
+        for &v in &values {
+            w.push_gamma(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.read_gamma(), Some(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn gamma_len_matches_written() {
+        for v in [1u64, 2, 3, 7, 8, 255, 256, 12345] {
+            let mut w = BitWriter::new();
+            w.push_gamma(v);
+            assert_eq!(w.bit_len(), gamma_len(v), "value {v}");
+        }
+        assert_eq!(gamma_len(1), 1);
+        assert_eq!(gamma_len(2), 3);
+        assert_eq!(gamma_len(4), 5);
+    }
+
+    #[test]
+    fn bignum_fields_roundtrip() {
+        let vals = [
+            BigUnsigned::zero(),
+            BigUnsigned::from_u64(1),
+            BigUnsigned::from_u64(0xDEAD_BEEF),
+            BigUnsigned::from_u128(u128::MAX),
+            BigUnsigned::from_bytes_be(&[0x7F; 20]),
+        ];
+        let mut w = BitWriter::new();
+        for v in &vals {
+            // Write with 3 bits of left padding.
+            w.push_bits_big(v, v.bit_len() + 3);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for v in &vals {
+            assert_eq!(r.read_bits_big(v.bit_len() + 3), Some(v.clone()));
+        }
+    }
+
+    #[test]
+    fn reads_past_end_are_none() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits_u64(8), Some(0xFF));
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits_u64(1), None);
+        assert_eq!(r.read_gamma(), None);
+    }
+
+    #[test]
+    fn malformed_gamma_rejected() {
+        // 64+ leading zeros cannot be a valid u64 gamma code.
+        let zeros = [0u8; 10];
+        let mut r = BitReader::new(&zeros);
+        assert_eq!(r.read_gamma(), None);
+    }
+
+    #[test]
+    fn bit_positions_track() {
+        let mut w = BitWriter::new();
+        w.push_gamma(5); // 5 bits: 00101
+        assert_eq!(w.bit_len(), 5);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        r.read_gamma().unwrap();
+        assert_eq!(r.bit_pos(), 5);
+    }
+}

@@ -1,0 +1,823 @@
+//! Block coding and decoding (§3.4 of the paper).
+//!
+//! A *block* is a φ-sorted run of tuples coded as a single byte stream that
+//! fits one disk block. The stream layout is the paper's (§3.4) plus a
+//! four-byte header that records what the paper leaves implicit (the tuple
+//! count and the representative's position, which stops being exactly the
+//! middle after in-place insertions, Fig. 4.6):
+//!
+//! ```text
+//! ┌────────────┬───────────────┬───────────────┬────────────────────────┐
+//! │ count: u16 │ rep_idx: u16  │ rep: m bytes  │ entries (RLE, §3.4) …  │
+//! └────────────┴───────────────┴───────────────┴────────────────────────┘
+//! ```
+//!
+//! Entries appear in φ order with the representative elided; entry `k`
+//! describes tuple `k` when `k < rep_idx` and tuple `k + 1` otherwise. For
+//! [`CodingMode::FieldWise`] the representative and entries are replaced by
+//! `count` fixed-width tuples.
+
+use crate::bitio::{gamma_len, BitReader, BitWriter};
+use crate::error::CodecError;
+use crate::mode::{CodingMode, RepChoice};
+use crate::rle;
+use avq_schema::{Schema, Tuple};
+use std::sync::Arc;
+
+/// Size in bytes of the block header (`count: u16 LE`, `rep_idx: u16 LE`).
+pub const BLOCK_HEADER_BYTES: usize = 4;
+
+/// Codes and decodes blocks of φ-sorted tuples for one schema.
+///
+/// The codec is cheap to clone (it shares the schema) and holds no
+/// per-block state; scratch buffers are created per call so a codec can be
+/// used from multiple threads.
+#[derive(Debug, Clone)]
+pub struct BlockCodec {
+    schema: Arc<Schema>,
+    mode: CodingMode,
+    rep: RepChoice,
+}
+
+impl BlockCodec {
+    /// Creates a codec with the paper's defaults (chained AVQ, median
+    /// representative).
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Self::with_options(schema, CodingMode::default(), RepChoice::default())
+    }
+
+    /// Creates a codec with explicit mode and representative policy.
+    pub fn with_options(schema: Arc<Schema>, mode: CodingMode, rep: RepChoice) -> Self {
+        BlockCodec { schema, mode, rep }
+    }
+
+    /// The schema this codec codes for.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The coding mode.
+    #[inline]
+    pub fn mode(&self) -> CodingMode {
+        self.mode
+    }
+
+    /// The representative policy.
+    #[inline]
+    pub fn rep_choice(&self) -> RepChoice {
+        self.rep
+    }
+
+    fn check_input(&self, tuples: &[Tuple]) -> Result<(), CodecError> {
+        if tuples.is_empty() {
+            return Err(CodecError::EmptyBlock);
+        }
+        if tuples.len() > u16::MAX as usize {
+            return Err(CodecError::TooManyTuples { got: tuples.len() });
+        }
+        for (i, t) in tuples.iter().enumerate() {
+            self.schema
+                .validate_tuple(t)
+                .map_err(|e| CodecError::InvalidTuple {
+                    position: i,
+                    detail: e.to_string(),
+                })?;
+        }
+        if let Some(pos) = tuples.windows(2).position(|w| w[0] > w[1]) {
+            return Err(CodecError::UnsortedInput { position: pos + 1 });
+        }
+        Ok(())
+    }
+
+    /// Encodes a φ-sorted run of tuples into a fresh byte stream.
+    pub fn encode(&self, tuples: &[Tuple]) -> Result<Vec<u8>, CodecError> {
+        self.check_input(tuples)?;
+        let mut out = Vec::with_capacity(self.measure(tuples));
+        self.encode_unchecked(tuples, &mut out);
+        Ok(out)
+    }
+
+    /// Encodes a φ-sorted run of tuples, appending to `out`.
+    pub fn encode_into(&self, tuples: &[Tuple], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        self.check_input(tuples)?;
+        self.encode_unchecked(tuples, out);
+        Ok(())
+    }
+
+    fn encode_unchecked(&self, tuples: &[Tuple], out: &mut Vec<u8>) {
+        let u = tuples.len();
+        let rep_idx = match self.mode {
+            CodingMode::FieldWise => 0,
+            _ => self.rep.index(u),
+        };
+        out.extend_from_slice(&(u as u16).to_le_bytes());
+        out.extend_from_slice(&(rep_idx as u16).to_le_bytes());
+
+        match self.mode {
+            CodingMode::FieldWise => {
+                for t in tuples {
+                    self.schema.write_tuple(t, out);
+                }
+            }
+            CodingMode::Avq => {
+                let rep = &tuples[rep_idx];
+                self.schema.write_tuple(rep, out);
+                let radix = self.schema.radix();
+                let mut scratch = Vec::with_capacity(self.schema.tuple_bytes());
+                for (i, t) in tuples.iter().enumerate() {
+                    if i == rep_idx {
+                        continue;
+                    }
+                    let diff = radix.abs_diff(t.digits(), rep.digits());
+                    rle::write_entry(&self.schema, &diff, out, &mut scratch);
+                }
+            }
+            CodingMode::AvqChained => {
+                let rep = &tuples[rep_idx];
+                self.schema.write_tuple(rep, out);
+                let radix = self.schema.radix();
+                let mut scratch = Vec::with_capacity(self.schema.tuple_bytes());
+                for i in 0..u {
+                    if i == rep_idx {
+                        continue;
+                    }
+                    // Every chained difference is an adjacent gap: before the
+                    // representative the gap to the successor, after it the
+                    // gap to the predecessor (Example 3.3).
+                    let diff = if i < rep_idx {
+                        radix.abs_diff(tuples[i + 1].digits(), tuples[i].digits())
+                    } else {
+                        radix.abs_diff(tuples[i].digits(), tuples[i - 1].digits())
+                    };
+                    rle::write_entry(&self.schema, &diff, out, &mut scratch);
+                }
+            }
+            CodingMode::AvqChainedBits => {
+                let rep = &tuples[rep_idx];
+                self.schema.write_tuple(rep, out);
+                let radix = self.schema.radix();
+                let mut bw = BitWriter::new();
+                for i in 0..u {
+                    if i == rep_idx {
+                        continue;
+                    }
+                    let diff = if i < rep_idx {
+                        radix.abs_diff(tuples[i + 1].digits(), tuples[i].digits())
+                    } else {
+                        radix.abs_diff(tuples[i].digits(), tuples[i - 1].digits())
+                    };
+                    let value = radix.rank(&diff);
+                    let bl = value.bit_len();
+                    bw.push_gamma(bl as u64 + 1);
+                    bw.push_bits_big(&value, bl);
+                }
+                out.extend_from_slice(&bw.into_bytes());
+            }
+        }
+    }
+
+    /// Exact coded size in bytes of a φ-sorted run, without encoding.
+    ///
+    /// The input is assumed sorted and schema-valid (checked in debug
+    /// builds); this is the hot path of the block packer.
+    pub fn measure(&self, tuples: &[Tuple]) -> usize {
+        debug_assert!(self.check_input(tuples).is_ok() || tuples.is_empty());
+        let u = tuples.len();
+        if u == 0 {
+            return BLOCK_HEADER_BYTES;
+        }
+        let m = self.schema.tuple_bytes();
+        match self.mode {
+            CodingMode::FieldWise => BLOCK_HEADER_BYTES + u * m,
+            CodingMode::Avq => {
+                let rep_idx = self.rep.index(u);
+                let rep = &tuples[rep_idx];
+                let radix = self.schema.radix();
+                let mut size = BLOCK_HEADER_BYTES + m;
+                for (i, t) in tuples.iter().enumerate() {
+                    if i == rep_idx {
+                        continue;
+                    }
+                    let diff = radix.abs_diff(t.digits(), rep.digits());
+                    size += rle::entry_cost(&self.schema, &diff);
+                }
+                size
+            }
+            CodingMode::AvqChained => {
+                // Chained coded size is rep + the adjacent gaps, so it does
+                // not depend on which tuple is the representative.
+                let radix = self.schema.radix();
+                let mut size = BLOCK_HEADER_BYTES + m;
+                for w in tuples.windows(2) {
+                    let diff = radix.abs_diff(w[1].digits(), w[0].digits());
+                    size += rle::entry_cost(&self.schema, &diff);
+                }
+                size
+            }
+            CodingMode::AvqChainedBits => {
+                let mut bits = 0usize;
+                for w in tuples.windows(2) {
+                    bits += self.append_bits(&w[0], &w[1]);
+                }
+                BLOCK_HEADER_BYTES + m + bits.div_ceil(8)
+            }
+        }
+    }
+
+    /// Incremental bit cost of appending `next` after `last` in
+    /// [`CodingMode::AvqChainedBits`] (used by the packer).
+    pub(crate) fn append_bits(&self, last: &Tuple, next: &Tuple) -> usize {
+        let radix = self.schema.radix();
+        let diff = radix.abs_diff(next.digits(), last.digits());
+        let bl = radix.rank(&diff).bit_len();
+        gamma_len(bl as u64 + 1) + bl
+    }
+
+    /// Incremental packing cost of appending `next` to a run currently
+    /// ending at `last` (chained and field-wise modes only; see
+    /// [`crate::BlockPacker`]).
+    pub(crate) fn append_cost(&self, last: &Tuple, next: &Tuple) -> usize {
+        match self.mode {
+            CodingMode::FieldWise => self.schema.tuple_bytes(),
+            _ => {
+                let diff = self.schema.radix().abs_diff(next.digits(), last.digits());
+                rle::entry_cost(&self.schema, &diff)
+            }
+        }
+    }
+
+    /// Decodes a block stream into its tuples, in φ order.
+    pub fn decode(&self, bytes: &[u8]) -> Result<Vec<Tuple>, CodecError> {
+        let mut out = Vec::new();
+        self.decode_into(bytes, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes a block stream, appending tuples to `out` in φ order.
+    pub fn decode_into(&self, bytes: &[u8], out: &mut Vec<Tuple>) -> Result<(), CodecError> {
+        let (u, rep_idx) = read_header(bytes)?;
+        if u == 0 {
+            return Err(CodecError::Corrupt {
+                offset: 0,
+                detail: "block with zero tuples".into(),
+            });
+        }
+        let m = self.schema.tuple_bytes();
+        let mut pos = BLOCK_HEADER_BYTES;
+
+        if self.mode == CodingMode::FieldWise {
+            let need = u * m;
+            if bytes.len() < pos + need {
+                return Err(CodecError::Corrupt {
+                    offset: pos,
+                    detail: format!("field-wise body truncated: need {need} bytes"),
+                });
+            }
+            out.reserve(u);
+            for i in 0..u {
+                out.push(
+                    self.schema
+                        .read_tuple(&bytes[pos + i * m..pos + (i + 1) * m]),
+                );
+            }
+            return Ok(());
+        }
+
+        if rep_idx >= u {
+            return Err(CodecError::Corrupt {
+                offset: 2,
+                detail: format!("rep_idx {rep_idx} out of range for {u} tuples"),
+            });
+        }
+        if bytes.len() < pos + m {
+            return Err(CodecError::Corrupt {
+                offset: pos,
+                detail: "representative tuple truncated".into(),
+            });
+        }
+        let rep = self.schema.read_tuple(&bytes[pos..pos + m]);
+        self.schema
+            .validate_tuple(&rep)
+            .map_err(|e| CodecError::Corrupt {
+                offset: pos,
+                detail: format!("representative invalid: {e}"),
+            })?;
+        pos += m;
+
+        let radix = self.schema.radix();
+        let mut diffs = Vec::with_capacity(u - 1);
+        if self.mode == CodingMode::AvqChainedBits {
+            let mut br = BitReader::new(&bytes[pos..]);
+            for k in 0..u - 1 {
+                let bl = br
+                    .read_gamma()
+                    .ok_or(CodecError::Corrupt {
+                        offset: pos,
+                        detail: format!("bit entry {k}: truncated gamma length"),
+                    })?
+                    .checked_sub(1)
+                    .expect("gamma codes are >= 1") as usize;
+                let value = br.read_bits_big(bl).ok_or(CodecError::Corrupt {
+                    offset: pos,
+                    detail: format!("bit entry {k}: truncated payload"),
+                })?;
+                let digits = radix
+                    .unrank(&value)
+                    .ok_or(CodecError::DifferenceOutOfSpace { entry: k })?;
+                diffs.push(digits);
+            }
+        } else {
+            let mut scratch = Vec::with_capacity(m);
+            for _ in 0..u - 1 {
+                let (digits, next) = rle::read_entry(&self.schema, bytes, pos, &mut scratch)?;
+                diffs.push(digits);
+                pos = next;
+            }
+        }
+
+        let base = out.len();
+        out.resize(base + u, Tuple::new(Vec::new()));
+        out[base + rep_idx] = rep;
+
+        match self.mode {
+            CodingMode::Avq => {
+                for (k, diff) in diffs.iter().enumerate() {
+                    let i = if k < rep_idx { k } else { k + 1 };
+                    let rep_digits = out[base + rep_idx].digits().to_vec();
+                    let digits = if i < rep_idx {
+                        radix.checked_sub(&rep_digits, diff)
+                    } else {
+                        radix.checked_add(&rep_digits, diff)
+                    }
+                    .ok_or(CodecError::DifferenceOutOfSpace { entry: k })?;
+                    out[base + i] = Tuple::new(digits);
+                }
+            }
+            CodingMode::AvqChained | CodingMode::AvqChainedBits => {
+                // Unwind outward from the representative: backwards over the
+                // first half, forwards over the second.
+                for i in (0..rep_idx).rev() {
+                    let succ = out[base + i + 1].digits().to_vec();
+                    let digits = radix
+                        .checked_sub(&succ, &diffs[i])
+                        .ok_or(CodecError::DifferenceOutOfSpace { entry: i })?;
+                    out[base + i] = Tuple::new(digits);
+                }
+                for i in rep_idx + 1..u {
+                    let pred = out[base + i - 1].digits().to_vec();
+                    let digits = radix
+                        .checked_add(&pred, &diffs[i - 1])
+                        .ok_or(CodecError::DifferenceOutOfSpace { entry: i - 1 })?;
+                    out[base + i] = Tuple::new(digits);
+                }
+            }
+            CodingMode::FieldWise => unreachable!("handled above"),
+        }
+        Ok(())
+    }
+
+    /// Point lookup inside a coded block without decoding it fully.
+    ///
+    /// Field-wise blocks are binary-searched over their fixed-width records
+    /// (`O(log u)` comparisons, zero reconstruction); AVQ blocks exploit the
+    /// φ order of entries to stop as soon as the scan passes the target —
+    /// and skip reconstructing the half of the block on the wrong side of
+    /// the representative entirely.
+    pub fn contains_tuple(&self, bytes: &[u8], tuple: &Tuple) -> Result<bool, CodecError> {
+        let (u, rep_idx) = read_header(bytes)?;
+        if u == 0 {
+            return Err(CodecError::Corrupt {
+                offset: 0,
+                detail: "block with zero tuples".into(),
+            });
+        }
+        let m = self.schema.tuple_bytes();
+        let body = BLOCK_HEADER_BYTES;
+
+        if self.mode == CodingMode::FieldWise {
+            if bytes.len() < body + u * m {
+                return Err(CodecError::Corrupt {
+                    offset: body,
+                    detail: "field-wise body truncated".into(),
+                });
+            }
+            let mut key = Vec::with_capacity(m);
+            self.schema.write_tuple(tuple, &mut key);
+            // Fixed-width records in φ order: serialized comparison is
+            // φ comparison, so binary search applies directly.
+            let mut lo = 0usize;
+            let mut hi = u;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let rec = &bytes[body + mid * m..body + (mid + 1) * m];
+                match rec.cmp(&key[..]) {
+                    core::cmp::Ordering::Equal => return Ok(true),
+                    core::cmp::Ordering::Less => lo = mid + 1,
+                    core::cmp::Ordering::Greater => hi = mid,
+                }
+            }
+            return Ok(false);
+        }
+
+        if rep_idx >= u || bytes.len() < body + m {
+            return Err(CodecError::Corrupt {
+                offset: 2,
+                detail: "bad representative".into(),
+            });
+        }
+        let rep = self.schema.read_tuple(&bytes[body..body + m]);
+        match tuple.cmp(&rep) {
+            core::cmp::Ordering::Equal => Ok(true),
+            core::cmp::Ordering::Less => {
+                // Target precedes the representative: only the first
+                // rep_idx entries matter.
+                let diffs = self.parse_entries(bytes, body + m, u - 1)?;
+                let radix = self.schema.radix();
+                match self.mode {
+                    CodingMode::Avq => {
+                        // Entries before the representative are t = rep − d,
+                        // ascending in φ as k grows.
+                        for (k, d) in diffs[..rep_idx].iter().enumerate() {
+                            let t = radix
+                                .checked_sub(rep.digits(), d)
+                                .ok_or(CodecError::DifferenceOutOfSpace { entry: k })?;
+                            match t.as_slice().cmp(tuple.digits()) {
+                                core::cmp::Ordering::Equal => return Ok(true),
+                                core::cmp::Ordering::Greater => return Ok(false),
+                                core::cmp::Ordering::Less => {}
+                            }
+                        }
+                        Ok(false)
+                    }
+                    _ => {
+                        // Chained: walk backward from the representative,
+                        // stopping once below the target.
+                        let mut cur = rep.into_digits();
+                        for i in (0..rep_idx).rev() {
+                            cur = radix
+                                .checked_sub(&cur, &diffs[i])
+                                .ok_or(CodecError::DifferenceOutOfSpace { entry: i })?;
+                            match cur.as_slice().cmp(tuple.digits()) {
+                                core::cmp::Ordering::Equal => return Ok(true),
+                                core::cmp::Ordering::Less => return Ok(false),
+                                core::cmp::Ordering::Greater => {}
+                            }
+                        }
+                        Ok(false)
+                    }
+                }
+            }
+            core::cmp::Ordering::Greater => {
+                // Target follows the representative: reconstruct forward
+                // from it with early exit (the first-half entries are parsed
+                // but never reconstructed).
+                let diffs = self.parse_entries(bytes, body + m, u - 1)?;
+                let radix = self.schema.radix();
+                let rep_digits = rep.into_digits();
+                let mut cur = rep_digits.clone();
+                for (k, d) in diffs[rep_idx..].iter().enumerate() {
+                    cur = match self.mode {
+                        CodingMode::Avq => radix.checked_add(&rep_digits, d),
+                        _ => radix.checked_add(&cur, d),
+                    }
+                    .ok_or(CodecError::DifferenceOutOfSpace { entry: rep_idx + k })?;
+                    match cur.as_slice().cmp(tuple.digits()) {
+                        core::cmp::Ordering::Equal => return Ok(true),
+                        core::cmp::Ordering::Greater => return Ok(false),
+                        core::cmp::Ordering::Less => {}
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Parses all difference entries of a non-field-wise block into digit
+    /// vectors (shared by [`Self::decode_into`] and
+    /// [`Self::contains_tuple`]).
+    fn parse_entries(
+        &self,
+        bytes: &[u8],
+        mut pos: usize,
+        count: usize,
+    ) -> Result<Vec<Vec<u64>>, CodecError> {
+        let radix = self.schema.radix();
+        let mut diffs = Vec::with_capacity(count);
+        if self.mode == CodingMode::AvqChainedBits {
+            let mut br = crate::bitio::BitReader::new(&bytes[pos..]);
+            for k in 0..count {
+                let bl = br
+                    .read_gamma()
+                    .ok_or(CodecError::Corrupt {
+                        offset: pos,
+                        detail: format!("bit entry {k}: truncated gamma length"),
+                    })?
+                    .checked_sub(1)
+                    .expect("gamma codes are >= 1") as usize;
+                let value = br.read_bits_big(bl).ok_or(CodecError::Corrupt {
+                    offset: pos,
+                    detail: format!("bit entry {k}: truncated payload"),
+                })?;
+                let digits = radix
+                    .unrank(&value)
+                    .ok_or(CodecError::DifferenceOutOfSpace { entry: k })?;
+                diffs.push(digits);
+            }
+        } else {
+            let mut scratch = Vec::with_capacity(self.schema.tuple_bytes());
+            for _ in 0..count {
+                let (digits, next) = rle::read_entry(&self.schema, bytes, pos, &mut scratch)?;
+                diffs.push(digits);
+                pos = next;
+            }
+        }
+        Ok(diffs)
+    }
+
+    /// Reads only the representative tuple of a coded block — the index key
+    /// of §4.1 — without decoding the block. For field-wise blocks this is
+    /// the first tuple.
+    pub fn read_representative(&self, bytes: &[u8]) -> Result<Tuple, CodecError> {
+        let (u, rep_idx) = read_header(bytes)?;
+        if u == 0 {
+            return Err(CodecError::Corrupt {
+                offset: 0,
+                detail: "block with zero tuples".into(),
+            });
+        }
+        let m = self.schema.tuple_bytes();
+        let pos = BLOCK_HEADER_BYTES;
+        if self.mode != CodingMode::FieldWise && rep_idx >= u {
+            return Err(CodecError::Corrupt {
+                offset: 2,
+                detail: "rep_idx out of range".into(),
+            });
+        }
+        if bytes.len() < pos + m {
+            return Err(CodecError::Corrupt {
+                offset: pos,
+                detail: "representative tuple truncated".into(),
+            });
+        }
+        Ok(self.schema.read_tuple(&bytes[pos..pos + m]))
+    }
+
+    /// Number of tuples recorded in a coded block's header.
+    pub fn tuple_count(&self, bytes: &[u8]) -> Result<usize, CodecError> {
+        read_header(bytes).map(|(u, _)| u)
+    }
+}
+
+fn read_header(bytes: &[u8]) -> Result<(usize, usize), CodecError> {
+    if bytes.len() < BLOCK_HEADER_BYTES {
+        return Err(CodecError::Corrupt {
+            offset: 0,
+            detail: "block shorter than header".into(),
+        });
+    }
+    let u = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+    let rep_idx = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
+    Ok((u, rep_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avq_schema::Domain;
+
+    fn employee_schema() -> Arc<Schema> {
+        Schema::from_pairs(vec![
+            ("a1", Domain::uint(8).unwrap()),
+            ("a2", Domain::uint(16).unwrap()),
+            ("a3", Domain::uint(64).unwrap()),
+            ("a4", Domain::uint(64).unwrap()),
+            ("a5", Domain::uint(64).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    /// The 4th block of Fig. 2.2 (c) / Fig. 3.3 (a).
+    fn paper_block() -> Vec<Tuple> {
+        vec![
+            Tuple::from([3u64, 8, 32, 25, 19]),
+            Tuple::from([3u64, 8, 32, 34, 12]),
+            Tuple::from([3u64, 8, 36, 39, 35]), // representative (median)
+            Tuple::from([3u64, 9, 24, 32, 0]),
+            Tuple::from([3u64, 9, 26, 27, 37]),
+        ]
+    }
+
+    #[test]
+    fn fig3_3_stream_matches_paper() {
+        // §3.4 prints the coded block as the digit stream
+        //   3 08 36 39 35 | 3 08 57 | 2 04 05 23 | 2 51 56 29 | 2 01 59 37
+        let codec = BlockCodec::new(employee_schema());
+        let coded = codec.encode(&paper_block()).unwrap();
+        let body = &coded[BLOCK_HEADER_BYTES..];
+        assert_eq!(
+            body,
+            &[
+                3, 8, 36, 39, 35, // representative
+                3, 8, 57, // (0,00,00,08,57): 3 leading zeros elided
+                2, 4, 5, 23, // (0,00,04,05,23)
+                2, 51, 56, 29, // (0,00,51,56,29)
+                2, 1, 59, 37, // (0,00,01,59,37)
+            ]
+        );
+        // Header: 5 tuples, representative at index 2 (the median).
+        assert_eq!(&coded[..4], &[5, 0, 2, 0]);
+    }
+
+    #[test]
+    fn fig3_3_basic_avq_differences() {
+        // Fig. 3.3 (b): differences from the representative (un-chained).
+        let codec = BlockCodec::with_options(employee_schema(), CodingMode::Avq, RepChoice::Median);
+        let coded = codec.encode(&paper_block()).unwrap();
+        let body = &coded[BLOCK_HEADER_BYTES..];
+        // diffs from rep: 17296 = (0,00,04,14,16), 16727 = (0,00,04,05,23),
+        //                 212509 = (0,00,51,56,29), 220418 = (0,00,53,52,02)
+        assert_eq!(
+            body,
+            &[
+                3, 8, 36, 39, 35, // representative
+                2, 4, 14, 16, // φ-diff 17296
+                2, 4, 5, 23, // φ-diff 16727
+                2, 51, 56, 29, // φ-diff 212509
+                2, 53, 52, 2, // φ-diff 220418
+            ]
+        );
+    }
+
+    #[test]
+    fn roundtrip_all_modes() {
+        let schema = employee_schema();
+        let tuples = paper_block();
+        for mode in CodingMode::ALL {
+            for rep in RepChoice::ALL {
+                let codec = BlockCodec::with_options(schema.clone(), mode, rep);
+                let coded = codec.encode(&tuples).unwrap();
+                assert_eq!(
+                    codec.decode(&coded).unwrap(),
+                    tuples,
+                    "mode {mode} rep {rep}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measure_matches_encode() {
+        let schema = employee_schema();
+        let tuples = paper_block();
+        for mode in CodingMode::ALL {
+            for rep in RepChoice::ALL {
+                let codec = BlockCodec::with_options(schema.clone(), mode, rep);
+                let coded = codec.encode(&tuples).unwrap();
+                assert_eq!(codec.measure(&tuples), coded.len(), "mode {mode} rep {rep}");
+            }
+        }
+    }
+
+    #[test]
+    fn chained_measure_independent_of_rep() {
+        let schema = employee_schema();
+        let tuples = paper_block();
+        let sizes: Vec<usize> = RepChoice::ALL
+            .iter()
+            .map(|&rep| {
+                BlockCodec::with_options(schema.clone(), CodingMode::AvqChained, rep)
+                    .measure(&tuples)
+            })
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{sizes:?}");
+    }
+
+    #[test]
+    fn single_tuple_block() {
+        let schema = employee_schema();
+        let tuples = vec![Tuple::from([1u64, 2, 3, 4, 5])];
+        for mode in CodingMode::ALL {
+            let codec = BlockCodec::with_options(schema.clone(), mode, RepChoice::Median);
+            let coded = codec.encode(&tuples).unwrap();
+            assert_eq!(codec.decode(&coded).unwrap(), tuples);
+            assert_eq!(codec.read_representative(&coded).unwrap(), tuples[0]);
+        }
+    }
+
+    #[test]
+    fn duplicate_tuples_roundtrip() {
+        let schema = employee_schema();
+        let t = Tuple::from([2u64, 5, 10, 10, 10]);
+        let tuples = vec![t.clone(), t.clone(), t.clone()];
+        for mode in CodingMode::ALL {
+            let codec = BlockCodec::with_options(schema.clone(), mode, RepChoice::Median);
+            let coded = codec.encode(&tuples).unwrap();
+            assert_eq!(codec.decode(&coded).unwrap(), tuples, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn extreme_tuples_roundtrip() {
+        let schema = employee_schema();
+        let tuples = vec![
+            Tuple::from([0u64, 0, 0, 0, 0]),
+            Tuple::from([7u64, 15, 63, 63, 63]),
+        ];
+        for mode in CodingMode::ALL {
+            let codec = BlockCodec::with_options(schema.clone(), mode, RepChoice::Median);
+            let coded = codec.encode(&tuples).unwrap();
+            assert_eq!(codec.decode(&coded).unwrap(), tuples, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let codec = BlockCodec::new(employee_schema());
+        assert_eq!(codec.encode(&[]).unwrap_err(), CodecError::EmptyBlock);
+    }
+
+    #[test]
+    fn unsorted_input_rejected() {
+        let codec = BlockCodec::new(employee_schema());
+        let tuples = vec![
+            Tuple::from([3u64, 9, 0, 0, 0]),
+            Tuple::from([3u64, 8, 0, 0, 0]),
+        ];
+        assert_eq!(
+            codec.encode(&tuples).unwrap_err(),
+            CodecError::UnsortedInput { position: 1 }
+        );
+    }
+
+    #[test]
+    fn invalid_tuple_rejected() {
+        let codec = BlockCodec::new(employee_schema());
+        let tuples = vec![Tuple::from([8u64, 0, 0, 0, 0])];
+        assert!(matches!(
+            codec.encode(&tuples).unwrap_err(),
+            CodecError::InvalidTuple { position: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let codec = BlockCodec::new(employee_schema());
+        let coded = codec.encode(&paper_block()).unwrap();
+        for cut in [0, 2, 5, coded.len() - 1] {
+            assert!(
+                codec.decode(&coded[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_rep_idx() {
+        let codec = BlockCodec::new(employee_schema());
+        let mut coded = codec.encode(&paper_block()).unwrap();
+        coded[2] = 9; // rep_idx 9 >= count 5
+        assert!(matches!(
+            codec.decode(&coded).unwrap_err(),
+            CodecError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_space_difference() {
+        // rep = max tuple, entry claims rep + diff -> escapes the space.
+        let schema = employee_schema();
+        let codec = BlockCodec::with_options(schema, CodingMode::Avq, RepChoice::First);
+        // count=2, rep_idx=0, rep = (7,15,63,63,63), one entry after rep with
+        // diff 1.
+        let mut bytes = vec![2, 0, 0, 0];
+        bytes.extend_from_slice(&[7, 15, 63, 63, 63]);
+        bytes.extend_from_slice(&[4, 1]); // 4 leading zeros + final byte 1
+        assert_eq!(
+            codec.decode(&bytes).unwrap_err(),
+            CodecError::DifferenceOutOfSpace { entry: 0 }
+        );
+    }
+
+    #[test]
+    fn read_representative_without_decode() {
+        let codec = BlockCodec::new(employee_schema());
+        let coded = codec.encode(&paper_block()).unwrap();
+        assert_eq!(
+            codec.read_representative(&coded).unwrap(),
+            Tuple::from([3u64, 8, 36, 39, 35])
+        );
+        assert_eq!(codec.tuple_count(&coded).unwrap(), 5);
+    }
+
+    #[test]
+    fn fieldwise_block_is_plain_tuples() {
+        let schema = employee_schema();
+        let codec =
+            BlockCodec::with_options(schema.clone(), CodingMode::FieldWise, RepChoice::Median);
+        let tuples = paper_block();
+        let coded = codec.encode(&tuples).unwrap();
+        assert_eq!(coded.len(), BLOCK_HEADER_BYTES + 5 * schema.tuple_bytes());
+        assert_eq!(codec.decode(&coded).unwrap(), tuples);
+    }
+}

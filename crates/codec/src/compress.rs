@@ -1,0 +1,404 @@
+//! Relation-level compression: the full §3 pipeline in one call.
+//!
+//! [`compress`] takes a [`Relation`], applies tuple re-ordering (§3.2),
+//! block partitioning (§3.3), and block coding (§3.4), and returns a
+//! [`CodedRelation`] — the sequence of coded block streams plus the per-block
+//! metadata (representative, bounds) that access methods build on.
+
+use crate::block::BlockCodec;
+use crate::error::CodecError;
+use crate::mode::{CodingMode, RepChoice};
+use crate::packer::BlockPacker;
+use crate::stats::CompressionStats;
+use avq_schema::{Relation, Schema, Tuple};
+use std::sync::Arc;
+
+/// Options for the compression pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecOptions {
+    /// How blocks are coded.
+    pub mode: CodingMode,
+    /// Which tuple of a block becomes its representative.
+    pub rep: RepChoice,
+    /// Disk-block capacity in bytes (the paper uses 8192).
+    pub block_capacity: usize,
+}
+
+impl Default for CodecOptions {
+    fn default() -> Self {
+        CodecOptions {
+            mode: CodingMode::default(),
+            rep: RepChoice::default(),
+            block_capacity: 8192,
+        }
+    }
+}
+
+/// Per-block metadata kept outside the coded stream.
+#[derive(Debug, Clone)]
+pub struct BlockMeta {
+    /// The block's representative tuple (the §4.1 primary-index key).
+    pub representative: Tuple,
+    /// φ-smallest tuple in the block.
+    pub min: Tuple,
+    /// φ-largest tuple in the block.
+    pub max: Tuple,
+    /// Number of tuples in the block.
+    pub tuple_count: usize,
+    /// Coded size in bytes.
+    pub coded_bytes: usize,
+}
+
+/// A compressed relation: coded block streams plus metadata.
+#[derive(Debug, Clone)]
+pub struct CodedRelation {
+    schema: Arc<Schema>,
+    options: CodecOptions,
+    blocks: Vec<Vec<u8>>,
+    meta: Vec<BlockMeta>,
+    tuple_count: usize,
+}
+
+/// Compresses a relation. The input order is irrelevant: tuples are copied
+/// and sorted into φ order first (§3.2).
+pub fn compress(relation: &Relation, options: CodecOptions) -> Result<CodedRelation, CodecError> {
+    let mut tuples = relation.tuples().to_vec();
+    tuples.sort_unstable();
+    compress_sorted(relation.schema().clone(), &tuples, options)
+}
+
+/// Compresses tuples already in φ order (skips the copy + sort).
+pub fn compress_sorted(
+    schema: Arc<Schema>,
+    tuples: &[Tuple],
+    options: CodecOptions,
+) -> Result<CodedRelation, CodecError> {
+    let codec = BlockCodec::with_options(schema.clone(), options.mode, options.rep);
+    let packer = BlockPacker::new(codec.clone(), options.block_capacity);
+    let ranges = packer.partition(tuples)?;
+    let mut blocks = Vec::with_capacity(ranges.len());
+    let mut meta = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        let run = &tuples[r.clone()];
+        let coded = codec.encode(run)?;
+        let rep_idx = match options.mode {
+            CodingMode::FieldWise => 0,
+            _ => options.rep.index(run.len()),
+        };
+        meta.push(BlockMeta {
+            representative: run[rep_idx].clone(),
+            min: run[0].clone(),
+            max: run[run.len() - 1].clone(),
+            tuple_count: run.len(),
+            coded_bytes: coded.len(),
+        });
+        blocks.push(coded);
+    }
+    Ok(CodedRelation {
+        schema,
+        options,
+        blocks,
+        meta,
+        tuple_count: tuples.len(),
+    })
+}
+
+impl CodedRelation {
+    /// Reassembles a coded relation from previously-encoded block streams
+    /// (e.g. read back from a file), recomputing per-block metadata by
+    /// decoding each block and validating the global φ order.
+    pub fn from_blocks(
+        schema: Arc<Schema>,
+        options: CodecOptions,
+        blocks: Vec<Vec<u8>>,
+    ) -> Result<Self, CodecError> {
+        let codec = BlockCodec::with_options(schema.clone(), options.mode, options.rep);
+        let mut meta = Vec::with_capacity(blocks.len());
+        let mut tuple_count = 0usize;
+        let mut prev_max: Option<Tuple> = None;
+        for (i, b) in blocks.iter().enumerate() {
+            let tuples = codec.decode(b)?;
+            let rep = codec.read_representative(b)?;
+            if let Some(pm) = &prev_max {
+                if tuples[0] < *pm {
+                    return Err(CodecError::UnsortedInput { position: i });
+                }
+            }
+            prev_max = Some(tuples[tuples.len() - 1].clone());
+            tuple_count += tuples.len();
+            meta.push(BlockMeta {
+                representative: rep,
+                min: tuples[0].clone(),
+                max: tuples[tuples.len() - 1].clone(),
+                tuple_count: tuples.len(),
+                coded_bytes: b.len(),
+            });
+        }
+        Ok(CodedRelation {
+            schema,
+            options,
+            blocks,
+            meta,
+            tuple_count,
+        })
+    }
+
+    /// The relation's schema.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The options the relation was coded with.
+    #[inline]
+    pub fn options(&self) -> CodecOptions {
+        self.options
+    }
+
+    /// A codec configured for this relation's blocks.
+    pub fn codec(&self) -> BlockCodec {
+        BlockCodec::with_options(self.schema.clone(), self.options.mode, self.options.rep)
+    }
+
+    /// Number of coded blocks.
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of tuples.
+    #[inline]
+    pub fn tuple_count(&self) -> usize {
+        self.tuple_count
+    }
+
+    /// The coded byte stream of block `i`.
+    #[inline]
+    pub fn block(&self, i: usize) -> &[u8] {
+        &self.blocks[i]
+    }
+
+    /// All coded block streams in φ order.
+    #[inline]
+    pub fn blocks(&self) -> &[Vec<u8>] {
+        &self.blocks
+    }
+
+    /// Metadata of block `i`.
+    #[inline]
+    pub fn meta(&self, i: usize) -> &BlockMeta {
+        &self.meta[i]
+    }
+
+    /// Metadata of all blocks in φ order.
+    #[inline]
+    pub fn metas(&self) -> &[BlockMeta] {
+        &self.meta
+    }
+
+    /// Decodes block `i` into tuples.
+    pub fn decode_block(&self, i: usize) -> Result<Vec<Tuple>, CodecError> {
+        self.codec().decode(&self.blocks[i])
+    }
+
+    /// Decompresses the whole relation (tuples come back in φ order).
+    pub fn decompress(&self) -> Result<Relation, CodecError> {
+        let codec = self.codec();
+        let mut tuples = Vec::with_capacity(self.tuple_count);
+        for b in &self.blocks {
+            codec.decode_into(b, &mut tuples)?;
+        }
+        Ok(Relation::from_tuples(self.schema.clone(), tuples)
+            .expect("decoded tuples are schema-valid"))
+    }
+
+    /// Index of the first block whose φ-range could contain `tuple`
+    /// (binary search on block bounds). Returns `None` for an empty relation.
+    pub fn locate_block(&self, tuple: &Tuple) -> Option<usize> {
+        if self.meta.is_empty() {
+            return None;
+        }
+        // First block whose max >= tuple; if none, the last block.
+        let idx = self.meta.partition_point(|m| m.max < *tuple);
+        Some(idx.min(self.meta.len() - 1))
+    }
+
+    /// Compression accounting for this relation.
+    pub fn stats(&self) -> CompressionStats {
+        let m = self.schema.tuple_bytes();
+        let uncoded_bytes = self.tuple_count * m;
+        let coded_payload_bytes = self.blocks.iter().map(Vec::len).sum();
+        let cap = self.options.block_capacity;
+        // Uncoded layout: fixed-width tuples, none split across blocks, with
+        // the same 4-byte header the coded blocks carry.
+        let per_block = cap
+            .saturating_sub(crate::block::BLOCK_HEADER_BYTES)
+            .checked_div(m)
+            .unwrap_or(self.tuple_count.max(1));
+        let uncoded_blocks = match per_block {
+            0 => 0,
+            per_block => self.tuple_count.div_ceil(per_block),
+        };
+        CompressionStats {
+            tuple_count: self.tuple_count,
+            tuple_bytes: m,
+            block_capacity: cap,
+            uncoded_bytes,
+            coded_payload_bytes,
+            coded_blocks: self.blocks.len(),
+            uncoded_blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avq_num::BigUnsigned;
+    use avq_schema::Domain;
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(vec![
+            ("a", Domain::uint(32).unwrap()),
+            ("b", Domain::uint(64).unwrap()),
+            ("c", Domain::uint(128).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    fn relation(n: u64, stride: u64) -> Relation {
+        let s = schema();
+        let tuples: Vec<Tuple> = (0..n)
+            .map(|i| {
+                Tuple::new(
+                    s.radix()
+                        .unrank(&BigUnsigned::from_u64(i * stride))
+                        .unwrap(),
+                )
+            })
+            .collect();
+        Relation::from_tuples(s, tuples).unwrap()
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        let rel = relation(1000, 37);
+        for mode in CodingMode::ALL {
+            let opts = CodecOptions {
+                mode,
+                block_capacity: 256,
+                ..Default::default()
+            };
+            let coded = compress(&rel, opts).unwrap();
+            let back = coded.decompress().unwrap();
+            let mut expect = rel.tuples().to_vec();
+            expect.sort_unstable();
+            assert_eq!(back.tuples(), &expect[..], "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_by_compress() {
+        let s = schema();
+        let tuples = vec![
+            Tuple::from([5u64, 0, 0]),
+            Tuple::from([1u64, 0, 0]),
+            Tuple::from([3u64, 0, 0]),
+        ];
+        let rel = Relation::from_tuples(s, tuples).unwrap();
+        let coded = compress(&rel, CodecOptions::default()).unwrap();
+        let back = coded.decompress().unwrap();
+        assert!(back.is_sorted());
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn meta_bounds_are_correct() {
+        let rel = relation(500, 101);
+        let coded = compress(
+            &rel,
+            CodecOptions {
+                block_capacity: 128,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(coded.block_count() > 1);
+        let mut total = 0usize;
+        for i in 0..coded.block_count() {
+            let tuples = coded.decode_block(i).unwrap();
+            let meta = coded.meta(i);
+            assert_eq!(meta.tuple_count, tuples.len());
+            assert_eq!(meta.min, tuples[0]);
+            assert_eq!(meta.max, *tuples.last().unwrap());
+            assert_eq!(meta.coded_bytes, coded.block(i).len());
+            assert!(tuples.contains(&meta.representative));
+            total += tuples.len();
+        }
+        assert_eq!(total, coded.tuple_count());
+        // Blocks are disjoint and ordered.
+        for w in coded.metas().windows(2) {
+            assert!(w[0].max < w[1].min);
+        }
+    }
+
+    #[test]
+    fn locate_block_finds_containing_block() {
+        let rel = relation(400, 53);
+        let coded = compress(
+            &rel,
+            CodecOptions {
+                block_capacity: 96,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..coded.block_count() {
+            for t in coded.decode_block(i).unwrap() {
+                assert_eq!(coded.locate_block(&t), Some(i), "tuple {t:?}");
+            }
+        }
+        // A tuple beyond every block maps to the last block.
+        let beyond = Tuple::from([31u64, 63, 127]);
+        assert_eq!(coded.locate_block(&beyond), Some(coded.block_count() - 1));
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let rel = relation(2000, 11);
+        let coded = compress(
+            &rel,
+            CodecOptions {
+                block_capacity: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let st = coded.stats();
+        assert_eq!(st.tuple_count, 2000);
+        assert_eq!(st.uncoded_bytes, 2000 * 3);
+        assert_eq!(st.coded_blocks, coded.block_count());
+        assert_eq!(
+            st.coded_payload_bytes,
+            coded.blocks().iter().map(Vec::len).sum::<usize>()
+        );
+        // Dense data must compress: fewer coded blocks than uncoded.
+        assert!(st.coded_blocks < st.uncoded_blocks);
+        assert!(st.block_reduction_percent() > 0.0);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let rel = Relation::new(schema());
+        let coded = compress(&rel, CodecOptions::default()).unwrap();
+        assert_eq!(coded.block_count(), 0);
+        assert_eq!(coded.tuple_count(), 0);
+        assert!(coded.locate_block(&Tuple::from([0u64, 0, 0])).is_none());
+        assert_eq!(coded.decompress().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn paper_block_capacity_default() {
+        assert_eq!(CodecOptions::default().block_capacity, 8192);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for block coding and decoding.
+
+use core::fmt;
+
+/// Errors raised while coding or decoding AVQ blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Tried to encode an empty run of tuples.
+    EmptyBlock,
+    /// A run of tuples handed to the coder was not in φ order.
+    UnsortedInput {
+        /// Index of the first out-of-order tuple.
+        position: usize,
+    },
+    /// A tuple did not match the schema (arity or digit range).
+    InvalidTuple {
+        /// Index of the offending tuple within the run.
+        position: usize,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// More tuples than the block header can count (u16).
+    TooManyTuples {
+        /// Number of tuples supplied.
+        got: usize,
+    },
+    /// The coded form of the run exceeds the requested capacity.
+    BlockOverflow {
+        /// Bytes the coded run needs.
+        needed: usize,
+        /// Bytes available.
+        capacity: usize,
+    },
+    /// The encoded stream ended prematurely or contained impossible values.
+    Corrupt {
+        /// Byte offset at which the inconsistency was detected.
+        offset: usize,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// Decoded difference arithmetic escaped the tuple space — the stream
+    /// does not describe a valid block for this schema.
+    DifferenceOutOfSpace {
+        /// Index of the entry whose reconstruction failed.
+        entry: usize,
+    },
+    /// A tuple to delete was not present in the block.
+    TupleNotFound,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::EmptyBlock => write!(f, "cannot encode an empty block"),
+            CodecError::UnsortedInput { position } => {
+                write!(f, "input tuples not in φ order at position {position}")
+            }
+            CodecError::InvalidTuple { position, detail } => {
+                write!(f, "invalid tuple at position {position}: {detail}")
+            }
+            CodecError::TooManyTuples { got } => {
+                write!(f, "{got} tuples exceed the u16 block-header limit")
+            }
+            CodecError::BlockOverflow { needed, capacity } => {
+                write!(
+                    f,
+                    "coded block needs {needed} bytes, capacity is {capacity}"
+                )
+            }
+            CodecError::Corrupt { offset, detail } => {
+                write!(f, "corrupt block stream at byte {offset}: {detail}")
+            }
+            CodecError::DifferenceOutOfSpace { entry } => {
+                write!(
+                    f,
+                    "difference reconstruction escaped tuple space at entry {entry}"
+                )
+            }
+            CodecError::TupleNotFound => write!(f, "tuple not found in block"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

@@ -1,0 +1,231 @@
+//! Leading-zero run-length entry coding (§3.4, Fig. 3.3 (d)).
+//!
+//! A difference tuple serialized at fixed per-attribute widths starts with a
+//! run of zero bytes precisely because differences are small (that is the
+//! whole point of AVQ). Each coded entry is
+//!
+//! ```text
+//! ┌───────────┬──────────────────────────┐
+//! │ count: u8 │ m − count trailing bytes │
+//! └───────────┴──────────────────────────┘
+//! ```
+//!
+//! where `count` is the number of leading zero *bytes* elided from the
+//! fixed-width serialization (Golomb-style run-length coding of the zero
+//! run [4]). When a tuple is wider than 255 bytes the count saturates and
+//! the remaining zeros travel explicitly.
+
+use crate::error::CodecError;
+use avq_schema::{Schema, Tuple};
+
+/// Number of leading zero bytes in the fixed-width serialization of
+/// `digits`, computed without serializing.
+pub(crate) fn leading_zero_bytes(schema: &Schema, digits: &[u64]) -> usize {
+    debug_assert_eq!(digits.len(), schema.arity());
+    let mut lz = 0usize;
+    for (i, &d) in digits.iter().enumerate() {
+        let w = schema.byte_width(i);
+        if d == 0 {
+            lz += w;
+        } else {
+            // Bytes of this digit's fixed-width cell that are still zero.
+            let used = (64 - d.leading_zeros() as usize).div_ceil(8);
+            lz += w - used;
+            break;
+        }
+    }
+    lz
+}
+
+/// Coded size in bytes of one difference entry: the count byte plus the
+/// non-elided tail.
+#[inline]
+pub(crate) fn entry_cost(schema: &Schema, digits: &[u64]) -> usize {
+    let m = schema.tuple_bytes();
+    let lz = leading_zero_bytes(schema, digits).min(255);
+    1 + m - lz
+}
+
+/// Appends one coded entry for `digits` to `out`, using `scratch` as the
+/// fixed-width staging buffer.
+pub(crate) fn write_entry(
+    schema: &Schema,
+    digits: &[u64],
+    out: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+) {
+    scratch.clear();
+    schema.write_tuple(&Tuple::new(digits.to_vec()), scratch);
+    let lz = scratch.iter().take_while(|&&b| b == 0).count().min(255);
+    out.push(lz as u8);
+    out.extend_from_slice(&scratch[lz..]);
+}
+
+/// Reads one coded entry starting at `buf[pos]`, returning the difference
+/// digit vector and the position one past the entry.
+pub(crate) fn read_entry(
+    schema: &Schema,
+    buf: &[u8],
+    pos: usize,
+    scratch: &mut Vec<u8>,
+) -> Result<(Vec<u64>, usize), CodecError> {
+    let m = schema.tuple_bytes();
+    let count = *buf.get(pos).ok_or(CodecError::Corrupt {
+        offset: pos,
+        detail: "missing count byte".into(),
+    })? as usize;
+    if count > m {
+        return Err(CodecError::Corrupt {
+            offset: pos,
+            detail: format!("count {count} exceeds tuple width {m}"),
+        });
+    }
+    let tail_len = m - count;
+    let tail = buf
+        .get(pos + 1..pos + 1 + tail_len)
+        .ok_or(CodecError::Corrupt {
+            offset: pos + 1,
+            detail: format!("entry tail truncated: need {tail_len} bytes"),
+        })?;
+    scratch.clear();
+    scratch.resize(count, 0);
+    scratch.extend_from_slice(tail);
+    let digits = schema.read_tuple(scratch).into_digits();
+    // A difference is expressed in 𝓡-space digits (φ⁻¹ of the distance), so
+    // every digit must respect its radix; anything else is corruption.
+    if let Err(e) = schema.radix().validate(&digits) {
+        return Err(CodecError::Corrupt {
+            offset: pos,
+            detail: format!("entry digits invalid: {e}"),
+        });
+    }
+    Ok((digits, pos + 1 + tail_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avq_schema::Domain;
+    use std::sync::Arc;
+
+    fn employee_schema() -> Arc<Schema> {
+        Schema::from_pairs(vec![
+            ("a1", Domain::uint(8).unwrap()),
+            ("a2", Domain::uint(16).unwrap()),
+            ("a3", Domain::uint(64).unwrap()),
+            ("a4", Domain::uint(64).unwrap()),
+            ("a5", Domain::uint(64).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn leading_zeros_counted_without_serialization() {
+        let s = employee_schema();
+        assert_eq!(leading_zero_bytes(&s, &[0, 0, 0, 8, 57]), 3);
+        assert_eq!(leading_zero_bytes(&s, &[0, 0, 4, 5, 23]), 2);
+        assert_eq!(leading_zero_bytes(&s, &[3, 8, 36, 39, 35]), 0);
+        assert_eq!(leading_zero_bytes(&s, &[0, 0, 0, 0, 0]), 5);
+    }
+
+    #[test]
+    fn leading_zeros_partial_cell() {
+        // A 2-byte attribute whose digit fits one byte leaves one zero byte
+        // inside the cell.
+        let s = Schema::from_pairs(vec![
+            ("wide", Domain::uint(70000).unwrap()), // 3 bytes
+            ("narrow", Domain::uint(256).unwrap()), // 1 byte
+        ])
+        .unwrap();
+        assert_eq!(leading_zero_bytes(&s, &[0, 5]), 3);
+        assert_eq!(leading_zero_bytes(&s, &[5, 0]), 2); // 5 uses 1 of 3 bytes
+        assert_eq!(leading_zero_bytes(&s, &[0x1_00_00, 0]), 0);
+    }
+
+    #[test]
+    fn entry_cost_matches_written_length() {
+        let s = employee_schema();
+        let mut scratch = Vec::new();
+        for digits in [
+            vec![0u64, 0, 0, 8, 57],
+            vec![0, 0, 4, 5, 23],
+            vec![3, 8, 36, 39, 35],
+            vec![0, 0, 0, 0, 0],
+        ] {
+            let mut out = Vec::new();
+            write_entry(&s, &digits, &mut out, &mut scratch);
+            assert_eq!(out.len(), entry_cost(&s, &digits), "digits {digits:?}");
+        }
+    }
+
+    #[test]
+    fn paper_entry_bytes() {
+        // Example 3.3 / §3.4: the diff (0,00,00,08,57) codes as [3, 8, 57].
+        let s = employee_schema();
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        write_entry(&s, &[0, 0, 0, 8, 57], &mut out, &mut scratch);
+        assert_eq!(out, vec![3, 8, 57]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = employee_schema();
+        let mut scratch = Vec::new();
+        for digits in [
+            vec![0u64, 0, 0, 8, 57],
+            vec![7, 15, 63, 63, 63],
+            vec![0, 0, 0, 0, 0],
+            vec![0, 0, 0, 0, 1],
+        ] {
+            let mut out = Vec::new();
+            write_entry(&s, &digits, &mut out, &mut scratch);
+            let (back, next) = read_entry(&s, &out, 0, &mut scratch).unwrap();
+            assert_eq!(back, digits);
+            assert_eq!(next, out.len());
+        }
+    }
+
+    #[test]
+    fn read_rejects_bad_count() {
+        let s = employee_schema();
+        let mut scratch = Vec::new();
+        // count 6 > m = 5
+        let err = read_entry(&s, &[6], 0, &mut scratch).unwrap_err();
+        assert!(matches!(err, CodecError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn read_rejects_truncated_tail() {
+        let s = employee_schema();
+        let mut scratch = Vec::new();
+        // count 2 promises 3 tail bytes but only 1 present
+        let err = read_entry(&s, &[2, 42], 0, &mut scratch).unwrap_err();
+        assert!(matches!(err, CodecError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn read_rejects_empty() {
+        let s = employee_schema();
+        let mut scratch = Vec::new();
+        assert!(read_entry(&s, &[], 0, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn zero_width_schema() {
+        // All domains of size 1: m = 0, every entry is a lone zero count.
+        let s = Schema::from_pairs(vec![
+            ("x", Domain::uint(1).unwrap()),
+            ("y", Domain::uint(1).unwrap()),
+        ])
+        .unwrap();
+        assert_eq!(s.tuple_bytes(), 0);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        write_entry(&s, &[0, 0], &mut out, &mut scratch);
+        assert_eq!(out, vec![0]);
+        let (digits, next) = read_entry(&s, &out, 0, &mut scratch).unwrap();
+        assert_eq!(digits, vec![0, 0]);
+        assert_eq!(next, 1);
+    }
+}

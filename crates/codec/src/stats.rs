@@ -1,0 +1,123 @@
+//! Compression accounting, in both the payload view and the disk-block view
+//! the paper's Fig. 5.7 uses.
+
+use core::fmt;
+
+/// Size accounting for one compressed relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressionStats {
+    /// Number of tuples coded.
+    pub tuple_count: usize,
+    /// Fixed tuple width `m` in bytes.
+    pub tuple_bytes: usize,
+    /// Block capacity used for partitioning.
+    pub block_capacity: usize,
+    /// Input size: `tuple_count · m` (post-domain-mapping, as §5.1 measures).
+    pub uncoded_bytes: usize,
+    /// Total bytes of the coded streams (excluding block slack).
+    pub coded_payload_bytes: usize,
+    /// Number of disk blocks the coded relation occupies.
+    pub coded_blocks: usize,
+    /// Number of disk blocks the *uncoded* relation would occupy at the same
+    /// capacity (fixed-width tuples, no tuple split across blocks).
+    pub uncoded_blocks: usize,
+}
+
+impl CompressionStats {
+    /// Fraction `coded / uncoded` on payload bytes (lower is better).
+    pub fn payload_ratio(&self) -> f64 {
+        if self.uncoded_bytes == 0 {
+            1.0
+        } else {
+            self.coded_payload_bytes as f64 / self.uncoded_bytes as f64
+        }
+    }
+
+    /// The paper's Fig. 5.7 metric on disk blocks:
+    /// `100·(1 − a/b)` percent, where `b`/`a` are the block counts before and
+    /// after coding.
+    pub fn block_reduction_percent(&self) -> f64 {
+        if self.uncoded_blocks == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.coded_blocks as f64 / self.uncoded_blocks as f64)
+        }
+    }
+
+    /// `100·(1 − a/b)` percent on payload bytes.
+    pub fn payload_reduction_percent(&self) -> f64 {
+        100.0 * (1.0 - self.payload_ratio())
+    }
+
+    /// Average coded bytes per tuple.
+    pub fn bytes_per_tuple(&self) -> f64 {
+        if self.tuple_count == 0 {
+            0.0
+        } else {
+            self.coded_payload_bytes as f64 / self.tuple_count as f64
+        }
+    }
+}
+
+impl fmt::Display for CompressionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tuples ({} B each): {} B -> {} B payload, {} -> {} blocks ({:.1}% reduction)",
+            self.tuple_count,
+            self.tuple_bytes,
+            self.uncoded_bytes,
+            self.coded_payload_bytes,
+            self.uncoded_blocks,
+            self.coded_blocks,
+            self.block_reduction_percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CompressionStats {
+        CompressionStats {
+            tuple_count: 1000,
+            tuple_bytes: 10,
+            block_capacity: 100,
+            uncoded_bytes: 10_000,
+            coded_payload_bytes: 2_500,
+            coded_blocks: 27,
+            uncoded_blocks: 100,
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let s = sample();
+        assert!((s.payload_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.payload_reduction_percent() - 75.0).abs() < 1e-12);
+        assert!((s.block_reduction_percent() - 73.0).abs() < 1e-12);
+        assert!((s.bytes_per_tuple() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let z = CompressionStats {
+            tuple_count: 0,
+            tuple_bytes: 0,
+            block_capacity: 100,
+            uncoded_bytes: 0,
+            coded_payload_bytes: 0,
+            coded_blocks: 0,
+            uncoded_blocks: 0,
+        };
+        assert_eq!(z.payload_ratio(), 1.0);
+        assert_eq!(z.block_reduction_percent(), 0.0);
+        assert_eq!(z.bytes_per_tuple(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_reduction() {
+        assert!(sample().to_string().contains("73.0% reduction"));
+    }
+}

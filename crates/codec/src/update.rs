@@ -1,0 +1,230 @@
+//! In-block tuple insertion and deletion (§4.2, Fig. 4.6).
+//!
+//! Updates are confined to the affected block: the block is decoded, the
+//! tuple spliced in or out at its φ position, and the block re-coded. If the
+//! re-coded stream no longer fits the block capacity the caller receives the
+//! plain tuples back and decides placement (typically a block split at the
+//! storage layer).
+
+use crate::block::BlockCodec;
+use crate::error::CodecError;
+use avq_schema::Tuple;
+
+/// Result of inserting into a coded block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The re-coded block fits the capacity.
+    InPlace(Vec<u8>),
+    /// The updated tuple set no longer fits one block; the caller must
+    /// re-pack these (φ-sorted) tuples into multiple blocks.
+    Overflow(Vec<Tuple>),
+}
+
+/// Result of deleting from a coded block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeleteOutcome {
+    /// The re-coded block (still non-empty).
+    InPlace(Vec<u8>),
+    /// The deleted tuple was the block's last; the block should be freed.
+    Emptied,
+}
+
+/// Inserts `tuple` into a coded block, preserving φ order (Fig. 4.6).
+/// Duplicates are allowed (relations are bags); the new tuple is placed
+/// after any equal tuples.
+pub fn insert_into_block(
+    codec: &BlockCodec,
+    block: &[u8],
+    tuple: &Tuple,
+    capacity: usize,
+) -> Result<InsertOutcome, CodecError> {
+    codec
+        .schema()
+        .validate_tuple(tuple)
+        .map_err(|e| CodecError::InvalidTuple {
+            position: 0,
+            detail: e.to_string(),
+        })?;
+    let mut tuples = codec.decode(block)?;
+    let pos = tuples.partition_point(|t| t <= tuple);
+    tuples.insert(pos, tuple.clone());
+    if codec.measure(&tuples) > capacity {
+        return Ok(InsertOutcome::Overflow(tuples));
+    }
+    Ok(InsertOutcome::InPlace(codec.encode(&tuples)?))
+}
+
+/// Deletes one occurrence of `tuple` from a coded block.
+pub fn delete_from_block(
+    codec: &BlockCodec,
+    block: &[u8],
+    tuple: &Tuple,
+) -> Result<DeleteOutcome, CodecError> {
+    let mut tuples = codec.decode(block)?;
+    let pos = tuples
+        .binary_search(tuple)
+        .map_err(|_| CodecError::TupleNotFound)?;
+    tuples.remove(pos);
+    if tuples.is_empty() {
+        return Ok(DeleteOutcome::Emptied);
+    }
+    Ok(DeleteOutcome::InPlace(codec.encode(&tuples)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BLOCK_HEADER_BYTES;
+    use avq_schema::{Domain, Schema};
+    use std::sync::Arc;
+
+    fn employee_schema() -> Arc<Schema> {
+        Schema::from_pairs(vec![
+            ("a1", Domain::uint(8).unwrap()),
+            ("a2", Domain::uint(16).unwrap()),
+            ("a3", Domain::uint(64).unwrap()),
+            ("a4", Domain::uint(64).unwrap()),
+            ("a5", Domain::uint(64).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    /// The 4th block of Fig. 2.2 (c), which Fig. 4.6 inserts into.
+    fn paper_block_tuples() -> Vec<Tuple> {
+        vec![
+            Tuple::from([3u64, 8, 32, 25, 19]),
+            Tuple::from([3u64, 8, 32, 34, 12]),
+            Tuple::from([3u64, 8, 36, 39, 35]),
+            Tuple::from([3u64, 9, 24, 32, 0]),
+            Tuple::from([3u64, 9, 26, 27, 37]),
+        ]
+    }
+
+    #[test]
+    fn fig4_6_insertion() {
+        // The paper inserts "(3,08,32,25,64)" with φ = 14 812 800. Digit 64
+        // is outside |A₅| = 64 — the figure uses a non-normalized digit
+        // vector; its normalized equivalent at the same φ is (3,08,32,26,00).
+        // After insertion the figure shows the re-coded block
+        //   (0,00,00,00,45) (0,00,00,08,12) (0,00,04,05,23)
+        //   rep (3,08,36,39,35)
+        //   (0,00,51,56,29) (0,00,01,59,37)
+        let codec = BlockCodec::new(employee_schema());
+        let block = codec.encode(&paper_block_tuples()).unwrap();
+        let new_tuple = Tuple::from([3u64, 8, 32, 26, 0]);
+        assert_eq!(
+            codec.schema().phi(&new_tuple).to_u64(),
+            Some(14_812_800),
+            "normalized tuple sits at the paper's φ"
+        );
+        let out = insert_into_block(&codec, &block, &new_tuple, 8192).unwrap();
+        let InsertOutcome::InPlace(recoded) = out else {
+            panic!("expected in-place insertion");
+        };
+        // Representative is still (3,08,36,39,35): the median of 6 tuples is
+        // index 3, which is the old representative — exactly Fig. 4.6.
+        assert_eq!(
+            codec.read_representative(&recoded).unwrap(),
+            Tuple::from([3u64, 8, 36, 39, 35])
+        );
+        let body = &recoded[BLOCK_HEADER_BYTES..];
+        assert_eq!(
+            body,
+            &[
+                3, 8, 36, 39, 35, // representative
+                4, 45, // (0,00,00,00,45) = φ 45
+                3, 8, 12, // (0,00,00,08,12) = φ 524
+                2, 4, 5, 23, // (0,00,04,05,23) = φ 16727 (unchanged)
+                2, 51, 56, 29, // unchanged after the representative
+                2, 1, 59, 37,
+            ]
+        );
+        // And the block decodes to the six tuples in φ order.
+        let tuples = codec.decode(&recoded).unwrap();
+        assert_eq!(tuples.len(), 6);
+        assert_eq!(tuples[1], new_tuple);
+    }
+
+    #[test]
+    fn insert_then_delete_restores_block() {
+        let codec = BlockCodec::new(employee_schema());
+        let original = paper_block_tuples();
+        let block = codec.encode(&original).unwrap();
+        let t = Tuple::from([3u64, 9, 0, 0, 0]);
+        let InsertOutcome::InPlace(with_t) = insert_into_block(&codec, &block, &t, 8192).unwrap()
+        else {
+            panic!("fits easily");
+        };
+        let DeleteOutcome::InPlace(back) = delete_from_block(&codec, &with_t, &t).unwrap() else {
+            panic!("block not emptied");
+        };
+        assert_eq!(codec.decode(&back).unwrap(), original);
+    }
+
+    #[test]
+    fn insert_duplicate_allowed() {
+        let codec = BlockCodec::new(employee_schema());
+        let original = paper_block_tuples();
+        let block = codec.encode(&original).unwrap();
+        let dup = original[2].clone();
+        let InsertOutcome::InPlace(recoded) =
+            insert_into_block(&codec, &block, &dup, 8192).unwrap()
+        else {
+            panic!("fits");
+        };
+        let tuples = codec.decode(&recoded).unwrap();
+        assert_eq!(tuples.len(), 6);
+        assert_eq!(tuples.iter().filter(|t| **t == dup).count(), 2);
+    }
+
+    #[test]
+    fn insert_overflow_returns_tuples() {
+        let codec = BlockCodec::new(employee_schema());
+        let original = paper_block_tuples();
+        let block = codec.encode(&original).unwrap();
+        // Capacity exactly the current size: any insertion overflows.
+        let cap = block.len();
+        let t = Tuple::from([0u64, 0, 0, 0, 1]);
+        match insert_into_block(&codec, &block, &t, cap).unwrap() {
+            InsertOutcome::Overflow(tuples) => {
+                assert_eq!(tuples.len(), 6);
+                assert!(tuples.windows(2).all(|w| w[0] <= w[1]));
+                assert_eq!(tuples[0], t);
+            }
+            InsertOutcome::InPlace(_) => panic!("must overflow"),
+        }
+    }
+
+    #[test]
+    fn delete_missing_tuple_errors() {
+        let codec = BlockCodec::new(employee_schema());
+        let block = codec.encode(&paper_block_tuples()).unwrap();
+        let ghost = Tuple::from([0u64, 0, 0, 0, 0]);
+        assert_eq!(
+            delete_from_block(&codec, &block, &ghost).unwrap_err(),
+            CodecError::TupleNotFound
+        );
+    }
+
+    #[test]
+    fn delete_last_tuple_empties_block() {
+        let codec = BlockCodec::new(employee_schema());
+        let only = Tuple::from([1u64, 2, 3, 4, 5]);
+        let block = codec.encode(std::slice::from_ref(&only)).unwrap();
+        assert_eq!(
+            delete_from_block(&codec, &block, &only).unwrap(),
+            DeleteOutcome::Emptied
+        );
+    }
+
+    #[test]
+    fn insert_invalid_tuple_rejected() {
+        let codec = BlockCodec::new(employee_schema());
+        let block = codec.encode(&paper_block_tuples()).unwrap();
+        let bad = Tuple::from([8u64, 0, 0, 0, 0]);
+        assert!(matches!(
+            insert_into_block(&codec, &block, &bad, 8192).unwrap_err(),
+            CodecError::InvalidTuple { .. }
+        ));
+    }
+}

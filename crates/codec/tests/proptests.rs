@@ -1,0 +1,201 @@
+//! Property-based tests for the AVQ codec: encode∘decode = id on arbitrary
+//! relations under every coding mode and representative policy, plus packer
+//! and update invariants.
+
+use avq_codec::{
+    compress, delete_from_block, insert_into_block, BlockCodec, BlockPacker, CodecOptions,
+    CodingMode, DeleteOutcome, InsertOutcome, RepChoice,
+};
+use avq_schema::{Domain, Relation, Schema, Tuple};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// An arbitrary schema (1–8 attributes, domain sizes 1–5000) together with a
+/// sorted bag of valid tuples for it.
+fn arb_schema_and_tuples() -> impl Strategy<Value = (Arc<Schema>, Vec<Tuple>)> {
+    prop::collection::vec(1u64..5000, 1..8).prop_flat_map(|sizes| {
+        let schema = Schema::from_pairs(
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (format!("a{i}"), Domain::uint(s).unwrap())),
+        )
+        .unwrap();
+        let digit_strats: Vec<_> = sizes.iter().map(|&s| 0..s).collect();
+        let tuples = prop::collection::vec(digit_strats, 1..200).prop_map(|rows| {
+            let mut ts: Vec<Tuple> = rows.into_iter().map(Tuple::new).collect();
+            ts.sort_unstable();
+            ts
+        });
+        (Just(schema), tuples)
+    })
+}
+
+fn all_codecs(schema: &Arc<Schema>) -> Vec<BlockCodec> {
+    let mut v = Vec::new();
+    for mode in CodingMode::ALL {
+        for rep in RepChoice::ALL {
+            v.push(BlockCodec::with_options(schema.clone(), mode, rep));
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 2.1 (losslessness), exercised end-to-end for every mode and
+    /// representative policy on arbitrary sorted runs.
+    #[test]
+    fn encode_decode_identity((schema, tuples) in arb_schema_and_tuples()) {
+        for codec in all_codecs(&schema) {
+            let coded = codec.encode(&tuples).unwrap();
+            prop_assert_eq!(codec.decode(&coded).unwrap(), tuples.clone());
+        }
+    }
+
+    /// `measure` always equals the encoded length.
+    #[test]
+    fn measure_is_exact((schema, tuples) in arb_schema_and_tuples()) {
+        for codec in all_codecs(&schema) {
+            let coded = codec.encode(&tuples).unwrap();
+            prop_assert_eq!(codec.measure(&tuples), coded.len());
+        }
+    }
+
+    /// The packer's blocks cover the input exactly, each fits, and decoding
+    /// them in order reproduces the input.
+    #[test]
+    fn packer_partition_roundtrip(
+        (schema, tuples) in arb_schema_and_tuples(),
+        cap_slack in 0usize..256,
+    ) {
+        for codec in all_codecs(&schema) {
+            let min_block = 4 + schema.tuple_bytes();
+            let cap = min_block + cap_slack;
+            let packer = BlockPacker::new(codec.clone(), cap);
+            let blocks = packer.pack(&tuples).unwrap();
+            let mut decoded = Vec::new();
+            for b in &blocks {
+                prop_assert!(b.len() <= cap, "block of {} bytes exceeds {}", b.len(), cap);
+                codec.decode_into(b, &mut decoded).unwrap();
+            }
+            prop_assert_eq!(&decoded, &tuples);
+        }
+    }
+
+    /// The full compress pipeline is lossless for arbitrary (unsorted)
+    /// relations; output is the sorted input.
+    #[test]
+    fn compress_is_lossless(
+        (schema, mut tuples) in arb_schema_and_tuples(),
+        seed in any::<u64>(),
+        cap_slack in 0usize..512,
+    ) {
+        // Deterministically shuffle so compress has to sort.
+        let n = tuples.len();
+        for i in (1..n).rev() {
+            let j = (seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)
+                % (i as u64 + 1)) as usize;
+            tuples.swap(i, j);
+        }
+        let rel = Relation::from_tuples(schema.clone(), tuples.clone()).unwrap();
+        for mode in CodingMode::ALL {
+            let opts = CodecOptions {
+                mode,
+                block_capacity: 4 + schema.tuple_bytes() + cap_slack,
+                ..Default::default()
+            };
+            let coded = compress(&rel, opts).unwrap();
+            let back = coded.decompress().unwrap();
+            let mut expect = tuples.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(back.tuples(), &expect[..]);
+        }
+    }
+
+    /// Inserting then deleting an arbitrary tuple restores the block bytes.
+    #[test]
+    fn insert_delete_roundtrip(
+        (schema, tuples) in arb_schema_and_tuples(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        // Build a single block from the run (capacity unbounded).
+        let codec = BlockCodec::new(schema.clone());
+        let block = codec.encode(&tuples).unwrap();
+        // Insert a copy of an existing tuple (always valid for the schema).
+        let t = tuples[pick.index(tuples.len())].clone();
+        let InsertOutcome::InPlace(with_t) =
+            insert_into_block(&codec, &block, &t, usize::MAX).unwrap()
+        else {
+            panic!("capacity is unbounded");
+        };
+        prop_assert_eq!(codec.tuple_count(&with_t).unwrap(), tuples.len() + 1);
+        match delete_from_block(&codec, &with_t, &t).unwrap() {
+            DeleteOutcome::InPlace(back) => {
+                prop_assert_eq!(codec.decode(&back).unwrap(), tuples.clone());
+            }
+            DeleteOutcome::Emptied => prop_assert!(false, "block had ≥ 2 tuples"),
+        }
+    }
+
+    /// Coded payload never exceeds field-wise payload by more than the
+    /// per-entry count byte (worst case: every difference as wide as a
+    /// tuple).
+    #[test]
+    fn coded_size_bounded((schema, tuples) in arb_schema_and_tuples()) {
+        let m = schema.tuple_bytes();
+        let fieldwise = 4 + tuples.len() * m;
+        for mode in [CodingMode::Avq, CodingMode::AvqChained] {
+            let codec = BlockCodec::with_options(schema.clone(), mode, RepChoice::Median);
+            let size = codec.measure(&tuples);
+            // rep costs m; each of the u-1 entries costs at most 1 + m.
+            prop_assert!(size <= fieldwise + tuples.len().saturating_sub(1));
+        }
+    }
+
+    /// `contains_tuple` agrees with full decode + search for every mode, on
+    /// both present and absent probes.
+    #[test]
+    fn contains_tuple_matches_decode(
+        (schema, tuples) in arb_schema_and_tuples(),
+        probes in prop::collection::vec(any::<prop::sample::Index>(), 1..20),
+        tweak in any::<u64>(),
+    ) {
+        for codec in all_codecs(&schema) {
+            let coded = codec.encode(&tuples).unwrap();
+            let decoded = codec.decode(&coded).unwrap();
+            for probe in &probes {
+                // A present tuple...
+                let hit = tuples[probe.index(tuples.len())].clone();
+                prop_assert!(codec.contains_tuple(&coded, &hit).unwrap());
+                // ...and a perturbed (possibly absent) one.
+                let mut ghost = hit.clone();
+                let attr = (tweak as usize) % schema.arity();
+                let radix = schema.radix().radices()[attr];
+                ghost.digits_mut()[attr] = (ghost.digits()[attr] + 1 + tweak % 7) % radix;
+                let expect = decoded.binary_search(&ghost).is_ok();
+                prop_assert_eq!(
+                    codec.contains_tuple(&coded, &ghost).unwrap(),
+                    expect,
+                    "mode {:?} ghost {:?}", codec.mode(), ghost
+                );
+            }
+        }
+    }
+
+    /// Decoding arbitrary bytes never panics (it may error).
+    #[test]
+    fn decode_garbage_never_panics(
+        (schema, _tuples) in arb_schema_and_tuples(),
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        for codec in all_codecs(&schema) {
+            let _ = codec.decode(&bytes);
+            let _ = codec.read_representative(&bytes);
+            let _ = codec.tuple_count(&bytes);
+            let probe = avq_schema::Tuple::new(schema.radix().min_digits());
+            let _ = codec.contains_tuple(&bytes, &probe);
+        }
+    }
+}

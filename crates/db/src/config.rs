@@ -1,0 +1,104 @@
+//! Database configuration.
+
+use avq_codec::{CodecOptions, CodingMode, RepChoice};
+use avq_storage::DiskProfile;
+
+/// Configuration for a [`crate::Database`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbConfig {
+    /// Block coding options (mode, representative policy, block capacity).
+    /// The block capacity doubles as the device block size.
+    pub codec: CodecOptions,
+    /// Buffer-pool frames.
+    pub buffer_frames: usize,
+    /// Disk cost model charged per physical block transfer.
+    pub disk: DiskProfile,
+    /// Maximum keys per index node (`usize::MAX` = block-size-bounded only;
+    /// small values reproduce the paper's order-3 figures).
+    pub index_order: usize,
+    /// Simulated CPU milliseconds charged per *data* block processed during
+    /// queries — the paper's `t₂` (decompression) for coded relations or
+    /// `t₃` (tuple extraction) for uncoded ones. Zero by default; the
+    /// response-time experiments set it from measured or published values.
+    pub cpu_ms_per_block: f64,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            codec: CodecOptions::default(),
+            buffer_frames: 256,
+            disk: DiskProfile::paper_fixed(),
+            index_order: usize::MAX,
+            cpu_ms_per_block: 0.0,
+        }
+    }
+}
+
+impl DbConfig {
+    /// The paper's AVQ configuration: chained differences, median
+    /// representative, 8192-byte blocks, 30 ms per block transfer.
+    pub fn paper_avq() -> Self {
+        Self::default()
+    }
+
+    /// The paper's uncoded baseline: fixed-width tuples in the same block
+    /// size ("No coding" rows of Figs. 5.8/5.9).
+    pub fn paper_uncoded() -> Self {
+        DbConfig {
+            codec: CodecOptions {
+                mode: CodingMode::FieldWise,
+                rep: RepChoice::Median,
+                block_capacity: 8192,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Same configuration with a different coding mode.
+    pub fn with_mode(mut self, mode: CodingMode) -> Self {
+        self.codec.mode = mode;
+        self
+    }
+
+    /// Same configuration with a different block capacity.
+    pub fn with_block_capacity(mut self, capacity: usize) -> Self {
+        self.codec.block_capacity = capacity;
+        self
+    }
+
+    /// Same configuration with a per-block CPU cost.
+    pub fn with_cpu_ms_per_block(mut self, ms: f64) -> Self {
+        self.cpu_ms_per_block = ms;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DbConfig::paper_avq();
+        assert_eq!(c.codec.block_capacity, 8192);
+        assert_eq!(c.codec.mode, CodingMode::AvqChained);
+        assert_eq!(c.disk.block_time_ms(8192), 30.0);
+    }
+
+    #[test]
+    fn uncoded_is_fieldwise() {
+        assert_eq!(DbConfig::paper_uncoded().codec.mode, CodingMode::FieldWise);
+    }
+
+    #[test]
+    fn builders() {
+        let c = DbConfig::default()
+            .with_mode(CodingMode::Avq)
+            .with_block_capacity(4096)
+            .with_cpu_ms_per_block(13.85);
+        assert_eq!(c.codec.mode, CodingMode::Avq);
+        assert_eq!(c.codec.block_capacity, 4096);
+        assert_eq!(c.cpu_ms_per_block, 13.85);
+    }
+}

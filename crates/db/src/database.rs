@@ -1,0 +1,348 @@
+//! The top-level database: named relations over one simulated disk.
+
+use crate::config::DbConfig;
+use crate::cost::QueryCost;
+use crate::error::DbError;
+use crate::relation_store::StoredRelation;
+use avq_schema::{Relation, Tuple, Value};
+use avq_storage::{BlockDevice, BufferPool, IoStats, PoolStats, SimClock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A database instance: a simulated disk, a buffer pool, and a set of named
+/// relations (each with its own coding configuration).
+#[derive(Debug)]
+pub struct Database {
+    config: DbConfig,
+    device: Arc<BlockDevice>,
+    pool: Arc<BufferPool>,
+    relations: HashMap<String, StoredRelation>,
+}
+
+impl Database {
+    /// Creates an empty database. The device block size is the configured
+    /// block capacity.
+    pub fn new(config: DbConfig) -> Self {
+        let device = BlockDevice::new(config.codec.block_capacity, config.disk);
+        let pool = BufferPool::new(device.clone(), config.buffer_frames);
+        Database {
+            config,
+            device,
+            pool,
+            relations: HashMap::new(),
+        }
+    }
+
+    /// The database-wide configuration.
+    #[inline]
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// The simulated device (for experiment-level stats).
+    #[inline]
+    pub fn device(&self) -> &Arc<BlockDevice> {
+        &self.device
+    }
+
+    /// The shared virtual clock.
+    #[inline]
+    pub fn clock(&self) -> &Arc<SimClock> {
+        self.device.clock()
+    }
+
+    /// Bulk-loads `relation` under `name` using the database configuration.
+    pub fn create_relation(&mut self, name: &str, relation: &Relation) -> Result<(), DbError> {
+        self.create_relation_with(name, relation, self.config)
+    }
+
+    /// Bulk-loads `relation` under `name` with a per-relation configuration
+    /// (the block capacity must match the device's).
+    pub fn create_relation_with(
+        &mut self,
+        name: &str,
+        relation: &Relation,
+        config: DbConfig,
+    ) -> Result<(), DbError> {
+        if self.relations.contains_key(name) {
+            return Err(DbError::RelationExists {
+                name: name.to_owned(),
+            });
+        }
+        let stored =
+            StoredRelation::bulk_load(self.device.clone(), self.pool.clone(), relation, config)?;
+        self.relations.insert(name.to_owned(), stored);
+        Ok(())
+    }
+
+    /// Loads an already-compressed relation (e.g. read from an `.avq` file)
+    /// under `name`, writing its blocks to this database's device.
+    pub fn create_relation_from_coded(
+        &mut self,
+        name: &str,
+        coded: &avq_codec::CodedRelation,
+    ) -> Result<(), DbError> {
+        if self.relations.contains_key(name) {
+            return Err(DbError::RelationExists {
+                name: name.to_owned(),
+            });
+        }
+        let stored =
+            StoredRelation::from_coded(self.device.clone(), self.pool.clone(), coded, self.config)?;
+        self.relations.insert(name.to_owned(), stored);
+        Ok(())
+    }
+
+    /// Drops a relation, freeing its data blocks (index blocks are freed
+    /// lazily with the device).
+    pub fn drop_relation(&mut self, name: &str) -> Result<(), DbError> {
+        let stored = self
+            .relations
+            .remove(name)
+            .ok_or_else(|| DbError::NoSuchRelation {
+                name: name.to_owned(),
+            })?;
+        for b in stored.blocks() {
+            self.pool.invalidate(b.id);
+            self.device.free(b.id)?;
+        }
+        Ok(())
+    }
+
+    /// Looks up a relation.
+    pub fn relation(&self, name: &str) -> Result<&StoredRelation, DbError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| DbError::NoSuchRelation {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Looks up a relation mutably.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut StoredRelation, DbError> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| DbError::NoSuchRelation {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Names of all relations, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.relations.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Builds a secondary index on `attr` of `name`.
+    pub fn create_secondary_index(&mut self, name: &str, attr: usize) -> Result<(), DbError> {
+        self.relation_mut(name)?.create_secondary_index(attr)
+    }
+
+    /// Executes `σ_{lo ≤ A_attr ≤ hi}(name)`, returning decoded logical rows
+    /// and the measured cost.
+    pub fn select_range(
+        &self,
+        name: &str,
+        attr: &str,
+        lo: &Value,
+        hi: &Value,
+    ) -> Result<(Vec<Vec<Value>>, QueryCost), DbError> {
+        let rel = self.relation(name)?;
+        let schema = rel.schema().clone();
+        let attr_idx = schema.index_of(attr)?;
+        let domain = schema.attribute(attr_idx).domain();
+        let lo_ord = domain.encode(lo)?;
+        let hi_ord = domain.encode(hi)?;
+        let (tuples, cost) = rel.select_range(attr_idx, lo_ord, hi_ord)?;
+        let rows = tuples
+            .iter()
+            .map(|t| schema.decode_row(t))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((rows, cost))
+    }
+
+    /// Raw (ordinal-space) range selection; see
+    /// [`StoredRelation::select_range`].
+    pub fn select_range_ordinal(
+        &self,
+        name: &str,
+        attr: usize,
+        lo: u64,
+        hi: u64,
+    ) -> Result<(Vec<Tuple>, QueryCost), DbError> {
+        self.relation(name)?.select_range(attr, lo, hi)
+    }
+
+    /// Inserts a logical row.
+    pub fn insert_row(&mut self, name: &str, row: &[Value]) -> Result<(), DbError> {
+        let rel = self.relation_mut(name)?;
+        let tuple = rel.schema().encode_row(row)?;
+        rel.insert(&tuple)
+    }
+
+    /// Deletes a logical row.
+    pub fn delete_row(&mut self, name: &str, row: &[Value]) -> Result<(), DbError> {
+        let rel = self.relation_mut(name)?;
+        let tuple = rel.schema().encode_row(row)?;
+        rel.delete(&tuple)
+    }
+
+    /// Empties the buffer pool so the next queries run cold (the paper's
+    /// cost model assumes cold reads).
+    pub fn drop_caches(&self) {
+        self.pool.clear();
+    }
+
+    /// Resets I/O counters and the clock (the buffer pool contents are
+    /// kept; call [`Self::drop_caches`] too for a fully cold start).
+    pub fn reset_measurements(&self) {
+        self.device.reset_stats();
+        self.pool.reset_stats();
+        self.clock().reset();
+    }
+
+    /// Device-level I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.device.io_stats()
+    }
+
+    /// Buffer-pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avq_schema::{Domain, Schema};
+
+    fn people() -> Relation {
+        let schema = Schema::from_pairs(vec![
+            (
+                "dept",
+                Domain::enumerated(vec!["eng", "hr", "ops"]).unwrap(),
+            ),
+            ("age", Domain::uint(120).unwrap()),
+            ("id", Domain::uint(10_000).unwrap()),
+        ])
+        .unwrap();
+        let rows = (0..500u64).map(|i| {
+            vec![
+                Value::from(["eng", "hr", "ops"][(i % 3) as usize]),
+                Value::Uint(20 + i % 50),
+                Value::Uint(i),
+            ]
+        });
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    fn db_with_people() -> Database {
+        let mut db = Database::new(DbConfig {
+            codec: avq_codec::CodecOptions {
+                block_capacity: 512,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        db.create_relation("people", &people()).unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_query() {
+        let mut db = db_with_people();
+        db.create_secondary_index("people", 1).unwrap();
+        let (rows, cost) = db
+            .select_range("people", "age", &Value::Uint(30), &Value::Uint(35))
+            .unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| {
+            let age = r[1].as_uint().unwrap();
+            (30..=35).contains(&age)
+        }));
+        assert!(cost.data_blocks > 0);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut db = db_with_people();
+        assert!(matches!(
+            db.create_relation("people", &people()),
+            Err(DbError::RelationExists { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_relation_errors() {
+        let db = Database::new(DbConfig::default());
+        assert!(matches!(
+            db.relation("ghost"),
+            Err(DbError::NoSuchRelation { .. })
+        ));
+        assert!(matches!(
+            db.select_range("ghost", "x", &Value::Uint(0), &Value::Uint(1)),
+            Err(DbError::NoSuchRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_and_delete_rows() {
+        let mut db = db_with_people();
+        let row = vec![Value::from("hr"), Value::Uint(99), Value::Uint(9999)];
+        db.insert_row("people", &row).unwrap();
+        assert_eq!(db.relation("people").unwrap().tuple_count(), 501);
+        db.delete_row("people", &row).unwrap();
+        assert_eq!(db.relation("people").unwrap().tuple_count(), 500);
+        assert!(matches!(
+            db.delete_row("people", &row),
+            Err(DbError::TupleNotFound)
+        ));
+    }
+
+    #[test]
+    fn drop_relation_frees_blocks() {
+        let mut db = db_with_people();
+        let live = db.device().live_blocks();
+        db.drop_relation("people").unwrap();
+        assert!(db.device().live_blocks() < live);
+        assert!(db.relation("people").is_err());
+        assert!(db.relation_names().is_empty());
+    }
+
+    #[test]
+    fn out_of_domain_predicate_rejected() {
+        let db = db_with_people();
+        assert!(db
+            .select_range("people", "age", &Value::Uint(0), &Value::Uint(500))
+            .is_err());
+        assert!(db
+            .select_range("people", "height", &Value::Uint(0), &Value::Uint(1))
+            .is_err());
+    }
+
+    #[test]
+    fn measurements_reset() {
+        let mut db = db_with_people();
+        db.create_secondary_index("people", 1).unwrap();
+        let _ = db
+            .select_range("people", "age", &Value::Uint(30), &Value::Uint(60))
+            .unwrap();
+        assert!(db.io_stats().total() > 0);
+        db.reset_measurements();
+        db.drop_caches();
+        assert_eq!(db.io_stats().total(), 0);
+        assert_eq!(db.clock().now_ms(), 0.0);
+    }
+
+    #[test]
+    fn string_predicates_work() {
+        let db = db_with_people();
+        let (rows, _) = db
+            .select_range("people", "dept", &Value::from("eng"), &Value::from("eng"))
+            .unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r[0] == Value::from("eng")));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the database layer.
+
+use avq_codec::CodecError;
+use avq_index::IndexError;
+use avq_schema::SchemaError;
+use avq_storage::StorageError;
+use core::fmt;
+
+/// Errors raised by database operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A schema-level failure (encoding, arity, domains).
+    Schema(SchemaError),
+    /// A block-coding failure.
+    Codec(CodecError),
+    /// An index failure.
+    Index(IndexError),
+    /// A storage failure.
+    Storage(StorageError),
+    /// No relation with the given name.
+    NoSuchRelation {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A relation with the given name already exists.
+    RelationExists {
+        /// The duplicate name.
+        name: String,
+    },
+    /// The tuple was not found (delete/update).
+    TupleNotFound,
+    /// A secondary index already exists on the attribute.
+    IndexExists {
+        /// Attribute position.
+        attribute: usize,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Schema(e) => write!(f, "schema error: {e}"),
+            DbError::Codec(e) => write!(f, "codec error: {e}"),
+            DbError::Index(e) => write!(f, "index error: {e}"),
+            DbError::Storage(e) => write!(f, "storage error: {e}"),
+            DbError::NoSuchRelation { name } => write!(f, "no such relation: {name:?}"),
+            DbError::RelationExists { name } => write!(f, "relation already exists: {name:?}"),
+            DbError::TupleNotFound => write!(f, "tuple not found"),
+            DbError::IndexExists { attribute } => {
+                write!(f, "secondary index already exists on attribute {attribute}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<SchemaError> for DbError {
+    fn from(e: SchemaError) -> Self {
+        DbError::Schema(e)
+    }
+}
+
+impl From<CodecError> for DbError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::TupleNotFound => DbError::TupleNotFound,
+            other => DbError::Codec(other),
+        }
+    }
+}
+
+impl From<IndexError> for DbError {
+    fn from(e: IndexError) -> Self {
+        DbError::Index(e)
+    }
+}
+
+impl From<StorageError> for DbError {
+    fn from(e: StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}

@@ -1,0 +1,470 @@
+//! External merge sort over the simulated device.
+//!
+//! §3.2's re-ordering step assumes the relation can be sorted; for
+//! relations larger than memory that requires an external sort. This module
+//! provides the classic two-phase algorithm on top of the block device:
+//!
+//! 1. **Run formation** — consume the input in memory-budget-sized chunks,
+//!    sort each (φ order = plain tuple order), and spill it as a chain of
+//!    field-wise blocks;
+//! 2. **k-way merge** — stream all runs back through a tournament heap,
+//!    yielding tuples in global φ order while freeing spill blocks as they
+//!    are drained.
+//!
+//! [`StoredRelation::bulk_load_streaming`] combines the sorter with a
+//! streaming packer, so a relation can be loaded from an iterator without
+//! ever materializing all its tuples at once (beyond the stated budget).
+
+use crate::config::DbConfig;
+use crate::error::DbError;
+use crate::relation_store::StoredRelation;
+use avq_codec::{BlockCodec, CodingMode, RepChoice};
+use avq_schema::{Schema, Tuple};
+use avq_storage::{BlockDevice, BlockId, BufferPool};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Sorts an arbitrary tuple stream into φ order using bounded memory,
+/// spilling sorted runs to the device.
+pub struct ExternalSorter {
+    device: Arc<BlockDevice>,
+    pool: Arc<BufferPool>,
+    schema: Arc<Schema>,
+    /// Maximum tuples held in memory during run formation.
+    budget: usize,
+    spill_codec: BlockCodec,
+    block_capacity: usize,
+}
+
+/// A spilled sorted run: a chain of field-wise blocks.
+struct Run {
+    blocks: Vec<BlockId>,
+}
+
+impl ExternalSorter {
+    /// Creates a sorter with a memory budget of `budget` tuples (≥ 2).
+    pub fn new(
+        device: Arc<BlockDevice>,
+        pool: Arc<BufferPool>,
+        schema: Arc<Schema>,
+        budget: usize,
+    ) -> Self {
+        assert!(budget >= 2, "sort budget must be at least 2 tuples");
+        let block_capacity = device.block_size();
+        ExternalSorter {
+            device,
+            pool,
+            schema: schema.clone(),
+            budget,
+            spill_codec: BlockCodec::with_options(schema, CodingMode::FieldWise, RepChoice::First),
+            block_capacity,
+        }
+    }
+
+    fn spill_run(&self, tuples: &[Tuple]) -> Result<Run, DbError> {
+        debug_assert!(tuples.windows(2).all(|w| w[0] <= w[1]));
+        let m = self.schema.tuple_bytes().max(1);
+        let per_block = ((self.block_capacity - avq_codec::BLOCK_HEADER_BYTES) / m)
+            .min(u16::MAX as usize)
+            .max(1);
+        let mut blocks = Vec::new();
+        for chunk in tuples.chunks(per_block) {
+            let id = self.device.allocate()?;
+            self.pool.write(id, &self.spill_codec.encode(chunk)?)?;
+            blocks.push(id);
+        }
+        Ok(Run { blocks })
+    }
+
+    /// Sorts `input`, returning an iterator over tuples in φ order. Spill
+    /// blocks are freed as the iterator drains (and on drop).
+    pub fn sort(self, input: impl IntoIterator<Item = Tuple>) -> Result<SortedStream, DbError> {
+        let mut runs = Vec::new();
+        let mut buf: Vec<Tuple> = Vec::with_capacity(self.budget.min(1 << 20));
+        for tuple in input {
+            self.schema.validate_tuple(&tuple)?;
+            buf.push(tuple);
+            if buf.len() >= self.budget {
+                buf.sort_unstable();
+                runs.push(self.spill_run(&buf)?);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            buf.sort_unstable();
+            runs.push(self.spill_run(&buf)?);
+        }
+        SortedStream::new(self.device, self.pool, self.spill_codec, runs)
+    }
+}
+
+struct Cursor {
+    blocks: Vec<BlockId>,
+    /// Next block to load.
+    next_block: usize,
+    /// First block not yet freed (everything before it has been returned to
+    /// the device).
+    owned_from: usize,
+    tuples: Vec<Tuple>,
+    pos: usize,
+}
+
+/// An iterator over externally-sorted tuples in φ order.
+pub struct SortedStream {
+    device: Arc<BlockDevice>,
+    pool: Arc<BufferPool>,
+    codec: BlockCodec,
+    cursors: Vec<Cursor>,
+    /// Min-heap of (next tuple, cursor index).
+    heap: BinaryHeap<Reverse<(Tuple, usize)>>,
+    /// First error encountered (iteration stops on error).
+    error: Option<DbError>,
+}
+
+impl SortedStream {
+    fn new(
+        device: Arc<BlockDevice>,
+        pool: Arc<BufferPool>,
+        codec: BlockCodec,
+        runs: Vec<Run>,
+    ) -> Result<Self, DbError> {
+        let mut stream = SortedStream {
+            device,
+            pool,
+            codec,
+            cursors: Vec::with_capacity(runs.len()),
+            heap: BinaryHeap::with_capacity(runs.len()),
+            error: None,
+        };
+        for run in runs {
+            let mut cursor = Cursor {
+                blocks: run.blocks,
+                next_block: 0,
+                owned_from: 0,
+                tuples: Vec::new(),
+                pos: 0,
+            };
+            if stream.refill(&mut cursor)? {
+                let idx = stream.cursors.len();
+                let first = cursor.tuples[cursor.pos].clone();
+                cursor.pos += 1;
+                stream.cursors.push(cursor);
+                stream.heap.push(Reverse((first, idx)));
+            }
+        }
+        Ok(stream)
+    }
+
+    /// Loads the cursor's next spill block, freeing the drained ones.
+    fn refill(&self, cursor: &mut Cursor) -> Result<bool, DbError> {
+        while cursor.owned_from < cursor.next_block {
+            let done = cursor.blocks[cursor.owned_from];
+            self.pool.invalidate(done);
+            self.device.free(done)?;
+            cursor.owned_from += 1;
+        }
+        if cursor.next_block >= cursor.blocks.len() {
+            return Ok(false);
+        }
+        let id = cursor.blocks[cursor.next_block];
+        cursor.next_block += 1;
+        cursor.tuples.clear();
+        self.codec
+            .decode_into(&self.pool.read(id)?, &mut cursor.tuples)?;
+        cursor.pos = 0;
+        Ok(!cursor.tuples.is_empty())
+    }
+
+    /// The first error hit during iteration, if any.
+    pub fn take_error(&mut self) -> Option<DbError> {
+        self.error.take()
+    }
+}
+
+impl Iterator for SortedStream {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.error.is_some() {
+            return None;
+        }
+        let Reverse((tuple, idx)) = self.heap.pop()?;
+        // Advance that cursor.
+        let cursor = &mut self.cursors[idx];
+        if cursor.pos >= cursor.tuples.len() {
+            match self.refill_by_index(idx) {
+                Ok(false) => return Some(tuple), // run exhausted
+                Ok(true) => {}
+                Err(e) => {
+                    self.error = Some(e);
+                    return Some(tuple);
+                }
+            }
+        }
+        let cursor = &mut self.cursors[idx];
+        if cursor.pos < cursor.tuples.len() {
+            let next = cursor.tuples[cursor.pos].clone();
+            cursor.pos += 1;
+            self.heap.push(Reverse((next, idx)));
+        }
+        Some(tuple)
+    }
+}
+
+impl SortedStream {
+    fn refill_by_index(&mut self, idx: usize) -> Result<bool, DbError> {
+        let mut cursor = std::mem::replace(
+            &mut self.cursors[idx],
+            Cursor {
+                blocks: Vec::new(),
+                next_block: 0,
+                owned_from: 0,
+                tuples: Vec::new(),
+                pos: 0,
+            },
+        );
+        let r = self.refill(&mut cursor);
+        self.cursors[idx] = cursor;
+        r
+    }
+}
+
+impl Drop for SortedStream {
+    fn drop(&mut self) {
+        // Free every spill block still owned by a cursor.
+        for cursor in &self.cursors {
+            for &b in &cursor.blocks[cursor.owned_from..] {
+                self.pool.invalidate(b);
+                let _ = self.device.free(b);
+            }
+        }
+        self.cursors.clear();
+    }
+}
+
+impl StoredRelation {
+    /// Bulk-loads from a tuple stream using bounded memory: external sort
+    /// (spilling to the same device) followed by a streaming pack. Only
+    /// `sort_budget` tuples plus one block's worth are ever resident.
+    pub fn bulk_load_streaming(
+        device: Arc<BlockDevice>,
+        pool: Arc<BufferPool>,
+        schema: Arc<Schema>,
+        input: impl IntoIterator<Item = Tuple>,
+        config: DbConfig,
+        sort_budget: usize,
+    ) -> Result<Self, DbError> {
+        let sorter = ExternalSorter::new(device.clone(), pool.clone(), schema.clone(), sort_budget);
+        let mut stream = sorter.sort(input)?;
+
+        let codec = BlockCodec::with_options(schema.clone(), config.codec.mode, config.codec.rep);
+        let capacity = config.codec.block_capacity;
+
+        // Streaming pack: grow a window until the coded form would
+        // overflow, then emit it as one block.
+        let mut window: Vec<Tuple> = Vec::new();
+        let mut emitted: Vec<(BlockId, Vec<Tuple>)> = Vec::new();
+        let mut emit = |window: &mut Vec<Tuple>| -> Result<(), DbError> {
+            let coded = codec.encode(window)?;
+            let id = device.allocate()?;
+            pool.write(id, &coded)?;
+            emitted.push((id, std::mem::take(window)));
+            Ok(())
+        };
+        for tuple in stream.by_ref() {
+            window.push(tuple);
+            if codec.measure(&window) > capacity {
+                let last = window.pop().expect("just pushed");
+                if window.is_empty() {
+                    return Err(DbError::Codec(avq_codec::CodecError::BlockOverflow {
+                        needed: codec.measure(std::slice::from_ref(&last)),
+                        capacity,
+                    }));
+                }
+                emit(&mut window)?;
+                window.push(last);
+            } else if window.len() == u16::MAX as usize {
+                emit(&mut window)?;
+            }
+        }
+        if let Some(e) = stream.take_error() {
+            return Err(e);
+        }
+        if !window.is_empty() {
+            emit(&mut window)?;
+        }
+        drop(stream);
+
+        Self::assemble_loaded(device, pool, schema, config, emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avq_codec::CodecOptions;
+    use avq_schema::{Domain, Relation};
+    use avq_storage::DiskProfile;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(vec![
+            ("a", Domain::uint(32).unwrap()),
+            ("b", Domain::uint(256).unwrap()),
+            ("c", Domain::uint(65536).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    fn random_tuples(n: usize, seed: u64) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Tuple::from([
+                    rng.random_range(0..32u64),
+                    rng.random_range(0..256u64),
+                    rng.random_range(0..65536u64),
+                ])
+            })
+            .collect()
+    }
+
+    fn setup() -> (Arc<BlockDevice>, Arc<BufferPool>) {
+        let device = BlockDevice::new(512, DiskProfile::instant());
+        let pool = BufferPool::new(device.clone(), 64);
+        (device, pool)
+    }
+
+    #[test]
+    fn external_sort_orders_correctly() {
+        let (device, pool) = setup();
+        let input = random_tuples(5000, 1);
+        let sorter = ExternalSorter::new(device.clone(), pool, schema(), 100);
+        let sorted: Vec<Tuple> = sorter.sort(input.clone()).unwrap().collect();
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+        // All spill blocks were freed as the stream drained.
+        assert_eq!(device.live_blocks(), 0);
+    }
+
+    #[test]
+    fn single_run_when_budget_suffices() {
+        let (device, pool) = setup();
+        let input = random_tuples(50, 2);
+        let sorter = ExternalSorter::new(device, pool, schema(), 1000);
+        let sorted: Vec<Tuple> = sorter.sort(input.clone()).unwrap().collect();
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (device, pool) = setup();
+        let sorter = ExternalSorter::new(device, pool, schema(), 10);
+        let sorted: Vec<Tuple> = sorter.sort(Vec::new()).unwrap().collect();
+        assert!(sorted.is_empty());
+    }
+
+    #[test]
+    fn duplicates_survive_merge() {
+        let (device, pool) = setup();
+        let t = Tuple::from([1u64, 2, 3]);
+        let input = vec![t.clone(); 500];
+        let sorter = ExternalSorter::new(device, pool, schema(), 64);
+        let sorted: Vec<Tuple> = sorter.sort(input).unwrap().collect();
+        assert_eq!(sorted.len(), 500);
+        assert!(sorted.iter().all(|x| *x == t));
+    }
+
+    #[test]
+    fn dropped_stream_frees_spill_blocks() {
+        let (device, pool) = setup();
+        let input = random_tuples(2000, 3);
+        let sorter = ExternalSorter::new(device.clone(), pool, schema(), 100);
+        let mut stream = sorter.sort(input).unwrap();
+        // Consume a little, then drop.
+        for _ in 0..10 {
+            stream.next();
+        }
+        drop(stream);
+        assert_eq!(device.live_blocks(), 0, "spill blocks leaked");
+    }
+
+    #[test]
+    fn invalid_tuple_rejected_before_spill() {
+        let (device, pool) = setup();
+        let sorter = ExternalSorter::new(device, pool, schema(), 10);
+        let bad = vec![Tuple::from([99u64, 0, 0])];
+        assert!(sorter.sort(bad).is_err());
+    }
+
+    #[test]
+    fn streaming_bulk_load_matches_in_memory() {
+        let input = random_tuples(4000, 4);
+        let config = DbConfig {
+            codec: CodecOptions {
+                block_capacity: 512,
+                ..Default::default()
+            },
+            disk: DiskProfile::instant(),
+            ..Default::default()
+        };
+
+        // In-memory reference.
+        let (device_a, pool_a) = setup();
+        let relation = Relation::from_tuples(schema(), input.clone()).unwrap();
+        let reference = StoredRelation::bulk_load(device_a, pool_a, &relation, config).unwrap();
+
+        // Streaming with a tiny budget.
+        let (device_b, pool_b) = setup();
+        let streamed = StoredRelation::bulk_load_streaming(
+            device_b.clone(),
+            pool_b,
+            schema(),
+            input,
+            config,
+            128,
+        )
+        .unwrap();
+
+        assert_eq!(streamed.tuple_count(), reference.tuple_count());
+        assert_eq!(streamed.scan_all().unwrap(), reference.scan_all().unwrap());
+        // Streaming pack emits maximal blocks just like the offline packer.
+        assert_eq!(streamed.block_count(), reference.block_count());
+        streamed.primary_index().validate().unwrap();
+        // Spill blocks all reclaimed: only data + index blocks remain.
+        assert!(device_b.live_blocks() < streamed.block_count() * 3);
+    }
+
+    #[test]
+    fn streaming_load_supports_queries_and_updates() {
+        let input = random_tuples(2000, 5);
+        let config = DbConfig {
+            codec: CodecOptions {
+                block_capacity: 512,
+                ..Default::default()
+            },
+            disk: DiskProfile::instant(),
+            ..Default::default()
+        };
+        let (device, pool) = setup();
+        let mut stored =
+            StoredRelation::bulk_load_streaming(device, pool, schema(), input.clone(), config, 64)
+                .unwrap();
+        stored.create_secondary_index(1).unwrap();
+        let (rows, _) = stored.select_range(1, 10, 20).unwrap();
+        let expect = input
+            .iter()
+            .filter(|t| (10..=20).contains(&t.digits()[1]))
+            .count();
+        assert_eq!(rows.len(), expect);
+        let t = Tuple::from([31u64, 255, 65535]);
+        stored.insert(&t).unwrap();
+        let (found, _) = stored.contains(&t).unwrap();
+        assert!(found);
+    }
+}

@@ -1,0 +1,342 @@
+//! Conjunctive selections with access-path planning.
+//!
+//! §4 of the paper argues that "standard database operations remain the
+//! same even when the database is AVQ coded". This module demonstrates it
+//! beyond single-attribute ranges: a [`Selection`] is a conjunction of
+//! per-attribute range predicates; the planner picks the cheapest access
+//! path (clustered prefix range, a secondary index, or a full scan) and
+//! filters the remaining conjuncts after block decode.
+
+use crate::cost::{CostTracker, QueryCost};
+use crate::error::DbError;
+use crate::relation_store::StoredRelation;
+use avq_schema::Tuple;
+use avq_storage::BlockId;
+
+/// One conjunct: `lo ≤ A_attr ≤ hi` in ordinal space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangePredicate {
+    /// Attribute position.
+    pub attr: usize,
+    /// Inclusive lower bound (ordinal).
+    pub lo: u64,
+    /// Inclusive upper bound (ordinal).
+    pub hi: u64,
+}
+
+impl RangePredicate {
+    /// An equality predicate `A_attr = v`.
+    pub fn equals(attr: usize, v: u64) -> Self {
+        RangePredicate { attr, lo: v, hi: v }
+    }
+
+    /// True iff `tuple` satisfies this conjunct.
+    #[inline]
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        let v = tuple.digits()[self.attr];
+        v >= self.lo && v <= self.hi
+    }
+
+    /// Width of the accepted range (for selectivity ordering).
+    fn width(&self) -> u64 {
+        self.hi.saturating_sub(self.lo)
+    }
+}
+
+/// A conjunction of range predicates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Selection {
+    predicates: Vec<RangePredicate>,
+}
+
+/// Which access path the planner chose (reported for tests/experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Contiguous block range via the primary index (clustering prefix).
+    ClusteredRange,
+    /// A secondary index on the named attribute.
+    SecondaryIndex {
+        /// The indexed attribute used.
+        attr: usize,
+    },
+    /// Every data block.
+    FullScan,
+}
+
+impl Selection {
+    /// An unrestricted selection (matches everything).
+    pub fn all() -> Self {
+        Selection::default()
+    }
+
+    /// Adds a conjunct. Multiple conjuncts on the same attribute intersect.
+    pub fn and(mut self, pred: RangePredicate) -> Self {
+        self.predicates.push(pred);
+        self
+    }
+
+    /// The conjuncts.
+    pub fn predicates(&self) -> &[RangePredicate] {
+        &self.predicates
+    }
+
+    /// True iff `tuple` satisfies every conjunct.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.predicates.iter().all(|p| p.matches(tuple))
+    }
+
+    /// Chooses the access path for `rel`: a clustering-prefix conjunct wins
+    /// (contiguous I/O); otherwise the *narrowest* conjunct with a secondary
+    /// index; otherwise a full scan.
+    pub fn plan(&self, rel: &StoredRelation) -> AccessPath {
+        if self.predicates.iter().any(|p| p.attr == 0) {
+            return AccessPath::ClusteredRange;
+        }
+        let mut best: Option<&RangePredicate> = None;
+        for p in &self.predicates {
+            if rel.has_secondary_index(p.attr) && best.is_none_or(|b| p.width() < b.width()) {
+                best = Some(p);
+            }
+        }
+        match best {
+            Some(p) => AccessPath::SecondaryIndex { attr: p.attr },
+            None => AccessPath::FullScan,
+        }
+    }
+}
+
+impl StoredRelation {
+    /// Streams every tuple matching `selection` through `f` without
+    /// materializing the result set; the backbone of [`Self::select`],
+    /// [`Self::aggregate`], and [`Self::aggregate_group_by`].
+    pub fn fold_matching<T>(
+        &self,
+        selection: &Selection,
+        init: T,
+        mut f: impl FnMut(&mut T, &Tuple),
+    ) -> Result<(T, QueryCost, AccessPath), DbError> {
+        let path = selection.plan(self);
+        let mut tracker = CostTracker::new(self.device());
+        let candidates: Vec<BlockId> = match path {
+            AccessPath::ClusteredRange => {
+                // Intersect every attr-0 conjunct.
+                let mut lo = 0u64;
+                let mut hi = u64::MAX;
+                for p in selection.predicates() {
+                    if p.attr == 0 {
+                        lo = lo.max(p.lo);
+                        hi = hi.min(p.hi);
+                    }
+                }
+                if lo > hi {
+                    Vec::new()
+                } else {
+                    self.clustered_candidate_blocks(lo, hi)?
+                }
+            }
+            AccessPath::SecondaryIndex { attr } => {
+                let p = selection
+                    .predicates()
+                    .iter()
+                    .find(|p| p.attr == attr)
+                    .expect("planned attr has a predicate");
+                self.secondary_candidate_blocks(attr, p.lo, p.hi)?
+            }
+            AccessPath::FullScan => self.all_block_ids(),
+        };
+        tracker.end_index_phase();
+
+        let mut acc = init;
+        let mut scratch = Vec::new();
+        tracker.cost.data_blocks = candidates.len() as u64;
+        for id in candidates {
+            scratch.clear();
+            self.decode_block_into(id, &mut scratch)?;
+            tracker.cost.tuples_scanned += scratch.len();
+            for t in &scratch {
+                if selection.matches(t) {
+                    tracker.cost.tuples_matched += 1;
+                    f(&mut acc, t);
+                }
+            }
+        }
+        tracker.end_data_phase();
+        Ok((acc, tracker.cost, path))
+    }
+
+    /// Executes a conjunctive selection, returning matching tuples, the
+    /// cost, and the access path used.
+    pub fn select(
+        &self,
+        selection: &Selection,
+    ) -> Result<(Vec<Tuple>, QueryCost, AccessPath), DbError> {
+        self.fold_matching(selection, Vec::new(), |out, t| out.push(t.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DbConfig;
+    use avq_codec::CodecOptions;
+    use avq_schema::{Domain, Relation, Schema};
+    use avq_storage::{BlockDevice, BufferPool};
+
+    fn stored(with_index_on: &[usize]) -> StoredRelation {
+        let schema = Schema::from_pairs(vec![
+            ("a", Domain::uint(16).unwrap()),
+            ("b", Domain::uint(32).unwrap()),
+            ("c", Domain::uint(512).unwrap()),
+        ])
+        .unwrap();
+        let tuples: Vec<Tuple> = (0..2000u64)
+            .map(|i| Tuple::from([(i * 3) % 16, (i * 7) % 32, (i * 11) % 512]))
+            .collect();
+        let relation = Relation::from_tuples(schema, tuples).unwrap();
+        let config = DbConfig {
+            codec: CodecOptions {
+                block_capacity: 256,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let device = BlockDevice::new(256, config.disk);
+        let pool = BufferPool::new(device.clone(), config.buffer_frames);
+        let mut s = StoredRelation::bulk_load(device, pool, &relation, config).unwrap();
+        for &attr in with_index_on {
+            s.create_secondary_index(attr).unwrap();
+        }
+        s
+    }
+
+    fn brute_force(rel: &StoredRelation, sel: &Selection) -> Vec<Tuple> {
+        rel.scan_all()
+            .unwrap()
+            .into_iter()
+            .filter(|t| sel.matches(t))
+            .collect()
+    }
+
+    #[test]
+    fn conjunction_matches_brute_force() {
+        let rel = stored(&[1]);
+        let sel = Selection::all()
+            .and(RangePredicate {
+                attr: 1,
+                lo: 4,
+                hi: 20,
+            })
+            .and(RangePredicate {
+                attr: 2,
+                lo: 100,
+                hi: 400,
+            });
+        let (mut rows, cost, path) = rel.select(&sel).unwrap();
+        rows.sort_unstable();
+        assert_eq!(rows, brute_force(&rel, &sel));
+        assert_eq!(path, AccessPath::SecondaryIndex { attr: 1 });
+        assert_eq!(cost.tuples_matched, rows.len());
+    }
+
+    #[test]
+    fn clustering_prefix_wins_planning() {
+        let rel = stored(&[1, 2]);
+        let sel = Selection::all()
+            .and(RangePredicate {
+                attr: 0,
+                lo: 2,
+                hi: 5,
+            })
+            .and(RangePredicate {
+                attr: 1,
+                lo: 0,
+                hi: 31,
+            });
+        let (rows, cost, path) = rel.select(&sel).unwrap();
+        assert_eq!(path, AccessPath::ClusteredRange);
+        let mut rows = rows;
+        rows.sort_unstable();
+        assert_eq!(rows, brute_force(&rel, &sel));
+        assert!(
+            (cost.data_blocks as usize) < rel.block_count(),
+            "prefix selection reads a contiguous subset"
+        );
+    }
+
+    #[test]
+    fn narrowest_indexed_predicate_chosen() {
+        let rel = stored(&[1, 2]);
+        let sel = Selection::all()
+            .and(RangePredicate {
+                attr: 1,
+                lo: 0,
+                hi: 31, // wide
+            })
+            .and(RangePredicate::equals(2, 77)); // narrow
+        let (_, _, path) = rel.select(&sel).unwrap();
+        assert_eq!(path, AccessPath::SecondaryIndex { attr: 2 });
+    }
+
+    #[test]
+    fn unindexed_conjunction_scans() {
+        let rel = stored(&[]);
+        let sel = Selection::all().and(RangePredicate {
+            attr: 2,
+            lo: 0,
+            hi: 10,
+        });
+        let (rows, cost, path) = rel.select(&sel).unwrap();
+        assert_eq!(path, AccessPath::FullScan);
+        assert_eq!(cost.data_blocks as usize, rel.block_count());
+        let mut rows = rows;
+        rows.sort_unstable();
+        assert_eq!(rows, brute_force(&rel, &sel));
+    }
+
+    #[test]
+    fn empty_selection_matches_everything() {
+        let rel = stored(&[]);
+        let (rows, _, path) = rel.select(&Selection::all()).unwrap();
+        assert_eq!(path, AccessPath::FullScan);
+        assert_eq!(rows.len(), 2000);
+    }
+
+    #[test]
+    fn contradictory_prefix_ranges_return_nothing() {
+        let rel = stored(&[]);
+        let sel = Selection::all()
+            .and(RangePredicate {
+                attr: 0,
+                lo: 5,
+                hi: 10,
+            })
+            .and(RangePredicate {
+                attr: 0,
+                lo: 12,
+                hi: 15,
+            });
+        let (rows, cost, _) = rel.select(&sel).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(cost.data_blocks, 0, "no blocks touched");
+    }
+
+    #[test]
+    fn same_attr_conjuncts_intersect() {
+        let rel = stored(&[1]);
+        let sel = Selection::all()
+            .and(RangePredicate {
+                attr: 1,
+                lo: 5,
+                hi: 25,
+            })
+            .and(RangePredicate {
+                attr: 1,
+                lo: 10,
+                hi: 30,
+            });
+        let (mut rows, _, _) = rel.select(&sel).unwrap();
+        rows.sort_unstable();
+        assert_eq!(rows, brute_force(&rel, &sel));
+        assert!(rows.iter().all(|t| (10..=25).contains(&t.digits()[1])));
+    }
+}

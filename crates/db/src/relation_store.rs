@@ -1,0 +1,923 @@
+//! A stored relation: coded data blocks + primary index + secondary indexes.
+//!
+//! This is the §4 system: tuples live in AVQ-coded blocks on the simulated
+//! device; a primary B⁺-tree keyed on whole serialized tuples routes
+//! point/range operations to blocks; secondary indexes with buckets serve
+//! selections on non-clustering attributes; inserts and deletes re-code only
+//! the affected block (splitting it when the coded form outgrows the block,
+//! freeing it when emptied).
+
+use crate::config::DbConfig;
+use crate::cost::{CostTracker, QueryCost};
+use crate::error::DbError;
+use crate::secondary::SecondaryIndex;
+#[cfg(test)]
+use avq_codec::CodingMode;
+use avq_codec::{
+    delete_from_block, insert_into_block, BlockCodec, BlockPacker, DeleteOutcome, InsertOutcome,
+};
+use avq_schema::{Relation, Schema, Tuple};
+use avq_storage::{BlockDevice, BlockId, BufferPool};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use avq_index::BPlusTree;
+
+/// In-memory bookkeeping for one coded data block.
+#[derive(Debug, Clone)]
+pub struct StoredBlock {
+    /// Device block id.
+    pub id: BlockId,
+    /// φ-smallest tuple in the block (the primary-index key).
+    pub min: Tuple,
+    /// φ-largest tuple in the block.
+    pub max: Tuple,
+    /// Tuples in the block.
+    pub count: usize,
+    /// Coded bytes used of the block capacity.
+    pub used_bytes: usize,
+}
+
+/// A relation stored on the simulated device.
+#[derive(Debug)]
+pub struct StoredRelation {
+    schema: Arc<Schema>,
+    config: DbConfig,
+    codec: BlockCodec,
+    device: Arc<BlockDevice>,
+    pool: Arc<BufferPool>,
+    blocks: Vec<StoredBlock>,
+    primary: BPlusTree,
+    secondaries: BTreeMap<usize, SecondaryIndex>,
+    tuple_count: usize,
+}
+
+impl StoredRelation {
+    /// Bulk-loads a relation: sorts into φ order, packs into blocks, writes
+    /// them to the device, and bulk-builds the primary index.
+    pub fn bulk_load(
+        device: Arc<BlockDevice>,
+        pool: Arc<BufferPool>,
+        relation: &Relation,
+        config: DbConfig,
+    ) -> Result<Self, DbError> {
+        let schema = relation.schema().clone();
+        let codec = BlockCodec::with_options(schema.clone(), config.codec.mode, config.codec.rep);
+        let packer = BlockPacker::new(codec.clone(), config.codec.block_capacity);
+
+        let mut tuples = relation.tuples().to_vec();
+        tuples.sort_unstable();
+
+        let ranges = packer.partition(&tuples)?;
+        let mut blocks = Vec::with_capacity(ranges.len());
+        let mut keys = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            let run = &tuples[r];
+            let coded = codec.encode(run)?;
+            let id = device.allocate()?;
+            pool.write(id, &coded)?;
+            let min = run[0].clone();
+            keys.push((serialize_key(&schema, &min), id as u64));
+            blocks.push(StoredBlock {
+                id,
+                min,
+                max: run[run.len() - 1].clone(),
+                count: run.len(),
+                used_bytes: coded.len(),
+            });
+        }
+        let primary = BPlusTree::bulk_build(pool.clone(), config.index_order, &keys)?;
+        Ok(StoredRelation {
+            schema,
+            config,
+            codec,
+            device,
+            pool,
+            blocks,
+            primary,
+            secondaries: BTreeMap::new(),
+            tuple_count: tuples.len(),
+        })
+    }
+
+    /// Loads a [`avq_codec::CodedRelation`] (e.g. read from an `.avq` file)
+    /// into the store: its coded blocks are written to the device verbatim
+    /// and the primary index is bulk-built from the block metadata. The
+    /// relation's coding options override the database defaults (except the
+    /// block capacity, which must fit the device).
+    pub fn from_coded(
+        device: Arc<BlockDevice>,
+        pool: Arc<BufferPool>,
+        coded: &avq_codec::CodedRelation,
+        mut config: DbConfig,
+    ) -> Result<Self, DbError> {
+        let opts = coded.options();
+        if opts.block_capacity > device.block_size() {
+            return Err(DbError::Storage(avq_storage::StorageError::BlockTooLarge {
+                got: opts.block_capacity,
+                block_size: device.block_size(),
+            }));
+        }
+        config.codec = opts;
+        let codec = BlockCodec::with_options(coded.schema().clone(), opts.mode, opts.rep);
+        let mut emitted = Vec::with_capacity(coded.block_count());
+        for i in 0..coded.block_count() {
+            let id = device.allocate()?;
+            pool.write(id, coded.block(i))?;
+            // Reuse the decoded tuples for metadata assembly.
+            let tuples = codec.decode(coded.block(i))?;
+            emitted.push((id, tuples));
+        }
+        Self::assemble_loaded(device, pool, coded.schema().clone(), config, emitted)
+    }
+
+    /// Assembles a stored relation from already-written data blocks (used by
+    /// the streaming bulk loader): records metadata and bulk-builds the
+    /// primary index. Blocks must arrive in φ order.
+    pub(crate) fn assemble_loaded(
+        device: Arc<BlockDevice>,
+        pool: Arc<BufferPool>,
+        schema: Arc<Schema>,
+        config: DbConfig,
+        emitted: Vec<(BlockId, Vec<Tuple>)>,
+    ) -> Result<Self, DbError> {
+        let codec = BlockCodec::with_options(schema.clone(), config.codec.mode, config.codec.rep);
+        let mut blocks = Vec::with_capacity(emitted.len());
+        let mut keys = Vec::with_capacity(emitted.len());
+        let mut tuple_count = 0usize;
+        for (id, run) in &emitted {
+            debug_assert!(!run.is_empty());
+            let min = run[0].clone();
+            keys.push((serialize_key(&schema, &min), *id as u64));
+            tuple_count += run.len();
+            blocks.push(StoredBlock {
+                id: *id,
+                min,
+                max: run[run.len() - 1].clone(),
+                count: run.len(),
+                used_bytes: codec.measure(run),
+            });
+        }
+        let primary = BPlusTree::bulk_build(pool.clone(), config.index_order, &keys)?;
+        Ok(StoredRelation {
+            schema,
+            config,
+            codec,
+            device,
+            pool,
+            blocks,
+            primary,
+            secondaries: BTreeMap::new(),
+            tuple_count,
+        })
+    }
+
+    /// The relation's schema.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of stored tuples.
+    #[inline]
+    pub fn tuple_count(&self) -> usize {
+        self.tuple_count
+    }
+
+    /// Number of data blocks.
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Per-block bookkeeping, φ-ordered.
+    #[inline]
+    pub fn blocks(&self) -> &[StoredBlock] {
+        &self.blocks
+    }
+
+    /// The primary index.
+    #[inline]
+    pub fn primary_index(&self) -> &BPlusTree {
+        &self.primary
+    }
+
+    /// The database configuration this relation was stored with.
+    #[inline]
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// Total coded payload bytes across data blocks.
+    pub fn coded_payload_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.used_bytes).sum()
+    }
+
+    /// Compression accounting for the stored relation, including the block
+    /// fill factor (§3.3 aims to minimize unused block space).
+    pub fn storage_stats(&self) -> avq_codec::CompressionStats {
+        let m = self.schema.tuple_bytes();
+        avq_codec::CompressionStats {
+            tuple_count: self.tuple_count,
+            tuple_bytes: m,
+            block_capacity: self.config.codec.block_capacity,
+            uncoded_bytes: self.tuple_count * m,
+            coded_payload_bytes: self.coded_payload_bytes(),
+            coded_blocks: self.blocks.len(),
+            uncoded_blocks: uncoded_block_count(
+                &self.schema,
+                self.tuple_count,
+                self.config.codec.block_capacity,
+            ),
+        }
+    }
+
+    /// Mean fraction of each data block's capacity occupied by coded bytes.
+    pub fn fill_factor(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.coded_payload_bytes() as f64
+            / (self.blocks.len() * self.config.codec.block_capacity) as f64
+    }
+
+    /// The simulated device this relation lives on.
+    #[inline]
+    pub(crate) fn device(&self) -> &Arc<BlockDevice> {
+        &self.device
+    }
+
+    /// All data-block ids in φ order.
+    pub(crate) fn all_block_ids(&self) -> Vec<BlockId> {
+        self.blocks.iter().map(|b| b.id).collect()
+    }
+
+    /// Reads and decodes one data block through the pool, appending tuples.
+    pub(crate) fn decode_block_into(
+        &self,
+        id: BlockId,
+        out: &mut Vec<Tuple>,
+    ) -> Result<(), DbError> {
+        self.codec.decode_into(&self.pool.read(id)?, out)?;
+        Ok(())
+    }
+
+    /// Candidate blocks for a secondary-index range (errors if there is no
+    /// index on `attr`).
+    pub(crate) fn secondary_candidate_blocks(
+        &self,
+        attr: usize,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<BlockId>, DbError> {
+        match self.secondaries.get(&attr) {
+            Some(idx) => idx.blocks_for_range(lo, hi),
+            None => Ok(self.all_block_ids()),
+        }
+    }
+
+    /// Candidate blocks for a clustering-prefix range (public to the query
+    /// planner).
+    pub(crate) fn clustered_candidate_blocks(
+        &self,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<BlockId>, DbError> {
+        self.clustered_candidates(lo, hi)
+    }
+
+    /// Builds a secondary index on attribute `attr` (Fig. 4.5) by scanning
+    /// every block once.
+    pub fn create_secondary_index(&mut self, attr: usize) -> Result<(), DbError> {
+        if self.secondaries.contains_key(&attr) {
+            return Err(DbError::IndexExists { attribute: attr });
+        }
+        let mut idx = SecondaryIndex::create(self.pool.clone(), self.config.index_order, attr)?;
+        for b in &self.blocks {
+            let tuples = self.codec.decode(&self.pool.read(b.id)?)?;
+            idx.add_block(&tuples, b.id)?;
+        }
+        self.secondaries.insert(attr, idx);
+        Ok(())
+    }
+
+    /// True iff a secondary index exists on `attr`.
+    pub fn has_secondary_index(&self, attr: usize) -> bool {
+        self.secondaries.contains_key(&attr)
+    }
+
+    /// Decodes every block in φ order (full scan without cost accounting).
+    pub fn scan_all(&self) -> Result<Vec<Tuple>, DbError> {
+        let mut out = Vec::with_capacity(self.tuple_count);
+        for b in &self.blocks {
+            self.codec.decode_into(&self.pool.read(b.id)?, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Point lookup: is `tuple` stored? Routes through the primary index
+    /// (whole-tuple search key, §4.1) and decodes one block.
+    pub fn contains(&self, tuple: &Tuple) -> Result<(bool, QueryCost), DbError> {
+        self.schema.validate_tuple(tuple)?;
+        let mut tracker = CostTracker::new(&self.device);
+        let key = serialize_key(&self.schema, tuple);
+        let hit = self.primary.floor(&key)?;
+        tracker.end_index_phase();
+        let found = match hit {
+            None => false,
+            Some((_, block)) => {
+                // Early-exit point probe: no full block reconstruction.
+                let bytes = self.pool.read(block as BlockId)?;
+                self.charge_cpu(1);
+                tracker.cost.data_blocks += 1;
+                tracker.cost.tuples_scanned += self.codec.tuple_count(&bytes)?;
+                self.codec.contains_tuple(&bytes, tuple)?
+            }
+        };
+        tracker.cost.tuples_matched += found as usize;
+        tracker.end_data_phase();
+        Ok((found, tracker.cost))
+    }
+
+    /// Executes `σ_{lo ≤ A_attr ≤ hi}` and returns the matching tuples with
+    /// the measured cost.
+    ///
+    /// Access-path selection mirrors the paper: attribute 0 is the
+    /// clustering prefix of the φ order, so its selections are contiguous
+    /// and served by the primary index; other attributes use their secondary
+    /// index when one exists, and otherwise scan every block.
+    pub fn select_range(
+        &self,
+        attr: usize,
+        lo: u64,
+        hi: u64,
+    ) -> Result<(Vec<Tuple>, QueryCost), DbError> {
+        let mut tracker = CostTracker::new(&self.device);
+        let candidates: Vec<BlockId> = if attr == 0 {
+            self.clustered_candidates(lo, hi)?
+        } else if let Some(idx) = self.secondaries.get(&attr) {
+            idx.blocks_for_range(lo, hi)?
+        } else {
+            self.blocks.iter().map(|b| b.id).collect()
+        };
+        tracker.end_index_phase();
+
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        tracker.cost.data_blocks = candidates.len() as u64;
+        for id in candidates {
+            scratch.clear();
+            self.codec.decode_into(&self.pool.read(id)?, &mut scratch)?;
+            self.charge_cpu(1);
+            tracker.cost.tuples_scanned += scratch.len();
+            for t in &scratch {
+                let v = t.digits()[attr];
+                if v >= lo && v <= hi {
+                    out.push(t.clone());
+                }
+            }
+        }
+        tracker.cost.tuples_matched = out.len();
+        tracker.end_data_phase();
+        Ok((out, tracker.cost))
+    }
+
+    /// Candidate blocks for a selection on the clustering prefix: the
+    /// contiguous run of blocks whose φ range intersects
+    /// `[(lo,0,…,0), (hi,max,…,max)]`, found via the primary index.
+    fn clustered_candidates(&self, lo: u64, hi: u64) -> Result<Vec<BlockId>, DbError> {
+        if self.blocks.is_empty() || lo > hi {
+            return Ok(Vec::new());
+        }
+        let mut lo_digits = self.schema.radix().min_digits();
+        lo_digits[0] = lo.min(self.schema.radix().radices()[0] - 1);
+        let mut hi_digits = self.schema.radix().max_digits();
+        hi_digits[0] = hi.min(self.schema.radix().radices()[0] - 1);
+        let lo_key = serialize_key(&self.schema, &Tuple::new(lo_digits));
+        let hi_key = serialize_key(&self.schema, &Tuple::new(hi_digits));
+
+        let mut out = Vec::new();
+        // The block containing the range start (its min may precede lo).
+        if let Some((_, block)) = self.primary.floor(&lo_key)? {
+            out.push(block as BlockId);
+        }
+        // Blocks whose min lies inside the range.
+        for (_, block) in self.primary.range(&lo_key, &hi_key)? {
+            let block = block as BlockId;
+            if out.last() != Some(&block) {
+                out.push(block);
+            }
+        }
+        Ok(out)
+    }
+
+    fn charge_cpu(&self, blocks: u64) {
+        if self.config.cpu_ms_per_block > 0.0 {
+            self.device
+                .clock()
+                .advance_ms(self.config.cpu_ms_per_block * blocks as f64);
+        }
+    }
+
+    /// Index of the in-memory block that should hold `tuple`.
+    fn route(&self, tuple: &Tuple) -> Option<usize> {
+        if self.blocks.is_empty() {
+            return None;
+        }
+        let idx = self.blocks.partition_point(|b| b.min <= *tuple);
+        Some(idx.saturating_sub(1))
+    }
+
+    /// Inserts a tuple (Fig. 4.6): the affected block is decoded, the tuple
+    /// spliced in, and the block re-coded in place — or split into multiple
+    /// blocks when the coded form no longer fits.
+    pub fn insert(&mut self, tuple: &Tuple) -> Result<(), DbError> {
+        self.schema.validate_tuple(tuple)?;
+        let Some(bidx) = self.route(tuple) else {
+            // First tuple of an empty relation.
+            let coded = self.codec.encode(std::slice::from_ref(tuple))?;
+            let id = self.device.allocate()?;
+            self.pool.write(id, &coded)?;
+            self.blocks.push(StoredBlock {
+                id,
+                min: tuple.clone(),
+                max: tuple.clone(),
+                count: 1,
+                used_bytes: coded.len(),
+            });
+            self.primary
+                .insert(&serialize_key(&self.schema, tuple), id as u64)?;
+            for idx in self.secondaries.values_mut() {
+                idx.add_posting(tuple.digits()[idx.attribute()], id)?;
+            }
+            self.tuple_count += 1;
+            return Ok(());
+        };
+
+        let old = self.blocks[bidx].clone();
+        let bytes = self.pool.read(old.id)?;
+        match insert_into_block(&self.codec, &bytes, tuple, self.config.codec.block_capacity)? {
+            InsertOutcome::InPlace(coded) => {
+                self.pool.write(old.id, &coded)?;
+                let b = &mut self.blocks[bidx];
+                b.count += 1;
+                b.used_bytes = coded.len();
+                if *tuple < b.min {
+                    let old_key = serialize_key(&self.schema, &b.min);
+                    b.min = tuple.clone();
+                    self.primary.delete(&old_key)?;
+                    self.primary
+                        .insert(&serialize_key(&self.schema, tuple), old.id as u64)?;
+                }
+                if *tuple > b.max {
+                    b.max = tuple.clone();
+                }
+                for idx in self.secondaries.values_mut() {
+                    idx.add_posting(tuple.digits()[idx.attribute()], old.id)?;
+                }
+            }
+            InsertOutcome::Overflow(tuples) => {
+                self.split_block(bidx, &tuples)?;
+            }
+        }
+        self.tuple_count += 1;
+        Ok(())
+    }
+
+    /// Re-packs an overflowing block's tuples into as many blocks as needed,
+    /// reusing the original block id for the first run.
+    fn split_block(&mut self, bidx: usize, tuples: &[Tuple]) -> Result<(), DbError> {
+        let old = self.blocks[bidx].clone();
+        // Secondary postings for the outgoing block are rebuilt below; the
+        // old block's pre-split tuple set is `tuples` minus nothing we need
+        // to distinguish: removing the union is safe because removals of
+        // absent postings are no-ops.
+        for idx in self.secondaries.values_mut() {
+            idx.remove_block(tuples, old.id)?;
+        }
+        self.primary
+            .delete(&serialize_key(&self.schema, &old.min))?;
+
+        // Split *balanced* (like a B-tree) rather than re-packing maximally:
+        // a maximal re-pack yields a full block plus a sliver, and the next
+        // insert into the same region immediately splits again. Each half is
+        // re-packed only if it still overflows on its own.
+        let packer = BlockPacker::new(self.codec.clone(), self.config.codec.block_capacity);
+        let mid = tuples.len() / 2;
+        let mut ranges = Vec::new();
+        for (base, half) in [(0, &tuples[..mid]), (mid, &tuples[mid..])] {
+            if half.is_empty() {
+                continue;
+            }
+            if self.codec.measure(half) <= self.config.codec.block_capacity {
+                ranges.push(base..base + half.len());
+            } else {
+                for r in packer.partition(half)? {
+                    ranges.push(base + r.start..base + r.end);
+                }
+            }
+        }
+        debug_assert!(ranges.len() >= 2, "overflow must split into >= 2 blocks");
+        let mut new_blocks = Vec::with_capacity(ranges.len());
+        for (i, r) in ranges.into_iter().enumerate() {
+            let run = &tuples[r];
+            let coded = self.codec.encode(run)?;
+            let id = if i == 0 {
+                old.id
+            } else {
+                self.device.allocate()?
+            };
+            self.pool.write(id, &coded)?;
+            self.primary
+                .insert(&serialize_key(&self.schema, &run[0]), id as u64)?;
+            for idx in self.secondaries.values_mut() {
+                idx.add_block(run, id)?;
+            }
+            new_blocks.push(StoredBlock {
+                id,
+                min: run[0].clone(),
+                max: run[run.len() - 1].clone(),
+                count: run.len(),
+                used_bytes: coded.len(),
+            });
+        }
+        self.blocks.splice(bidx..bidx + 1, new_blocks);
+        Ok(())
+    }
+
+    /// Deletes one occurrence of `tuple`.
+    pub fn delete(&mut self, tuple: &Tuple) -> Result<(), DbError> {
+        self.schema.validate_tuple(tuple)?;
+        let Some(bidx) = self.route(tuple) else {
+            return Err(DbError::TupleNotFound);
+        };
+        let old = self.blocks[bidx].clone();
+        if *tuple < old.min || *tuple > old.max {
+            return Err(DbError::TupleNotFound);
+        }
+        let bytes = self.pool.read(old.id)?;
+        match delete_from_block(&self.codec, &bytes, tuple)? {
+            DeleteOutcome::Emptied => {
+                self.primary
+                    .delete(&serialize_key(&self.schema, &old.min))?;
+                for idx in self.secondaries.values_mut() {
+                    idx.remove_posting(tuple.digits()[idx.attribute()], old.id)?;
+                }
+                self.pool.invalidate(old.id);
+                self.device.free(old.id)?;
+                self.blocks.remove(bidx);
+            }
+            DeleteOutcome::InPlace(coded) => {
+                self.pool.write(old.id, &coded)?;
+                let remaining = self.codec.decode(&coded)?;
+                let b = &mut self.blocks[bidx];
+                b.count -= 1;
+                b.used_bytes = coded.len();
+                let new_min = remaining[0].clone();
+                let new_max = remaining[remaining.len() - 1].clone();
+                if new_min != b.min {
+                    let old_key = serialize_key(&self.schema, &b.min);
+                    self.primary.delete(&old_key)?;
+                    self.primary
+                        .insert(&serialize_key(&self.schema, &new_min), old.id as u64)?;
+                    b.min = new_min;
+                }
+                b.max = new_max;
+                for idx in self.secondaries.values_mut() {
+                    let attr = idx.attribute();
+                    let v = tuple.digits()[attr];
+                    if !remaining.iter().any(|t| t.digits()[attr] == v) {
+                        idx.remove_posting(v, old.id)?;
+                    }
+                }
+            }
+        }
+        self.tuple_count -= 1;
+        Ok(())
+    }
+
+    /// Replaces `old` with `new` (§4.2: "tuple modification may simply be
+    /// defined as a combination of tuple insertion and deletion").
+    pub fn update(&mut self, old: &Tuple, new: &Tuple) -> Result<(), DbError> {
+        self.delete(old)?;
+        match self.insert(new) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Restore the deleted tuple so the relation is unchanged.
+                self.insert(old).expect("re-inserting a just-deleted tuple");
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Serializes a tuple into its fixed-width primary-index key (byte order =
+/// φ order).
+pub(crate) fn serialize_key(schema: &Schema, tuple: &Tuple) -> Vec<u8> {
+    let mut key = Vec::with_capacity(schema.tuple_bytes());
+    schema.write_tuple(tuple, &mut key);
+    key
+}
+
+/// Number of data blocks an *uncoded* (field-wise) copy of the same tuples
+/// would occupy at this capacity — the paper's "No coding" baseline.
+pub fn uncoded_block_count(schema: &Schema, tuple_count: usize, capacity: usize) -> usize {
+    let m = schema.tuple_bytes();
+    if m == 0 {
+        return usize::from(tuple_count > 0);
+    }
+    let per_block = (capacity - avq_codec::BLOCK_HEADER_BYTES) / m;
+    if per_block == 0 {
+        0
+    } else {
+        tuple_count.div_ceil(per_block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avq_schema::Domain;
+    use avq_storage::DiskProfile;
+
+    fn setup(
+        n: u64,
+        capacity: usize,
+        mode: CodingMode,
+    ) -> (Arc<BlockDevice>, Arc<BufferPool>, StoredRelation) {
+        let schema = Schema::from_pairs(vec![
+            ("a", Domain::uint(64).unwrap()),
+            ("b", Domain::uint(64).unwrap()),
+            ("c", Domain::uint(4096).unwrap()),
+        ])
+        .unwrap();
+        let tuples: Vec<Tuple> = (0..n)
+            .map(|i| Tuple::from([(i * 7) % 64, (i * 13) % 64, (i * 29) % 4096]))
+            .collect();
+        let rel = Relation::from_tuples(schema, tuples).unwrap();
+        let config = DbConfig {
+            codec: avq_codec::CodecOptions {
+                mode,
+                block_capacity: capacity,
+                ..Default::default()
+            },
+            disk: DiskProfile::paper_fixed(),
+            ..Default::default()
+        };
+        let device = BlockDevice::new(capacity, config.disk);
+        let pool = BufferPool::new(device.clone(), config.buffer_frames);
+        let stored = StoredRelation::bulk_load(device.clone(), pool.clone(), &rel, config).unwrap();
+        (device, pool, stored)
+    }
+
+    #[test]
+    fn bulk_load_and_scan() {
+        let (_, _, stored) = setup(500, 128, CodingMode::AvqChained);
+        assert_eq!(stored.tuple_count(), 500);
+        assert!(stored.block_count() > 1);
+        let tuples = stored.scan_all().unwrap();
+        assert_eq!(tuples.len(), 500);
+        assert!(tuples.windows(2).all(|w| w[0] <= w[1]));
+        stored.primary_index().validate().unwrap();
+    }
+
+    #[test]
+    fn contains_routes_through_primary() {
+        let (device, pool, stored) = setup(300, 128, CodingMode::AvqChained);
+        let present = stored.scan_all().unwrap()[137].clone();
+        pool.clear();
+        device.reset_stats();
+        let (found, cost) = stored.contains(&present).unwrap();
+        assert!(found);
+        assert_eq!(cost.data_reads, 1, "exactly one data block read");
+        assert!(cost.index_reads >= 1);
+        let absent = Tuple::from([63u64, 63, 4095]);
+        let (found, _) = stored.contains(&absent).unwrap();
+        assert!(!found);
+    }
+
+    #[test]
+    fn clustered_selection_reads_contiguous_blocks() {
+        let (device, pool, stored) = setup(1000, 256, CodingMode::AvqChained);
+        pool.clear();
+        device.reset_stats();
+        let (rows, cost) = stored.select_range(0, 10, 20).unwrap();
+        assert!(rows.iter().all(|t| (10..=20).contains(&t.digits()[0])));
+        let expect = stored
+            .scan_all()
+            .unwrap()
+            .iter()
+            .filter(|t| (10..=20).contains(&t.digits()[0]))
+            .count();
+        assert_eq!(rows.len(), expect);
+        assert!(
+            (cost.data_reads as usize) < stored.block_count(),
+            "prefix selection must not scan every block"
+        );
+    }
+
+    #[test]
+    fn secondary_selection_matches_full_scan() {
+        let (_, _, mut stored) = setup(800, 256, CodingMode::AvqChained);
+        stored.create_secondary_index(1).unwrap();
+        assert!(stored.has_secondary_index(1));
+        let (rows, cost) = stored.select_range(1, 5, 9).unwrap();
+        let expect: Vec<Tuple> = stored
+            .scan_all()
+            .unwrap()
+            .into_iter()
+            .filter(|t| (5..=9).contains(&t.digits()[1]))
+            .collect();
+        let mut sorted_rows = rows.clone();
+        sorted_rows.sort_unstable();
+        assert_eq!(sorted_rows, expect);
+        assert_eq!(cost.tuples_matched, expect.len());
+    }
+
+    #[test]
+    fn unindexed_selection_scans_all_blocks() {
+        let (device, pool, stored) = setup(400, 256, CodingMode::AvqChained);
+        pool.clear();
+        device.reset_stats();
+        let (_, cost) = stored.select_range(2, 100, 200).unwrap();
+        assert_eq!(cost.data_reads as usize, stored.block_count());
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let (_, _, mut stored) = setup(50, 256, CodingMode::AvqChained);
+        stored.create_secondary_index(1).unwrap();
+        assert!(matches!(
+            stored.create_secondary_index(1),
+            Err(DbError::IndexExists { attribute: 1 })
+        ));
+    }
+
+    #[test]
+    fn insert_in_place_and_split() {
+        let (_, _, mut stored) = setup(200, 128, CodingMode::AvqChained);
+        let before_blocks = stored.block_count();
+        // Insert many tuples clustered at one spot to force a split.
+        for i in 0..50u64 {
+            stored.insert(&Tuple::from([30u64, 30, i])).unwrap();
+        }
+        assert_eq!(stored.tuple_count(), 250);
+        assert!(stored.block_count() > before_blocks, "splits happened");
+        let tuples = stored.scan_all().unwrap();
+        assert_eq!(tuples.len(), 250);
+        assert!(tuples.windows(2).all(|w| w[0] <= w[1]));
+        stored.primary_index().validate().unwrap();
+        // Every inserted tuple is findable.
+        for i in 0..50u64 {
+            let (found, _) = stored.contains(&Tuple::from([30u64, 30, i])).unwrap();
+            assert!(found, "tuple {i} lost");
+        }
+    }
+
+    #[test]
+    fn scattered_inserts_do_not_balloon_block_count() {
+        // Regression: splits must be balanced (B-tree style). A maximal
+        // re-pack leaves the split block full, so a scattered insert stream
+        // would split on nearly every operation.
+        let (_, _, mut stored) = setup(2000, 256, CodingMode::AvqChained);
+        let before = stored.block_count();
+        for i in 0..400u64 {
+            let t = Tuple::from([(i * 37) % 64, (i * 53) % 64, (i * 101) % 4096]);
+            stored.insert(&t).unwrap();
+        }
+        let after = stored.block_count();
+        let grown = after - before;
+        // 400 inserts over ~80 blocks of ~25 tuples each: block count may
+        // grow by roughly the data growth (20%), not by one per insert.
+        assert!(
+            grown < 80,
+            "block count grew by {grown} for 400 inserts ({before} -> {after})"
+        );
+        assert_eq!(stored.tuple_count(), 2400);
+        // Everything still findable and ordered.
+        let all = stored.scan_all().unwrap();
+        assert_eq!(all.len(), 2400);
+        assert!(all.windows(2).all(|w| w[0] <= w[1]));
+        stored.primary_index().validate().unwrap();
+    }
+
+    #[test]
+    fn insert_below_global_min() {
+        let (_, _, mut stored) = setup(100, 256, CodingMode::AvqChained);
+        let t = Tuple::from([0u64, 0, 0]);
+        stored.insert(&t).unwrap();
+        let (found, _) = stored.contains(&t).unwrap();
+        assert!(found);
+        assert_eq!(stored.blocks()[0].min, t);
+    }
+
+    #[test]
+    fn delete_and_empty_block_reclaim() {
+        let (device, _, mut stored) = setup(60, 4096, CodingMode::AvqChained);
+        // Everything fits a handful of blocks; delete every tuple.
+        let tuples = stored.scan_all().unwrap();
+        let live_before = device.live_blocks();
+        for t in &tuples {
+            stored.delete(t).unwrap();
+        }
+        assert_eq!(stored.tuple_count(), 0);
+        assert_eq!(stored.block_count(), 0);
+        assert!(device.live_blocks() < live_before, "blocks were freed");
+        assert!(matches!(
+            stored.delete(&tuples[0]),
+            Err(DbError::TupleNotFound)
+        ));
+    }
+
+    #[test]
+    fn delete_missing_tuple() {
+        let (_, _, mut stored) = setup(100, 256, CodingMode::AvqChained);
+        // In-range but absent.
+        let tuples = stored.scan_all().unwrap();
+        let mut ghost = tuples[0].clone();
+        // Find a digit tweak that makes it absent.
+        ghost.digits_mut()[2] = (ghost.digits()[2] + 1) % 4096;
+        if tuples.binary_search(&ghost).is_err() {
+            assert!(matches!(stored.delete(&ghost), Err(DbError::TupleNotFound)));
+        }
+        assert_eq!(stored.tuple_count(), 100);
+    }
+
+    #[test]
+    fn update_moves_tuple() {
+        let (_, _, mut stored) = setup(100, 512, CodingMode::AvqChained);
+        let old = stored.scan_all().unwrap()[50].clone();
+        let new = Tuple::from([63u64, 63, 4095]);
+        stored.update(&old, &new).unwrap();
+        assert_eq!(stored.tuple_count(), 100);
+        let (found_old, _) = stored.contains(&old).unwrap();
+        let (found_new, _) = stored.contains(&new).unwrap();
+        assert!(!found_old);
+        assert!(found_new);
+    }
+
+    #[test]
+    fn secondary_stays_correct_through_updates() {
+        let (_, _, mut stored) = setup(300, 128, CodingMode::AvqChained);
+        stored.create_secondary_index(1).unwrap();
+        // Churn: insert clustered tuples (forcing splits) and delete some.
+        for i in 0..40u64 {
+            stored.insert(&Tuple::from([10u64, 7, i])).unwrap();
+        }
+        for i in 0..20u64 {
+            stored.delete(&Tuple::from([10u64, 7, i])).unwrap();
+        }
+        let (rows, _) = stored.select_range(1, 7, 7).unwrap();
+        let expect: usize = stored
+            .scan_all()
+            .unwrap()
+            .iter()
+            .filter(|t| t.digits()[1] == 7)
+            .count();
+        assert_eq!(rows.len(), expect);
+    }
+
+    #[test]
+    fn fieldwise_baseline_works_identically() {
+        let (_, _, mut stored) = setup(300, 256, CodingMode::FieldWise);
+        assert_eq!(stored.tuple_count(), 300);
+        stored.create_secondary_index(1).unwrap();
+        let (rows, _) = stored.select_range(1, 0, 63).unwrap();
+        assert_eq!(rows.len(), 300);
+        stored.insert(&Tuple::from([1u64, 1, 1])).unwrap();
+        stored.delete(&Tuple::from([1u64, 1, 1])).unwrap();
+        assert_eq!(stored.tuple_count(), 300);
+    }
+
+    #[test]
+    fn uncoded_block_count_formula() {
+        let schema = Schema::from_pairs(vec![("a", Domain::uint(256).unwrap())]).unwrap();
+        // capacity 10, header 4 -> 6 tuples of 1 byte per block
+        assert_eq!(uncoded_block_count(&schema, 12, 10), 2);
+        assert_eq!(uncoded_block_count(&schema, 13, 10), 3);
+        assert_eq!(uncoded_block_count(&schema, 0, 10), 0);
+    }
+
+    #[test]
+    fn storage_stats_and_fill_factor() {
+        let (_, _, stored) = setup(1000, 256, CodingMode::AvqChained);
+        let st = stored.storage_stats();
+        assert_eq!(st.tuple_count, 1000);
+        assert_eq!(st.coded_blocks, stored.block_count());
+        assert_eq!(st.coded_payload_bytes, stored.coded_payload_bytes());
+        let fill = stored.fill_factor();
+        assert!(fill > 0.5 && fill <= 1.0, "packer fills blocks: {fill}");
+    }
+
+    #[test]
+    fn coded_beats_uncoded_on_blocks() {
+        let (_, _, stored) = setup(2000, 256, CodingMode::AvqChained);
+        let uncoded = uncoded_block_count(stored.schema(), 2000, 256);
+        assert!(
+            stored.block_count() < uncoded,
+            "AVQ {} blocks must beat uncoded {} blocks",
+            stored.block_count(),
+            uncoded
+        );
+    }
+}

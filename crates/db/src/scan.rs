@@ -1,0 +1,216 @@
+//! Streaming φ-range scans: iterate a tuple range block-at-a-time through
+//! the primary index, without materializing the whole result.
+//!
+//! This is the access pattern behind the paper's clustered selections: the
+//! primary index locates the first block whose range intersects
+//! `[lo, hi]`, and the scan walks forward until a block's minimum passes
+//! `hi`.
+
+use crate::error::DbError;
+use crate::relation_store::StoredRelation;
+use avq_schema::Tuple;
+
+/// A streaming iterator over the tuples in `[lo, hi]` (inclusive, φ order).
+pub struct RangeScan<'a> {
+    rel: &'a StoredRelation,
+    hi: Tuple,
+    /// Index into the relation's block list of the next block to decode.
+    next_block: usize,
+    buf: Vec<Tuple>,
+    pos: usize,
+    /// Blocks decoded so far (the scan's `N`).
+    blocks_read: u64,
+    error: Option<DbError>,
+    done: bool,
+    lo: Tuple,
+}
+
+impl StoredRelation {
+    /// Starts a streaming scan of the φ range `[lo, hi]`.
+    pub fn range_scan(&self, lo: Tuple, hi: Tuple) -> Result<RangeScan<'_>, DbError> {
+        self.schema().validate_tuple(&lo)?;
+        self.schema().validate_tuple(&hi)?;
+        // First block whose max >= lo.
+        let start = self.blocks().partition_point(|b| b.max < lo);
+        Ok(RangeScan {
+            rel: self,
+            hi,
+            next_block: start,
+            buf: Vec::new(),
+            pos: 0,
+            blocks_read: 0,
+            error: None,
+            done: false,
+            lo,
+        })
+    }
+}
+
+impl RangeScan<'_> {
+    /// Blocks decoded so far.
+    pub fn blocks_read(&self) -> u64 {
+        self.blocks_read
+    }
+
+    /// The first error hit, if iteration stopped on one.
+    pub fn take_error(&mut self) -> Option<DbError> {
+        self.error.take()
+    }
+
+    fn refill(&mut self) -> bool {
+        loop {
+            let blocks = self.rel.blocks();
+            if self.next_block >= blocks.len() {
+                self.done = true;
+                return false;
+            }
+            let meta = &blocks[self.next_block];
+            if meta.min > self.hi {
+                self.done = true;
+                return false;
+            }
+            let id = meta.id;
+            self.next_block += 1;
+            self.buf.clear();
+            if let Err(e) = self.rel.decode_block_into(id, &mut self.buf) {
+                self.error = Some(e);
+                self.done = true;
+                return false;
+            }
+            self.blocks_read += 1;
+            // Skip the prefix below `lo`.
+            self.pos = self.buf.partition_point(|t| *t < self.lo);
+            if self.pos < self.buf.len() {
+                return true;
+            }
+        }
+    }
+}
+
+impl Iterator for RangeScan<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.pos < self.buf.len() {
+                let t = self.buf[self.pos].clone();
+                if t > self.hi {
+                    self.done = true;
+                    return None;
+                }
+                self.pos += 1;
+                return Some(t);
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DbConfig;
+    use avq_codec::CodecOptions;
+    use avq_schema::{Domain, Relation, Schema};
+    use avq_storage::{BlockDevice, BufferPool};
+
+    fn stored(n: u64) -> StoredRelation {
+        let schema = Schema::from_pairs(vec![
+            ("a", Domain::uint(64).unwrap()),
+            ("b", Domain::uint(1024).unwrap()),
+        ])
+        .unwrap();
+        let tuples: Vec<Tuple> = (0..n)
+            .map(|i| Tuple::from([(i * 7) % 64, (i * 13) % 1024]))
+            .collect();
+        let relation = Relation::from_tuples(schema, tuples).unwrap();
+        let config = DbConfig {
+            codec: CodecOptions {
+                block_capacity: 128,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let device = BlockDevice::new(128, config.disk);
+        let pool = BufferPool::new(device.clone(), config.buffer_frames);
+        StoredRelation::bulk_load(device, pool, &relation, config).unwrap()
+    }
+
+    #[test]
+    fn scan_matches_filtered_full_scan() {
+        let rel = stored(2000);
+        let all = rel.scan_all().unwrap();
+        let lo = Tuple::from([10u64, 0]);
+        let hi = Tuple::from([20u64, 1023]);
+        let got: Vec<Tuple> = rel.range_scan(lo.clone(), hi.clone()).unwrap().collect();
+        let expect: Vec<Tuple> = all
+            .iter()
+            .filter(|t| **t >= lo && **t <= hi)
+            .cloned()
+            .collect();
+        assert_eq!(got, expect);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn scan_reads_only_intersecting_blocks() {
+        let rel = stored(2000);
+        let lo = Tuple::from([30u64, 0]);
+        let hi = Tuple::from([32u64, 1023]);
+        let mut scan = rel.range_scan(lo, hi).unwrap();
+        let count = scan.by_ref().count();
+        assert!(count > 0);
+        assert!(
+            (scan.blocks_read() as usize) < rel.block_count() / 2,
+            "narrow scan must not decode most blocks: {} of {}",
+            scan.blocks_read(),
+            rel.block_count()
+        );
+        assert!(scan.take_error().is_none());
+    }
+
+    #[test]
+    fn empty_range() {
+        let rel = stored(500);
+        let lo = Tuple::from([63u64, 1023]);
+        let hi = Tuple::from([63u64, 1023]);
+        let got: Vec<Tuple> = rel.range_scan(lo, hi).unwrap().collect();
+        // Present only if that exact tuple exists.
+        let present = rel
+            .scan_all()
+            .unwrap()
+            .binary_search(&Tuple::from([63u64, 1023]))
+            .is_ok();
+        assert_eq!(!got.is_empty(), present);
+    }
+
+    #[test]
+    fn inverted_range_yields_nothing() {
+        let rel = stored(500);
+        let lo = Tuple::from([40u64, 0]);
+        let hi = Tuple::from([10u64, 0]);
+        assert_eq!(rel.range_scan(lo, hi).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn whole_range_equals_scan_all() {
+        let rel = stored(1000);
+        let lo = Tuple::from([0u64, 0]);
+        let hi = Tuple::from([63u64, 1023]);
+        let got: Vec<Tuple> = rel.range_scan(lo, hi).unwrap().collect();
+        assert_eq!(got, rel.scan_all().unwrap());
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        let rel = stored(100);
+        assert!(rel
+            .range_scan(Tuple::from([99u64, 0]), Tuple::from([0u64, 0]))
+            .is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the `.avq` container format.
+
+use avq_codec::CodecError;
+use avq_schema::SchemaError;
+use core::fmt;
+
+/// Errors raised while reading or writing `.avq` files.
+#[derive(Debug)]
+pub enum FileError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the `AVQF` magic.
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion {
+        /// The version found in the header.
+        version: u16,
+    },
+    /// The trailing CRC-32 does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        stored: u32,
+        /// Checksum of the bytes actually read.
+        actual: u32,
+    },
+    /// A structural inconsistency (with a valid checksum, this indicates a
+    /// writer bug or a forged file).
+    Corrupt {
+        /// Byte offset of the inconsistency.
+        offset: usize,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// The embedded schema failed to reconstruct.
+    Schema(SchemaError),
+    /// A block stream failed to decode.
+    Codec(CodecError),
+}
+
+impl fmt::Display for FileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileError::Io(e) => write!(f, "I/O error: {e}"),
+            FileError::BadMagic => write!(f, "not an .avq file (bad magic)"),
+            FileError::UnsupportedVersion { version } => {
+                write!(f, "unsupported .avq format version {version}")
+            }
+            FileError::ChecksumMismatch { stored, actual } => write!(
+                f,
+                "checksum mismatch: file records {stored:#010x}, contents hash to {actual:#010x}"
+            ),
+            FileError::Corrupt { offset, detail } => {
+                write!(f, "corrupt .avq file at byte {offset}: {detail}")
+            }
+            FileError::Schema(e) => write!(f, "embedded schema invalid: {e}"),
+            FileError::Codec(e) => write!(f, "embedded block invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FileError::Io(e) => Some(e),
+            FileError::Schema(e) => Some(e),
+            FileError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FileError {
+    fn from(e: std::io::Error) -> Self {
+        FileError::Io(e)
+    }
+}
+
+impl From<SchemaError> for FileError {
+    fn from(e: SchemaError) -> Self {
+        FileError::Schema(e)
+    }
+}
+
+impl From<CodecError> for FileError {
+    fn from(e: CodecError) -> Self {
+        FileError::Codec(e)
+    }
+}

@@ -1,0 +1,280 @@
+//! Indirection buckets for secondary indexes (Fig. 4.5).
+//!
+//! A secondary index over an AVQ relation is non-clustering: one attribute
+//! value can occur in many data blocks. The paper interposes *buckets*
+//! between the B⁺-tree and the data: the tree maps an attribute value to a
+//! bucket, and the bucket holds `(value : data-block)` pairs. Buckets are
+//! chains of device blocks:
+//!
+//! ```text
+//! [count u16][next u32][ (value u64, block u32) * count ]
+//! ```
+
+use crate::error::IndexError;
+use avq_storage::{BlockId, BufferPool};
+use std::sync::Arc;
+
+const BUCKET_HEADER: usize = 6;
+const ENTRY_BYTES: usize = 12;
+const NO_NEXT: BlockId = BlockId::MAX;
+
+/// One `(attribute value, data block)` posting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Posting {
+    /// The attribute value (domain ordinal).
+    pub value: u64,
+    /// The data block containing at least one tuple with this value.
+    pub block: BlockId,
+}
+
+/// Reads and writes bucket chains on the device.
+#[derive(Debug, Clone)]
+pub struct BucketStore {
+    pool: Arc<BufferPool>,
+}
+
+struct Page {
+    postings: Vec<Posting>,
+    next: BlockId,
+}
+
+impl BucketStore {
+    /// Creates a store over `pool`.
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        BucketStore { pool }
+    }
+
+    fn capacity(&self) -> usize {
+        (self.pool.device().block_size() - BUCKET_HEADER) / ENTRY_BYTES
+    }
+
+    fn load(&self, id: BlockId) -> Result<Page, IndexError> {
+        let bytes = self.pool.read(id)?;
+        let corrupt = |detail: &str| IndexError::CorruptNode {
+            block: id,
+            detail: detail.to_owned(),
+        };
+        if bytes.len() < BUCKET_HEADER {
+            return Err(corrupt("bucket shorter than header"));
+        }
+        let count = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+        let next = u32::from_le_bytes(bytes[2..6].try_into().expect("4 bytes"));
+        let mut postings = Vec::with_capacity(count);
+        let mut pos = BUCKET_HEADER;
+        for _ in 0..count {
+            let chunk = bytes
+                .get(pos..pos + ENTRY_BYTES)
+                .ok_or_else(|| corrupt("truncated posting"))?;
+            postings.push(Posting {
+                value: u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes")),
+                block: u32::from_le_bytes(chunk[8..].try_into().expect("4 bytes")),
+            });
+            pos += ENTRY_BYTES;
+        }
+        Ok(Page { postings, next })
+    }
+
+    fn store(&self, id: BlockId, page: &Page) -> Result<(), IndexError> {
+        let mut out = Vec::with_capacity(BUCKET_HEADER + page.postings.len() * ENTRY_BYTES);
+        out.extend_from_slice(&(page.postings.len() as u16).to_le_bytes());
+        out.extend_from_slice(&page.next.to_le_bytes());
+        for p in &page.postings {
+            out.extend_from_slice(&p.value.to_le_bytes());
+            out.extend_from_slice(&p.block.to_le_bytes());
+        }
+        self.pool.write(id, &out)?;
+        Ok(())
+    }
+
+    /// Creates an empty bucket, returning its head block id.
+    pub fn create(&self) -> Result<BlockId, IndexError> {
+        let id = self.pool.device().allocate()?;
+        self.store(
+            id,
+            &Page {
+                postings: Vec::new(),
+                next: NO_NEXT,
+            },
+        )?;
+        Ok(id)
+    }
+
+    /// Appends a posting to the bucket, extending the chain when full.
+    /// Duplicate postings are ignored (a block is listed once per value).
+    pub fn push(&self, head: BlockId, posting: Posting) -> Result<(), IndexError> {
+        let cap = self.capacity();
+        let mut id = head;
+        loop {
+            let mut page = self.load(id)?;
+            if page.postings.contains(&posting) {
+                return Ok(());
+            }
+            if page.postings.len() < cap {
+                page.postings.push(posting);
+                return self.store(id, &page);
+            }
+            if page.next == NO_NEXT {
+                let new_id = self.pool.device().allocate()?;
+                self.store(
+                    new_id,
+                    &Page {
+                        postings: vec![posting],
+                        next: NO_NEXT,
+                    },
+                )?;
+                page.next = new_id;
+                return self.store(id, &page);
+            }
+            id = page.next;
+        }
+    }
+
+    /// Reads every posting in the bucket chain.
+    pub fn read(&self, head: BlockId) -> Result<Vec<Posting>, IndexError> {
+        let mut out = Vec::new();
+        let mut id = head;
+        loop {
+            let page = self.load(id)?;
+            out.extend_from_slice(&page.postings);
+            if page.next == NO_NEXT {
+                return Ok(out);
+            }
+            id = page.next;
+        }
+    }
+
+    /// Removes one posting (if present). Pages are left in place even when
+    /// emptied (lazy, like index deletion).
+    pub fn remove(&self, head: BlockId, posting: Posting) -> Result<bool, IndexError> {
+        let mut id = head;
+        loop {
+            let mut page = self.load(id)?;
+            if let Some(i) = page.postings.iter().position(|p| *p == posting) {
+                page.postings.swap_remove(i);
+                self.store(id, &page)?;
+                return Ok(true);
+            }
+            if page.next == NO_NEXT {
+                return Ok(false);
+            }
+            id = page.next;
+        }
+    }
+
+    /// Number of chained pages in the bucket.
+    pub fn chain_len(&self, head: BlockId) -> Result<usize, IndexError> {
+        let mut n = 1;
+        let mut id = head;
+        loop {
+            let page = self.load(id)?;
+            if page.next == NO_NEXT {
+                return Ok(n);
+            }
+            n += 1;
+            id = page.next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avq_storage::{BlockDevice, DiskProfile};
+
+    fn store(block_size: usize) -> BucketStore {
+        BucketStore::new(BufferPool::new(
+            BlockDevice::new(block_size, DiskProfile::instant()),
+            32,
+        ))
+    }
+
+    #[test]
+    fn create_push_read() {
+        let s = store(256);
+        let b = s.create().unwrap();
+        assert!(s.read(b).unwrap().is_empty());
+        for i in 0..5 {
+            s.push(
+                b,
+                Posting {
+                    value: 34,
+                    block: i,
+                },
+            )
+            .unwrap();
+        }
+        let postings = s.read(b).unwrap();
+        assert_eq!(postings.len(), 5);
+        assert!(postings.iter().all(|p| p.value == 34));
+        assert_eq!(s.chain_len(b).unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let s = store(256);
+        let b = s.create().unwrap();
+        let p = Posting { value: 1, block: 2 };
+        s.push(b, p).unwrap();
+        s.push(b, p).unwrap();
+        assert_eq!(s.read(b).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn chain_grows_when_full() {
+        // Tiny pages: (64 - 6) / 12 = 4 postings per page.
+        let s = store(64);
+        let b = s.create().unwrap();
+        for i in 0..10 {
+            s.push(
+                b,
+                Posting {
+                    value: i,
+                    block: i as u32,
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(s.chain_len(b).unwrap(), 3);
+        let mut postings = s.read(b).unwrap();
+        postings.sort();
+        assert_eq!(postings.len(), 10);
+        for (i, p) in postings.iter().enumerate() {
+            assert_eq!(p.value, i as u64);
+        }
+    }
+
+    #[test]
+    fn remove_across_chain() {
+        let s = store(64);
+        let b = s.create().unwrap();
+        for i in 0..10 {
+            s.push(b, Posting { value: i, block: 0 }).unwrap();
+        }
+        assert!(s.remove(b, Posting { value: 7, block: 0 }).unwrap());
+        assert!(!s.remove(b, Posting { value: 7, block: 0 }).unwrap());
+        assert_eq!(s.read(b).unwrap().len(), 9);
+    }
+
+    #[test]
+    fn dedup_respects_block_distinction() {
+        let s = store(256);
+        let b = s.create().unwrap();
+        s.push(
+            b,
+            Posting {
+                value: 1,
+                block: 10,
+            },
+        )
+        .unwrap();
+        s.push(
+            b,
+            Posting {
+                value: 1,
+                block: 11,
+            },
+        )
+        .unwrap();
+        assert_eq!(s.read(b).unwrap().len(), 2);
+    }
+}

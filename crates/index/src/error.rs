@@ -1,0 +1,62 @@
+//! Error types for the index layer.
+
+use avq_storage::StorageError;
+use core::fmt;
+
+/// Errors raised by B⁺-tree and bucket operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The underlying device/pool failed.
+    Storage(StorageError),
+    /// A persisted node failed to parse.
+    CorruptNode {
+        /// Block holding the node.
+        block: u32,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// A key/entry was too large to ever fit a node in one block.
+    EntryTooLarge {
+        /// Serialized entry size.
+        entry_bytes: usize,
+        /// Device block size.
+        block_size: usize,
+    },
+    /// Bulk build requires strictly ascending keys.
+    UnsortedBuildInput {
+        /// Index of the first offending pair.
+        position: usize,
+    },
+    /// The key was not present (delete / exact lookup).
+    KeyNotFound,
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Storage(e) => write!(f, "storage error: {e}"),
+            IndexError::CorruptNode { block, detail } => {
+                write!(f, "corrupt index node in block {block}: {detail}")
+            }
+            IndexError::EntryTooLarge {
+                entry_bytes,
+                block_size,
+            } => write!(
+                f,
+                "index entry of {entry_bytes} bytes cannot fit block size {block_size}"
+            ),
+            IndexError::UnsortedBuildInput { position } => {
+                write!(f, "bulk-build input not strictly ascending at {position}")
+            }
+            IndexError::KeyNotFound => write!(f, "key not found"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<StorageError> for IndexError {
+    fn from(e: StorageError) -> Self {
+        IndexError::Storage(e)
+    }
+}

@@ -1,0 +1,441 @@
+//! An extendible hash index over the simulated device.
+//!
+//! §4.2 of the paper closes with: "Although we have illustrated the use of
+//! tree indices as the access mechanisms, we do not preclude the use of
+//! other methods, such as hashing." This module provides that alternative:
+//! an extendible hash table mapping `u64` keys (attribute ordinals) to
+//! `u64` payloads (data-block ids), with multi-map semantics matching the
+//! secondary-index buckets.
+//!
+//! Buckets live one-per-block:
+//!
+//! ```text
+//! [local_depth u8][count u16][next u32][ (key u64, value u64) * count ]
+//! ```
+//!
+//! The directory (2^global_depth bucket pointers) is kept in memory, as
+//! directories typically are. Buckets split and the directory doubles on
+//! overflow; when a bucket's keys all collide in the maximum depth the
+//! bucket grows an overflow chain instead (`next`), so pathological key
+//! sets degrade gracefully rather than failing.
+
+use crate::error::IndexError;
+use avq_storage::{BlockId, BufferPool};
+use std::sync::Arc;
+
+const NO_NEXT: BlockId = BlockId::MAX;
+const HEADER: usize = 1 + 2 + 4;
+const ENTRY: usize = 16;
+/// Directory depth cap: beyond this, buckets chain.
+const MAX_DEPTH: u8 = 20;
+
+/// Fibonacci (multiply-shift) hashing: cheap and well-distributed for the
+/// sequential ordinals secondary indexes produce.
+#[inline]
+fn hash_key(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    local_depth: u8,
+    next: BlockId,
+    entries: Vec<(u64, u64)>,
+}
+
+impl Bucket {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER + self.entries.len() * ENTRY);
+        out.push(self.local_depth);
+        out.extend_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.next.to_le_bytes());
+        for &(k, v) in &self.entries {
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn from_bytes(block: BlockId, bytes: &[u8]) -> Result<Self, IndexError> {
+        let corrupt = |detail: &str| IndexError::CorruptNode {
+            block,
+            detail: detail.to_owned(),
+        };
+        if bytes.len() < HEADER {
+            return Err(corrupt("bucket shorter than header"));
+        }
+        let local_depth = bytes[0];
+        let count = u16::from_le_bytes([bytes[1], bytes[2]]) as usize;
+        let next = u32::from_le_bytes(bytes[3..7].try_into().expect("4 bytes"));
+        let mut entries = Vec::with_capacity(count);
+        let mut pos = HEADER;
+        for _ in 0..count {
+            let chunk = bytes
+                .get(pos..pos + ENTRY)
+                .ok_or_else(|| corrupt("truncated entry"))?;
+            entries.push((
+                u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes")),
+                u64::from_le_bytes(chunk[8..].try_into().expect("8 bytes")),
+            ));
+            pos += ENTRY;
+        }
+        Ok(Bucket {
+            local_depth,
+            next,
+            entries,
+        })
+    }
+}
+
+/// An extendible hash index: `u64` key → multiset of `u64` payloads.
+#[derive(Debug)]
+pub struct HashIndex {
+    pool: Arc<BufferPool>,
+    directory: Vec<BlockId>,
+    global_depth: u8,
+    bucket_capacity: usize,
+    len: usize,
+}
+
+impl HashIndex {
+    /// Creates an index with a one-bucket directory.
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self, IndexError> {
+        let bucket_capacity = (pool.device().block_size().saturating_sub(HEADER)) / ENTRY;
+        assert!(
+            bucket_capacity >= 2,
+            "block size too small for a hash bucket"
+        );
+        let first = pool.device().allocate()?;
+        let idx = HashIndex {
+            pool,
+            directory: vec![first],
+            global_depth: 0,
+            bucket_capacity,
+            len: 0,
+        };
+        idx.store(
+            first,
+            &Bucket {
+                local_depth: 0,
+                next: NO_NEXT,
+                entries: Vec::new(),
+            },
+        )?;
+        Ok(idx)
+    }
+
+    /// Number of stored `(key, value)` pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no pairs are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current directory size (2^global_depth).
+    #[inline]
+    pub fn directory_size(&self) -> usize {
+        self.directory.len()
+    }
+
+    fn load(&self, id: BlockId) -> Result<Bucket, IndexError> {
+        Bucket::from_bytes(id, &self.pool.read(id)?)
+    }
+
+    fn store(&self, id: BlockId, bucket: &Bucket) -> Result<(), IndexError> {
+        self.pool.write(id, &bucket.to_bytes())?;
+        Ok(())
+    }
+
+    #[inline]
+    fn slot(&self, key: u64) -> usize {
+        if self.global_depth == 0 {
+            0
+        } else {
+            (hash_key(key) >> (64 - self.global_depth)) as usize
+        }
+    }
+
+    /// Inserts a `(key, value)` pair. Exact duplicates are ignored
+    /// (multi-map with set semantics per pair, like the Fig. 4.5 buckets).
+    pub fn insert(&mut self, key: u64, value: u64) -> Result<(), IndexError> {
+        loop {
+            let head = self.directory[self.slot(key)];
+            // Walk the chain: dedup check + find room.
+            let mut id = head;
+            loop {
+                let mut bucket = self.load(id)?;
+                if bucket.entries.contains(&(key, value)) {
+                    return Ok(());
+                }
+                if bucket.entries.len() < self.bucket_capacity {
+                    bucket.entries.push((key, value));
+                    self.store(id, &bucket)?;
+                    self.len += 1;
+                    return Ok(());
+                }
+                if bucket.next != NO_NEXT {
+                    id = bucket.next;
+                    continue;
+                }
+                // Chain exhausted: split the head bucket, or chain at max
+                // depth.
+                let head_bucket = self.load(head)?;
+                if head_bucket.local_depth >= MAX_DEPTH {
+                    let new_id = self.pool.device().allocate()?;
+                    self.store(
+                        new_id,
+                        &Bucket {
+                            local_depth: head_bucket.local_depth,
+                            next: NO_NEXT,
+                            entries: vec![(key, value)],
+                        },
+                    )?;
+                    bucket.next = new_id;
+                    self.store(id, &bucket)?;
+                    self.len += 1;
+                    return Ok(());
+                }
+                self.split(head)?;
+                break; // retry from the (possibly doubled) directory
+            }
+        }
+    }
+
+    /// Splits the bucket at `head`, doubling the directory if needed.
+    fn split(&mut self, head: BlockId) -> Result<(), IndexError> {
+        // Gather the whole chain's entries.
+        let mut entries = Vec::new();
+        let mut chain = vec![head];
+        let mut id = head;
+        let local_depth = self.load(head)?.local_depth;
+        loop {
+            let b = self.load(id)?;
+            entries.extend_from_slice(&b.entries);
+            if b.next == NO_NEXT {
+                break;
+            }
+            id = b.next;
+            chain.push(id);
+        }
+
+        if local_depth == self.global_depth {
+            // Double the directory.
+            let mut doubled = Vec::with_capacity(self.directory.len() * 2);
+            for &b in &self.directory {
+                doubled.push(b);
+                doubled.push(b);
+            }
+            self.directory = doubled;
+            self.global_depth += 1;
+        }
+
+        let new_depth = local_depth + 1;
+        let new_id = self.pool.device().allocate()?;
+        // Partition entries by the new distinguishing bit.
+        let bit_of = |key: u64| (hash_key(key) >> (64 - new_depth)) & 1;
+        let (ones, zeros): (Vec<_>, Vec<_>) =
+            entries.into_iter().partition(|&(k, _)| bit_of(k) == 1);
+
+        // Rewrite both buckets as single pages (chains may re-form later);
+        // free surplus chain pages.
+        let write_run = |this: &Self,
+                         first: BlockId,
+                         depth: u8,
+                         items: &[(u64, u64)]|
+         -> Result<Vec<BlockId>, IndexError> {
+            let mut ids = vec![first];
+            let chunks: Vec<&[(u64, u64)]> = if items.is_empty() {
+                vec![&[][..]]
+            } else {
+                items.chunks(this.bucket_capacity).collect()
+            };
+            for _ in 1..chunks.len() {
+                ids.push(this.pool.device().allocate()?);
+            }
+            for (i, chunk) in chunks.iter().enumerate() {
+                this.store(
+                    ids[i],
+                    &Bucket {
+                        local_depth: depth,
+                        next: ids.get(i + 1).copied().unwrap_or(NO_NEXT),
+                        entries: chunk.to_vec(),
+                    },
+                )?;
+            }
+            Ok(ids)
+        };
+        let zero_pages = write_run(self, head, new_depth, &zeros)?;
+        let one_pages = write_run(self, new_id, new_depth, &ones)?;
+        // Free chain pages not reused.
+        for &page in chain.iter().skip(1) {
+            if !zero_pages.contains(&page) && !one_pages.contains(&page) {
+                self.pool.invalidate(page);
+                self.pool.device().free(page)?;
+            }
+        }
+
+        // Repoint directory slots that referenced `head`.
+        for (slot, entry) in self.directory.iter_mut().enumerate() {
+            if *entry == head {
+                // The slot's (new_depth)-bit prefix decides.
+                let prefix_bit = slot >> (self.global_depth as usize - new_depth as usize) & 1;
+                if prefix_bit == 1 {
+                    *entry = new_id;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All payloads stored under `key`.
+    pub fn get(&self, key: u64) -> Result<Vec<u64>, IndexError> {
+        let mut out = Vec::new();
+        let mut id = self.directory[self.slot(key)];
+        loop {
+            let b = self.load(id)?;
+            out.extend(
+                b.entries
+                    .iter()
+                    .filter(|&&(k, _)| k == key)
+                    .map(|&(_, v)| v),
+            );
+            if b.next == NO_NEXT {
+                out.sort_unstable();
+                return Ok(out);
+            }
+            id = b.next;
+        }
+    }
+
+    /// Removes one `(key, value)` pair; returns whether it was present.
+    pub fn remove(&mut self, key: u64, value: u64) -> Result<bool, IndexError> {
+        let mut id = self.directory[self.slot(key)];
+        loop {
+            let mut b = self.load(id)?;
+            if let Some(i) = b.entries.iter().position(|&e| e == (key, value)) {
+                b.entries.swap_remove(i);
+                self.store(id, &b)?;
+                self.len -= 1;
+                return Ok(true);
+            }
+            if b.next == NO_NEXT {
+                return Ok(false);
+            }
+            id = b.next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avq_storage::{BlockDevice, DiskProfile};
+
+    fn index(block_size: usize) -> HashIndex {
+        HashIndex::create(BufferPool::new(
+            BlockDevice::new(block_size, DiskProfile::instant()),
+            256,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut h = index(256);
+        for i in 0..10u64 {
+            h.insert(i, i * 100).unwrap();
+        }
+        assert_eq!(h.len(), 10);
+        for i in 0..10u64 {
+            assert_eq!(h.get(i).unwrap(), vec![i * 100]);
+        }
+        assert!(h.get(99).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicates_ignored_multivalues_kept() {
+        let mut h = index(256);
+        h.insert(7, 1).unwrap();
+        h.insert(7, 1).unwrap();
+        h.insert(7, 2).unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(7).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn directory_doubles_under_load() {
+        let mut h = index(128); // (128-7)/16 = 7 entries per bucket
+        for i in 0..500u64 {
+            h.insert(i, i).unwrap();
+        }
+        assert_eq!(h.len(), 500);
+        assert!(h.directory_size() > 1, "directory must have doubled");
+        for i in 0..500u64 {
+            assert_eq!(h.get(i).unwrap(), vec![i], "key {i}");
+        }
+    }
+
+    #[test]
+    fn remove() {
+        let mut h = index(256);
+        for i in 0..100u64 {
+            h.insert(i % 10, i).unwrap();
+        }
+        assert!(h.remove(3, 33).unwrap());
+        assert!(!h.remove(3, 33).unwrap());
+        assert_eq!(h.len(), 99);
+        assert!(!h.get(3).unwrap().contains(&33));
+        assert!(h.get(3).unwrap().contains(&23));
+    }
+
+    #[test]
+    fn colliding_keys_chain_instead_of_failing() {
+        // Same key inserted with many values: can never split apart, so the
+        // bucket must chain.
+        let mut h = index(128);
+        for v in 0..100u64 {
+            h.insert(42, v).unwrap();
+        }
+        assert_eq!(h.len(), 100);
+        let got = h.get(42).unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn large_randomish_workload() {
+        let mut h = index(512);
+        let keys: Vec<u64> = (0..5000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 1000)
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            h.insert(k, i as u64).unwrap();
+        }
+        assert_eq!(h.len(), 5000);
+        // Each key maps to exactly the positions where it occurred.
+        for probe in 0..1000u64 {
+            let expect: Vec<u64> = keys
+                .iter()
+                .enumerate()
+                .filter(|&(_, &k)| k == probe)
+                .map(|(i, _)| i as u64)
+                .collect();
+            assert_eq!(h.get(probe).unwrap(), expect, "key {probe}");
+        }
+    }
+
+    #[test]
+    fn len_tracks_inserts_and_removes() {
+        let mut h = index(256);
+        assert!(h.is_empty());
+        h.insert(1, 1).unwrap();
+        h.insert(2, 2).unwrap();
+        h.remove(1, 1).unwrap();
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+    }
+}

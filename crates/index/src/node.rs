@@ -1,0 +1,241 @@
+//! B⁺-tree node representation and block (de)serialization.
+//!
+//! Nodes are persisted one-per-block on the simulated device so that index
+//! traversals cost real (simulated) I/O — that is what the paper's `I`
+//! term measures. Layouts:
+//!
+//! ```text
+//! leaf:     [0u8][nkeys u16][next u32][ (klen u16, key, value u64) * ]
+//! internal: [1u8][nkeys u16][child0 u32][ (klen u16, key, child u32) * ]
+//! ```
+//!
+//! In an internal node, `key[i]` separates `child[i]` from `child[i+1]`:
+//! every key in `child[i+1]`'s subtree is `≥ key[i]`.
+
+use crate::error::IndexError;
+use avq_storage::BlockId;
+
+/// Sentinel for "no next leaf".
+pub(crate) const NO_LEAF: BlockId = BlockId::MAX;
+
+const TAG_LEAF: u8 = 0;
+const TAG_INTERNAL: u8 = 1;
+
+/// A decoded B⁺-tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Node {
+    Leaf {
+        /// (key, payload) pairs in strictly ascending key order.
+        entries: Vec<(Vec<u8>, u64)>,
+        /// Right sibling for range scans, or [`NO_LEAF`].
+        next: BlockId,
+    },
+    Internal {
+        /// `children.len() == keys.len() + 1`.
+        keys: Vec<Vec<u8>>,
+        children: Vec<BlockId>,
+    },
+}
+
+impl Node {
+    pub fn empty_leaf() -> Self {
+        Node::Leaf {
+            entries: Vec::new(),
+            next: NO_LEAF,
+        }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Number of keys stored in the node.
+    pub fn key_count(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Internal { keys, .. } => keys.len(),
+        }
+    }
+
+    /// Serialized size in bytes.
+    pub fn serialized_len(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                1 + 2 + 4 + entries.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
+            }
+            Node::Internal { keys, .. } => {
+                1 + 2 + 4 + keys.iter().map(|k| 2 + k.len() + 4).sum::<usize>()
+            }
+        }
+    }
+
+    /// Serializes the node into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        match self {
+            Node::Leaf { entries, next } => {
+                out.push(TAG_LEAF);
+                out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                out.extend_from_slice(&next.to_le_bytes());
+                for (k, v) in entries {
+                    out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    out.extend_from_slice(k);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Node::Internal { keys, children } => {
+                debug_assert_eq!(children.len(), keys.len() + 1);
+                out.push(TAG_INTERNAL);
+                out.extend_from_slice(&(keys.len() as u16).to_le_bytes());
+                out.extend_from_slice(&children[0].to_le_bytes());
+                for (k, &c) in keys.iter().zip(&children[1..]) {
+                    out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    out.extend_from_slice(k);
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a node from a block's bytes.
+    pub fn from_bytes(block: BlockId, bytes: &[u8]) -> Result<Self, IndexError> {
+        let corrupt = |detail: &str| IndexError::CorruptNode {
+            block,
+            detail: detail.to_owned(),
+        };
+        if bytes.len() < 7 {
+            return Err(corrupt("shorter than node header"));
+        }
+        let tag = bytes[0];
+        let nkeys = u16::from_le_bytes([bytes[1], bytes[2]]) as usize;
+        let mut pos = 3usize;
+        let first = u32::from_le_bytes(
+            bytes[pos..pos + 4]
+                .try_into()
+                .expect("length checked above"),
+        );
+        pos += 4;
+        let read_key = |pos: &mut usize| -> Result<Vec<u8>, IndexError> {
+            let klen = u16::from_le_bytes(
+                bytes
+                    .get(*pos..*pos + 2)
+                    .ok_or_else(|| corrupt("truncated key length"))?
+                    .try_into()
+                    .expect("slice of 2"),
+            ) as usize;
+            *pos += 2;
+            let key = bytes
+                .get(*pos..*pos + klen)
+                .ok_or_else(|| corrupt("truncated key"))?
+                .to_vec();
+            *pos += klen;
+            Ok(key)
+        };
+        match tag {
+            TAG_LEAF => {
+                let mut entries = Vec::with_capacity(nkeys);
+                for _ in 0..nkeys {
+                    let key = read_key(&mut pos)?;
+                    let val = u64::from_le_bytes(
+                        bytes
+                            .get(pos..pos + 8)
+                            .ok_or_else(|| corrupt("truncated value"))?
+                            .try_into()
+                            .expect("slice of 8"),
+                    );
+                    pos += 8;
+                    entries.push((key, val));
+                }
+                Ok(Node::Leaf {
+                    entries,
+                    next: first,
+                })
+            }
+            TAG_INTERNAL => {
+                let mut keys = Vec::with_capacity(nkeys);
+                let mut children = Vec::with_capacity(nkeys + 1);
+                children.push(first);
+                for _ in 0..nkeys {
+                    keys.push(read_key(&mut pos)?);
+                    let child = u32::from_le_bytes(
+                        bytes
+                            .get(pos..pos + 4)
+                            .ok_or_else(|| corrupt("truncated child pointer"))?
+                            .try_into()
+                            .expect("slice of 4"),
+                    );
+                    pos += 4;
+                    children.push(child);
+                }
+                Ok(Node::Internal { keys, children })
+            }
+            t => Err(corrupt(&format!("unknown node tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let n = Node::Leaf {
+            entries: vec![
+                (vec![1, 2, 3], 42),
+                (vec![9], u64::MAX),
+                (Vec::new(), 0), // empty keys are legal
+            ],
+            next: 7,
+        };
+        let bytes = n.to_bytes();
+        assert_eq!(bytes.len(), n.serialized_len());
+        assert_eq!(Node::from_bytes(0, &bytes).unwrap(), n);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let n = Node::Internal {
+            keys: vec![vec![5, 5], vec![9, 9, 9]],
+            children: vec![10, 20, 30],
+        };
+        let bytes = n.to_bytes();
+        assert_eq!(bytes.len(), n.serialized_len());
+        assert_eq!(Node::from_bytes(0, &bytes).unwrap(), n);
+    }
+
+    #[test]
+    fn empty_leaf_roundtrip() {
+        let n = Node::empty_leaf();
+        assert_eq!(Node::from_bytes(0, &n.to_bytes()).unwrap(), n);
+    }
+
+    #[test]
+    fn corrupt_rejected() {
+        assert!(Node::from_bytes(0, &[]).is_err());
+        assert!(
+            Node::from_bytes(0, &[9, 0, 0, 0, 0, 0, 0]).is_err(),
+            "bad tag"
+        );
+        // Leaf promising one entry but no bytes for it.
+        assert!(Node::from_bytes(0, &[TAG_LEAF, 1, 0, 0, 0, 0, 0]).is_err());
+        // Truncated key.
+        let mut bytes = vec![TAG_LEAF, 1, 0, 0, 0, 0, 0];
+        bytes.extend_from_slice(&5u16.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2]); // promised 5 key bytes, gave 2
+        assert!(Node::from_bytes(0, &bytes).is_err());
+    }
+
+    #[test]
+    fn key_count() {
+        assert_eq!(Node::empty_leaf().key_count(), 0);
+        let n = Node::Internal {
+            keys: vec![vec![1]],
+            children: vec![0, 1],
+        };
+        assert_eq!(n.key_count(), 1);
+        assert!(!n.is_leaf());
+    }
+}

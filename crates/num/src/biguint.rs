@@ -1,0 +1,586 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! The ordinal space of a relation scheme has size `‖𝓡‖ = Π|Aᵢ|`, which
+//! overflows `u128` for realistic schemas (e.g. 16 attributes of domain size
+//! 2^16 gives 2^256 points). `BigUnsigned` provides exactly the operations the
+//! φ mapping (Eq. 2.2–2.5 of the paper) and the difference measure (Eq. 2.6)
+//! need: addition, checked subtraction, comparison, multiplication and
+//! division by a machine-word radix, and big-endian byte serialization.
+//!
+//! Limbs are stored little-endian (least significant first) and the limb
+//! vector is always *normalized*: no trailing zero limbs, so `Zero` is the
+//! empty vector. Normalization makes equality and comparison structural.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// An arbitrary-precision unsigned integer with `u64` limbs.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUnsigned {
+    /// Little-endian limbs, normalized (no trailing zeros).
+    limbs: Vec<u64>,
+}
+
+impl BigUnsigned {
+    /// The value 0.
+    #[inline]
+    pub const fn zero() -> Self {
+        BigUnsigned { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    #[inline]
+    pub fn one() -> Self {
+        BigUnsigned { limbs: vec![1] }
+    }
+
+    /// Builds a value from a `u64`.
+    #[inline]
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUnsigned { limbs: vec![v] }
+        }
+    }
+
+    /// Builds a value from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut n = BigUnsigned {
+            limbs: vec![lo, hi],
+        };
+        n.normalize();
+        n
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// True iff the value is 0.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Number of bytes in the minimal big-endian representation
+    /// (0 for the value 0). This is the `β[x]` of the paper rounded up to
+    /// whole bytes, which is what the leading-zero run-length coder counts.
+    pub fn byte_len(&self) -> usize {
+        self.bit_len().div_ceil(8)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let (a, b) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry = 0u64;
+        for (i, &ai) in a.iter().enumerate() {
+            let bi = b.get(i).copied().unwrap_or(0);
+            let (s1, c1) = ai.overflowing_add(bi);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigUnsigned { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self + v` for a machine word.
+    pub fn add_u64(&self, v: u64) -> Self {
+        self.add(&BigUnsigned::from_u64(v))
+    }
+
+    /// `self - other`, or `None` if the result would be negative.
+    pub fn checked_sub(&self, other: &Self) -> Option<Self> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let bi = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(bi);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUnsigned { limbs: out };
+        n.normalize();
+        Some(n)
+    }
+
+    /// `|self - other|` — the symmetric difference measure of Eq. 2.6.
+    pub fn abs_diff(&self, other: &Self) -> Self {
+        if self >= other {
+            self.checked_sub(other).expect("self >= other")
+        } else {
+            other.checked_sub(self).expect("other > self")
+        }
+    }
+
+    /// `self * m` for a machine word.
+    pub fn mul_u64(&self, m: u64) -> Self {
+        if m == 0 || self.is_zero() {
+            return Self::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &limb in &self.limbs {
+            let prod = limb as u128 * m as u128 + carry;
+            out.push(prod as u64);
+            carry = prod >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        let mut n = BigUnsigned { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self * other` (schoolbook). Only used at schema-construction time to
+    /// compute `‖𝓡‖`; per-tuple paths never multiply two bignums.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUnsigned { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `(self / d, self % d)` for a machine-word divisor.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn divmod_u64(&self, d: u64) -> (Self, u64) {
+        assert!(d != 0, "division by zero");
+        if self.is_zero() {
+            return (Self::zero(), 0);
+        }
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = rem << 64 | self.limbs[i] as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        let mut q = BigUnsigned { limbs: out };
+        q.normalize();
+        (q, rem as u64)
+    }
+
+    /// Minimal big-endian byte representation (empty for 0).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let n = self.byte_len();
+        let mut out = vec![0u8; n];
+        self.write_bytes_be(&mut out);
+        out
+    }
+
+    /// Writes the value big-endian into `buf`, left-padded with zeros.
+    ///
+    /// # Panics
+    /// Panics if `buf` is shorter than [`Self::byte_len`].
+    pub fn write_bytes_be(&self, buf: &mut [u8]) {
+        let n = self.byte_len();
+        assert!(buf.len() >= n, "buffer too small: {} < {}", buf.len(), n);
+        buf.fill(0);
+        let start = buf.len() - n;
+        let mut pos = buf.len();
+        'outer: for &limb in &self.limbs {
+            let bytes = limb.to_le_bytes();
+            for b in bytes {
+                if pos == start && b == 0 {
+                    break;
+                }
+                pos -= 1;
+                buf[pos] = b;
+                if pos == start {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    /// Parses a big-endian byte slice (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        let mut acc = 0u64;
+        let mut shift = 0u32;
+        for &b in bytes.iter().rev() {
+            acc |= (b as u64) << shift;
+            shift += 8;
+            if shift == 64 {
+                limbs.push(acc);
+                acc = 0;
+                shift = 0;
+            }
+        }
+        if acc != 0 {
+            limbs.push(acc);
+        }
+        let mut n = BigUnsigned { limbs };
+        n.normalize();
+        n
+    }
+}
+
+impl core::ops::Add<&BigUnsigned> for &BigUnsigned {
+    type Output = BigUnsigned;
+    fn add(self, rhs: &BigUnsigned) -> BigUnsigned {
+        BigUnsigned::add(self, rhs)
+    }
+}
+
+impl core::ops::Sub<&BigUnsigned> for &BigUnsigned {
+    type Output = BigUnsigned;
+    /// # Panics
+    /// Panics if `rhs > self`; use [`BigUnsigned::checked_sub`] to handle
+    /// underflow.
+    fn sub(self, rhs: &BigUnsigned) -> BigUnsigned {
+        self.checked_sub(rhs)
+            .expect("BigUnsigned subtraction underflow")
+    }
+}
+
+impl core::ops::Mul<u64> for &BigUnsigned {
+    type Output = BigUnsigned;
+    fn mul(self, rhs: u64) -> BigUnsigned {
+        self.mul_u64(rhs)
+    }
+}
+
+impl PartialOrd for BigUnsigned {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUnsigned {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl From<u64> for BigUnsigned {
+    #[inline]
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl From<u128> for BigUnsigned {
+    #[inline]
+    fn from(v: u128) -> Self {
+        Self::from_u128(v)
+    }
+}
+
+impl fmt::Display for BigUnsigned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off 19 decimal digits at a time (10^19 is the largest power of
+        // ten that fits a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divmod_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = String::new();
+        for (i, chunk) in chunks.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&chunk.to_string());
+            } else {
+                s.push_str(&format!("{chunk:019}"));
+            }
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for BigUnsigned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUnsigned({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_properties() {
+        let z = BigUnsigned::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.bit_len(), 0);
+        assert_eq!(z.byte_len(), 0);
+        assert_eq!(z.to_u64(), Some(0));
+        assert_eq!(z.to_bytes_be(), Vec::<u8>::new());
+        assert_eq!(z.to_string(), "0");
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        for v in [0u64, 1, 255, 256, u64::MAX] {
+            assert_eq!(BigUnsigned::from_u64(v).to_u64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn from_u128_roundtrip() {
+        for v in [0u128, 1, u64::MAX as u128, u64::MAX as u128 + 1, u128::MAX] {
+            assert_eq!(BigUnsigned::from_u128(v).to_u128(), Some(v));
+        }
+    }
+
+    #[test]
+    fn to_u64_overflow_is_none() {
+        let big = BigUnsigned::from_u128(u64::MAX as u128 + 1);
+        assert_eq!(big.to_u64(), None);
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = BigUnsigned::from_u64(u64::MAX);
+        let b = BigUnsigned::one();
+        assert_eq!(a.add(&b).to_u128(), Some(u64::MAX as u128 + 1));
+    }
+
+    #[test]
+    fn add_u128_boundary() {
+        let a = BigUnsigned::from_u128(u128::MAX);
+        let s = a.add(&BigUnsigned::one());
+        assert_eq!(s.bit_len(), 129);
+        assert_eq!(s.to_u128(), None);
+        // s - 1 == u128::MAX again
+        assert_eq!(
+            s.checked_sub(&BigUnsigned::one()).unwrap().to_u128(),
+            Some(u128::MAX)
+        );
+    }
+
+    #[test]
+    fn sub_underflow_is_none() {
+        let a = BigUnsigned::from_u64(3);
+        let b = BigUnsigned::from_u64(5);
+        assert!(a.checked_sub(&b).is_none());
+        assert_eq!(b.checked_sub(&a).unwrap().to_u64(), Some(2));
+    }
+
+    #[test]
+    fn sub_with_borrow_across_limbs() {
+        let a = BigUnsigned::from_u128(1u128 << 64);
+        let b = BigUnsigned::one();
+        assert_eq!(a.checked_sub(&b).unwrap().to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn abs_diff_symmetric() {
+        let a = BigUnsigned::from_u64(100);
+        let b = BigUnsigned::from_u64(58);
+        assert_eq!(a.abs_diff(&b).to_u64(), Some(42));
+        assert_eq!(b.abs_diff(&a).to_u64(), Some(42));
+        assert!(a.abs_diff(&a).is_zero());
+    }
+
+    #[test]
+    fn mul_u64_with_carry() {
+        let a = BigUnsigned::from_u64(u64::MAX);
+        let p = a.mul_u64(u64::MAX);
+        assert_eq!(p.to_u128(), Some(u64::MAX as u128 * u64::MAX as u128));
+    }
+
+    #[test]
+    fn mul_u64_by_zero() {
+        assert!(BigUnsigned::from_u64(12345).mul_u64(0).is_zero());
+        assert!(BigUnsigned::zero().mul_u64(7).is_zero());
+    }
+
+    #[test]
+    fn mul_big() {
+        let a = BigUnsigned::from_u128(u128::MAX);
+        let b = BigUnsigned::from_u64(u64::MAX);
+        // Verify via divmod: (a*b)/b == a with remainder 0.
+        let p = a.mul(&b);
+        let (q, r) = p.divmod_u64(u64::MAX);
+        assert_eq!(r, 0);
+        assert_eq!(q, a);
+    }
+
+    #[test]
+    fn divmod_basic() {
+        let a = BigUnsigned::from_u64(1000);
+        let (q, r) = a.divmod_u64(7);
+        assert_eq!(q.to_u64(), Some(142));
+        assert_eq!(r, 6);
+    }
+
+    #[test]
+    fn divmod_multi_limb() {
+        let a = BigUnsigned::from_u128(u128::MAX);
+        let (q, r) = a.divmod_u64(3);
+        // reconstruct: q*3 + r == a
+        assert_eq!(q.mul_u64(3).add_u64(r), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn divmod_by_zero_panics() {
+        let _ = BigUnsigned::from_u64(1).divmod_u64(0);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        for v in [0u128, 1, 0xDEAD_BEEF, u64::MAX as u128, u128::MAX / 3] {
+            let n = BigUnsigned::from_u128(v);
+            let bytes = n.to_bytes_be();
+            assert_eq!(BigUnsigned::from_bytes_be(&bytes), n);
+        }
+    }
+
+    #[test]
+    fn bytes_leading_zeros_tolerated() {
+        let n = BigUnsigned::from_bytes_be(&[0, 0, 0, 1, 2]);
+        assert_eq!(n.to_u64(), Some(0x0102));
+        assert_eq!(n.to_bytes_be(), vec![1, 2]);
+    }
+
+    #[test]
+    fn write_bytes_be_pads_left() {
+        let n = BigUnsigned::from_u64(0x0102);
+        let mut buf = [0xFFu8; 5];
+        n.write_bytes_be(&mut buf);
+        assert_eq!(buf, [0, 0, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too small")]
+    fn write_bytes_be_short_buffer_panics() {
+        let n = BigUnsigned::from_u128(1 << 80);
+        let mut buf = [0u8; 4];
+        n.write_bytes_be(&mut buf);
+    }
+
+    #[test]
+    fn byte_len_matches_representation() {
+        assert_eq!(BigUnsigned::from_u64(0).byte_len(), 0);
+        assert_eq!(BigUnsigned::from_u64(1).byte_len(), 1);
+        assert_eq!(BigUnsigned::from_u64(255).byte_len(), 1);
+        assert_eq!(BigUnsigned::from_u64(256).byte_len(), 2);
+        assert_eq!(BigUnsigned::from_u128(1 << 64).byte_len(), 9);
+    }
+
+    #[test]
+    fn ordering_multi_limb() {
+        let a = BigUnsigned::from_u128(1 << 64);
+        let b = BigUnsigned::from_u64(u64::MAX);
+        assert!(a > b);
+        assert!(b < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_large() {
+        let n = BigUnsigned::from_u128(123456789012345678901234567890u128);
+        assert_eq!(n.to_string(), "123456789012345678901234567890");
+    }
+
+    #[test]
+    fn operator_impls() {
+        let a = BigUnsigned::from_u64(100);
+        let b = BigUnsigned::from_u64(42);
+        assert_eq!((&a + &b).to_u64(), Some(142));
+        assert_eq!((&a - &b).to_u64(), Some(58));
+        assert_eq!((&a * 3).to_u64(), Some(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn operator_sub_underflow_panics() {
+        let a = BigUnsigned::from_u64(1);
+        let b = BigUnsigned::from_u64(2);
+        let _ = &a - &b;
+    }
+
+    #[test]
+    fn display_chunk_padding() {
+        // A value whose low 19-digit chunk has leading zeros.
+        let n = BigUnsigned::from_u128(10u128.pow(19) + 7);
+        assert_eq!(n.to_string(), "10000000000000000007");
+    }
+}

@@ -1,0 +1,525 @@
+//! Mixed-radix arithmetic over attribute-domain digit vectors.
+//!
+//! A relation scheme `𝓡 = A₁ × … × Aₙ` defines a mixed-radix number system:
+//! a tuple `(a₁, …, aₙ)` with `aᵢ ∈ {0 … |Aᵢ|−1}` is a digit vector whose
+//! value is the φ mapping of the paper (Eq. 2.2):
+//!
+//! ```text
+//! φ(a₁ … aₙ) = Σᵢ aᵢ · Π_{j>i} |Aⱼ|
+//! ```
+//!
+//! [`MixedRadix`] implements φ ([`MixedRadix::rank`]) and φ⁻¹
+//! ([`MixedRadix::unrank`]) and — crucially for performance — addition,
+//! subtraction, and comparison *directly in digit space* with per-digit
+//! carry/borrow, so the per-tuple coding path never materializes a bignum.
+//! Digit-space results are bit-identical to converting through
+//! [`BigUnsigned`]; a property test in this module enforces that.
+
+use crate::biguint::BigUnsigned;
+use core::cmp::Ordering;
+use core::fmt;
+
+/// Errors arising from mixed-radix construction or digit validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RadixError {
+    /// A radix (domain size) of zero was supplied; every domain must have at
+    /// least one value.
+    ZeroRadix {
+        /// Index of the offending radix.
+        position: usize,
+    },
+    /// No radices were supplied.
+    Empty,
+    /// A digit vector had the wrong number of digits.
+    ArityMismatch {
+        /// Arity of the number system.
+        expected: usize,
+        /// Arity of the supplied digit vector.
+        got: usize,
+    },
+    /// A digit was out of range for its radix.
+    DigitOutOfRange {
+        /// Index of the offending digit.
+        position: usize,
+        /// The digit value found.
+        digit: u64,
+        /// The radix it must be strictly less than.
+        radix: u64,
+    },
+}
+
+impl fmt::Display for RadixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RadixError::ZeroRadix { position } => {
+                write!(f, "radix at position {position} is zero")
+            }
+            RadixError::Empty => write!(f, "no radices supplied"),
+            RadixError::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} digits, got {got}")
+            }
+            RadixError::DigitOutOfRange {
+                position,
+                digit,
+                radix,
+            } => write!(
+                f,
+                "digit {digit} at position {position} out of range for radix {radix}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RadixError {}
+
+/// A mixed-radix number system defined by the per-attribute domain sizes.
+///
+/// Position 0 is the most significant digit (attribute `A₁`), matching the
+/// paper's lexicographic ordering: comparing digit vectors lexicographically
+/// is the same as comparing their φ values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedRadix {
+    radices: Vec<u64>,
+    /// `weights[i] = Π_{j>i} radices[j]` — the place value of digit `i`.
+    weights: Vec<BigUnsigned>,
+    /// `‖𝓡‖ = Π radices` — one past the largest representable value.
+    space_size: BigUnsigned,
+}
+
+impl MixedRadix {
+    /// Builds a number system from domain sizes. Every radix must be ≥ 1 and
+    /// at least one radix must be supplied.
+    pub fn new(radices: Vec<u64>) -> Result<Self, RadixError> {
+        if radices.is_empty() {
+            return Err(RadixError::Empty);
+        }
+        for (position, &r) in radices.iter().enumerate() {
+            if r == 0 {
+                return Err(RadixError::ZeroRadix { position });
+            }
+        }
+        let n = radices.len();
+        let mut weights = vec![BigUnsigned::one(); n];
+        for i in (0..n - 1).rev() {
+            weights[i] = weights[i + 1].mul_u64(radices[i + 1]);
+        }
+        let space_size = weights[0].mul_u64(radices[0]);
+        Ok(MixedRadix {
+            radices,
+            weights,
+            space_size,
+        })
+    }
+
+    /// The number of digits (attributes).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.radices.len()
+    }
+
+    /// The per-position radices (domain sizes).
+    #[inline]
+    pub fn radices(&self) -> &[u64] {
+        &self.radices
+    }
+
+    /// The place value `Π_{j>i} |Aⱼ|` of digit `i`.
+    #[inline]
+    pub fn weight(&self, i: usize) -> &BigUnsigned {
+        &self.weights[i]
+    }
+
+    /// `‖𝓡‖ = Π |Aᵢ|`, the size of the tuple space.
+    #[inline]
+    pub fn space_size(&self) -> &BigUnsigned {
+        &self.space_size
+    }
+
+    /// Validates arity and digit ranges.
+    pub fn validate(&self, digits: &[u64]) -> Result<(), RadixError> {
+        if digits.len() != self.radices.len() {
+            return Err(RadixError::ArityMismatch {
+                expected: self.radices.len(),
+                got: digits.len(),
+            });
+        }
+        for (position, (&digit, &radix)) in digits.iter().zip(&self.radices).enumerate() {
+            if digit >= radix {
+                return Err(RadixError::DigitOutOfRange {
+                    position,
+                    digit,
+                    radix,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// φ (Eq. 2.2): the ordinal position of a digit vector in the tuple
+    /// space. Digits must be valid (checked in debug builds only; call
+    /// [`Self::validate`] first for untrusted input).
+    pub fn rank(&self, digits: &[u64]) -> BigUnsigned {
+        debug_assert!(self.validate(digits).is_ok(), "invalid digits");
+        // Horner evaluation: ((a₁·r₂ + a₂)·r₃ + a₃)·…
+        let mut acc = BigUnsigned::zero();
+        for (&digit, &radix) in digits.iter().zip(&self.radices) {
+            acc = acc.mul_u64(radix).add_u64(digit);
+        }
+        acc
+    }
+
+    /// φ⁻¹ (Eq. 2.3–2.5): recovers the digit vector from an ordinal, or
+    /// `None` if `value ≥ ‖𝓡‖`.
+    pub fn unrank(&self, value: &BigUnsigned) -> Option<Vec<u64>> {
+        if *value >= self.space_size {
+            return None;
+        }
+        let mut digits = vec![0u64; self.radices.len()];
+        let mut cur = value.clone();
+        for i in (0..self.radices.len()).rev() {
+            let (q, r) = cur.divmod_u64(self.radices[i]);
+            digits[i] = r;
+            cur = q;
+        }
+        debug_assert!(cur.is_zero());
+        Some(digits)
+    }
+
+    /// Lexicographic comparison of digit vectors; by construction this equals
+    /// comparing φ values (the `≺` total order of §2.2).
+    pub fn cmp_digits(&self, a: &[u64], b: &[u64]) -> Ordering {
+        debug_assert_eq!(a.len(), self.radices.len());
+        debug_assert_eq!(b.len(), self.radices.len());
+        a.cmp(b)
+    }
+
+    /// Digit-space addition with carry: `a + b`, or `None` on overflow of the
+    /// tuple space. Equivalent to `unrank(rank(a) + rank(b))`.
+    pub fn checked_add(&self, a: &[u64], b: &[u64]) -> Option<Vec<u64>> {
+        debug_assert!(self.validate(a).is_ok() && self.validate(b).is_ok());
+        let n = self.radices.len();
+        let mut out = vec![0u64; n];
+        let mut carry: u64 = 0;
+        for i in (0..n).rev() {
+            let r = self.radices[i] as u128;
+            let sum = a[i] as u128 + b[i] as u128 + carry as u128;
+            out[i] = (sum % r) as u64;
+            carry = (sum / r) as u64;
+        }
+        if carry != 0 {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    /// Digit-space subtraction with borrow: `a − b`, or `None` if `a < b`.
+    /// Equivalent to `unrank(rank(a) − rank(b))`.
+    pub fn checked_sub(&self, a: &[u64], b: &[u64]) -> Option<Vec<u64>> {
+        debug_assert!(self.validate(a).is_ok() && self.validate(b).is_ok());
+        let n = self.radices.len();
+        let mut out = vec![0u64; n];
+        let mut borrow: u64 = 0;
+        for i in (0..n).rev() {
+            let need = b[i] as u128 + borrow as u128;
+            let have = a[i] as u128;
+            if have >= need {
+                out[i] = (have - need) as u64;
+                borrow = 0;
+            } else {
+                out[i] = (have + self.radices[i] as u128 - need) as u64;
+                borrow = 1;
+            }
+        }
+        if borrow != 0 {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    /// `|a − b|` in digit space — the difference measure `d(tᵢ, tⱼ)` of
+    /// Eq. 2.6, expressed back in 𝓡-space digits as §3.4 does.
+    pub fn abs_diff(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        match self.cmp_digits(a, b) {
+            Ordering::Less => self.checked_sub(b, a).expect("b >= a"),
+            _ => self.checked_sub(a, b).expect("a >= b"),
+        }
+    }
+
+    /// Adds a machine-word delta to a digit vector, or `None` on overflow.
+    pub fn checked_add_value(&self, a: &[u64], delta: u64) -> Option<Vec<u64>> {
+        debug_assert!(self.validate(a).is_ok());
+        let n = self.radices.len();
+        let mut out = vec![0u64; n];
+        let mut carry = delta as u128;
+        for i in (0..n).rev() {
+            let r = self.radices[i] as u128;
+            let sum = a[i] as u128 + carry;
+            out[i] = (sum % r) as u64;
+            carry = sum / r;
+        }
+        if carry != 0 {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    /// The all-zeros digit vector (φ = 0).
+    pub fn min_digits(&self) -> Vec<u64> {
+        vec![0; self.radices.len()]
+    }
+
+    /// The largest digit vector (φ = ‖𝓡‖ − 1).
+    pub fn max_digits(&self) -> Vec<u64> {
+        self.radices.iter().map(|&r| r - 1).collect()
+    }
+
+    /// The successor in the ≺ order, or `None` at the top of the space.
+    pub fn successor(&self, a: &[u64]) -> Option<Vec<u64>> {
+        self.checked_add_value(a, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn employee_radix() -> MixedRadix {
+        // The paper's Example 3.1 schema: |A| = 8, 16, 64, 64, 64.
+        MixedRadix::new(vec![8, 16, 64, 64, 64]).unwrap()
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(MixedRadix::new(vec![]), Err(RadixError::Empty));
+        assert_eq!(
+            MixedRadix::new(vec![4, 0, 3]),
+            Err(RadixError::ZeroRadix { position: 1 })
+        );
+    }
+
+    #[test]
+    fn space_size_is_product() {
+        let mr = employee_radix();
+        assert_eq!(
+            mr.space_size().to_u64(),
+            Some(8 * 16 * 64 * 64 * 64) // 33_554_432
+        );
+    }
+
+    #[test]
+    fn weights_are_suffix_products() {
+        let mr = employee_radix();
+        assert_eq!(mr.weight(0).to_u64(), Some(16 * 64 * 64 * 64));
+        assert_eq!(mr.weight(3).to_u64(), Some(64));
+        assert_eq!(mr.weight(4).to_u64(), Some(1));
+    }
+
+    /// The paper computes φ(3,08,36,39,35) = 14 830 051 in Example 3.2 (shown
+    /// as the representative's 𝓝_𝓡 value in Fig. 3.3).
+    #[test]
+    fn paper_example_3_2_rank() {
+        let mr = employee_radix();
+        assert_eq!(mr.rank(&[3, 8, 36, 39, 35]).to_u64(), Some(14_830_051));
+        assert_eq!(mr.rank(&[3, 8, 32, 34, 12]).to_u64(), Some(14_813_324));
+        // And the difference re-expressed as digits: φ(0,00,04,05,23) = 16727.
+        assert_eq!(mr.rank(&[0, 0, 4, 5, 23]).to_u64(), Some(16_727));
+    }
+
+    /// Example 3.3: φ(0,00,00,08,57) = 569 = 17296 − 16727.
+    #[test]
+    fn paper_example_3_3_chained_difference() {
+        let mr = employee_radix();
+        let d1 = mr.rank(&[0, 0, 4, 14, 16]); // 17296
+        let d2 = mr.rank(&[0, 0, 4, 5, 23]); // 16727
+        assert_eq!(d1.to_u64(), Some(17_296));
+        let chained = d1.checked_sub(&d2).unwrap();
+        assert_eq!(chained.to_u64(), Some(569));
+        assert_eq!(mr.unrank(&chained).unwrap(), vec![0, 0, 0, 8, 57]);
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip_extremes() {
+        let mr = employee_radix();
+        let zero = mr.min_digits();
+        assert!(mr.rank(&zero).is_zero());
+        assert_eq!(mr.unrank(&BigUnsigned::zero()).unwrap(), zero);
+
+        let max = mr.max_digits();
+        let top = mr.rank(&max);
+        assert_eq!(
+            top.add_u64(1),
+            *mr.space_size(),
+            "max digit vector ranks to ‖𝓡‖−1"
+        );
+        assert_eq!(mr.unrank(&top).unwrap(), max);
+        assert!(mr.unrank(mr.space_size()).is_none());
+    }
+
+    #[test]
+    fn validate_catches_bad_digits() {
+        let mr = employee_radix();
+        assert!(mr.validate(&[0, 0, 0, 0, 0]).is_ok());
+        assert!(mr.validate(&[7, 15, 63, 63, 63]).is_ok());
+        assert_eq!(
+            mr.validate(&[8, 0, 0, 0, 0]),
+            Err(RadixError::DigitOutOfRange {
+                position: 0,
+                digit: 8,
+                radix: 8
+            })
+        );
+        assert_eq!(
+            mr.validate(&[0, 0, 0]),
+            Err(RadixError::ArityMismatch {
+                expected: 5,
+                got: 3
+            })
+        );
+    }
+
+    #[test]
+    fn digit_add_carry_propagation() {
+        let mr = MixedRadix::new(vec![10, 10, 10]).unwrap();
+        // 099 + 001 = 100
+        assert_eq!(
+            mr.checked_add(&[0, 9, 9], &[0, 0, 1]).unwrap(),
+            vec![1, 0, 0]
+        );
+        // 999 + 001 overflows
+        assert!(mr.checked_add(&[9, 9, 9], &[0, 0, 1]).is_none());
+    }
+
+    #[test]
+    fn digit_sub_borrow_propagation() {
+        let mr = MixedRadix::new(vec![10, 10, 10]).unwrap();
+        // 100 - 001 = 099
+        assert_eq!(
+            mr.checked_sub(&[1, 0, 0], &[0, 0, 1]).unwrap(),
+            vec![0, 9, 9]
+        );
+        // 000 - 001 underflows
+        assert!(mr.checked_sub(&[0, 0, 0], &[0, 0, 1]).is_none());
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let mr = employee_radix();
+        let a = [3u64, 8, 36, 39, 35];
+        let b = [3u64, 8, 32, 34, 12];
+        let d1 = mr.abs_diff(&a, &b);
+        let d2 = mr.abs_diff(&b, &a);
+        assert_eq!(d1, d2);
+        assert_eq!(d1, vec![0, 0, 4, 5, 23]); // Example 3.2
+    }
+
+    #[test]
+    fn add_value_successor_chain() {
+        let mr = MixedRadix::new(vec![2, 3]).unwrap();
+        // Enumerate the whole 6-point space via successor.
+        let mut cur = mr.min_digits();
+        let mut seen = vec![cur.clone()];
+        while let Some(next) = mr.successor(&cur) {
+            seen.push(next.clone());
+            cur = next;
+        }
+        assert_eq!(seen.len(), 6);
+        for (i, digits) in seen.iter().enumerate() {
+            assert_eq!(mr.rank(digits).to_u64(), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn huge_radices_do_not_overflow() {
+        // Radices near u64::MAX exercise the u128 intermediates.
+        let big = u64::MAX;
+        let mr = MixedRadix::new(vec![big, big, big]).unwrap();
+        let a = vec![big - 1, big - 1, big - 1];
+        assert!(mr.validate(&a).is_ok());
+        let r = mr.rank(&a);
+        assert_eq!(mr.unrank(&r).unwrap(), a);
+        assert!(mr.successor(&a).is_none());
+        let almost = mr.checked_sub(&a, &[0, 0, 1]).unwrap();
+        assert_eq!(mr.successor(&almost).unwrap(), a);
+    }
+
+    #[test]
+    fn unit_radix_digits_are_always_zero() {
+        // A domain of size 1 contributes nothing to the ordering.
+        let mr = MixedRadix::new(vec![1, 5, 1]).unwrap();
+        assert_eq!(mr.space_size().to_u64(), Some(5));
+        assert_eq!(mr.rank(&[0, 3, 0]).to_u64(), Some(3));
+        assert_eq!(mr.unrank(&BigUnsigned::from_u64(3)).unwrap(), vec![0, 3, 0]);
+    }
+
+    fn arb_system_and_pair() -> impl Strategy<Value = (Vec<u64>, Vec<u64>, Vec<u64>)> {
+        prop::collection::vec(1u64..1000, 1..8).prop_flat_map(|radices| {
+            let digit_strats: Vec<_> = radices.iter().map(|&r| 0..r).collect();
+            (Just(radices), digit_strats.clone(), digit_strats)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rank_unrank_bijection((radices, a, _b) in arb_system_and_pair()) {
+            let mr = MixedRadix::new(radices).unwrap();
+            let r = mr.rank(&a);
+            prop_assert_eq!(mr.unrank(&r).unwrap(), a);
+        }
+
+        #[test]
+        fn prop_digit_ops_match_bignum((radices, a, b) in arb_system_and_pair()) {
+            let mr = MixedRadix::new(radices).unwrap();
+            let ra = mr.rank(&a);
+            let rb = mr.rank(&b);
+            // Comparison agrees.
+            prop_assert_eq!(mr.cmp_digits(&a, &b), ra.cmp(&rb));
+            // Subtraction agrees (when defined).
+            match mr.checked_sub(&a, &b) {
+                Some(diff) => {
+                    let expect = ra.checked_sub(&rb).expect("a >= b");
+                    prop_assert_eq!(mr.rank(&diff), expect);
+                }
+                None => prop_assert!(ra < rb),
+            }
+            // Addition agrees (when defined).
+            match mr.checked_add(&a, &b) {
+                Some(sum) => {
+                    prop_assert_eq!(mr.rank(&sum), ra.add(&rb));
+                }
+                None => prop_assert!(ra.add(&rb) >= *mr.space_size()),
+            }
+        }
+
+        #[test]
+        fn prop_sub_then_add_roundtrip((radices, a, b) in arb_system_and_pair()) {
+            let mr = MixedRadix::new(radices).unwrap();
+            let (hi, lo) = if mr.cmp_digits(&a, &b) == core::cmp::Ordering::Less {
+                (b, a)
+            } else {
+                (a, b)
+            };
+            let diff = mr.checked_sub(&hi, &lo).unwrap();
+            prop_assert_eq!(mr.checked_add(&lo, &diff).unwrap(), hi);
+        }
+
+        #[test]
+        fn prop_add_value_matches_bignum(
+            (radices, a, _b) in arb_system_and_pair(),
+            delta in 0u64..1_000_000
+        ) {
+            let mr = MixedRadix::new(radices).unwrap();
+            match mr.checked_add_value(&a, delta) {
+                Some(sum) => {
+                    prop_assert_eq!(mr.rank(&sum), mr.rank(&a).add_u64(delta));
+                }
+                None => {
+                    prop_assert!(mr.rank(&a).add_u64(delta) >= *mr.space_size());
+                }
+            }
+        }
+    }
+}

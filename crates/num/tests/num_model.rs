@@ -1,0 +1,104 @@
+//! Property tests for `BigUnsigned` against the `u128` model: every
+//! operation agrees with native arithmetic wherever the model can represent
+//! the operands.
+
+use avq_num::BigUnsigned;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let big = BigUnsigned::from_u64(a).add(&BigUnsigned::from_u64(b));
+        prop_assert_eq!(big.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn add_u128_range(a in any::<u128>(), b in any::<u128>()) {
+        let big = BigUnsigned::from_u128(a).add(&BigUnsigned::from_u128(b));
+        match a.checked_add(b) {
+            Some(sum) => prop_assert_eq!(big.to_u128(), Some(sum)),
+            None => {
+                // Overflowed the model: verify via subtraction instead.
+                let back = big.checked_sub(&BigUnsigned::from_u128(b)).unwrap();
+                prop_assert_eq!(back.to_u128(), Some(a));
+            }
+        }
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let big = BigUnsigned::from_u128(hi)
+            .checked_sub(&BigUnsigned::from_u128(lo))
+            .unwrap();
+        prop_assert_eq!(big.to_u128(), Some(hi - lo));
+        if hi != lo {
+            prop_assert!(BigUnsigned::from_u128(lo)
+                .checked_sub(&BigUnsigned::from_u128(hi))
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn abs_diff_matches(a in any::<u128>(), b in any::<u128>()) {
+        let big = BigUnsigned::from_u128(a).abs_diff(&BigUnsigned::from_u128(b));
+        prop_assert_eq!(big.to_u128(), Some(a.abs_diff(b)));
+    }
+
+    #[test]
+    fn mul_u64_matches(a in any::<u64>(), b in any::<u64>()) {
+        let big = BigUnsigned::from_u64(a).mul_u64(b);
+        prop_assert_eq!(big.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn divmod_matches(a in any::<u128>(), d in 1u64..) {
+        let (q, r) = BigUnsigned::from_u128(a).divmod_u64(d);
+        prop_assert_eq!(q.to_u128(), Some(a / d as u128));
+        prop_assert_eq!(r as u128, a % d as u128);
+        // Reconstruction: q*d + r == a.
+        prop_assert_eq!(q.mul_u64(d).add_u64(r).to_u128(), Some(a));
+    }
+
+    #[test]
+    fn ordering_matches(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(
+            BigUnsigned::from_u128(a).cmp(&BigUnsigned::from_u128(b)),
+            a.cmp(&b)
+        );
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in any::<u128>()) {
+        let big = BigUnsigned::from_u128(a);
+        prop_assert_eq!(BigUnsigned::from_bytes_be(&big.to_bytes_be()), big.clone());
+        // Byte length matches the model.
+        let expect_len = (128 - a.leading_zeros() as usize).div_ceil(8);
+        prop_assert_eq!(big.byte_len(), expect_len);
+    }
+
+    #[test]
+    fn display_matches(a in any::<u128>()) {
+        prop_assert_eq!(BigUnsigned::from_u128(a).to_string(), a.to_string());
+    }
+
+    #[test]
+    fn multi_limb_sum_is_consistent(chunks in prop::collection::vec(any::<u64>(), 1..20)) {
+        // Build a large number by repeated shift-and-add, then verify
+        // subtracting the pieces in reverse returns to zero.
+        let mut acc = BigUnsigned::zero();
+        for &c in &chunks {
+            acc = acc.mul_u64(u64::MAX).add_u64(c);
+        }
+        let mut back = acc.clone();
+        for &c in chunks.iter().rev() {
+            back = back.checked_sub(&BigUnsigned::from_u64(c)).unwrap();
+            let (q, r) = back.divmod_u64(u64::MAX);
+            prop_assert_eq!(r, 0);
+            back = q;
+        }
+        prop_assert!(back.is_zero());
+    }
+}

@@ -1,0 +1,290 @@
+//! Attribute domains and the §3.1 attribute-encoding step.
+//!
+//! AVQ's first preprocessing step replaces every attribute value by its
+//! ordinal position in the attribute's domain. A [`Domain`] knows its size
+//! `|Aᵢ|`, how to encode a [`Value`] to an ordinal in `{0 … |Aᵢ|−1}`, and how
+//! to decode an ordinal back — exactly, so the overall pipeline stays
+//! lossless.
+
+use crate::error::SchemaError;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// An attribute domain: a finite, totally ordered set of values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Domain {
+    /// Unsigned integers `0 … size−1`; the identity encoding.
+    Uint {
+        /// Domain size `|A|`.
+        size: u64,
+    },
+    /// Signed integers `min … max` inclusive; ordinal = `v − min`.
+    IntRange {
+        /// Smallest domain value.
+        min: i64,
+        /// Largest domain value.
+        max: i64,
+    },
+    /// A finite set of strings; ordinal = position in `values`. This is the
+    /// string-table scheme of §3.1 (cf. Graefe & Shapiro \[6\]): a long ASCII
+    /// value compresses to a short index even before differential coding.
+    Enumerated {
+        /// Domain values in ordinal order.
+        values: Vec<String>,
+        /// Reverse lookup from value to ordinal.
+        index: HashMap<String, u64>,
+    },
+}
+
+impl Domain {
+    /// An unsigned-integer domain `{0 … size−1}`.
+    pub fn uint(size: u64) -> Result<Self, SchemaError> {
+        if size == 0 {
+            return Err(SchemaError::EmptyDomain {
+                attribute: String::new(),
+            });
+        }
+        Ok(Domain::Uint { size })
+    }
+
+    /// A signed-integer domain `{min … max}`.
+    ///
+    /// The full `i64` range is rejected because its 2⁶⁴ values overflow the
+    /// `u64` domain-size arithmetic; shrink either bound by one if you need
+    /// (almost) the whole range.
+    pub fn int_range(min: i64, max: i64) -> Result<Self, SchemaError> {
+        if min > max || max.abs_diff(min) == u64::MAX {
+            return Err(SchemaError::InvalidRange { min, max });
+        }
+        Ok(Domain::IntRange { min, max })
+    }
+
+    /// An enumerated string domain in the given ordinal order.
+    /// Duplicates are rejected.
+    pub fn enumerated<S: Into<String>, I: IntoIterator<Item = S>>(
+        values: I,
+    ) -> Result<Self, SchemaError> {
+        let values: Vec<String> = values.into_iter().map(Into::into).collect();
+        if values.is_empty() {
+            return Err(SchemaError::EmptyDomain {
+                attribute: String::new(),
+            });
+        }
+        let mut index = HashMap::with_capacity(values.len());
+        for (i, v) in values.iter().enumerate() {
+            if index.insert(v.clone(), i as u64).is_some() {
+                return Err(SchemaError::DuplicateDomainValue { value: v.clone() });
+            }
+        }
+        Ok(Domain::Enumerated { values, index })
+    }
+
+    /// An enumerated string domain with values sorted lexicographically
+    /// (and deduplicated) — convenient when ingesting observed data.
+    pub fn enumerated_sorted<S: Into<String>, I: IntoIterator<Item = S>>(
+        values: I,
+    ) -> Result<Self, SchemaError> {
+        let mut values: Vec<String> = values.into_iter().map(Into::into).collect();
+        values.sort_unstable();
+        values.dedup();
+        Self::enumerated(values)
+    }
+
+    /// Domain size `|A|`.
+    pub fn size(&self) -> u64 {
+        match self {
+            Domain::Uint { size } => *size,
+            Domain::IntRange { min, max } => max.abs_diff(*min) + 1,
+            Domain::Enumerated { values, .. } => values.len() as u64,
+        }
+    }
+
+    /// Bytes needed to store any ordinal of this domain at fixed width:
+    /// the width of `size − 1` in base 256 (0 for a single-value domain,
+    /// whose digit is always 0 and need not be stored).
+    pub fn byte_width(&self) -> usize {
+        let max_ordinal = self.size() - 1;
+        if max_ordinal == 0 {
+            0
+        } else {
+            (64 - max_ordinal.leading_zeros() as usize).div_ceil(8)
+        }
+    }
+
+    /// Encodes a value to its ordinal (§3.1 domain mapping).
+    pub fn encode(&self, value: &Value) -> Result<u64, SchemaError> {
+        match (self, value) {
+            (Domain::Uint { size }, Value::Uint(v)) => {
+                if v < size {
+                    Ok(*v)
+                } else {
+                    Err(SchemaError::ValueNotInDomain {
+                        attribute: String::new(),
+                        value: v.to_string(),
+                    })
+                }
+            }
+            (Domain::IntRange { min, max }, Value::Int(v)) => {
+                if v >= min && v <= max {
+                    Ok(v.abs_diff(*min))
+                } else {
+                    Err(SchemaError::ValueNotInDomain {
+                        attribute: String::new(),
+                        value: v.to_string(),
+                    })
+                }
+            }
+            (Domain::Enumerated { index, .. }, Value::Str(s)) => {
+                index
+                    .get(s)
+                    .copied()
+                    .ok_or_else(|| SchemaError::ValueNotInDomain {
+                        attribute: String::new(),
+                        value: format!("{s:?}"),
+                    })
+            }
+            (d, v) => Err(SchemaError::TypeMismatch {
+                attribute: String::new(),
+                expected: d.type_name(),
+                got: v.type_name(),
+            }),
+        }
+    }
+
+    /// Decodes an ordinal back to the original value.
+    pub fn decode(&self, ordinal: u64) -> Result<Value, SchemaError> {
+        if ordinal >= self.size() {
+            return Err(SchemaError::OrdinalOutOfRange {
+                attribute: String::new(),
+                ordinal,
+                size: self.size(),
+            });
+        }
+        Ok(match self {
+            Domain::Uint { .. } => Value::Uint(ordinal),
+            Domain::IntRange { min, .. } => {
+                Value::Int(min.checked_add_unsigned(ordinal).expect("range checked"))
+            }
+            Domain::Enumerated { values, .. } => Value::Str(values[ordinal as usize].clone()),
+        })
+    }
+
+    /// Short name of the value type this domain holds.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Domain::Uint { .. } => "uint",
+            Domain::IntRange { .. } => "int",
+            Domain::Enumerated { .. } => "string",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_domain_roundtrip() {
+        let d = Domain::uint(64).unwrap();
+        assert_eq!(d.size(), 64);
+        assert_eq!(d.encode(&Value::Uint(63)).unwrap(), 63);
+        assert_eq!(d.decode(63).unwrap(), Value::Uint(63));
+        assert!(d.encode(&Value::Uint(64)).is_err());
+        assert!(d.decode(64).is_err());
+    }
+
+    #[test]
+    fn uint_domain_zero_rejected() {
+        assert!(Domain::uint(0).is_err());
+    }
+
+    #[test]
+    fn int_range_roundtrip() {
+        let d = Domain::int_range(-10, 10).unwrap();
+        assert_eq!(d.size(), 21);
+        assert_eq!(d.encode(&Value::Int(-10)).unwrap(), 0);
+        assert_eq!(d.encode(&Value::Int(10)).unwrap(), 20);
+        assert_eq!(d.decode(0).unwrap(), Value::Int(-10));
+        assert_eq!(d.decode(20).unwrap(), Value::Int(10));
+        assert!(d.encode(&Value::Int(11)).is_err());
+        assert!(d.encode(&Value::Int(-11)).is_err());
+    }
+
+    #[test]
+    fn int_range_extremes() {
+        // The full i64 range (2^64 values) is rejected; one short of it works.
+        assert!(Domain::int_range(i64::MIN, i64::MAX).is_err());
+        let d = Domain::int_range(i64::MIN + 1, i64::MAX).unwrap();
+        assert_eq!(d.size(), u64::MAX);
+        assert_eq!(d.encode(&Value::Int(i64::MIN + 1)).unwrap(), 0);
+        assert_eq!(d.decode(0).unwrap(), Value::Int(i64::MIN + 1));
+        let top = d.encode(&Value::Int(i64::MAX)).unwrap();
+        assert_eq!(top, u64::MAX - 1);
+        assert_eq!(d.decode(top).unwrap(), Value::Int(i64::MAX));
+    }
+
+    #[test]
+    fn int_range_invalid() {
+        assert_eq!(
+            Domain::int_range(5, 4),
+            Err(SchemaError::InvalidRange { min: 5, max: 4 })
+        );
+    }
+
+    #[test]
+    fn enumerated_roundtrip() {
+        // The paper's department domain (Example 3.1): production = 3,
+        // marketing = 4, management = 2, personnel = 5 in a size-8 domain.
+        let d = Domain::enumerated(vec![
+            "accounting",
+            "engineering",
+            "management",
+            "production",
+            "marketing",
+            "personnel",
+            "research",
+            "sales",
+        ])
+        .unwrap();
+        assert_eq!(d.size(), 8);
+        assert_eq!(d.encode(&Value::from("production")).unwrap(), 3);
+        assert_eq!(d.decode(3).unwrap(), Value::from("production"));
+        assert!(d.encode(&Value::from("legal")).is_err());
+    }
+
+    #[test]
+    fn enumerated_duplicate_rejected() {
+        assert!(matches!(
+            Domain::enumerated(vec!["a", "b", "a"]),
+            Err(SchemaError::DuplicateDomainValue { .. })
+        ));
+    }
+
+    #[test]
+    fn enumerated_sorted_dedups() {
+        let d = Domain::enumerated_sorted(vec!["b", "a", "b", "c"]).unwrap();
+        assert_eq!(d.size(), 3);
+        assert_eq!(d.encode(&Value::from("a")).unwrap(), 0);
+        assert_eq!(d.encode(&Value::from("c")).unwrap(), 2);
+    }
+
+    #[test]
+    fn type_mismatch() {
+        let d = Domain::uint(4).unwrap();
+        assert!(matches!(
+            d.encode(&Value::from("x")),
+            Err(SchemaError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(Domain::uint(1).unwrap().byte_width(), 0);
+        assert_eq!(Domain::uint(2).unwrap().byte_width(), 1);
+        assert_eq!(Domain::uint(256).unwrap().byte_width(), 1);
+        assert_eq!(Domain::uint(257).unwrap().byte_width(), 2);
+        assert_eq!(Domain::uint(1 << 16).unwrap().byte_width(), 2);
+        assert_eq!(Domain::uint((1 << 16) + 1).unwrap().byte_width(), 3);
+        assert_eq!(Domain::int_range(-128, 127).unwrap().byte_width(), 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types for schema construction and attribute encoding.
+
+use core::fmt;
+
+/// Errors raised while building schemas or encoding/decoding attribute
+/// values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A schema must have at least one attribute.
+    EmptySchema,
+    /// Attribute names within a schema must be unique.
+    DuplicateAttribute {
+        /// The repeated attribute name.
+        name: String,
+    },
+    /// A domain must contain at least one value.
+    EmptyDomain {
+        /// Name of the offending attribute.
+        attribute: String,
+    },
+    /// An integer range domain had `min > max`.
+    InvalidRange {
+        /// Lower bound supplied.
+        min: i64,
+        /// Upper bound supplied.
+        max: i64,
+    },
+    /// An enumerated domain contained the same value twice.
+    DuplicateDomainValue {
+        /// The repeated domain value.
+        value: String,
+    },
+    /// A value did not belong to the attribute's domain.
+    ValueNotInDomain {
+        /// Name of the attribute being encoded.
+        attribute: String,
+        /// Rendering of the offending value.
+        value: String,
+    },
+    /// A value had the wrong type for the attribute's domain.
+    TypeMismatch {
+        /// Name of the attribute being encoded.
+        attribute: String,
+        /// What the domain expects.
+        expected: &'static str,
+        /// What was supplied.
+        got: &'static str,
+    },
+    /// An ordinal was out of range during decoding.
+    OrdinalOutOfRange {
+        /// Name of the attribute being decoded.
+        attribute: String,
+        /// The ordinal supplied.
+        ordinal: u64,
+        /// The domain size it must be strictly less than.
+        size: u64,
+    },
+    /// A row had the wrong number of values for the schema.
+    ArityMismatch {
+        /// Number of attributes in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// Referenced an attribute that does not exist.
+    NoSuchAttribute {
+        /// The name or index that failed to resolve.
+        attribute: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::EmptySchema => write!(f, "schema has no attributes"),
+            SchemaError::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute name {name:?}")
+            }
+            SchemaError::EmptyDomain { attribute } => {
+                write!(f, "attribute {attribute:?} has an empty domain")
+            }
+            SchemaError::InvalidRange { min, max } => {
+                write!(f, "invalid integer range: min {min} > max {max}")
+            }
+            SchemaError::DuplicateDomainValue { value } => {
+                write!(f, "duplicate domain value {value:?}")
+            }
+            SchemaError::ValueNotInDomain { attribute, value } => {
+                write!(f, "value {value} not in domain of attribute {attribute:?}")
+            }
+            SchemaError::TypeMismatch {
+                attribute,
+                expected,
+                got,
+            } => write!(f, "attribute {attribute:?} expects {expected}, got {got}"),
+            SchemaError::OrdinalOutOfRange {
+                attribute,
+                ordinal,
+                size,
+            } => write!(
+                f,
+                "ordinal {ordinal} out of range for attribute {attribute:?} (domain size {size})"
+            ),
+            SchemaError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "row has {got} values but schema has {expected} attributes"
+                )
+            }
+            SchemaError::NoSuchAttribute { attribute } => {
+                write!(f, "no such attribute: {attribute}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}

@@ -1,0 +1,123 @@
+//! Logical attribute values as seen by users of the database.
+
+use core::fmt;
+
+/// A logical (pre-encoding) attribute value.
+///
+/// §3.1 of the paper maps every attribute value to its ordinal position in
+/// the attribute's domain; `Value` is what exists *before* that mapping and
+/// what decoding must reproduce exactly (losslessness, Theorem 2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An unsigned integer (e.g. employee number, hours worked).
+    Uint(u64),
+    /// A signed integer (e.g. a temperature, an account delta).
+    Int(i64),
+    /// A string drawn from a finite domain (e.g. department, job title).
+    Str(String),
+}
+
+impl Value {
+    /// Short name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Uint(_) => "uint",
+            Value::Int(_) => "int",
+            Value::Str(_) => "string",
+        }
+    }
+
+    /// Convenience accessor; `None` if the value is not a `Uint`.
+    pub fn as_uint(&self) -> Option<u64> {
+        match self {
+            Value::Uint(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor; `None` if the value is not an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor; `None` if the value is not a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Uint(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Uint(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3u64), Value::Uint(3));
+        assert_eq!(Value::from(-3i64), Value::Int(-3));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from("hi".to_string()), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Uint(7).as_uint(), Some(7));
+        assert_eq!(Value::Uint(7).as_int(), None);
+        assert_eq!(Value::Int(-1).as_int(), Some(-1));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Str("x".into()).as_uint(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Uint(7).to_string(), "7");
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Str("abc".into()).to_string(), "abc");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Uint(0).type_name(), "uint");
+        assert_eq!(Value::Int(0).type_name(), "int");
+        assert_eq!(Value::Str(String::new()).type_name(), "string");
+    }
+}

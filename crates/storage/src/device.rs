@@ -1,0 +1,288 @@
+//! The simulated block device.
+//!
+//! An array of fixed-size blocks with allocate/free/read/write, a
+//! [`DiskProfile`] that charges every physical transfer to a shared
+//! [`SimClock`], and counters for the `N` (blocks accessed) measurements of
+//! §5.3.3. The device is thread-safe; clones of the surrounding `Arc` share
+//! blocks, clock, and counters.
+
+use crate::clock::SimClock;
+use crate::error::{BlockId, StorageError};
+use crate::profile::DiskProfile;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Running I/O counters for a device.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of physical block reads.
+    pub reads: u64,
+    /// Number of physical block writes.
+    pub writes: u64,
+}
+
+impl IoStats {
+    /// Total physical transfers.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    data: Option<Vec<u8>>,
+}
+
+/// A simulated disk of fixed-size blocks.
+#[derive(Debug)]
+pub struct BlockDevice {
+    block_size: usize,
+    profile: DiskProfile,
+    clock: Arc<SimClock>,
+    slots: RwLock<Vec<Slot>>,
+    free_list: RwLock<Vec<BlockId>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl BlockDevice {
+    /// Creates a device with its own clock.
+    pub fn new(block_size: usize, profile: DiskProfile) -> Arc<Self> {
+        Self::with_clock(block_size, profile, Arc::new(SimClock::new()))
+    }
+
+    /// Creates a device charging I/O to an existing clock.
+    pub fn with_clock(block_size: usize, profile: DiskProfile, clock: Arc<SimClock>) -> Arc<Self> {
+        assert!(block_size > 0, "block size must be positive");
+        Arc::new(BlockDevice {
+            block_size,
+            profile,
+            clock,
+            slots: RwLock::new(Vec::new()),
+            free_list: RwLock::new(Vec::new()),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    /// The device's block size in bytes.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The device's cost model.
+    #[inline]
+    pub fn profile(&self) -> &DiskProfile {
+        &self.profile
+    }
+
+    /// The clock this device charges to.
+    #[inline]
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// Allocates a fresh (zero-length) block and returns its id. Allocation
+    /// itself is free: the cost model charges transfers, not bookkeeping.
+    pub fn allocate(&self) -> Result<BlockId, StorageError> {
+        if let Some(id) = self.free_list.write().pop() {
+            self.slots.write()[id as usize].data = Some(Vec::new());
+            return Ok(id);
+        }
+        let mut slots = self.slots.write();
+        let id = slots.len();
+        if id > u32::MAX as usize {
+            return Err(StorageError::OutOfBlocks);
+        }
+        slots.push(Slot {
+            data: Some(Vec::new()),
+        });
+        Ok(id as BlockId)
+    }
+
+    /// Frees a block for reuse.
+    pub fn free(&self, id: BlockId) -> Result<(), StorageError> {
+        let mut slots = self.slots.write();
+        let slot = slots
+            .get_mut(id as usize)
+            .ok_or(StorageError::NoSuchBlock { id })?;
+        if slot.data.is_none() {
+            return Err(StorageError::NoSuchBlock { id });
+        }
+        slot.data = None;
+        drop(slots);
+        self.free_list.write().push(id);
+        Ok(())
+    }
+
+    /// Reads a block, charging one block transfer.
+    pub fn read(&self, id: BlockId) -> Result<Vec<u8>, StorageError> {
+        let slots = self.slots.read();
+        let slot = slots
+            .get(id as usize)
+            .ok_or(StorageError::NoSuchBlock { id })?;
+        let data = slot
+            .data
+            .as_ref()
+            .ok_or(StorageError::NoSuchBlock { id })?
+            .clone();
+        drop(slots);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.clock
+            .advance_ms(self.profile.block_time_ms(self.block_size));
+        Ok(data)
+    }
+
+    /// Writes a block, charging one block transfer. The payload may be
+    /// shorter than the block size (blocks store their used prefix); longer
+    /// payloads are rejected.
+    pub fn write(&self, id: BlockId, data: &[u8]) -> Result<(), StorageError> {
+        if data.len() > self.block_size {
+            return Err(StorageError::BlockTooLarge {
+                got: data.len(),
+                block_size: self.block_size,
+            });
+        }
+        let mut slots = self.slots.write();
+        let slot = slots
+            .get_mut(id as usize)
+            .ok_or(StorageError::NoSuchBlock { id })?;
+        let buf = slot.data.as_mut().ok_or(StorageError::NoSuchBlock { id })?;
+        buf.clear();
+        buf.extend_from_slice(data);
+        drop(slots);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.clock
+            .advance_ms(self.profile.block_time_ms(self.block_size));
+        Ok(())
+    }
+
+    /// Number of live (allocated, un-freed) blocks.
+    pub fn live_blocks(&self) -> usize {
+        self.slots
+            .read()
+            .iter()
+            .filter(|s| s.data.is_some())
+            .count()
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the I/O counters (the clock is reset separately).
+    pub fn reset_stats(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Arc<BlockDevice> {
+        BlockDevice::new(64, DiskProfile::paper_fixed())
+    }
+
+    #[test]
+    fn allocate_write_read_roundtrip() {
+        let d = device();
+        let id = d.allocate().unwrap();
+        d.write(id, b"hello").unwrap();
+        assert_eq!(d.read(id).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn io_charges_clock_and_counters() {
+        let d = device();
+        let id = d.allocate().unwrap();
+        d.write(id, b"x").unwrap();
+        let _ = d.read(id).unwrap();
+        let _ = d.read(id).unwrap();
+        let st = d.io_stats();
+        assert_eq!(st.reads, 2);
+        assert_eq!(st.writes, 1);
+        assert_eq!(st.total(), 3);
+        assert!((d.clock().now_ms() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let d = device();
+        let id = d.allocate().unwrap();
+        let err = d.write(id, &[0u8; 65]).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::BlockTooLarge {
+                got: 65,
+                block_size: 64
+            }
+        );
+        // Failed writes charge nothing.
+        assert_eq!(d.io_stats().writes, 0);
+    }
+
+    #[test]
+    fn exact_block_size_write_allowed() {
+        let d = device();
+        let id = d.allocate().unwrap();
+        d.write(id, &[7u8; 64]).unwrap();
+        assert_eq!(d.read(id).unwrap(), vec![7u8; 64]);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let d = device();
+        let a = d.allocate().unwrap();
+        let b = d.allocate().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(d.live_blocks(), 2);
+        d.free(a).unwrap();
+        assert_eq!(d.live_blocks(), 1);
+        assert!(d.read(a).is_err());
+        assert!(d.free(a).is_err(), "double free rejected");
+        let c = d.allocate().unwrap();
+        assert_eq!(c, a, "freed id is reused");
+        assert_eq!(d.read(c).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn unknown_block_rejected() {
+        let d = device();
+        assert_eq!(
+            d.read(99).unwrap_err(),
+            StorageError::NoSuchBlock { id: 99 }
+        );
+        assert!(d.write(99, b"x").is_err());
+        assert!(d.free(99).is_err());
+    }
+
+    #[test]
+    fn reset_stats_keeps_data() {
+        let d = device();
+        let id = d.allocate().unwrap();
+        d.write(id, b"keep").unwrap();
+        d.reset_stats();
+        assert_eq!(d.io_stats(), IoStats::default());
+        assert_eq!(d.read(id).unwrap(), b"keep");
+    }
+
+    #[test]
+    fn shared_clock_across_devices() {
+        let clock = Arc::new(SimClock::new());
+        let d1 = BlockDevice::with_clock(64, DiskProfile::paper_fixed(), clock.clone());
+        let d2 = BlockDevice::with_clock(64, DiskProfile::paper_fixed(), clock.clone());
+        let a = d1.allocate().unwrap();
+        let b = d2.allocate().unwrap();
+        d1.write(a, b"1").unwrap();
+        d2.write(b, b"2").unwrap();
+        assert!((clock.now_ms() - 60.0).abs() < 1e-9);
+    }
+}

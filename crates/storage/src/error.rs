@@ -1,0 +1,39 @@
+//! Error types for the simulated storage layer.
+
+use core::fmt;
+
+/// Identifier of a block on a [`crate::BlockDevice`].
+pub type BlockId = u32;
+
+/// Errors raised by the block device and buffer pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The block id was never allocated or has been freed.
+    NoSuchBlock {
+        /// The offending block id.
+        id: BlockId,
+    },
+    /// A write exceeded the device's block size.
+    BlockTooLarge {
+        /// Bytes in the attempted write.
+        got: usize,
+        /// The device's block size.
+        block_size: usize,
+    },
+    /// The device ran out of block ids (more than `u32::MAX` allocations).
+    OutOfBlocks,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NoSuchBlock { id } => write!(f, "no such block: {id}"),
+            StorageError::BlockTooLarge { got, block_size } => {
+                write!(f, "write of {got} bytes exceeds block size {block_size}")
+            }
+            StorageError::OutOfBlocks => write!(f, "device out of block ids"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

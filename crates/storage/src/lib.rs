@@ -1,0 +1,28 @@
+//! # avq-storage — simulated disk, I/O cost model, and buffer pool
+//!
+//! The storage substrate under the AVQ database: a thread-safe simulated
+//! [`BlockDevice`] of fixed-size blocks whose transfers are charged to a
+//! virtual [`SimClock`] by a parameterizable [`DiskProfile`] (the paper's
+//! §5.3.2 model: seek + rotational delay + transfer + controller ≈ 30 ms per
+//! 8 KiB block in 1994), plus an LRU write-through [`BufferPool`] and the
+//! [`MachineProfile`]s (HP 9000/735, Sun 4/50, DEC 5000/120) that scale
+//! CPU-bound costs in the Fig. 5.9 reproduction.
+//!
+//! The device counts physical reads and writes — that counter *is* the `N`
+//! (number of blocks accessed) of the paper's §5.3.3 measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod clock;
+mod device;
+mod error;
+mod lru;
+mod profile;
+
+pub use buffer::{BufferPool, PoolStats};
+pub use clock::SimClock;
+pub use device::{BlockDevice, IoStats};
+pub use error::{BlockId, StorageError};
+pub use profile::{DiskProfile, MachineProfile};

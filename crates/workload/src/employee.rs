@@ -1,0 +1,196 @@
+//! The paper's running example: the 50-tuple employee relation of
+//! Example 3.1 / Fig. 2.2.
+//!
+//! Five attributes — department, job title, years in company, hours worked
+//! per week, employee number — with domain sizes 8, 16, 64, 64, 64. The
+//! string domains are arranged so that the encodings match Fig. 2.2 (b)
+//! exactly (e.g. `management` ↦ 2, `production` ↦ 3, `marketing` ↦ 4,
+//! `personnel` ↦ 5; `executive` ↦ 4 … `director` ↦ 12).
+
+use avq_schema::{Domain, Relation, Schema, Tuple, Value};
+use std::sync::Arc;
+
+/// Department names, positioned so the paper's four departments land on
+/// ordinals 2–5.
+const DEPARTMENTS: [&str; 8] = [
+    "accounting",  // 0
+    "engineering", // 1
+    "management",  // 2
+    "production",  // 3
+    "marketing",   // 4
+    "personnel",   // 5
+    "research",    // 6
+    "sales",       // 7
+];
+
+/// Job titles, positioned so the paper's eight titles land on their
+/// Fig. 2.2 (b) ordinals (executive 4, secretary 5, worker1 6, worker2 7,
+/// manager 8, part-time 9, supervisor 10, director 12).
+const JOB_TITLES: [&str; 16] = [
+    "intern",     // 0
+    "contractor", // 1
+    "trainee",    // 2
+    "analyst",    // 3
+    "executive",  // 4
+    "secretary",  // 5
+    "worker1",    // 6
+    "worker2",    // 7
+    "manager",    // 8
+    "part-time",  // 9
+    "supervisor", // 10
+    "consultant", // 11
+    "director",   // 12
+    "architect",  // 13
+    "auditor",    // 14
+    "clerk",      // 15
+];
+
+/// The 50 rows of Fig. 2.2 (a) as `(department, title, years, hours, empno)`.
+const ROWS: [(&str, &str, u64, u64, u64); 50] = [
+    ("production", "part-time", 24, 32, 0),
+    ("marketing", "director", 12, 31, 1),
+    ("management", "worker1", 29, 21, 2),
+    ("marketing", "worker2", 30, 42, 3),
+    ("management", "supervisor", 27, 27, 4),
+    ("production", "secretary", 23, 25, 5),
+    ("production", "secretary", 34, 28, 6),
+    ("production", "worker1", 32, 37, 7),
+    ("marketing", "worker2", 39, 37, 8),
+    ("production", "executive", 31, 25, 9),
+    ("marketing", "part-time", 19, 21, 10),
+    ("production", "secretary", 28, 22, 11),
+    ("production", "manager", 32, 34, 12),
+    ("marketing", "manager", 38, 34, 13),
+    ("marketing", "worker2", 26, 32, 14),
+    ("personnel", "supervisor", 33, 22, 15),
+    ("production", "part-time", 34, 28, 16),
+    ("marketing", "part-time", 25, 27, 17),
+    ("marketing", "manager", 41, 28, 18),
+    ("production", "manager", 32, 25, 19),
+    ("marketing", "secretary", 39, 29, 20),
+    ("marketing", "manager", 50, 26, 21),
+    ("production", "manager", 31, 33, 22),
+    ("personnel", "manager", 26, 32, 23),
+    ("production", "worker1", 34, 26, 24),
+    ("personnel", "worker2", 45, 16, 25),
+    ("production", "worker2", 39, 37, 26),
+    ("marketing", "worker1", 40, 27, 27),
+    ("marketing", "supervisor", 30, 44, 28),
+    ("production", "manager", 24, 30, 29),
+    ("marketing", "worker2", 33, 32, 30),
+    ("marketing", "part-time", 32, 42, 31),
+    ("personnel", "supervisor", 19, 31, 32),
+    ("production", "part-time", 27, 26, 33),
+    ("production", "supervisor", 32, 30, 34),
+    ("production", "manager", 36, 39, 35),
+    ("management", "worker1", 26, 20, 36),
+    ("production", "part-time", 26, 27, 37),
+    ("production", "supervisor", 35, 25, 38),
+    ("marketing", "supervisor", 39, 33, 39),
+    ("production", "worker2", 35, 28, 40),
+    ("marketing", "manager", 32, 24, 41),
+    ("marketing", "manager", 31, 24, 42),
+    ("marketing", "supervisor", 35, 19, 43),
+    ("marketing", "executive", 55, 23, 44),
+    ("marketing", "manager", 32, 27, 45),
+    ("production", "worker2", 37, 31, 46),
+    ("personnel", "secretary", 24, 26, 47),
+    ("production", "worker2", 30, 32, 48),
+    ("marketing", "worker2", 39, 31, 49),
+];
+
+/// The employee relation scheme of Example 3.1: domain sizes 8, 16, 64, 64,
+/// 64 (so `‖𝓡‖ = 2²⁵` and tuples serialize to 5 bytes).
+pub fn employee_schema() -> Arc<Schema> {
+    Schema::from_pairs(vec![
+        (
+            "department",
+            Domain::enumerated(DEPARTMENTS).expect("static"),
+        ),
+        ("job_title", Domain::enumerated(JOB_TITLES).expect("static")),
+        ("years", Domain::uint(64).expect("static")),
+        ("hours", Domain::uint(64).expect("static")),
+        ("empno", Domain::uint(64).expect("static")),
+    ])
+    .expect("static schema is valid")
+}
+
+/// The 50-tuple employee relation of Fig. 2.2 (a), in the paper's original
+/// (unsorted) order.
+pub fn employee_relation() -> Relation {
+    let schema = employee_schema();
+    let rows = ROWS.iter().map(|&(d, j, y, h, e)| {
+        vec![
+            Value::from(d),
+            Value::from(j),
+            Value::Uint(y),
+            Value::Uint(h),
+            Value::Uint(e),
+        ]
+    });
+    Relation::from_rows(schema, rows).expect("static rows are valid")
+}
+
+/// The encoded tuples of Fig. 2.2 (b), in the same order as the rows.
+pub fn employee_tuples() -> Vec<Tuple> {
+    employee_relation().into_tuples()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_tuples() {
+        let r = employee_relation();
+        assert_eq!(r.len(), 50);
+        assert_eq!(r.schema().tuple_bytes(), 5);
+        assert_eq!(
+            r.schema().space_size().to_u64(),
+            Some(8 * 16 * 64 * 64 * 64)
+        );
+    }
+
+    /// Spot-check encodings against Fig. 2.2 (b).
+    #[test]
+    fn encodings_match_fig_2_2b() {
+        let t = employee_tuples();
+        assert_eq!(t[0], Tuple::from([3u64, 9, 24, 32, 0]));
+        assert_eq!(t[1], Tuple::from([4u64, 12, 12, 31, 1]));
+        assert_eq!(t[2], Tuple::from([2u64, 6, 29, 21, 2]));
+        assert_eq!(t[15], Tuple::from([5u64, 10, 33, 22, 15]));
+        assert_eq!(t[35], Tuple::from([3u64, 8, 36, 39, 35]));
+        assert_eq!(t[44], Tuple::from([4u64, 4, 55, 23, 44]));
+        assert_eq!(t[49], Tuple::from([4u64, 7, 39, 31, 49]));
+    }
+
+    /// After φ re-ordering, the first and last tuples and their φ values
+    /// match Fig. 2.2 (c).
+    #[test]
+    fn reordering_matches_fig_2_2c() {
+        let mut r = employee_relation();
+        r.sort();
+        let first = &r.tuples()[0];
+        let last = &r.tuples()[49];
+        assert_eq!(*first, Tuple::from([2u64, 6, 26, 20, 36]));
+        assert_eq!(r.schema().phi(first).to_u64(), Some(10_069_284));
+        assert_eq!(*last, Tuple::from([5u64, 10, 33, 22, 15]));
+        assert_eq!(r.schema().phi(last).to_u64(), Some(23_729_551));
+        // A mid-table entry: (3,08,36,39,35) at φ = 14 830 051... the figure
+        // prints 14830051 for this tuple in table (c).
+        let rep = Tuple::from([3u64, 8, 36, 39, 35]);
+        assert_eq!(r.schema().phi(&rep).to_u64(), Some(14_830_051));
+    }
+
+    /// Decoding ordinals reproduces the original strings (losslessness of
+    /// the §3.1 attribute mapping).
+    #[test]
+    fn decode_roundtrip() {
+        let r = employee_relation();
+        let rows: Vec<_> = r.rows().collect();
+        assert_eq!(rows[0][0], Value::from("production"));
+        assert_eq!(rows[0][1], Value::from("part-time"));
+        assert_eq!(rows[1][1], Value::from("director"));
+        assert_eq!(rows[44][1], Value::from("executive"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Deterministic query workloads over generated relations.
+//!
+//! §5.3 evaluates one query shape — `σ_{a ≤ A_k ≤ b}(R)` — parameterized by
+//! `(k, a, b)`. [`QueryWorkload`] generates reproducible mixes of such
+//! queries with controlled selectivity, for throughput experiments and
+//! soak tests.
+
+use crate::synthetic::{ActiveSpec, SyntheticSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One range-selection query `σ_{lo ≤ A_attr ≤ hi}` in ordinal space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeQuery {
+    /// Attribute position `k`.
+    pub attr: usize,
+    /// Inclusive lower bound `a`.
+    pub lo: u64,
+    /// Inclusive upper bound `b`.
+    pub hi: u64,
+}
+
+/// The shape of queries to generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryShape {
+    /// Equality lookups (`a = b`), drawn uniformly over active values.
+    PointLookups,
+    /// Ranges covering roughly `selectivity` of the active value range.
+    Ranges {
+        /// Target fraction of the active range each query spans (0, 1].
+        selectivity: f64,
+    },
+    /// The paper's §5.3 query: `a = 0.5·|A_k|` over the active range, `b`
+    /// its top (equality when the attribute is the unique key).
+    PaperHalfDomain,
+}
+
+/// A reproducible stream of range queries against a [`SyntheticSpec`]'s
+/// relation.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    sizes: Vec<u64>,
+    actives: Vec<u64>,
+    key_attr: Option<usize>,
+    tuples: usize,
+    shape: QueryShape,
+    seed: u64,
+}
+
+impl QueryWorkload {
+    /// Builds a workload matching `spec`'s relation geometry.
+    pub fn new(spec: &SyntheticSpec, shape: QueryShape, seed: u64) -> Self {
+        let sizes = spec.domain_sizes();
+        let actives = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| match &spec.active {
+                ActiveSpec::Full => s,
+                ActiveSpec::Uniform(n) => (*n).min(s).max(1),
+                ActiveSpec::PerAttribute(v) => v
+                    .get(i)
+                    .or_else(|| v.last())
+                    .copied()
+                    .unwrap_or(s)
+                    .min(s)
+                    .max(1),
+            })
+            .collect();
+        QueryWorkload {
+            key_attr: spec.unique_last.then_some(sizes.len() - 1),
+            sizes,
+            actives,
+            tuples: spec.tuples,
+            shape,
+            seed,
+        }
+    }
+
+    /// The active value range queries draw bounds from for `attr`.
+    pub fn active_range(&self, attr: usize) -> u64 {
+        if Some(attr) == self.key_attr {
+            self.tuples as u64
+        } else {
+            self.actives[attr]
+        }
+    }
+
+    /// Generates `n` queries over attribute `attr`.
+    pub fn generate_for(&self, attr: usize, n: usize) -> Vec<RangeQuery> {
+        assert!(attr < self.sizes.len(), "attribute out of range");
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (attr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let active = self.active_range(attr).max(1);
+        (0..n)
+            .map(|_| match self.shape {
+                QueryShape::PointLookups => {
+                    let v = rng.random_range(0..active);
+                    RangeQuery { attr, lo: v, hi: v }
+                }
+                QueryShape::Ranges { selectivity } => {
+                    let span = ((active as f64 * selectivity).ceil() as u64).clamp(1, active);
+                    let lo = rng.random_range(0..=active - span);
+                    RangeQuery {
+                        attr,
+                        lo,
+                        hi: lo + span - 1,
+                    }
+                }
+                QueryShape::PaperHalfDomain => {
+                    let a = active / 2;
+                    if Some(attr) == self.key_attr {
+                        RangeQuery { attr, lo: a, hi: a }
+                    } else {
+                        RangeQuery {
+                            attr,
+                            lo: a,
+                            hi: active.saturating_sub(1),
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Generates a round-robin mix: `n` queries cycling over all attributes.
+    pub fn generate_mix(&self, n: usize) -> Vec<RangeQuery> {
+        let arity = self.sizes.len();
+        let mut per_attr: Vec<Vec<RangeQuery>> = (0..arity)
+            .map(|a| self.generate_for(a, n.div_ceil(arity)))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        'outer: loop {
+            for q in per_attr.iter_mut() {
+                match q.pop() {
+                    Some(query) => {
+                        out.push(query);
+                        if out.len() == n {
+                            break 'outer;
+                        }
+                    }
+                    None => break 'outer,
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SyntheticSpec {
+        SyntheticSpec::section_5_2(1000)
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = QueryWorkload::new(&spec(), QueryShape::PointLookups, 7);
+        assert_eq!(w.generate_for(3, 50), w.generate_for(3, 50));
+        // Different attributes draw different streams.
+        let a = w.generate_for(3, 50);
+        let b = w.generate_for(4, 50);
+        assert!(a.iter().zip(&b).any(|(x, y)| (x.lo, x.hi) != (y.lo, y.hi)));
+    }
+
+    #[test]
+    fn point_lookups_are_equalities_in_range() {
+        let w = QueryWorkload::new(&spec(), QueryShape::PointLookups, 1);
+        for q in w.generate_for(13, 200) {
+            assert_eq!(q.lo, q.hi);
+            assert!(q.hi < w.active_range(13));
+        }
+    }
+
+    #[test]
+    fn range_selectivity_respected() {
+        let w = QueryWorkload::new(&spec(), QueryShape::Ranges { selectivity: 0.25 }, 2);
+        let active = w.active_range(13);
+        for q in w.generate_for(13, 100) {
+            let span = q.hi - q.lo + 1;
+            assert_eq!(span, (active as f64 * 0.25).ceil() as u64);
+            assert!(q.hi < active);
+        }
+    }
+
+    #[test]
+    fn paper_shape_matches_section_5_3() {
+        let w = QueryWorkload::new(&spec(), QueryShape::PaperHalfDomain, 3);
+        // Non-key attribute: a = active/2, b = active-1.
+        let q = w.generate_for(13, 1)[0];
+        let active = w.active_range(13);
+        assert_eq!(q.lo, active / 2);
+        assert_eq!(q.hi, active - 1);
+        // Key attribute: equality.
+        let kq = w.generate_for(15, 1)[0];
+        assert_eq!(kq.lo, kq.hi);
+        assert_eq!(kq.lo, 500);
+    }
+
+    #[test]
+    fn mix_covers_all_attributes() {
+        let w = QueryWorkload::new(&spec(), QueryShape::PointLookups, 4);
+        let mix = w.generate_mix(64);
+        assert_eq!(mix.len(), 64);
+        let attrs: std::collections::BTreeSet<usize> = mix.iter().map(|q| q.attr).collect();
+        assert_eq!(attrs.len(), 16, "round-robin touches every attribute");
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute out of range")]
+    fn bad_attribute_panics() {
+        let w = QueryWorkload::new(&spec(), QueryShape::PointLookups, 0);
+        let _ = w.generate_for(99, 1);
+    }
+}

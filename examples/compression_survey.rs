@@ -1,0 +1,99 @@
+//! Compression-efficiency survey: the §5.1 sweep (Fig. 5.7) at example
+//! scale, plus the coding-mode and block-size ablations from DESIGN.md.
+//!
+//! Run with: `cargo run --release -p avq --example compression_survey`
+//! (pass a tuple count as the first argument to change the scale; default
+//! 20 000).
+
+use avq::prelude::*;
+use avq::workload::SyntheticSpec;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+
+    // Fig. 5.7: four relation characteristics, 15 attributes each.
+    println!("Fig 5.7 — percentage reduction in disk blocks ({n} tuples, 8 KiB blocks)");
+    println!(
+        "{:<28} {:>8} {:>8} {:>10} {:>10}",
+        "test", "uncoded", "coded", "blocks", "payload"
+    );
+    for (name, spec) in SyntheticSpec::fig_5_7_tests(n) {
+        let relation = spec.generate();
+        let coded = compress(&relation, CodecOptions::default()).unwrap();
+        let st = coded.stats();
+        println!(
+            "{:<28} {:>8} {:>8} {:>9.1}% {:>9.1}%",
+            name,
+            st.uncoded_blocks,
+            st.coded_blocks,
+            st.block_reduction_percent(),
+            st.payload_reduction_percent()
+        );
+    }
+    println!("(paper: Test 1 = 73.0%, Test 2 = 65.6%, Test 3 = 73.2%, Test 4 = 65.6%)");
+
+    // Ablation: coding mode × representative choice on the §5.2 relation.
+    let spec = SyntheticSpec::section_5_2(n);
+    let relation = spec.generate();
+    println!(
+        "\nmode × representative ablation (§5.2 relation: 16 attrs, {} B tuples, {n} tuples)",
+        relation.schema().tuple_bytes()
+    );
+    println!(
+        "{:<14} {:<8} {:>8} {:>10}",
+        "mode", "rep", "blocks", "reduction"
+    );
+    for mode in CodingMode::ALL {
+        for rep in RepChoice::ALL {
+            let coded = compress(
+                &relation,
+                CodecOptions {
+                    mode,
+                    rep,
+                    block_capacity: 8192,
+                },
+            )
+            .unwrap();
+            let st = coded.stats();
+            println!(
+                "{:<14} {:<8} {:>8} {:>9.1}%",
+                mode.to_string(),
+                rep.to_string(),
+                st.coded_blocks,
+                st.block_reduction_percent()
+            );
+            if mode == CodingMode::FieldWise {
+                break; // representative is irrelevant without differencing
+            }
+        }
+    }
+
+    // Ablation: block-size sensitivity (§3.3's partition size).
+    println!("\nblock-size sweep (chained AVQ, median representative)");
+    println!(
+        "{:<10} {:>8} {:>8} {:>10}",
+        "block", "uncoded", "coded", "reduction"
+    );
+    for shift in 10..=16 {
+        let capacity = 1usize << shift;
+        let coded = compress(
+            &relation,
+            CodecOptions {
+                block_capacity: capacity,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let st = coded.stats();
+        println!(
+            "{:<10} {:>8} {:>8} {:>9.1}%",
+            format!("{} KiB", capacity / 1024),
+            st.uncoded_blocks,
+            st.coded_blocks,
+            st.block_reduction_percent()
+        );
+    }
+}

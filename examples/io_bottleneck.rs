@@ -1,0 +1,67 @@
+//! The I/O-bottleneck experiment at example scale: response time of an
+//! I/O-intensive range selection on a compressed vs. an uncompressed
+//! relation, on the paper's three 1994 machines (§5.3, Fig. 5.9).
+//!
+//! `C₁ = I + N(t₁ + t₂)` for the coded relation,
+//! `C₂ = I + N(t₁ + t₃)` for the uncoded one — every term below is
+//! *measured* on the simulated device rather than assumed.
+//!
+//! Run with: `cargo run --release -p avq --example io_bottleneck`
+
+use avq::codec::CodingMode;
+use avq::prelude::*;
+use avq::workload::SyntheticSpec;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let relation = SyntheticSpec::section_5_2(n).generate();
+    let attr = 13; // a non-clustering, high-cardinality attribute (§5.3)
+    let schema = relation.schema().clone();
+    // σ_{a ≤ A_k ≤ b} with a = 0.5·|A_k| over the active range (64 values on
+    // this attribute), making the query touch many blocks.
+    let (lo, hi) = (32u64, 63u64);
+
+    println!(
+        "relation: {n} tuples × {} bytes; query σ_{{{lo} ≤ A{attr} ≤ {hi}}}\n",
+        schema.tuple_bytes()
+    );
+
+    for machine in MachineProfile::paper_machines() {
+        println!("=== {} ===", machine.name);
+        for (label, mode, cpu_ms) in [
+            ("uncoded", CodingMode::FieldWise, machine.paper_extract_ms),
+            ("AVQ", CodingMode::AvqChained, machine.paper_decode_ms),
+        ] {
+            let config = DbConfig {
+                codec: avq::codec::CodecOptions {
+                    mode,
+                    ..Default::default()
+                },
+                cpu_ms_per_block: cpu_ms,
+                ..Default::default()
+            };
+            let mut db = Database::new(config);
+            db.create_relation("r", &relation).unwrap();
+            db.create_secondary_index("r", attr).unwrap();
+            db.drop_caches();
+            db.reset_measurements();
+            let (rows, cost) = db.select_range_ordinal("r", attr, lo, hi).unwrap();
+            println!(
+                "  {label:<8} blocks={:<5} I={:>6.3}s  N={:<5} data={:>7.3}s  C={:>7.3}s  ({} rows)",
+                db.relation("r").unwrap().block_count(),
+                cost.index_ms / 1000.0,
+                cost.data_blocks,
+                cost.data_ms / 1000.0,
+                cost.total_ms() / 1000.0,
+                rows.len()
+            );
+        }
+        println!();
+    }
+    println!("(the paper's full-scale numbers: HP 50.8%, Sun 34.0%, DEC 20.1% improvement;");
+    println!(" run `cargo run --release -p avq-bench --bin exp_response_time` for the");
+    println!(" 10⁵-tuple reproduction of Fig. 5.9)");
+}

@@ -1,0 +1,320 @@
+//! Every worked number in the paper, asserted exactly: Fig. 2.2 (domain
+//! mapping, re-ordering, block coding), Fig. 3.3 (coding stages), §3.4's
+//! byte stream, Fig. 4.4/4.5 (indexes), and Fig. 4.6 (insertion).
+
+use avq::codec::{BlockCodec, CodecOptions, CodingMode, RepChoice, BLOCK_HEADER_BYTES};
+use avq::num::BigUnsigned;
+use avq::prelude::*;
+use avq::workload::{employee_relation, employee_schema};
+
+/// The sorted employee relation: Fig. 2.2 (c).
+fn sorted_employees() -> Relation {
+    let mut r = employee_relation();
+    r.sort();
+    r
+}
+
+/// The paper's 4th block: sorted tuples 15..20.
+fn paper_block() -> Vec<Tuple> {
+    sorted_employees().tuples()[15..20].to_vec()
+}
+
+#[test]
+fn fig_2_2_phi_values() {
+    // Spot-check the 𝓝_𝓡 column of Fig. 2.2 (c) across the table.
+    let schema = employee_schema();
+    let cases = [
+        ([2u64, 6, 26, 20, 36], 10_069_284),
+        ([2u64, 6, 29, 21, 2], 10_081_602),
+        ([2u64, 10, 27, 27, 4], 11_122_372),
+        ([3u64, 4, 31, 25, 9], 13_760_073),
+        ([3u64, 8, 36, 39, 35], 14_830_051),
+        ([4u64, 7, 26, 32, 14], 18_720_782),
+        ([5u64, 8, 26, 32, 23], 23_177_239),
+        ([5u64, 10, 33, 22, 15], 23_729_551),
+    ];
+    for (digits, phi) in cases {
+        let t = Tuple::from(digits);
+        assert_eq!(schema.phi(&t).to_u64(), Some(phi), "φ({t:?})");
+        assert_eq!(
+            schema.phi_inv(&BigUnsigned::from_u64(phi)).unwrap(),
+            t,
+            "φ⁻¹({phi})"
+        );
+    }
+}
+
+#[test]
+fn fig_2_2_sorted_order() {
+    let r = sorted_employees();
+    assert!(r.is_sorted());
+    assert_eq!(r.tuples()[0], Tuple::from([2u64, 6, 26, 20, 36]));
+    assert_eq!(r.tuples()[49], Tuple::from([5u64, 10, 33, 22, 15]));
+}
+
+#[test]
+fn fig_3_3_block_contents() {
+    // Fig. 3.3 (a): the block's tuples and φ values.
+    let block = paper_block();
+    let schema = employee_schema();
+    let phis: Vec<u64> = block
+        .iter()
+        .map(|t| schema.phi(t).to_u64().unwrap())
+        .collect();
+    assert_eq!(
+        phis,
+        vec![14_812_755, 14_813_324, 14_830_051, 15_042_560, 15_050_469]
+    );
+}
+
+#[test]
+fn fig_3_3_basic_avq_stage() {
+    // Fig. 3.3 (b): differences from the median representative.
+    let schema = employee_schema();
+    let codec = BlockCodec::with_options(schema, CodingMode::Avq, RepChoice::Median);
+    let coded = codec.encode(&paper_block()).unwrap();
+    assert_eq!(
+        &coded[BLOCK_HEADER_BYTES..],
+        &[
+            3, 8, 36, 39, 35, // representative
+            2, 4, 14, 16, // 17296
+            2, 4, 5, 23, // 16727
+            2, 51, 56, 29, // 212509
+            2, 53, 52, 2, // 220418
+        ]
+    );
+}
+
+#[test]
+fn section_3_4_byte_stream() {
+    // The exact stream §3.4 prints:
+    // 3 08 36 39 35 | 3 08 57 | 2 04 05 23 | 2 51 56 29 | 2 01 59 37
+    let codec = BlockCodec::new(employee_schema());
+    let coded = codec.encode(&paper_block()).unwrap();
+    assert_eq!(
+        &coded[BLOCK_HEADER_BYTES..],
+        &[3, 8, 36, 39, 35, 3, 8, 57, 2, 4, 5, 23, 2, 51, 56, 29, 2, 1, 59, 37]
+    );
+    // Decoding reverses it exactly (Theorem 2.1).
+    assert_eq!(codec.decode(&coded).unwrap(), paper_block());
+}
+
+#[test]
+fn example_3_2_and_3_3_differences() {
+    let schema = employee_schema();
+    let radix = schema.radix();
+    // Example 3.2: 14830051 − 14813324 = 16727 = (0,00,04,05,23).
+    let d = radix.abs_diff(&[3, 8, 36, 39, 35], &[3, 8, 32, 34, 12]);
+    assert_eq!(d, vec![0, 0, 4, 5, 23]);
+    assert_eq!(radix.rank(&d).to_u64(), Some(16_727));
+    // Example 3.3: 17296 − 16727 = 569 = (0,00,00,08,57).
+    let d1 = radix.abs_diff(&[3, 8, 32, 25, 19], &[3, 8, 36, 39, 35]);
+    assert_eq!(radix.rank(&d1).to_u64(), Some(17_296));
+    let chained = radix.checked_sub(&d1, &[0, 0, 4, 5, 23]).expect("d1 > d2");
+    assert_eq!(chained, vec![0, 0, 0, 8, 57]);
+    assert_eq!(radix.rank(&chained).to_u64(), Some(569));
+}
+
+#[test]
+fn fig_4_4_primary_index() {
+    // Load the employee relation with 5-tuple blocks (as the figures draw)
+    // and an order-3 primary tree; verify whole-tuple search finds the
+    // paper's example target (4,07,39,37,08).
+    let relation = sorted_employees();
+    let config = DbConfig {
+        codec: CodecOptions {
+            block_capacity: 64,
+            ..Default::default()
+        },
+        index_order: 3,
+        ..Default::default()
+    };
+    let mut db = Database::new(config);
+    db.create_relation("employees", &relation).unwrap();
+    let stored = db.relation("employees").unwrap();
+    stored.primary_index().validate().unwrap();
+    assert!(stored.primary_index().stats().unwrap().height >= 2);
+
+    let target = Tuple::from([4u64, 7, 39, 37, 8]);
+    let (found, cost) = stored.contains(&target).unwrap();
+    assert!(found, "the paper's lookup target must be found");
+    assert_eq!(cost.data_blocks, 1, "exactly one data block decoded");
+}
+
+#[test]
+fn fig_4_5_secondary_index() {
+    // σ_{A₅=34}(R) through the A₅ secondary index returns the single
+    // matching employee (3,10,32,30,34).
+    let relation = sorted_employees();
+    let config = DbConfig {
+        codec: CodecOptions {
+            block_capacity: 64,
+            ..Default::default()
+        },
+        index_order: 3,
+        ..Default::default()
+    };
+    let mut db = Database::new(config);
+    db.create_relation("employees", &relation).unwrap();
+    db.create_secondary_index("employees", 4).unwrap();
+    let (rows, cost) = db.select_range_ordinal("employees", 4, 34, 34).unwrap();
+    assert_eq!(rows, vec![Tuple::from([3u64, 10, 32, 30, 34])]);
+    assert_eq!(cost.data_blocks, 1);
+}
+
+#[test]
+fn fig_4_6_insertion_through_database() {
+    // Insert the Fig. 4.6 tuple through the full database stack and verify
+    // the relation afterwards.
+    let relation = sorted_employees();
+    let config = DbConfig {
+        codec: CodecOptions {
+            block_capacity: 64,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut db = Database::new(config);
+    db.create_relation("employees", &relation).unwrap();
+    let new_tuple = Tuple::from([3u64, 8, 32, 26, 0]); // φ = 14 812 800
+    assert_eq!(employee_schema().phi(&new_tuple).to_u64(), Some(14_812_800));
+    db.relation_mut("employees")
+        .unwrap()
+        .insert(&new_tuple)
+        .unwrap();
+    let stored = db.relation("employees").unwrap();
+    assert_eq!(stored.tuple_count(), 51);
+    let (found, _) = stored.contains(&new_tuple).unwrap();
+    assert!(found);
+    // The relation scans back in φ order with the new tuple in place.
+    let all = stored.scan_all().unwrap();
+    assert!(all.windows(2).all(|w| w[0] <= w[1]));
+    let pos = all.binary_search(&new_tuple).unwrap();
+    assert_eq!(
+        all[pos.saturating_sub(1)],
+        Tuple::from([3u64, 8, 32, 25, 19])
+    );
+}
+
+/// Fig. 2.2 (d): the whole employee relation coded block-by-block (5 tuples
+/// per block, as the figure draws). Each row of table (d) is either a block
+/// representative (the raw tuple with its φ) or a chained difference
+/// re-expressed as 𝓡-space digits with its φ. The rows below are
+/// transcribed from the paper; every legible row is asserted.
+#[test]
+fn fig_2_2d_full_table() {
+    let schema = employee_schema();
+    let radix = schema.radix();
+    let sorted = sorted_employees();
+    let tuples = sorted.tuples();
+
+    // (row number 1-based, digits, φ) — representatives are rows ≡ 3 (mod 5).
+    #[rustfmt::skip]
+    let expected: &[(usize, [u64; 5], u64)] = &[
+        (1,  [0, 0, 3, 0, 30],    12_318),
+        (2,  [0, 3, 62, 6, 2],    1_040_770),
+        (3,  [2, 10, 27, 27, 4],  11_122_372), // rep of block 1
+        (4,  [0, 10, 3, 62, 5],   2_637_701),
+        (5,  [0, 0, 55, 63, 60],  229_372),
+        (6,  [0, 0, 6, 5, 59],    24_955),
+        (7,  [0, 0, 62, 9, 1],    254_529),
+        (8,  [3, 6, 32, 37, 7],   14_289_223), // rep of block 2
+        (9,  [0, 0, 1, 53, 17],   7_505),
+        (10, [0, 0, 60, 6, 24],   246_168),
+        (11, [0, 0, 2, 3, 6],     8_390),
+        (12, [0, 0, 2, 5, 44],    8_556),
+        (13, [3, 7, 39, 37, 26],  14_580_058), // rep of block 3
+        (14, [0, 0, 48, 57, 3],   200_259),
+        (15, [0, 0, 7, 2, 57],    28_857),
+        (16, [0, 0, 0, 8, 57],    569),
+        (17, [0, 0, 4, 5, 23],    16_727),
+        (18, [3, 8, 36, 39, 35],  14_830_051), // rep of block 4 (§3.4)
+        (19, [0, 0, 51, 56, 29],  212_509),
+        (20, [0, 0, 1, 59, 37],   7_909),
+        (21, [0, 0, 7, 1, 47],    28_783),
+        (22, [0, 0, 62, 2, 18],   254_098),
+        (23, [3, 10, 32, 30, 34], 15_337_378), // rep of block 5
+        (24, [0, 0, 2, 59, 4],    11_972),
+        (25, [0, 10, 19, 62, 6],  2_703_238),
+        (26, [0, 1, 0, 62, 7],    266_119),
+        (27, [0, 0, 50, 4, 51],   205_107),
+        (28, [4, 7, 26, 32, 14],  18_720_782), // rep of block 6
+        (29, [0, 0, 4, 9, 53],    17_013),
+        (30, [0, 0, 2, 54, 27],   11_675),
+        (31, [0, 0, 0, 5, 23],    343),
+        (32, [0, 0, 55, 51, 34],  228_578),
+        (33, [4, 8, 31, 24, 42],  19_002_922), // rep of block 7
+        (34, [0, 0, 0, 63, 63],   4_095),
+        (35, [0, 0, 0, 3, 4],     196),
+        (36, [0, 0, 2, 58, 5],    11_909),
+        (37, [0, 0, 8, 62, 3],    36_739),
+        (38, [4, 8, 50, 26, 21],  19_080_853), // rep of block 8
+        (39, [0, 0, 32, 58, 53],  134_837),
+        (40, [0, 0, 6, 6, 7],     24_967),
+        (41, [0, 0, 62, 1, 61],   254_077),
+        (42, [0, 0, 4, 39, 15],   18_895),
+        (43, [4, 10, 35, 19, 43], 19_543_275), // rep of block 9
+        (44, [0, 0, 4, 13, 60],   17_276),
+        (45, [0, 1, 36, 61, 26],  413_530),
+        (47, [0, 0, 45, 15, 62],  185_342),
+        (48, [5, 8, 26, 32, 23],  23_177_239), // rep of block 10
+        (49, [0, 1, 56, 63, 9],   495_561),
+        (50, [0, 0, 13, 54, 47],  56_751),
+    ];
+
+    // Compute table (d) from our coder's definition: blocks of 5, median
+    // representative, chained differences (Example 3.3).
+    let row_of = |r: usize| -> Vec<u64> {
+        let i = r - 1; // tuple index
+        let block = i / 5;
+        let rep_idx = block * 5 + 2;
+        if i == rep_idx {
+            tuples[i].digits().to_vec()
+        } else if i < rep_idx {
+            radix.abs_diff(tuples[i + 1].digits(), tuples[i].digits())
+        } else {
+            radix.abs_diff(tuples[i].digits(), tuples[i - 1].digits())
+        }
+    };
+
+    for &(row, digits, phi) in expected {
+        let got = row_of(row);
+        assert_eq!(got, digits.to_vec(), "table (d) row {row}");
+        assert_eq!(
+            radix.rank(&got).to_u64(),
+            Some(phi),
+            "table (d) row {row} φ value"
+        );
+    }
+
+    // And the BlockCodec streams for all 10 blocks decode back to the
+    // relation (table (d) as actually serialized).
+    let codec = BlockCodec::new(schema);
+    for b in 0..10 {
+        let run = &tuples[b * 5..(b + 1) * 5];
+        let coded = codec.encode(run).unwrap();
+        assert_eq!(codec.decode(&coded).unwrap(), run, "block {}", b + 1);
+    }
+}
+
+#[test]
+fn whole_relation_coded_losslessly() {
+    // Fig. 2.2 (d): the entire employee relation compresses and round-trips
+    // under all three modes.
+    let relation = employee_relation();
+    for mode in CodingMode::ALL {
+        let coded = avq::codec::compress(
+            &relation,
+            CodecOptions {
+                mode,
+                block_capacity: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let back = coded.decompress().unwrap();
+        let mut expect = relation.tuples().to_vec();
+        expect.sort_unstable();
+        assert_eq!(back.tuples(), &expect[..], "mode {mode}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Integration tests spanning avq-file, avq-codec, and avq-db: compress →
+//! save → load → serve queries from a fresh database, plus streaming bulk
+//! loads feeding the same pipeline.
+
+use avq::codec::{compress, compress_parallel, CodecOptions, CodingMode};
+use avq::db::{Aggregate, AggregateValue, DbConfig, RangePredicate, Selection, StoredRelation};
+use avq::prelude::*;
+use avq::workload::SyntheticSpec;
+use std::sync::Arc;
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("avq-it-{tag}-{}.avq", std::process::id()))
+}
+
+#[test]
+fn save_load_serve_roundtrip() {
+    let relation = SyntheticSpec::test1(5_000).generate();
+    let coded = compress(
+        &relation,
+        CodecOptions {
+            block_capacity: 2048,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let path = temp_path("serve");
+    avq::file::save(&path, &coded).unwrap();
+    let loaded = avq::file::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // Serve queries from a fresh database built on the loaded blocks.
+    let mut db = Database::new(DbConfig {
+        codec: CodecOptions {
+            block_capacity: 2048,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    db.create_relation_from_coded("r", &loaded).unwrap();
+    let stored = db.relation("r").unwrap();
+    assert_eq!(stored.tuple_count(), 5_000);
+    stored.primary_index().validate().unwrap();
+
+    // Results agree with a database loaded from the raw relation.
+    let mut reference = Database::new(*db.config());
+    reference.create_relation("r", &relation).unwrap();
+    for attr in [0usize, 3, 7] {
+        let (a, _) = db.select_range_ordinal("r", attr, 0, 1).unwrap();
+        let (b, _) = reference.select_range_ordinal("r", attr, 0, 1).unwrap();
+        let mut a = a;
+        let mut b = b;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "attr {attr}");
+    }
+
+    // And updates work on the loaded copy.
+    let t = stored.scan_all().unwrap()[42].clone();
+    db.relation_mut("r").unwrap().delete(&t).unwrap();
+    assert_eq!(db.relation("r").unwrap().tuple_count(), 4_999);
+}
+
+#[test]
+fn parallel_compress_saves_identically() {
+    let relation = SyntheticSpec::test3(20_000).generate();
+    let opts = CodecOptions {
+        block_capacity: 4096,
+        ..Default::default()
+    };
+    let seq = compress(&relation, opts).unwrap();
+    let par = compress_parallel(&relation, opts, 4).unwrap();
+
+    let mut buf_seq = Vec::new();
+    let mut buf_par = Vec::new();
+    avq::file::write_coded_relation(&mut buf_seq, &seq).unwrap();
+    avq::file::write_coded_relation(&mut buf_par, &par).unwrap();
+    assert_eq!(buf_seq, buf_par, "parallel compression is byte-identical");
+}
+
+#[test]
+fn streaming_load_then_save() {
+    // Stream tuples into a database with a tiny sort budget, then persist
+    // by re-compressing the scan.
+    let spec = SyntheticSpec::test1(3_000);
+    let relation = spec.generate();
+    let schema = relation.schema().clone();
+    let config = DbConfig {
+        codec: CodecOptions {
+            block_capacity: 1024,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let device = avq::storage::BlockDevice::new(1024, config.disk);
+    let pool = avq::storage::BufferPool::new(device.clone(), 128);
+    let stored = StoredRelation::bulk_load_streaming(
+        device,
+        pool,
+        schema.clone(),
+        relation.tuples().to_vec(),
+        config,
+        100, // 30 spill runs
+    )
+    .unwrap();
+    assert_eq!(stored.tuple_count(), 3_000);
+
+    let tuples = stored.scan_all().unwrap();
+    let coded = avq::codec::compress_sorted(schema, &tuples, config.codec).unwrap();
+    let path = temp_path("stream");
+    avq::file::save(&path, &coded).unwrap();
+    let loaded = avq::file::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.decompress().unwrap().tuples(), &tuples[..]);
+}
+
+#[test]
+fn bits_mode_through_the_full_stack() {
+    // The bit-aligned extension mode: compress → file → database → query.
+    let relation = SyntheticSpec::test2(4_000).generate();
+    let opts = CodecOptions {
+        mode: CodingMode::AvqChainedBits,
+        block_capacity: 2048,
+        ..Default::default()
+    };
+    let coded = compress(&relation, opts).unwrap();
+    // Bits mode beats the byte-aligned default on these small domains.
+    let byte_coded = compress(
+        &relation,
+        CodecOptions {
+            mode: CodingMode::AvqChained,
+            ..opts
+        },
+    )
+    .unwrap();
+    assert!(coded.stats().coded_payload_bytes < byte_coded.stats().coded_payload_bytes);
+
+    let path = temp_path("bits");
+    avq::file::save(&path, &coded).unwrap();
+    let loaded = avq::file::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.options().mode, CodingMode::AvqChainedBits);
+
+    let mut db = Database::new(DbConfig {
+        codec: opts,
+        ..Default::default()
+    });
+    db.create_relation_from_coded("r", &loaded).unwrap();
+    let stored = db.relation("r").unwrap();
+    let (count, _) = stored
+        .aggregate(Aggregate::Count, &Selection::all())
+        .unwrap();
+    assert_eq!(count, AggregateValue::Count(4_000));
+    let sel = Selection::all().and(RangePredicate {
+        attr: 2,
+        lo: 0,
+        hi: 1,
+    });
+    let (rows, _, _) = stored.select(&sel).unwrap();
+    let expect = stored
+        .scan_all()
+        .unwrap()
+        .iter()
+        .filter(|t| t.digits()[2] <= 1)
+        .count();
+    assert_eq!(rows.len(), expect);
+}
+
+#[test]
+fn group_by_through_database() {
+    let schema = Schema::from_pairs(vec![
+        ("region", Domain::uint(4).unwrap()),
+        ("qty", Domain::uint(100).unwrap()),
+    ])
+    .unwrap();
+    let tuples: Vec<Tuple> = (0..800u64).map(|i| Tuple::from([i % 4, i % 100])).collect();
+    let relation = Relation::from_tuples(Arc::clone(&schema), tuples).unwrap();
+    let mut db = Database::new(DbConfig {
+        codec: CodecOptions {
+            block_capacity: 256,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    db.create_relation("sales", &relation).unwrap();
+    let (groups, _) = db
+        .relation("sales")
+        .unwrap()
+        .aggregate_group_by(0, Aggregate::Avg { attr: 1 }, &Selection::all())
+        .unwrap();
+    assert_eq!(groups.len(), 4);
+    for (_, v) in groups {
+        let AggregateValue::Avg(Some(avg)) = v else {
+            panic!("non-empty groups");
+        };
+        assert!((avg - 49.5).abs() < 2.5);
+    }
+}
