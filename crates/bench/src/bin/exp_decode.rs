@@ -1,0 +1,175 @@
+//! Experiment E12 — decode-path performance: streaming per-block decode
+//! with a reused scratch vs. a fresh scratch per block, whole-relation
+//! parallel decompression scaling, and the cold-vs-warm full scan through
+//! the decoded-block cache (a warm re-scan performs zero decode calls,
+//! asserted via the cache's hit/miss counters).
+//!
+//! Results are printed as tables and recorded as JSON in
+//! `results/BENCH_decode.json` (override the path with the second
+//! argument).
+//!
+//! Usage: `cargo run --release -p avq-bench --bin exp_decode [n] [json_path]`
+
+use avq_bench::harness;
+use avq_bench::measure::avg_ms;
+use avq_bench::report::Table;
+use avq_codec::{compress, decompress_parallel, CodecOptions, DecodeScratch};
+use avq_db::{Database, DbConfig};
+use avq_schema::Tuple;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let json_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "results/BENCH_decode.json".to_owned());
+    let reps = if n >= 50_000 { 20 } else { 50 };
+
+    let (_, relation) = harness::timing_relation(n);
+    let coded = compress(&relation, CodecOptions::default()).unwrap();
+    let blocks = coded.block_count();
+    println!(
+        "relation: {n} tuples × {} bytes -> {blocks} coded blocks, {reps} reps\n",
+        relation.schema().tuple_bytes()
+    );
+
+    // Per-block streaming decode: fresh scratch per call vs. one reused
+    // scratch (the zero-allocation path).
+    let codec = coded.codec();
+    let mut out: Vec<Tuple> = Vec::new();
+    let fresh_ms = avg_ms(1, reps, || {
+        out.clear();
+        for i in 0..blocks {
+            codec.decode_into(coded.block(i), &mut out).unwrap();
+        }
+        std::hint::black_box(&out);
+    });
+    let mut scratch = DecodeScratch::new();
+    let reused_ms = avg_ms(1, reps, || {
+        out.clear();
+        for i in 0..blocks {
+            codec
+                .decode_into_scratch(coded.block(i), &mut out, &mut scratch)
+                .unwrap();
+        }
+        std::hint::black_box(&out);
+    });
+
+    let mut t = Table::new(["decode path", "total ms", "ms/block"]);
+    t.row([
+        "fresh scratch".to_owned(),
+        format!("{fresh_ms:.3}"),
+        format!("{:.4}", fresh_ms / blocks as f64),
+    ]);
+    t.row([
+        "reused scratch".to_owned(),
+        format!("{reused_ms:.3}"),
+        format!("{:.4}", reused_ms / blocks as f64),
+    ]);
+    t.print();
+    println!();
+
+    // Whole-relation decompression, sequential vs. striped across threads.
+    let seq_ms = avg_ms(1, reps, || {
+        std::hint::black_box(coded.decompress().unwrap());
+    });
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut par = Vec::new();
+    let mut t = Table::new(["threads", "decompress ms", "speedup vs sequential"]);
+    t.row(["seq".to_owned(), format!("{seq_ms:.3}"), "1.00".to_owned()]);
+    for &threads in &thread_counts {
+        let ms = avg_ms(1, reps, || {
+            std::hint::black_box(decompress_parallel(&coded, threads).unwrap());
+        });
+        t.row([
+            threads.to_string(),
+            format!("{ms:.3}"),
+            format!("{:.2}", seq_ms / ms),
+        ]);
+        par.push((threads, ms));
+    }
+    t.print();
+    println!();
+
+    // Cold vs. warm full scan through the decoded-block cache.
+    let config = DbConfig::default().with_decoded_cache_blocks(blocks.max(1) * 2);
+    let mut db = Database::new(config);
+    db.create_relation(harness::REL, &relation).unwrap();
+    let rel = db.relation(harness::REL).unwrap();
+
+    // Cold scans are made repeatable by dropping all caches before each
+    // repetition; warm scans repeat naturally once the cache is populated.
+    let cold_ms = avg_ms(1, reps, || {
+        db.drop_caches();
+        std::hint::black_box(rel.scan_all().unwrap());
+    });
+    let warm_ms = avg_ms(1, reps, || {
+        std::hint::black_box(rel.scan_all().unwrap());
+    });
+
+    // Counter contract: one cold scan misses every block, the warm re-scan
+    // hits every block and performs zero decode calls.
+    db.drop_caches();
+    rel.reset_decoded_stats();
+    let cold_scan = rel.scan_all().unwrap();
+    let cold_stats = rel.decoded_stats();
+    assert_eq!(cold_stats.hits, 0, "cold scan cannot hit the decoded cache");
+    let warm_scan = rel.scan_all().unwrap();
+    let warm_stats = rel.decoded_stats();
+    assert_eq!(warm_scan, cold_scan);
+    assert_eq!(
+        warm_stats.hits as usize,
+        rel.block_count(),
+        "warm re-scan must be served entirely from the decoded cache"
+    );
+    assert_eq!(
+        warm_stats.misses, cold_stats.misses,
+        "warm re-scan performs zero decode calls"
+    );
+
+    let mut t = Table::new(["scan", "ms", "cache hits", "cache misses"]);
+    t.row([
+        "cold".to_owned(),
+        format!("{cold_ms:.3}"),
+        cold_stats.hits.to_string(),
+        cold_stats.misses.to_string(),
+    ]);
+    t.row([
+        "warm".to_owned(),
+        format!("{warm_ms:.3}"),
+        warm_stats.hits.to_string(),
+        warm_stats.misses.to_string(),
+    ]);
+    t.print();
+
+    let par_json: Vec<String> = par
+        .iter()
+        .map(|&(threads, ms)| {
+            format!(
+                "{{\"threads\": {threads}, \"ms\": {ms:.3}, \"speedup\": {:.3}}}",
+                seq_ms / ms
+            )
+        })
+        .collect();
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let json = format!(
+        "{{\n  \"experiment\": \"decode\",\n  \"tuples\": {n},\n  \"blocks\": {blocks},\n  \
+         \"host_threads\": {host_threads},\n  \
+         \"fresh_scratch_ms\": {fresh_ms:.3},\n  \"reused_scratch_ms\": {reused_ms:.3},\n  \
+         \"sequential_decompress_ms\": {seq_ms:.3},\n  \"parallel_decompress\": [{}],\n  \
+         \"scan_cold_ms\": {cold_ms:.3},\n  \"scan_warm_ms\": {warm_ms:.3},\n  \
+         \"warm_cache_hits\": {},\n  \"warm_cache_misses\": {}\n}}\n",
+        par_json.join(", "),
+        warm_stats.hits,
+        warm_stats.misses,
+    );
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap();
+        }
+    }
+    std::fs::write(&json_path, json).unwrap();
+    println!("\nwrote {json_path}");
+}

@@ -44,12 +44,11 @@ fn main() {
     let (spec, relation) = harness::timing_relation(n);
 
     eprintln!("measuring uncoded and AVQ sides in parallel...");
-    let (uncoded, coded) = crossbeam::thread::scope(|s| {
-        let u = s.spawn(|_| measure_side(&relation, &spec, CodingMode::FieldWise));
-        let c = s.spawn(|_| measure_side(&relation, &spec, CodingMode::AvqChained));
+    let (uncoded, coded) = std::thread::scope(|s| {
+        let u = s.spawn(|| measure_side(&relation, &spec, CodingMode::FieldWise));
+        let c = s.spawn(|| measure_side(&relation, &spec, CodingMode::AvqChained));
         (u.join().expect("uncoded side"), c.join().expect("AVQ side"))
-    })
-    .expect("measurement scope");
+    });
 
     println!(
         "relation: {n} tuples; data blocks {} uncoded / {} AVQ ({:.1}% reduction)\n",

@@ -27,6 +27,36 @@ use std::sync::Arc;
 /// Size in bytes of the block header (`count: u16 LE`, `rep_idx: u16 LE`).
 pub const BLOCK_HEADER_BYTES: usize = 4;
 
+/// Reusable scratch buffers for the streaming decode path.
+///
+/// A `DecodeScratch` owns the parsed-entry arena and the working digit
+/// buffers, so decoding a block through
+/// [`BlockCodec::decode_into_scratch`] performs no per-entry heap
+/// allocation beyond the one digit vector each returned [`Tuple`] must own.
+/// Reuse one scratch across blocks (as [`crate::CodedRelation::decompress`]
+/// and the parallel decode workers do) to amortize even the arena growth:
+/// after the first few blocks the buffers reach a steady-state capacity and
+/// decoding stops touching the allocator entirely except for the tuples
+/// themselves.
+#[derive(Debug, Default, Clone)]
+pub struct DecodeScratch {
+    /// Flat arena of difference digit vectors; entry `k` occupies
+    /// `[k·n, (k+1)·n)` where `n` is the schema arity. The chained decode
+    /// overwrites consumed entries in place with reconstructed tuples.
+    diffs: Vec<u64>,
+    /// Running digit vector mutated in place while unwinding a chain.
+    running: Vec<u64>,
+    /// Per-entry work buffer for the un-chained mode.
+    tmp: Vec<u64>,
+}
+
+impl DecodeScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Codes and decodes blocks of φ-sorted tuples for one schema.
 ///
 /// The codec is cheap to clone (it shares the schema) and holds no
@@ -255,7 +285,42 @@ impl BlockCodec {
     }
 
     /// Decodes a block stream, appending tuples to `out` in φ order.
+    ///
+    /// On error `out` is left exactly as it was. Allocates fresh scratch
+    /// buffers; decode loops should use [`Self::decode_into_scratch`] to
+    /// reuse them across blocks.
     pub fn decode_into(&self, bytes: &[u8], out: &mut Vec<Tuple>) -> Result<(), CodecError> {
+        self.decode_into_scratch(bytes, out, &mut DecodeScratch::new())
+    }
+
+    /// Decodes a block stream, appending tuples to `out` in φ order and
+    /// reusing `scratch` for all intermediate state.
+    ///
+    /// This is the streaming decode path: per block it performs exactly one
+    /// digit-vector allocation per decoded tuple (the buffer each [`Tuple`]
+    /// owns) — differences are parsed into the scratch arena and the chain
+    /// is unwound by mutating one running digit buffer in place. On error
+    /// `out` is truncated back to its entry length.
+    pub fn decode_into_scratch(
+        &self,
+        bytes: &[u8],
+        out: &mut Vec<Tuple>,
+        scratch: &mut DecodeScratch,
+    ) -> Result<(), CodecError> {
+        let base = out.len();
+        let result = self.decode_inner(bytes, out, scratch);
+        if result.is_err() {
+            out.truncate(base);
+        }
+        result
+    }
+
+    fn decode_inner(
+        &self,
+        bytes: &[u8],
+        out: &mut Vec<Tuple>,
+        scratch: &mut DecodeScratch,
+    ) -> Result<(), CodecError> {
         let (u, rep_idx) = read_header(bytes)?;
         if u == 0 {
             return Err(CodecError::Corrupt {
@@ -305,71 +370,104 @@ impl BlockCodec {
             })?;
         pos += m;
 
+        let n = self.schema.arity();
         let radix = self.schema.radix();
-        let mut diffs = Vec::with_capacity(u - 1);
+        let DecodeScratch {
+            diffs,
+            running,
+            tmp,
+        } = scratch;
+        diffs.clear();
+        diffs.reserve((u - 1) * n);
         if self.mode == CodingMode::AvqChainedBits {
             let mut br = BitReader::new(&bytes[pos..]);
             for k in 0..u - 1 {
                 let bl = br
                     .read_gamma()
-                    .ok_or(CodecError::Corrupt {
+                    .ok_or_else(|| CodecError::Corrupt {
                         offset: pos,
                         detail: format!("bit entry {k}: truncated gamma length"),
                     })?
                     .checked_sub(1)
                     .expect("gamma codes are >= 1") as usize;
-                let value = br.read_bits_big(bl).ok_or(CodecError::Corrupt {
-                    offset: pos,
-                    detail: format!("bit entry {k}: truncated payload"),
-                })?;
-                let digits = radix
-                    .unrank(&value)
-                    .ok_or(CodecError::DifferenceOutOfSpace { entry: k })?;
-                diffs.push(digits);
+                diffs.resize((k + 1) * n, 0);
+                // Nearly every difference fits a machine word; unrank those
+                // without building a bignum.
+                let ok = if bl < 64 {
+                    let value = br
+                        .read_bits_u64(bl as u32)
+                        .ok_or_else(|| CodecError::Corrupt {
+                            offset: pos,
+                            detail: format!("bit entry {k}: truncated payload"),
+                        })?;
+                    radix.unrank_u64_into(value, &mut diffs[k * n..])
+                } else {
+                    let value = br.read_bits_big(bl).ok_or_else(|| CodecError::Corrupt {
+                        offset: pos,
+                        detail: format!("bit entry {k}: truncated payload"),
+                    })?;
+                    radix.unrank_into(value, &mut diffs[k * n..])
+                };
+                if !ok {
+                    return Err(CodecError::DifferenceOutOfSpace { entry: k });
+                }
             }
         } else {
-            let mut scratch = Vec::with_capacity(m);
             for _ in 0..u - 1 {
-                let (digits, next) = rle::read_entry(&self.schema, bytes, pos, &mut scratch)?;
-                diffs.push(digits);
-                pos = next;
+                pos = rle::read_entry_append(&self.schema, bytes, pos, diffs)?;
             }
         }
 
-        let base = out.len();
-        out.resize(base + u, Tuple::new(Vec::new()));
-        out[base + rep_idx] = rep;
+        out.reserve(u);
+        running.clear();
+        running.extend_from_slice(rep.digits());
 
         match self.mode {
             CodingMode::Avq => {
-                for (k, diff) in diffs.iter().enumerate() {
-                    let i = if k < rep_idx { k } else { k + 1 };
-                    let rep_digits = out[base + rep_idx].digits().to_vec();
-                    let digits = if i < rep_idx {
-                        radix.checked_sub(&rep_digits, diff)
-                    } else {
-                        radix.checked_add(&rep_digits, diff)
+                // Every entry is an independent offset from the
+                // representative (held pristine in `running`); entries are
+                // stored in φ order, so reconstruction pushes in φ order too.
+                for k in 0..rep_idx {
+                    tmp.clear();
+                    tmp.extend_from_slice(running);
+                    if !radix.sub_assign(tmp, &diffs[k * n..(k + 1) * n]) {
+                        return Err(CodecError::DifferenceOutOfSpace { entry: k });
                     }
-                    .ok_or(CodecError::DifferenceOutOfSpace { entry: k })?;
-                    out[base + i] = Tuple::new(digits);
+                    out.push(Tuple::new(tmp.clone()));
+                }
+                out.push(rep);
+                for k in rep_idx..u - 1 {
+                    tmp.clear();
+                    tmp.extend_from_slice(running);
+                    if !radix.add_assign(tmp, &diffs[k * n..(k + 1) * n]) {
+                        return Err(CodecError::DifferenceOutOfSpace { entry: k });
+                    }
+                    out.push(Tuple::new(tmp.clone()));
                 }
             }
             CodingMode::AvqChained | CodingMode::AvqChainedBits => {
-                // Unwind outward from the representative: backwards over the
-                // first half, forwards over the second.
+                // Unwind outward from the representative: walk backwards over
+                // the first half, overwriting each consumed arena entry with
+                // the reconstructed tuple so the first half can then be
+                // pushed in ascending φ order, and stream forwards over the
+                // second half on the running buffer alone.
                 for i in (0..rep_idx).rev() {
-                    let succ = out[base + i + 1].digits().to_vec();
-                    let digits = radix
-                        .checked_sub(&succ, &diffs[i])
-                        .ok_or(CodecError::DifferenceOutOfSpace { entry: i })?;
-                    out[base + i] = Tuple::new(digits);
+                    if !radix.sub_assign(running, &diffs[i * n..(i + 1) * n]) {
+                        return Err(CodecError::DifferenceOutOfSpace { entry: i });
+                    }
+                    diffs[i * n..(i + 1) * n].copy_from_slice(running);
                 }
-                for i in rep_idx + 1..u {
-                    let pred = out[base + i - 1].digits().to_vec();
-                    let digits = radix
-                        .checked_add(&pred, &diffs[i - 1])
-                        .ok_or(CodecError::DifferenceOutOfSpace { entry: i - 1 })?;
-                    out[base + i] = Tuple::new(digits);
+                for i in 0..rep_idx {
+                    out.push(Tuple::new(diffs[i * n..(i + 1) * n].to_vec()));
+                }
+                running.clear();
+                running.extend_from_slice(rep.digits());
+                out.push(rep);
+                for k in rep_idx..u - 1 {
+                    if !radix.add_assign(running, &diffs[k * n..(k + 1) * n]) {
+                        return Err(CodecError::DifferenceOutOfSpace { entry: k });
+                    }
+                    out.push(Tuple::new(running.clone()));
                 }
             }
             CodingMode::FieldWise => unreachable!("handled above"),
@@ -509,13 +607,13 @@ impl BlockCodec {
             for k in 0..count {
                 let bl = br
                     .read_gamma()
-                    .ok_or(CodecError::Corrupt {
+                    .ok_or_else(|| CodecError::Corrupt {
                         offset: pos,
                         detail: format!("bit entry {k}: truncated gamma length"),
                     })?
                     .checked_sub(1)
                     .expect("gamma codes are >= 1") as usize;
-                let value = br.read_bits_big(bl).ok_or(CodecError::Corrupt {
+                let value = br.read_bits_big(bl).ok_or_else(|| CodecError::Corrupt {
                     offset: pos,
                     detail: format!("bit entry {k}: truncated payload"),
                 })?;
@@ -525,9 +623,8 @@ impl BlockCodec {
                 diffs.push(digits);
             }
         } else {
-            let mut scratch = Vec::with_capacity(self.schema.tuple_bytes());
             for _ in 0..count {
-                let (digits, next) = rle::read_entry(&self.schema, bytes, pos, &mut scratch)?;
+                let (digits, next) = rle::read_entry(&self.schema, bytes, pos)?;
                 diffs.push(digits);
                 pos = next;
             }
@@ -769,6 +866,60 @@ mod tests {
                 codec.decode(&coded[..cut]).is_err(),
                 "truncation at {cut} must fail"
             );
+        }
+    }
+
+    #[test]
+    fn failed_decode_leaves_out_unchanged() {
+        // The error contract of decode_into / decode_into_scratch: any
+        // failure — truncation, corrupt entries, out-of-space differences —
+        // must leave `out` exactly as it was, even when the failure is
+        // detected after some tuples were already reconstructed.
+        let schema = employee_schema();
+        let sentinel = vec![Tuple::from([7u64, 7, 7, 7, 7])];
+        for mode in CodingMode::ALL {
+            let codec = BlockCodec::with_options(schema.clone(), mode, RepChoice::Median);
+            let coded = codec.encode(&paper_block()).unwrap();
+            let mut scratch = DecodeScratch::new();
+            for cut in 0..coded.len() {
+                let mut out = sentinel.clone();
+                assert!(
+                    codec
+                        .decode_into_scratch(&coded[..cut], &mut out, &mut scratch)
+                        .is_err(),
+                    "mode {mode}: truncation at {cut} must fail"
+                );
+                assert_eq!(
+                    out, sentinel,
+                    "mode {mode} cut {cut}: out must be untouched"
+                );
+            }
+        }
+        // A forward-chain overflow fails after the first half was pushed.
+        let codec = BlockCodec::with_options(schema, CodingMode::Avq, RepChoice::First);
+        let mut bytes = vec![2, 0, 0, 0];
+        bytes.extend_from_slice(&[7, 15, 63, 63, 63]);
+        bytes.extend_from_slice(&[4, 1]);
+        let mut out = sentinel.clone();
+        assert!(codec.decode_into(&bytes, &mut out).is_err());
+        assert_eq!(out, sentinel);
+    }
+
+    #[test]
+    fn scratch_reuse_across_blocks_and_modes() {
+        let schema = employee_schema();
+        let tuples = paper_block();
+        let mut scratch = DecodeScratch::new();
+        for mode in CodingMode::ALL {
+            let codec = BlockCodec::with_options(schema.clone(), mode, RepChoice::Median);
+            let coded = codec.encode(&tuples).unwrap();
+            for _ in 0..3 {
+                let mut out = Vec::new();
+                codec
+                    .decode_into_scratch(&coded, &mut out, &mut scratch)
+                    .unwrap();
+                assert_eq!(out, tuples, "mode {mode}");
+            }
         }
     }
 

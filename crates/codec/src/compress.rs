@@ -202,11 +202,16 @@ impl CodedRelation {
     }
 
     /// Decompresses the whole relation (tuples come back in φ order).
+    ///
+    /// One [`crate::DecodeScratch`] is carried across all blocks, so the
+    /// whole pass allocates O(tuples): the digit vector each tuple owns,
+    /// and nothing else once the scratch reaches steady state.
     pub fn decompress(&self) -> Result<Relation, CodecError> {
         let codec = self.codec();
+        let mut scratch = crate::block::DecodeScratch::new();
         let mut tuples = Vec::with_capacity(self.tuple_count);
         for b in &self.blocks {
-            codec.decode_into(b, &mut tuples)?;
+            codec.decode_into_scratch(b, &mut tuples, &mut scratch)?;
         }
         Ok(Relation::from_tuples(self.schema.clone(), tuples)
             .expect("decoded tuples are schema-valid"))

@@ -59,11 +59,13 @@ mod rle;
 mod stats;
 mod update;
 
-pub use block::{BlockCodec, BLOCK_HEADER_BYTES};
+pub use block::{BlockCodec, DecodeScratch, BLOCK_HEADER_BYTES};
 pub use compress::{compress, compress_sorted, BlockMeta, CodecOptions, CodedRelation};
 pub use error::CodecError;
 pub use mode::{CodingMode, RepChoice};
 pub use packer::BlockPacker;
-pub use parallel::{compress_parallel, compress_sorted_parallel};
+pub use parallel::{
+    compress_parallel, compress_sorted_parallel, decode_blocks_parallel, decompress_parallel,
+};
 pub use stats::CompressionStats;
 pub use update::{delete_from_block, insert_into_block, DeleteOutcome, InsertOutcome};

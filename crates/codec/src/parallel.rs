@@ -1,12 +1,16 @@
-//! Parallel bulk compression.
+//! Parallel bulk compression and decompression.
 //!
 //! Block coding is embarrassingly parallel once the partition is fixed:
 //! every block depends only on its own run of tuples. [`compress_parallel`]
-//! computes the partition sequentially (it is a cheap scan) and encodes the
-//! runs on a scoped thread pool, producing output byte-identical to
-//! [`crate::compress`].
+//! sorts the input on a scoped thread pool (chunk-sort + k-way merge),
+//! computes the partition sequentially (it is a cheap scan), and encodes the
+//! runs on worker threads, producing output byte-identical to
+//! [`crate::compress`]. Decoding parallelises the same way — blocks are
+//! self-contained streams — so [`decompress_parallel`] stripes them across
+//! workers, each reusing one [`DecodeScratch`], and concatenates the per-
+//! stripe tuple runs in φ order.
 
-use crate::block::BlockCodec;
+use crate::block::{BlockCodec, DecodeScratch};
 use crate::compress::{compress_sorted, CodecOptions, CodedRelation};
 use crate::error::CodecError;
 use crate::packer::BlockPacker;
@@ -15,14 +19,72 @@ use std::sync::Arc;
 
 /// Compresses a relation using up to `threads` worker threads. The result is
 /// byte-identical to [`crate::compress`] with the same options.
+///
+/// Already-sorted input is detected and compressed in place without the
+/// copy; unsorted input is copied, chunk-sorted across the workers, and
+/// k-way merged.
 pub fn compress_parallel(
     relation: &Relation,
     options: CodecOptions,
     threads: usize,
 ) -> Result<CodedRelation, CodecError> {
-    let mut tuples = relation.tuples().to_vec();
-    tuples.sort_unstable();
+    let threads = threads.max(1);
+    let src = relation.tuples();
+    if src.is_sorted() {
+        return compress_sorted_parallel(relation.schema().clone(), src, options, threads);
+    }
+    let mut tuples = src.to_vec();
+    if threads == 1 || tuples.len() < 4096 {
+        tuples.sort_unstable();
+    } else {
+        tuples = sort_parallel(tuples, threads);
+    }
     compress_sorted_parallel(relation.schema().clone(), &tuples, options, threads)
+}
+
+/// Sorts tuples into φ order with up to `threads` workers: each worker
+/// sorts one contiguous chunk, then the sorted runs are k-way merged
+/// through a min-heap. Equal tuples are fully identical digit vectors, so
+/// the merge order among ties cannot affect the result.
+fn sort_parallel(mut tuples: Vec<Tuple>, threads: usize) -> Vec<Tuple> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = tuples.len();
+    let chunk = n.div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for c in tuples.chunks_mut(chunk) {
+            scope.spawn(|| c.sort_unstable());
+        }
+    });
+    let runs = n.div_ceil(chunk);
+    if runs <= 1 {
+        return tuples;
+    }
+
+    let mut heads: Vec<usize> = (0..runs).map(|r| r * chunk).collect();
+    let ends: Vec<usize> = (0..runs).map(|r| ((r + 1) * chunk).min(n)).collect();
+    let take = |src: &mut [Tuple], heads: &mut [usize], r: usize| {
+        let t = std::mem::replace(&mut src[heads[r]], Tuple::new(Vec::new()));
+        heads[r] += 1;
+        t
+    };
+    let mut heap: BinaryHeap<Reverse<(Tuple, usize)>> = BinaryHeap::with_capacity(runs);
+    for r in 0..runs {
+        if heads[r] < ends[r] {
+            let t = take(&mut tuples, &mut heads, r);
+            heap.push(Reverse((t, r)));
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    while let Some(Reverse((t, r))) = heap.pop() {
+        out.push(t);
+        if heads[r] < ends[r] {
+            let t = take(&mut tuples, &mut heads, r);
+            heap.push(Reverse((t, r)));
+        }
+    }
+    out
 }
 
 /// Parallel variant of [`crate::compress_sorted`].
@@ -61,6 +123,74 @@ pub fn compress_sorted_parallel(
 
     let blocks: Vec<Vec<u8>> = blocks.into_iter().collect::<Result<_, _>>()?;
     CodedRelation::from_blocks(schema, options, blocks)
+}
+
+/// Decodes a φ-ordered sequence of coded block streams into their tuples
+/// using up to `threads` worker threads, one [`DecodeScratch`] per worker.
+///
+/// Blocks are striped contiguously across the workers (mirroring
+/// [`compress_sorted_parallel`]) and the per-stripe runs concatenated, so
+/// the output is identical to decoding every block sequentially with
+/// [`BlockCodec::decode_into`]. The first error encountered (in block
+/// order) is returned.
+pub fn decode_blocks_parallel(
+    codec: &BlockCodec,
+    blocks: &[Vec<u8>],
+    threads: usize,
+) -> Result<Vec<Tuple>, CodecError> {
+    let threads = threads.max(1);
+    if threads == 1 || blocks.len() < 2 {
+        let mut out = Vec::new();
+        let mut scratch = DecodeScratch::new();
+        for b in blocks {
+            codec.decode_into_scratch(b, &mut out, &mut scratch)?;
+        }
+        return Ok(out);
+    }
+
+    let per_worker = blocks.len().div_ceil(threads);
+    let stripes = blocks.len().div_ceil(per_worker);
+    let mut parts: Vec<Result<Vec<Tuple>, CodecError>> = Vec::with_capacity(stripes);
+    parts.resize_with(stripes, || Ok(Vec::new()));
+
+    std::thread::scope(|scope| {
+        for (chunk, slot) in blocks.chunks(per_worker).zip(parts.iter_mut()) {
+            let codec = codec.clone();
+            scope.spawn(move || {
+                let mut scratch = DecodeScratch::new();
+                let mut out = Vec::new();
+                for b in chunk {
+                    if let Err(e) = codec.decode_into_scratch(b, &mut out, &mut scratch) {
+                        *slot = Err(e);
+                        return;
+                    }
+                }
+                *slot = Ok(out);
+            });
+        }
+    });
+
+    let mut out = Vec::new();
+    for p in parts {
+        let run = p?;
+        if out.is_empty() {
+            out = run;
+        } else {
+            out.extend(run);
+        }
+    }
+    Ok(out)
+}
+
+/// Parallel mirror of [`CodedRelation::decompress`]: decodes every block of
+/// a coded relation across up to `threads` workers and returns the tuples
+/// as a relation in φ order. The result equals the sequential decompression
+/// exactly.
+pub fn decompress_parallel(coded: &CodedRelation, threads: usize) -> Result<Relation, CodecError> {
+    let codec = coded.codec();
+    let tuples = decode_blocks_parallel(&codec, coded.blocks(), threads)?;
+    Ok(Relation::from_tuples(coded.schema().clone(), tuples)
+        .expect("decoded tuples are schema-valid"))
 }
 
 #[cfg(test)]
@@ -108,6 +238,38 @@ mod tests {
     }
 
     #[test]
+    fn sorted_input_skips_copy_and_matches() {
+        let rel = relation(20_000);
+        let mut tuples = rel.tuples().to_vec();
+        tuples.sort_unstable();
+        let sorted_rel = Relation::from_tuples(rel.schema().clone(), tuples).unwrap();
+        assert!(sorted_rel.tuples().is_sorted());
+        let opts = CodecOptions {
+            block_capacity: 512,
+            ..Default::default()
+        };
+        let seq = compress(&rel, opts).unwrap();
+        let par = compress_parallel(&sorted_rel, opts, 4).unwrap();
+        assert_eq!(par.blocks(), seq.blocks());
+    }
+
+    #[test]
+    fn parallel_sort_matches_sequential_sort() {
+        let rel = relation(10_000);
+        let mut expect = rel.tuples().to_vec();
+        expect.sort_unstable();
+        for threads in [2, 3, 8, 13] {
+            let got = sort_parallel(rel.tuples().to_vec(), threads);
+            assert_eq!(got, expect, "{threads} threads");
+        }
+        // More workers than tuples.
+        let small: Vec<Tuple> = rel.tuples()[..5].to_vec();
+        let mut small_expect = small.clone();
+        small_expect.sort_unstable();
+        assert_eq!(sort_parallel(small, 16), small_expect);
+    }
+
+    #[test]
     fn small_input_falls_back_to_sequential() {
         let rel = relation(100);
         let opts = CodecOptions {
@@ -124,6 +286,11 @@ mod tests {
         let rel = relation(500);
         let par = compress_parallel(&rel, CodecOptions::default(), 0).unwrap();
         assert_eq!(par.tuple_count(), 500);
+        assert_eq!(
+            decompress_parallel(&par, 0).unwrap().len(),
+            500,
+            "decode side clamps too"
+        );
     }
 
     #[test]
@@ -142,5 +309,54 @@ mod tests {
         let mut expect = rel.tuples().to_vec();
         expect.sort_unstable();
         assert_eq!(back.tuples(), &expect[..]);
+    }
+
+    #[test]
+    fn parallel_decompress_matches_sequential() {
+        let rel = relation(20_000);
+        for mode in CodingMode::ALL {
+            let opts = CodecOptions {
+                mode,
+                block_capacity: 512,
+                ..Default::default()
+            };
+            let coded = compress(&rel, opts).unwrap();
+            let seq = coded.decompress().unwrap();
+            for threads in [1, 2, 4, 7] {
+                let par = decompress_parallel(&coded, threads).unwrap();
+                assert_eq!(par.tuples(), seq.tuples(), "mode {mode}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_decode_propagates_errors() {
+        let rel = relation(20_000);
+        let coded = compress(
+            &rel,
+            CodecOptions {
+                block_capacity: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut blocks = coded.blocks().to_vec();
+        let victim = blocks.len() / 2;
+        blocks[victim].truncate(3); // shorter than the header
+        let codec = coded.codec();
+        for threads in [1, 4] {
+            assert!(
+                decode_blocks_parallel(&codec, &blocks, threads).is_err(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_block_list_decodes_to_nothing() {
+        let rel = relation(10);
+        let coded = compress(&rel, CodecOptions::default()).unwrap();
+        let codec = coded.codec();
+        assert_eq!(decode_blocks_parallel(&codec, &[], 4).unwrap(), Vec::new());
     }
 }

@@ -61,16 +61,23 @@ pub(crate) fn write_entry(
     out.extend_from_slice(&scratch[lz..]);
 }
 
-/// Reads one coded entry starting at `buf[pos]`, returning the difference
-/// digit vector and the position one past the entry.
-pub(crate) fn read_entry(
+/// Reads one coded entry starting at `buf[pos]`, appending the difference's
+/// `arity` digits to `digits`. Returns the position one past the entry. On
+/// error `digits` is left exactly as it was.
+///
+/// Digits are reassembled straight from the count byte and the tail — byte
+/// `p` of the fixed-width serialization is an elided zero when `p < count` —
+/// so no staging buffer and no per-entry allocation is needed.
+pub(crate) fn read_entry_append(
     schema: &Schema,
     buf: &[u8],
     pos: usize,
-    scratch: &mut Vec<u8>,
-) -> Result<(Vec<u64>, usize), CodecError> {
+    digits: &mut Vec<u64>,
+) -> Result<usize, CodecError> {
     let m = schema.tuple_bytes();
-    let count = *buf.get(pos).ok_or(CodecError::Corrupt {
+    // ok_or_else (not ok_or) keeps the error construction — and its String
+    // allocation — off the success path, which this hot loop relies on.
+    let count = *buf.get(pos).ok_or_else(|| CodecError::Corrupt {
         offset: pos,
         detail: "missing count byte".into(),
     })? as usize;
@@ -83,23 +90,43 @@ pub(crate) fn read_entry(
     let tail_len = m - count;
     let tail = buf
         .get(pos + 1..pos + 1 + tail_len)
-        .ok_or(CodecError::Corrupt {
+        .ok_or_else(|| CodecError::Corrupt {
             offset: pos + 1,
             detail: format!("entry tail truncated: need {tail_len} bytes"),
         })?;
-    scratch.clear();
-    scratch.resize(count, 0);
-    scratch.extend_from_slice(tail);
-    let digits = schema.read_tuple(scratch).into_digits();
+    let start = digits.len();
+    for i in 0..schema.arity() {
+        let off = schema.byte_offset(i);
+        let w = schema.byte_width(i);
+        let mut d = 0u64;
+        for p in off..off + w {
+            let b = if p < count { 0 } else { tail[p - count] };
+            d = d << 8 | b as u64;
+        }
+        digits.push(d);
+    }
     // A difference is expressed in 𝓡-space digits (φ⁻¹ of the distance), so
     // every digit must respect its radix; anything else is corruption.
-    if let Err(e) = schema.radix().validate(&digits) {
+    if let Err(e) = schema.radix().validate(&digits[start..]) {
+        digits.truncate(start);
         return Err(CodecError::Corrupt {
             offset: pos,
             detail: format!("entry digits invalid: {e}"),
         });
     }
-    Ok((digits, pos + 1 + tail_len))
+    Ok(pos + 1 + tail_len)
+}
+
+/// Reads one coded entry starting at `buf[pos]`, returning the difference
+/// digit vector and the position one past the entry.
+pub(crate) fn read_entry(
+    schema: &Schema,
+    buf: &[u8],
+    pos: usize,
+) -> Result<(Vec<u64>, usize), CodecError> {
+    let mut digits = Vec::with_capacity(schema.arity());
+    let next = read_entry_append(schema, buf, pos, &mut digits)?;
+    Ok((digits, next))
 }
 
 #[cfg(test)]
@@ -180,35 +207,59 @@ mod tests {
         ] {
             let mut out = Vec::new();
             write_entry(&s, &digits, &mut out, &mut scratch);
-            let (back, next) = read_entry(&s, &out, 0, &mut scratch).unwrap();
+            let (back, next) = read_entry(&s, &out, 0).unwrap();
             assert_eq!(back, digits);
             assert_eq!(next, out.len());
         }
     }
 
     #[test]
-    fn read_rejects_bad_count() {
+    fn read_append_accumulates() {
         let s = employee_schema();
         let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        write_entry(&s, &[0, 0, 0, 8, 57], &mut out, &mut scratch);
+        write_entry(&s, &[0, 0, 4, 5, 23], &mut out, &mut scratch);
+        let mut digits = Vec::new();
+        let pos = read_entry_append(&s, &out, 0, &mut digits).unwrap();
+        let end = read_entry_append(&s, &out, pos, &mut digits).unwrap();
+        assert_eq!(digits, vec![0, 0, 0, 8, 57, 0, 0, 4, 5, 23]);
+        assert_eq!(end, out.len());
+    }
+
+    #[test]
+    fn read_append_error_leaves_digits_unchanged() {
+        let s = employee_schema();
+        let mut digits = vec![1u64, 2, 3];
+        // count 2 promises 3 tail bytes but only 1 present
+        assert!(read_entry_append(&s, &[2, 42], 0, &mut digits).is_err());
+        assert_eq!(digits, vec![1, 2, 3]);
+        // digit out of radix range: a1 has radix 8, first tail byte 9 at
+        // offset 0 puts digit 9 there
+        assert!(read_entry_append(&s, &[0, 9, 0, 0, 0, 0], 0, &mut digits).is_err());
+        assert_eq!(digits, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn read_rejects_bad_count() {
+        let s = employee_schema();
         // count 6 > m = 5
-        let err = read_entry(&s, &[6], 0, &mut scratch).unwrap_err();
+        let err = read_entry(&s, &[6], 0).unwrap_err();
         assert!(matches!(err, CodecError::Corrupt { .. }));
     }
 
     #[test]
     fn read_rejects_truncated_tail() {
         let s = employee_schema();
-        let mut scratch = Vec::new();
         // count 2 promises 3 tail bytes but only 1 present
-        let err = read_entry(&s, &[2, 42], 0, &mut scratch).unwrap_err();
+        let err = read_entry(&s, &[2, 42], 0).unwrap_err();
         assert!(matches!(err, CodecError::Corrupt { .. }));
     }
 
     #[test]
     fn read_rejects_empty() {
         let s = employee_schema();
-        let mut scratch = Vec::new();
-        assert!(read_entry(&s, &[], 0, &mut scratch).is_err());
+        assert!(read_entry(&s, &[], 0).is_err());
     }
 
     #[test]
@@ -224,7 +275,7 @@ mod tests {
         let mut scratch = Vec::new();
         write_entry(&s, &[0, 0], &mut out, &mut scratch);
         assert_eq!(out, vec![0]);
-        let (digits, next) = read_entry(&s, &out, 0, &mut scratch).unwrap();
+        let (digits, next) = read_entry(&s, &out, 0).unwrap();
         assert_eq!(digits, vec![0, 0]);
         assert_eq!(next, 1);
     }

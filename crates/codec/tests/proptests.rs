@@ -3,8 +3,8 @@
 //! and update invariants.
 
 use avq_codec::{
-    compress, delete_from_block, insert_into_block, BlockCodec, BlockPacker, CodecOptions,
-    CodingMode, DeleteOutcome, InsertOutcome, RepChoice,
+    compress, decompress_parallel, delete_from_block, insert_into_block, BlockCodec, BlockPacker,
+    CodecOptions, CodingMode, DecodeScratch, DeleteOutcome, InsertOutcome, RepChoice,
 };
 use avq_schema::{Domain, Relation, Schema, Tuple};
 use proptest::prelude::*;
@@ -181,6 +181,44 @@ proptest! {
                     "mode {:?} ghost {:?}", codec.mode(), ghost
                 );
             }
+        }
+    }
+
+    /// `decompress_parallel` returns exactly the sequential decompression
+    /// for every coding mode and thread count.
+    #[test]
+    fn parallel_decompress_matches_sequential(
+        (schema, tuples) in arb_schema_and_tuples(),
+        cap_slack in 0usize..256,
+        threads in 1usize..9,
+    ) {
+        let rel = Relation::from_tuples(schema.clone(), tuples).unwrap();
+        for mode in CodingMode::ALL {
+            let opts = CodecOptions {
+                mode,
+                block_capacity: 4 + schema.tuple_bytes() + cap_slack,
+                ..Default::default()
+            };
+            let coded = compress(&rel, opts).unwrap();
+            let seq = coded.decompress().unwrap();
+            let par = decompress_parallel(&coded, threads).unwrap();
+            prop_assert_eq!(par.tuples(), seq.tuples(), "mode {}, {} threads", mode, threads);
+        }
+    }
+
+    /// Fixed point of the scratch-reusing decode: encode → decode through a
+    /// shared `DecodeScratch` → re-encode is byte-identical, even when the
+    /// same scratch was dirtied by other modes in between.
+    #[test]
+    fn scratch_decode_reencode_fixed_point((schema, tuples) in arb_schema_and_tuples()) {
+        let mut scratch = DecodeScratch::new();
+        for codec in all_codecs(&schema) {
+            let coded = codec.encode(&tuples).unwrap();
+            let mut decoded = Vec::new();
+            codec.decode_into_scratch(&coded, &mut decoded, &mut scratch).unwrap();
+            prop_assert_eq!(&decoded, &tuples);
+            let recoded = codec.encode(&decoded).unwrap();
+            prop_assert_eq!(&recoded, &coded, "mode {:?}", codec.mode());
         }
     }
 

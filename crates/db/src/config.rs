@@ -11,6 +11,10 @@ pub struct DbConfig {
     pub codec: CodecOptions,
     /// Buffer-pool frames.
     pub buffer_frames: usize,
+    /// Decoded-block cache capacity, in blocks per relation. The cache
+    /// remembers each block's decoded tuple run so a warm re-scan performs
+    /// zero decode calls; zero disables it.
+    pub decoded_cache_blocks: usize,
     /// Disk cost model charged per physical block transfer.
     pub disk: DiskProfile,
     /// Maximum keys per index node (`usize::MAX` = block-size-bounded only;
@@ -28,6 +32,7 @@ impl Default for DbConfig {
         DbConfig {
             codec: CodecOptions::default(),
             buffer_frames: 256,
+            decoded_cache_blocks: 256,
             disk: DiskProfile::paper_fixed(),
             index_order: usize::MAX,
             cpu_ms_per_block: 0.0,
@@ -72,6 +77,13 @@ impl DbConfig {
         self.cpu_ms_per_block = ms;
         self
     }
+
+    /// Same configuration with a different decoded-block cache capacity
+    /// (zero disables the cache).
+    pub fn with_decoded_cache_blocks(mut self, blocks: usize) -> Self {
+        self.decoded_cache_blocks = blocks;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -96,9 +108,11 @@ mod tests {
         let c = DbConfig::default()
             .with_mode(CodingMode::Avq)
             .with_block_capacity(4096)
-            .with_cpu_ms_per_block(13.85);
+            .with_cpu_ms_per_block(13.85)
+            .with_decoded_cache_blocks(0);
         assert_eq!(c.codec.mode, CodingMode::Avq);
         assert_eq!(c.codec.block_capacity, 4096);
         assert_eq!(c.cpu_ms_per_block, 13.85);
+        assert_eq!(c.decoded_cache_blocks, 0);
     }
 }

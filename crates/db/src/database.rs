@@ -188,10 +188,14 @@ impl Database {
         rel.delete(&tuple)
     }
 
-    /// Empties the buffer pool so the next queries run cold (the paper's
-    /// cost model assumes cold reads).
+    /// Empties the buffer pool and every relation's decoded-block cache so
+    /// the next queries run cold (the paper's cost model assumes cold
+    /// reads).
     pub fn drop_caches(&self) {
         self.pool.clear();
+        for rel in self.relations.values() {
+            rel.clear_decoded_cache();
+        }
     }
 
     /// Resets I/O counters and the clock (the buffer pool contents are
@@ -199,6 +203,9 @@ impl Database {
     pub fn reset_measurements(&self) {
         self.device.reset_stats();
         self.pool.reset_stats();
+        for rel in self.relations.values() {
+            rel.reset_decoded_stats();
+        }
         self.clock().reset();
     }
 
@@ -210,6 +217,19 @@ impl Database {
     /// Buffer-pool counters.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// Decoded-block cache counters summed over every relation. Hits are
+    /// block reads served without a single decode call.
+    pub fn decoded_stats(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for rel in self.relations.values() {
+            let st = rel.decoded_stats();
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.evictions += st.evictions;
+        }
+        total
     }
 }
 

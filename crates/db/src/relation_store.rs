@@ -14,12 +14,13 @@ use crate::secondary::SecondaryIndex;
 #[cfg(test)]
 use avq_codec::CodingMode;
 use avq_codec::{
-    delete_from_block, insert_into_block, BlockCodec, BlockPacker, DeleteOutcome, InsertOutcome,
+    delete_from_block, insert_into_block, BlockCodec, BlockPacker, DecodeScratch, DeleteOutcome,
+    InsertOutcome,
 };
 use avq_schema::{Relation, Schema, Tuple};
-use avq_storage::{BlockDevice, BlockId, BufferPool};
+use avq_storage::{BlockDevice, BlockId, BufferPool, DecodedCache, PoolStats};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use avq_index::BPlusTree;
 
@@ -46,6 +47,12 @@ pub struct StoredRelation {
     codec: BlockCodec,
     device: Arc<BlockDevice>,
     pool: Arc<BufferPool>,
+    /// LRU cache of decoded tuple runs, layered over the buffer pool. The
+    /// pool caches coded bytes; this caches the result of decoding them, so
+    /// a warm re-scan performs zero decode calls.
+    decoded: DecodedCache<Vec<Tuple>>,
+    /// Reusable decode scratch shared by all cache-miss decodes.
+    scratch: Mutex<DecodeScratch>,
     blocks: Vec<StoredBlock>,
     primary: BPlusTree,
     secondaries: BTreeMap<usize, SecondaryIndex>,
@@ -89,10 +96,12 @@ impl StoredRelation {
         let primary = BPlusTree::bulk_build(pool.clone(), config.index_order, &keys)?;
         Ok(StoredRelation {
             schema,
-            config,
             codec,
             device,
             pool,
+            decoded: DecodedCache::new(config.decoded_cache_blocks),
+            scratch: Mutex::new(DecodeScratch::new()),
+            config,
             blocks,
             primary,
             secondaries: BTreeMap::new(),
@@ -161,10 +170,12 @@ impl StoredRelation {
         let primary = BPlusTree::bulk_build(pool.clone(), config.index_order, &keys)?;
         Ok(StoredRelation {
             schema,
-            config,
             codec,
             device,
             pool,
+            decoded: DecodedCache::new(config.decoded_cache_blocks),
+            scratch: Mutex::new(DecodeScratch::new()),
+            config,
             blocks,
             primary,
             secondaries: BTreeMap::new(),
@@ -252,14 +263,48 @@ impl StoredRelation {
         self.blocks.iter().map(|b| b.id).collect()
     }
 
-    /// Reads and decodes one data block through the pool, appending tuples.
+    /// Reads one data block's tuples, appending them to `out`.
+    ///
+    /// The decoded-block cache is consulted first: a hit clones tuples from
+    /// the cached run without touching the pool or the codec. On a miss the
+    /// block is read through the pool, decoded via the shared
+    /// [`DecodeScratch`], and the decoded run is cached for the next reader.
     pub(crate) fn decode_block_into(
         &self,
         id: BlockId,
         out: &mut Vec<Tuple>,
     ) -> Result<(), DbError> {
-        self.codec.decode_into(&self.pool.read(id)?, out)?;
+        if let Some(run) = self.decoded.get(id) {
+            out.extend_from_slice(&run);
+            return Ok(());
+        }
+        let bytes = self.pool.read(id)?;
+        let mut scratch = self.scratch.lock().expect("decode scratch poisoned");
+        if self.decoded.is_enabled() {
+            let mut run = Vec::new();
+            self.codec
+                .decode_into_scratch(&bytes, &mut run, &mut scratch)?;
+            out.extend_from_slice(&run);
+            self.decoded.insert(id, Arc::new(run));
+        } else {
+            self.codec.decode_into_scratch(&bytes, out, &mut scratch)?;
+        }
         Ok(())
+    }
+
+    /// Decoded-block cache counters (hits mean zero decode calls).
+    pub fn decoded_stats(&self) -> PoolStats {
+        self.decoded.stats()
+    }
+
+    /// Resets the decoded-block cache counters.
+    pub fn reset_decoded_stats(&self) {
+        self.decoded.reset_stats();
+    }
+
+    /// Empties the decoded-block cache so the next scans decode cold.
+    pub fn clear_decoded_cache(&self) {
+        self.decoded.clear();
     }
 
     /// Candidate blocks for a secondary-index range (errors if there is no
@@ -293,9 +338,11 @@ impl StoredRelation {
             return Err(DbError::IndexExists { attribute: attr });
         }
         let mut idx = SecondaryIndex::create(self.pool.clone(), self.config.index_order, attr)?;
+        let mut buf = Vec::new();
         for b in &self.blocks {
-            let tuples = self.codec.decode(&self.pool.read(b.id)?)?;
-            idx.add_block(&tuples, b.id)?;
+            buf.clear();
+            self.decode_block_into(b.id, &mut buf)?;
+            idx.add_block(&buf, b.id)?;
         }
         self.secondaries.insert(attr, idx);
         Ok(())
@@ -310,7 +357,7 @@ impl StoredRelation {
     pub fn scan_all(&self) -> Result<Vec<Tuple>, DbError> {
         let mut out = Vec::with_capacity(self.tuple_count);
         for b in &self.blocks {
-            self.codec.decode_into(&self.pool.read(b.id)?, &mut out)?;
+            self.decode_block_into(b.id, &mut out)?;
         }
         Ok(out)
     }
@@ -438,6 +485,7 @@ impl StoredRelation {
             let coded = self.codec.encode(std::slice::from_ref(tuple))?;
             let id = self.device.allocate()?;
             self.pool.write(id, &coded)?;
+            self.decoded.invalidate(id);
             self.blocks.push(StoredBlock {
                 id,
                 min: tuple.clone(),
@@ -459,6 +507,7 @@ impl StoredRelation {
         match insert_into_block(&self.codec, &bytes, tuple, self.config.codec.block_capacity)? {
             InsertOutcome::InPlace(coded) => {
                 self.pool.write(old.id, &coded)?;
+                self.decoded.invalidate(old.id);
                 let b = &mut self.blocks[bidx];
                 b.count += 1;
                 b.used_bytes = coded.len();
@@ -528,6 +577,7 @@ impl StoredRelation {
                 self.device.allocate()?
             };
             self.pool.write(id, &coded)?;
+            self.decoded.invalidate(id);
             self.primary
                 .insert(&serialize_key(&self.schema, &run[0]), id as u64)?;
             for idx in self.secondaries.values_mut() {
@@ -564,11 +614,13 @@ impl StoredRelation {
                     idx.remove_posting(tuple.digits()[idx.attribute()], old.id)?;
                 }
                 self.pool.invalidate(old.id);
+                self.decoded.invalidate(old.id);
                 self.device.free(old.id)?;
                 self.blocks.remove(bidx);
             }
             DeleteOutcome::InPlace(coded) => {
                 self.pool.write(old.id, &coded)?;
+                self.decoded.invalidate(old.id);
                 let remaining = self.codec.decode(&coded)?;
                 let b = &mut self.blocks[bidx];
                 b.count -= 1;
@@ -907,6 +959,83 @@ mod tests {
         assert_eq!(st.coded_payload_bytes, stored.coded_payload_bytes());
         let fill = stored.fill_factor();
         assert!(fill > 0.5 && fill <= 1.0, "packer fills blocks: {fill}");
+    }
+
+    #[test]
+    fn warm_rescan_decodes_nothing() {
+        let (device, _, stored) = setup(1000, 256, CodingMode::AvqChained);
+        stored.clear_decoded_cache();
+        stored.reset_decoded_stats();
+
+        let cold = stored.scan_all().unwrap();
+        let st = stored.decoded_stats();
+        assert_eq!(st.hits, 0, "cold scan cannot hit");
+        assert_eq!(st.misses as usize, stored.block_count());
+
+        device.reset_stats();
+        let warm = stored.scan_all().unwrap();
+        assert_eq!(warm, cold);
+        let st = stored.decoded_stats();
+        assert_eq!(
+            st.hits as usize,
+            stored.block_count(),
+            "warm re-scan must be served entirely from the decoded cache"
+        );
+        assert_eq!(st.misses as usize, stored.block_count(), "no new misses");
+        assert_eq!(
+            device.io_stats().reads,
+            0,
+            "decoded-cache hits skip the device entirely"
+        );
+    }
+
+    #[test]
+    fn mutations_invalidate_decoded_blocks() {
+        let (_, _, mut stored) = setup(500, 256, CodingMode::AvqChained);
+        let before = stored.scan_all().unwrap(); // warm the cache
+        let t = Tuple::from([31u64, 31, 31]);
+        stored.insert(&t).unwrap();
+        let after_insert = stored.scan_all().unwrap();
+        let mut expect = before.clone();
+        let at = expect.partition_point(|x| *x <= t);
+        expect.insert(at, t.clone());
+        assert_eq!(after_insert, expect, "cached run must not mask the insert");
+        stored.delete(&t).unwrap();
+        assert_eq!(stored.scan_all().unwrap(), before);
+    }
+
+    #[test]
+    fn disabled_cache_still_scans_correctly() {
+        let schema = Schema::from_pairs(vec![
+            ("a", Domain::uint(64).unwrap()),
+            ("b", Domain::uint(64).unwrap()),
+            ("c", Domain::uint(4096).unwrap()),
+        ])
+        .unwrap();
+        let tuples: Vec<Tuple> = (0..300u64)
+            .map(|i| Tuple::from([(i * 7) % 64, (i * 13) % 64, (i * 29) % 4096]))
+            .collect();
+        let rel = Relation::from_tuples(schema, tuples).unwrap();
+        let config = DbConfig {
+            codec: avq_codec::CodecOptions {
+                block_capacity: 256,
+                ..Default::default()
+            },
+            decoded_cache_blocks: 0,
+            ..Default::default()
+        };
+        let device = BlockDevice::new(256, config.disk);
+        let pool = BufferPool::new(device.clone(), config.buffer_frames);
+        let stored = StoredRelation::bulk_load(device, pool, &rel, config).unwrap();
+        let a = stored.scan_all().unwrap();
+        let b = stored.scan_all().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 300);
+        assert_eq!(
+            stored.decoded_stats(),
+            avq_storage::PoolStats::default(),
+            "disabled cache measures nothing"
+        );
     }
 
     #[test]

@@ -227,6 +227,23 @@ impl BigUnsigned {
         (q, rem as u64)
     }
 
+    /// In-place `self /= d`, returning `self % d`. The allocation-free
+    /// counterpart of [`Self::divmod_u64`] used by the streaming unrank path.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn div_assign_u64(&mut self, d: u64) -> u64 {
+        assert!(d != 0, "division by zero");
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = rem << 64 | self.limbs[i] as u128;
+            self.limbs[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        self.normalize();
+        rem as u64
+    }
+
     /// Minimal big-endian byte representation (empty for 0).
     pub fn to_bytes_be(&self) -> Vec<u8> {
         let n = self.byte_len();
@@ -496,6 +513,26 @@ mod tests {
         let (q, r) = a.divmod_u64(3);
         // reconstruct: q*3 + r == a
         assert_eq!(q.mul_u64(3).add_u64(r), a);
+    }
+
+    #[test]
+    fn div_assign_matches_divmod() {
+        for v in [0u128, 1, 999, u64::MAX as u128, u128::MAX, u128::MAX / 7] {
+            for d in [1u64, 2, 7, 255, u64::MAX] {
+                let n = BigUnsigned::from_u128(v);
+                let (q, r) = n.divmod_u64(d);
+                let mut m = n.clone();
+                let r2 = m.div_assign_u64(d);
+                assert_eq!(m, q);
+                assert_eq!(r2, r);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_assign_by_zero_panics() {
+        let _ = BigUnsigned::from_u64(1).div_assign_u64(0);
     }
 
     #[test]

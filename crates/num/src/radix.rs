@@ -185,6 +185,40 @@ impl MixedRadix {
         Some(digits)
     }
 
+    /// φ⁻¹ into a caller-provided buffer: writes the digit vector of `value`
+    /// into `out` and returns `true`, or returns `false` (leaving `out`
+    /// unspecified) when `value ≥ ‖𝓡‖` or `out` has the wrong arity.
+    ///
+    /// Consumes `value` so the division chain can run in place — the
+    /// allocation-free counterpart of [`Self::unrank`] used by streaming
+    /// block decoding.
+    pub fn unrank_into(&self, value: BigUnsigned, out: &mut [u64]) -> bool {
+        if out.len() != self.radices.len() || value >= self.space_size {
+            return false;
+        }
+        let mut cur = value;
+        for i in (0..self.radices.len()).rev() {
+            out[i] = cur.div_assign_u64(self.radices[i]);
+        }
+        debug_assert!(cur.is_zero());
+        true
+    }
+
+    /// φ⁻¹ for values that fit a machine word, written into `out` without
+    /// touching the heap. Returns `false` (leaving `out` unspecified) when
+    /// `value ≥ ‖𝓡‖` or `out` has the wrong arity.
+    pub fn unrank_u64_into(&self, mut value: u64, out: &mut [u64]) -> bool {
+        if out.len() != self.radices.len() {
+            return false;
+        }
+        for i in (0..self.radices.len()).rev() {
+            let r = self.radices[i];
+            out[i] = value % r;
+            value /= r;
+        }
+        value == 0
+    }
+
     /// Lexicographic comparison of digit vectors; by construction this equals
     /// comparing φ values (the `≺` total order of §2.2).
     pub fn cmp_digits(&self, a: &[u64], b: &[u64]) -> Ordering {
@@ -193,48 +227,64 @@ impl MixedRadix {
         a.cmp(b)
     }
 
+    /// In-place digit-space addition with carry: `a += b`.
+    ///
+    /// Returns `false` when the sum overflows the tuple space; `a` then holds
+    /// the wrapped (mod-‖𝓡‖) digits, each still valid for its radix. This is
+    /// the allocation-free core of [`Self::checked_add`] and the hot path of
+    /// chained block decoding.
+    pub fn add_assign(&self, a: &mut [u64], b: &[u64]) -> bool {
+        debug_assert!(self.validate(a).is_ok() && self.validate(b).is_ok());
+        let mut carry: u64 = 0;
+        for i in (0..self.radices.len()).rev() {
+            let r = self.radices[i] as u128;
+            let sum = a[i] as u128 + b[i] as u128 + carry as u128;
+            a[i] = (sum % r) as u64;
+            carry = (sum / r) as u64;
+        }
+        carry == 0
+    }
+
+    /// In-place digit-space subtraction with borrow: `a -= b`.
+    ///
+    /// Returns `false` when `a < b` (the true difference is negative); `a`
+    /// then holds the wrapped digits, each still valid for its radix.
+    pub fn sub_assign(&self, a: &mut [u64], b: &[u64]) -> bool {
+        debug_assert!(self.validate(a).is_ok() && self.validate(b).is_ok());
+        let mut borrow: u64 = 0;
+        for i in (0..self.radices.len()).rev() {
+            let need = b[i] as u128 + borrow as u128;
+            let have = a[i] as u128;
+            if have >= need {
+                a[i] = (have - need) as u64;
+                borrow = 0;
+            } else {
+                a[i] = (have + self.radices[i] as u128 - need) as u64;
+                borrow = 1;
+            }
+        }
+        borrow == 0
+    }
+
     /// Digit-space addition with carry: `a + b`, or `None` on overflow of the
     /// tuple space. Equivalent to `unrank(rank(a) + rank(b))`.
     pub fn checked_add(&self, a: &[u64], b: &[u64]) -> Option<Vec<u64>> {
-        debug_assert!(self.validate(a).is_ok() && self.validate(b).is_ok());
-        let n = self.radices.len();
-        let mut out = vec![0u64; n];
-        let mut carry: u64 = 0;
-        for i in (0..n).rev() {
-            let r = self.radices[i] as u128;
-            let sum = a[i] as u128 + b[i] as u128 + carry as u128;
-            out[i] = (sum % r) as u64;
-            carry = (sum / r) as u64;
-        }
-        if carry != 0 {
-            None
-        } else {
+        let mut out = a.to_vec();
+        if self.add_assign(&mut out, b) {
             Some(out)
+        } else {
+            None
         }
     }
 
     /// Digit-space subtraction with borrow: `a − b`, or `None` if `a < b`.
     /// Equivalent to `unrank(rank(a) − rank(b))`.
     pub fn checked_sub(&self, a: &[u64], b: &[u64]) -> Option<Vec<u64>> {
-        debug_assert!(self.validate(a).is_ok() && self.validate(b).is_ok());
-        let n = self.radices.len();
-        let mut out = vec![0u64; n];
-        let mut borrow: u64 = 0;
-        for i in (0..n).rev() {
-            let need = b[i] as u128 + borrow as u128;
-            let have = a[i] as u128;
-            if have >= need {
-                out[i] = (have - need) as u64;
-                borrow = 0;
-            } else {
-                out[i] = (have + self.radices[i] as u128 - need) as u64;
-                borrow = 1;
-            }
-        }
-        if borrow != 0 {
-            None
-        } else {
+        let mut out = a.to_vec();
+        if self.sub_assign(&mut out, b) {
             Some(out)
+        } else {
+            None
         }
     }
 
@@ -403,6 +453,60 @@ mod tests {
         );
         // 000 - 001 underflows
         assert!(mr.checked_sub(&[0, 0, 0], &[0, 0, 1]).is_none());
+    }
+
+    #[test]
+    fn add_assign_wraps_on_overflow() {
+        let mr = MixedRadix::new(vec![10, 10, 10]).unwrap();
+        let mut a = [9u64, 9, 9];
+        assert!(!mr.add_assign(&mut a, &[0, 0, 2]));
+        // Wrapped mod ‖𝓡‖: 999 + 002 = 1001 ≡ 001.
+        assert_eq!(a, [0, 0, 1]);
+        assert!(mr.validate(&a).is_ok());
+        let mut b = [0u64, 9, 9];
+        assert!(mr.add_assign(&mut b, &[0, 0, 1]));
+        assert_eq!(b, [1, 0, 0]);
+    }
+
+    #[test]
+    fn sub_assign_wraps_on_underflow() {
+        let mr = MixedRadix::new(vec![10, 10, 10]).unwrap();
+        let mut a = [0u64, 0, 1];
+        assert!(!mr.sub_assign(&mut a, &[0, 0, 3]));
+        // Wrapped mod ‖𝓡‖: 001 − 003 ≡ 998.
+        assert_eq!(a, [9, 9, 8]);
+        assert!(mr.validate(&a).is_ok());
+        let mut b = [1u64, 0, 0];
+        assert!(mr.sub_assign(&mut b, &[0, 0, 1]));
+        assert_eq!(b, [0, 9, 9]);
+    }
+
+    #[test]
+    fn unrank_into_matches_unrank() {
+        let mr = employee_radix();
+        let mut buf = vec![0u64; mr.arity()];
+        let r = mr.rank(&[3, 8, 36, 39, 35]);
+        assert!(mr.unrank_into(r.clone(), &mut buf));
+        assert_eq!(buf, vec![3, 8, 36, 39, 35]);
+        assert!(!mr.unrank_into(mr.space_size().clone(), &mut buf));
+        let mut short = vec![0u64; 2];
+        assert!(!mr.unrank_into(r, &mut short));
+    }
+
+    #[test]
+    fn unrank_u64_into_matches_unrank() {
+        let mr = employee_radix();
+        let mut buf = vec![0u64; mr.arity()];
+        for v in [0u64, 1, 569, 14_830_051, 33_554_431] {
+            assert!(mr.unrank_u64_into(v, &mut buf), "value {v}");
+            assert_eq!(buf, mr.unrank(&BigUnsigned::from_u64(v)).unwrap());
+        }
+        assert!(
+            !mr.unrank_u64_into(33_554_432, &mut buf),
+            "‖𝓡‖ is out of space"
+        );
+        let mut short = vec![0u64; 2];
+        assert!(!mr.unrank_u64_into(0, &mut short));
     }
 
     #[test]

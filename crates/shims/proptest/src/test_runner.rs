@@ -1,0 +1,100 @@
+//! Test-case driver types: config, RNG, and failure reporting.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Deterministic SplitMix64 generator used to produce test cases.
+///
+/// Seeded from the test's fully qualified name so runs are reproducible
+/// without any environment plumbing.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from `name`.
+    pub fn from_name(name: &str) -> Self {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut hasher);
+        TestRng {
+            state: hasher.finish() | 1,
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u128) -> u128 {
+        assert!(n > 0, "cannot sample from an empty range");
+        let word = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        word % n
+    }
+
+    /// Uniform draw from `[0, n)` as `usize`.
+    pub fn below_usize(&mut self, n: usize) -> usize {
+        self.below(n as u128) as usize
+    }
+}
+
+/// Runner configuration (the `cases` knob is the only one honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was falsified.
+    Fail(String),
+    /// The generated input was rejected (counts as skipped, not failed).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A falsified-property error with the given reason.
+    pub fn fail<R: fmt::Display>(reason: R) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+
+    /// An input-rejection with the given reason.
+    pub fn reject<R: fmt::Display>(reason: R) -> Self {
+        TestCaseError::Reject(reason.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "{reason}"),
+            TestCaseError::Reject(reason) => write!(f, "input rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Outcome of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;

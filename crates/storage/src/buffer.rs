@@ -9,10 +9,10 @@
 use crate::device::BlockDevice;
 use crate::error::{BlockId, StorageError};
 use crate::lru::LruList;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Buffer-pool hit/miss counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -90,14 +90,14 @@ impl BufferPool {
 
     /// Number of frames.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.inner.lock().expect("pool mutex poisoned").frames.len()
     }
 
     /// Reads a block through the pool. Hits cost nothing; misses perform one
     /// physical read and cache the result.
     pub fn read(&self, id: BlockId) -> Result<Arc<Vec<u8>>, StorageError> {
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.lock().expect("pool mutex poisoned");
             if let Some(&slot) = inner.map.get(&id) {
                 inner.lru.touch(slot);
                 let data = inner.frames[slot]
@@ -126,7 +126,7 @@ impl BufferPool {
 
     /// Drops a block from the pool (e.g. after a free).
     pub fn invalidate(&self, id: BlockId) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("pool mutex poisoned");
         if let Some(slot) = inner.map.remove(&id) {
             inner.lru.unlink(slot);
             inner.frames[slot] = None;
@@ -136,7 +136,7 @@ impl BufferPool {
 
     /// Empties the pool (counters are kept; see [`Self::reset_stats`]).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("pool mutex poisoned");
         let cap = inner.frames.len();
         inner.map.clear();
         inner.lru = LruList::new(cap);
@@ -163,7 +163,7 @@ impl BufferPool {
     }
 
     fn install(&self, id: BlockId, data: Arc<Vec<u8>>) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("pool mutex poisoned");
         if let Some(&slot) = inner.map.get(&id) {
             // Racing install or refresh after write.
             inner.frames[slot] = Some(Frame { block: id, data });

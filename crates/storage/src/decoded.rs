@@ -1,0 +1,290 @@
+//! An LRU cache of *decoded* block payloads, layered above the buffer pool.
+//!
+//! The buffer pool caches coded bytes; re-reading a warm block still pays
+//! the full AVQ decode (the paper's `t₂`). This cache remembers the decoded
+//! form — for the database, the tuple run of a data block — so a warm
+//! re-scan performs zero decode calls. It is generic over the decoded value
+//! so the storage crate stays schema-agnostic: callers decide what a
+//! "decoded block" is and share results via `Arc`.
+//!
+//! A capacity of zero disables the cache: lookups miss without counting and
+//! inserts are dropped, so call sites need no `if enabled` branching.
+
+use crate::buffer::PoolStats;
+use crate::error::BlockId;
+use crate::lru::LruList;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+#[derive(Debug)]
+struct Entry<V> {
+    block: BlockId,
+    value: Arc<V>,
+}
+
+#[derive(Debug)]
+struct CacheInner<V> {
+    entries: Vec<Option<Entry<V>>>,
+    map: HashMap<BlockId, usize>,
+    lru: LruList,
+    free: Vec<usize>,
+}
+
+/// A fixed-capacity LRU map from [`BlockId`] to a decoded value.
+///
+/// Thread-safe; values are handed out as `Arc<V>` clones so a hit never
+/// copies the decoded payload. Hit/miss/eviction counters mirror
+/// [`crate::BufferPool`]'s and are reported as [`PoolStats`].
+#[derive(Debug)]
+pub struct DecodedCache<V> {
+    inner: Mutex<CacheInner<V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V> DecodedCache<V> {
+    /// Creates a cache holding at most `capacity` decoded blocks. A
+    /// capacity of zero yields a disabled cache (every lookup misses
+    /// silently, inserts are no-ops).
+    pub fn new(capacity: usize) -> Self {
+        DecodedCache {
+            inner: Mutex::new(CacheInner {
+                entries: (0..capacity).map(|_| None).collect(),
+                map: HashMap::with_capacity(capacity),
+                lru: LruList::new(capacity),
+                free: (0..capacity).rev().collect(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of cached blocks.
+    pub fn capacity(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("cache mutex poisoned")
+            .entries
+            .len()
+    }
+
+    /// True iff the cache can hold anything.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity() > 0
+    }
+
+    /// Looks up a decoded block, refreshing its recency on a hit.
+    ///
+    /// Disabled caches return `None` without counting a miss; the caller
+    /// never asked to cache, so there is nothing to measure.
+    pub fn get(&self, id: BlockId) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        if inner.entries.is_empty() {
+            return None;
+        }
+        match inner.map.get(&id).copied() {
+            Some(slot) => {
+                inner.lru.touch(slot);
+                let value = inner.entries[slot]
+                    .as_ref()
+                    .expect("mapped slot is occupied")
+                    .value
+                    .clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the decoded value for a block, evicting the
+    /// least recently used entry when full. No-op when disabled.
+    pub fn insert(&self, id: BlockId, value: Arc<V>) {
+        let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        if inner.entries.is_empty() {
+            return;
+        }
+        if let Some(&slot) = inner.map.get(&id) {
+            inner.entries[slot] = Some(Entry { block: id, value });
+            inner.lru.touch(slot);
+            return;
+        }
+        let slot = if let Some(slot) = inner.free.pop() {
+            slot
+        } else {
+            let victim = inner.lru.lru().expect("full cache has LRU entries");
+            inner.lru.unlink(victim);
+            let old = inner.entries[victim].take().expect("victim occupied");
+            inner.map.remove(&old.block);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            victim
+        };
+        inner.entries[slot] = Some(Entry { block: id, value });
+        inner.map.insert(id, slot);
+        inner.lru.push_front(slot);
+    }
+
+    /// Drops one block's cached value (e.g. after the block is re-coded or
+    /// freed). Stale decoded tuples must never survive a write.
+    pub fn invalidate(&self, id: BlockId) {
+        let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        if let Some(slot) = inner.map.remove(&id) {
+            inner.lru.unlink(slot);
+            inner.entries[slot] = None;
+            inner.free.push(slot);
+        }
+    }
+
+    /// Empties the cache (counters are kept; see [`Self::reset_stats`]).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        let cap = inner.entries.len();
+        inner.map.clear();
+        inner.lru = LruList::new(cap);
+        inner.free = (0..cap).rev().collect();
+        for e in &mut inner.entries {
+            *e = None;
+        }
+    }
+
+    /// Number of currently cached blocks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache mutex poisoned").map.len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the hit/miss/eviction counters.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runs(cache: &DecodedCache<Vec<u64>>, pairs: &[(BlockId, u64)]) {
+        for &(id, v) in pairs {
+            cache.insert(id, Arc::new(vec![v]));
+        }
+    }
+
+    #[test]
+    fn hit_returns_shared_value() {
+        let cache = DecodedCache::new(4);
+        let value = Arc::new(vec![1u64, 2, 3]);
+        cache.insert(7, value.clone());
+        let got = cache.get(7).expect("cached");
+        assert!(Arc::ptr_eq(&got, &value), "hit must not copy the payload");
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses), (1, 0));
+    }
+
+    #[test]
+    fn miss_is_counted() {
+        let cache: DecodedCache<Vec<u64>> = DecodedCache::new(2);
+        assert!(cache.get(9).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert!((cache.stats().hit_rate() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let cache = DecodedCache::new(2);
+        runs(&cache, &[(0, 10), (1, 11)]);
+        cache.get(0).unwrap(); // 0 is now MRU
+        runs(&cache, &[(2, 12)]); // evicts 1
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(0).is_some());
+        assert!(cache.get(2).is_some());
+        assert!(cache.get(1).is_none(), "LRU entry was evicted");
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_without_eviction() {
+        let cache = DecodedCache::new(2);
+        runs(&cache, &[(0, 10), (1, 11), (0, 99)]);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(*cache.get(0).unwrap(), vec![99]);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let cache = DecodedCache::new(2);
+        runs(&cache, &[(0, 10)]);
+        cache.invalidate(0);
+        assert!(cache.get(0).is_none());
+        assert!(cache.is_empty());
+        // Invalidating an absent block is a no-op.
+        cache.invalidate(42);
+        // The freed slot is reusable.
+        runs(&cache, &[(1, 11), (2, 12)]);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = DecodedCache::new(3);
+        runs(&cache, &[(0, 1), (1, 2)]);
+        cache.get(0).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1, "clear keeps counters");
+        assert!(cache.get(0).is_none());
+        cache.reset_stats();
+        assert_eq!(cache.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let cache = DecodedCache::new(0);
+        assert!(!cache.is_enabled());
+        runs(&cache, &[(0, 1)]);
+        assert!(cache.get(0).is_none());
+        // Disabled caches measure nothing.
+        assert_eq!(cache.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(DecodedCache::new(8));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        let id = (t * 100 + i) % 16;
+                        cache.insert(id, Arc::new(vec![id as u64]));
+                        if let Some(v) = cache.get(id) {
+                            assert_eq!(*v, vec![id as u64]);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 8);
+    }
+}

@@ -9,9 +9,9 @@
 use crate::clock::SimClock;
 use crate::error::{BlockId, StorageError};
 use crate::profile::DiskProfile;
-use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// Running I/O counters for a device.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -87,11 +87,11 @@ impl BlockDevice {
     /// Allocates a fresh (zero-length) block and returns its id. Allocation
     /// itself is free: the cost model charges transfers, not bookkeeping.
     pub fn allocate(&self) -> Result<BlockId, StorageError> {
-        if let Some(id) = self.free_list.write().pop() {
-            self.slots.write()[id as usize].data = Some(Vec::new());
+        if let Some(id) = self.free_list.write().expect("device lock poisoned").pop() {
+            self.slots.write().expect("device lock poisoned")[id as usize].data = Some(Vec::new());
             return Ok(id);
         }
-        let mut slots = self.slots.write();
+        let mut slots = self.slots.write().expect("device lock poisoned");
         let id = slots.len();
         if id > u32::MAX as usize {
             return Err(StorageError::OutOfBlocks);
@@ -104,7 +104,7 @@ impl BlockDevice {
 
     /// Frees a block for reuse.
     pub fn free(&self, id: BlockId) -> Result<(), StorageError> {
-        let mut slots = self.slots.write();
+        let mut slots = self.slots.write().expect("device lock poisoned");
         let slot = slots
             .get_mut(id as usize)
             .ok_or(StorageError::NoSuchBlock { id })?;
@@ -113,13 +113,16 @@ impl BlockDevice {
         }
         slot.data = None;
         drop(slots);
-        self.free_list.write().push(id);
+        self.free_list
+            .write()
+            .expect("device lock poisoned")
+            .push(id);
         Ok(())
     }
 
     /// Reads a block, charging one block transfer.
     pub fn read(&self, id: BlockId) -> Result<Vec<u8>, StorageError> {
-        let slots = self.slots.read();
+        let slots = self.slots.read().expect("device lock poisoned");
         let slot = slots
             .get(id as usize)
             .ok_or(StorageError::NoSuchBlock { id })?;
@@ -145,7 +148,7 @@ impl BlockDevice {
                 block_size: self.block_size,
             });
         }
-        let mut slots = self.slots.write();
+        let mut slots = self.slots.write().expect("device lock poisoned");
         let slot = slots
             .get_mut(id as usize)
             .ok_or(StorageError::NoSuchBlock { id })?;
@@ -163,6 +166,7 @@ impl BlockDevice {
     pub fn live_blocks(&self) -> usize {
         self.slots
             .read()
+            .expect("device lock poisoned")
             .iter()
             .filter(|s| s.data.is_some())
             .count()

@@ -6,7 +6,9 @@
 //! §5.3.2 model: seek + rotational delay + transfer + controller ≈ 30 ms per
 //! 8 KiB block in 1994), plus an LRU write-through [`BufferPool`] and the
 //! [`MachineProfile`]s (HP 9000/735, Sun 4/50, DEC 5000/120) that scale
-//! CPU-bound costs in the Fig. 5.9 reproduction.
+//! CPU-bound costs in the Fig. 5.9 reproduction. A generic [`DecodedCache`]
+//! layers above the pool to remember *decoded* block payloads, so warm
+//! re-scans skip the decompression CPU entirely.
 //!
 //! The device counts physical reads and writes — that counter *is* the `N`
 //! (number of blocks accessed) of the paper's §5.3.3 measurements.
@@ -16,6 +18,7 @@
 
 mod buffer;
 mod clock;
+mod decoded;
 mod device;
 mod error;
 mod lru;
@@ -23,6 +26,7 @@ mod profile;
 
 pub use buffer::{BufferPool, PoolStats};
 pub use clock::SimClock;
+pub use decoded::DecodedCache;
 pub use device::{BlockDevice, IoStats};
 pub use error::{BlockId, StorageError};
 pub use profile::{DiskProfile, MachineProfile};
