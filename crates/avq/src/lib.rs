@@ -17,6 +17,8 @@
 //!   `C = I + N(t₁ + t₂)` cost accounting, insert/delete/update,
 //!   conjunctive selections, aggregation, and equijoins;
 //! * [`mod@file`] — the `.avq` on-disk container (schema + blocks + CRC-32);
+//! * [`wal`] — the write-ahead log and checkpointed directory layout that
+//!   make mutations durable (`DurableDatabase` in [`db`] sits on top);
 //! * [`workload`] — the paper's employee example and §5 synthetic sweeps.
 //!
 //! ## Quickstart
@@ -43,6 +45,7 @@ pub use avq_index as index;
 pub use avq_num as num;
 pub use avq_schema as schema;
 pub use avq_storage as storage;
+pub use avq_wal as wal;
 pub use avq_workload as workload;
 
 /// The most commonly used types, one `use` away.
@@ -51,8 +54,8 @@ pub mod prelude {
         compress, BlockCodec, BlockPacker, CodecOptions, CodedRelation, CodingMode, RepChoice,
     };
     pub use avq_db::{
-        equijoin, Aggregate, AggregateValue, Database, DbConfig, QueryCost, RangePredicate,
-        Selection,
+        equijoin, Aggregate, AggregateValue, Database, DbConfig, DurableDatabase, QueryCost,
+        RangePredicate, Selection, SyncPolicy,
     };
     pub use avq_num::{BigUnsigned, MixedRadix};
     pub use avq_schema::{Attribute, Domain, Relation, Schema, Tuple, Value};

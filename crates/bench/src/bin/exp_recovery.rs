@@ -1,0 +1,178 @@
+//! Experiment E13 — durability cost and recovery speed: commit throughput
+//! of logged mutations under each [`SyncPolicy`] (per-record fsync,
+//! group commit every 64 records, manual), then the WAL replay rate when
+//! reopening the largest log, and the cost of a checkpoint.
+//!
+//! Results are printed as tables and recorded as JSON in
+//! `results/BENCH_recovery.json` (override the path with the second
+//! argument).
+//!
+//! Usage: `cargo run --release -p avq-bench --bin exp_recovery [n] [json_path]`
+
+use avq_bench::report::Table;
+use avq_db::{DbConfig, DurableDatabase, SyncPolicy};
+use avq_schema::{Domain, Relation, Schema, Tuple};
+use std::time::Instant;
+
+const REL: &str = "r";
+
+fn initial_relation(rows: u64) -> Relation {
+    let schema = Schema::from_pairs(vec![
+        ("a", Domain::uint(1 << 16).unwrap()),
+        ("b", Domain::uint(1 << 16).unwrap()),
+        ("c", Domain::uint(1 << 20).unwrap()),
+    ])
+    .unwrap();
+    let tuples = (0..rows)
+        .map(|i| Tuple::from([(i * 7) % (1 << 16), (i * 13) % (1 << 16), i % (1 << 20)]))
+        .collect();
+    Relation::from_tuples(schema, tuples).unwrap()
+}
+
+/// A deterministic mutation stream: mostly inserts, with deletes and
+/// updates mixed in so replay exercises every record kind.
+fn mutate(db: &mut DurableDatabase, i: u64) {
+    let t = Tuple::from([(i * 31) % (1 << 16), (i * 17) % (1 << 16), (1 << 19) + i]);
+    // Updates rewrite the insert from i-5 (≡ 1 mod 8) and deletes remove
+    // the insert from i-7 (≡ 0 mod 8), so the two never race for a tuple.
+    match i % 8 {
+        6 => {
+            let old = Tuple::from([
+                ((i - 5) * 31) % (1 << 16),
+                ((i - 5) * 17) % (1 << 16),
+                (1 << 19) + i - 5,
+            ]);
+            db.update_tuple(REL, &old, &t).unwrap();
+        }
+        7 => {
+            let old = Tuple::from([
+                ((i - 7) * 31) % (1 << 16),
+                ((i - 7) * 17) % (1 << 16),
+                (1 << 19) + i - 7,
+            ]);
+            db.delete_tuple(REL, &old).unwrap();
+        }
+        _ => db.insert_tuple(REL, &t).unwrap(),
+    }
+}
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let json_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "results/BENCH_recovery.json".to_owned());
+
+    let base = initial_relation(5_000);
+    let work = std::env::temp_dir().join(format!("avq-exp-recovery-{}", std::process::id()));
+    std::fs::remove_dir_all(&work).ok();
+
+    println!("workload: {n} logged mutations over a 5000-tuple relation\n");
+
+    let policies = [
+        SyncPolicy::Always,
+        SyncPolicy::EveryN(64),
+        SyncPolicy::Manual,
+    ];
+    let mut t = Table::new([
+        "sync policy",
+        "commit ms",
+        "commits/s",
+        "fsyncs",
+        "log bytes",
+    ]);
+    let mut rows = Vec::new();
+    let mut replay_dir = None;
+    for policy in policies {
+        let dir = work.join(policy.name());
+        let (mut db, _) = DurableDatabase::open(&dir, DbConfig::default(), policy).unwrap();
+        db.create_relation(REL, &base).unwrap();
+        let start = Instant::now();
+        for i in 0..n {
+            mutate(&mut db, i);
+        }
+        db.sync().unwrap(); // manual / partial-batch tails still reach disk
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let stats = db.wal_stats();
+        let per_s = n as f64 / (ms / 1e3);
+        t.row([
+            policy.name(),
+            format!("{ms:.1}"),
+            format!("{per_s:.0}"),
+            stats.syncs.to_string(),
+            stats.bytes.to_string(),
+        ]);
+        rows.push((policy.name(), ms, per_s, stats.syncs, stats.bytes));
+        replay_dir = Some(dir);
+    }
+    t.print();
+    println!();
+
+    // Replay rate: reopen the last directory; every mutation record is
+    // re-applied through the normal mutation paths.
+    let dir = replay_dir.expect("at least one policy ran");
+    let start = Instant::now();
+    let (mut db, report) = DurableDatabase::open(&dir, DbConfig::default(), SyncPolicy::Manual)
+        .expect("reopen for replay");
+    let replay_ms = start.elapsed().as_secs_f64() * 1e3;
+    let replayed = report.replayed + report.failed;
+    let replay_per_s = replayed as f64 / (replay_ms / 1e3);
+    assert_eq!(replayed as u64, n + 1, "n mutations + create record");
+
+    // Checkpoint cost, and the post-checkpoint reopen (snapshot load only).
+    let start = Instant::now();
+    let ck = db.checkpoint().unwrap();
+    let checkpoint_ms = start.elapsed().as_secs_f64() * 1e3;
+    drop(db);
+    let start = Instant::now();
+    let (_, report2) =
+        DurableDatabase::open(&dir, DbConfig::default(), SyncPolicy::Manual).unwrap();
+    let reopen_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report2.replayed, 0, "checkpoint must empty the replay set");
+
+    let mut t = Table::new(["phase", "ms", "rate"]);
+    t.row([
+        "wal replay".to_owned(),
+        format!("{replay_ms:.1}"),
+        format!("{replay_per_s:.0} records/s"),
+    ]);
+    t.row([
+        "checkpoint".to_owned(),
+        format!("{checkpoint_ms:.1}"),
+        format!("{} snapshot bytes", ck.snapshot_bytes),
+    ]);
+    t.row([
+        "reopen after checkpoint".to_owned(),
+        format!("{reopen_ms:.1}"),
+        format!("{} snapshots", report2.snapshots_loaded),
+    ]);
+    t.print();
+
+    let policy_json: Vec<String> = rows
+        .iter()
+        .map(|(name, ms, per_s, syncs, bytes)| {
+            format!(
+                "{{\"policy\": \"{name}\", \"commit_ms\": {ms:.1}, \"commits_per_s\": {per_s:.0}, \
+                 \"fsyncs\": {syncs}, \"log_bytes\": {bytes}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"recovery\",\n  \"mutations\": {n},\n  \
+         \"policies\": [{}],\n  \
+         \"replay\": {{\"records\": {replayed}, \"ms\": {replay_ms:.1}, \
+         \"records_per_s\": {replay_per_s:.0}}},\n  \
+         \"checkpoint_ms\": {checkpoint_ms:.1},\n  \"reopen_after_checkpoint_ms\": {reopen_ms:.1}\n}}\n",
+        policy_json.join(", "),
+    );
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap();
+        }
+    }
+    std::fs::write(&json_path, json).unwrap();
+    println!("\nwrote {json_path}");
+    std::fs::remove_dir_all(&work).ok();
+}

@@ -4,6 +4,7 @@
 use crate::csv;
 use crate::spec;
 use avq_codec::{compress, CodecOptions, CodingMode, RepChoice};
+use avq_db::{DbConfig, DurableDatabase, RecoveryReport, SyncPolicy};
 use avq_schema::{Relation, Value};
 use std::path::Path;
 
@@ -78,8 +79,13 @@ fn record_to_row(schema: &avq_schema::Schema, record: &[String]) -> Result<Vec<V
     Ok(row)
 }
 
-/// `avqtool info <file.avq>` — schema, options, and compression stats.
+/// `avqtool info <file.avq | db-dir>` — for an `.avq` file: schema,
+/// options, and compression stats; for a durable database directory:
+/// recovery summary, relations, and decoded-cache counters.
 pub fn info(path: &Path) -> Result<String, CliError> {
+    if path.is_dir() {
+        return open(path);
+    }
     let coded = avq_file::load(path)?;
     let st = coded.stats();
     let opts = coded.options();
@@ -104,6 +110,113 @@ pub fn info(path: &Path) -> Result<String, CliError> {
     out.push_str("schema:\n");
     for line in spec::render_schema_spec(coded.schema()).lines() {
         out.push_str(&format!("  {line}\n"));
+    }
+    Ok(out)
+}
+
+/// Renders the post-recovery state of an opened durable database: what the
+/// recovery did, what relations exist, and how the decoded-block cache
+/// behaved while replaying. The format is pinned by tests — keep it stable.
+fn render_database(db: &DurableDatabase, report: &RecoveryReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("directory:  {}\n", db.dir().display()));
+    out.push_str(&format!(
+        "checkpoint: lsn {}, {} snapshot(s) loaded\n",
+        report.checkpoint_lsn, report.snapshots_loaded
+    ));
+    out.push_str(&format!(
+        "replayed:   {} record(s) ({} skipped, {} failed), last lsn {}\n",
+        report.replayed, report.skipped, report.failed, report.last_lsn
+    ));
+    match &report.torn_reason {
+        Some(reason) => out.push_str(&format!(
+            "torn tail:  {} byte(s) truncated ({reason})\n",
+            report.torn_bytes
+        )),
+        None => out.push_str("torn tail:  none\n"),
+    }
+    out.push_str("relations:\n");
+    for name in db.database().relation_names() {
+        let rel = db.database().relation(name).expect("listed relation");
+        let secondary = rel.secondary_attrs();
+        out.push_str(&format!(
+            "  {name}: {} tuples in {} blocks, secondary on {secondary:?}\n",
+            rel.tuple_count(),
+            rel.blocks().len()
+        ));
+    }
+    out.push_str(&format!(
+        "decoded cache: {}\n",
+        db.database().decoded_stats()
+    ));
+    out
+}
+
+/// `avqtool open <dir>` — opens (recovering if needed) a durable database
+/// directory and reports its state.
+pub fn open(dir: &Path) -> Result<String, CliError> {
+    let (db, report) = DurableDatabase::open(dir, DbConfig::default(), SyncPolicy::Manual)?;
+    Ok(render_database(&db, &report))
+}
+
+/// `avqtool checkpoint <dir>` — opens a durable database, writes fresh
+/// snapshots, and truncates the log.
+pub fn checkpoint(dir: &Path) -> Result<String, CliError> {
+    let (mut db, report) = DurableDatabase::open(dir, DbConfig::default(), SyncPolicy::Manual)?;
+    let ck = db.checkpoint()?;
+    let mut out = render_database(&db, &report);
+    out.push_str(&format!(
+        "checkpoint: lsn {} written, {} relation(s), {} snapshot byte(s)\n",
+        ck.checkpoint_lsn, ck.relations, ck.snapshot_bytes
+    ));
+    Ok(out)
+}
+
+/// `avqtool recover-info <dir>` — read-only inspection of a durable
+/// directory: manifest contents plus a WAL scan (no state is modified and
+/// no torn tail is truncated).
+pub fn recover_info(dir: &Path) -> Result<String, CliError> {
+    let mut out = String::new();
+    match avq_wal::Manifest::read_dir(dir)? {
+        Some(m) => {
+            out.push_str(&format!(
+                "manifest:   checkpoint lsn {}, {} relation(s)\n",
+                m.checkpoint_lsn,
+                m.relations.len()
+            ));
+            for entry in &m.relations {
+                out.push_str(&format!(
+                    "  {} <- {} (secondary on {:?})\n",
+                    entry.name, entry.snapshot, entry.secondary_attrs
+                ));
+            }
+        }
+        None => out.push_str("manifest:   none (no checkpoint yet)\n"),
+    }
+    let scan = avq_wal::scan(dir.join(avq_wal::WAL_FILE))?;
+    let mut kinds: Vec<(&'static str, usize)> = Vec::new();
+    for (_, rec) in &scan.records {
+        let kind = rec.kind();
+        match kinds.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => kinds.push((kind, 1)),
+        }
+    }
+    let breakdown: Vec<String> = kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    out.push_str(&format!(
+        "wal:        {} record(s) in {} byte(s){}{}\n",
+        scan.records.len(),
+        scan.valid_bytes,
+        if breakdown.is_empty() { "" } else { ": " },
+        breakdown.join(" ")
+    ));
+    out.push_str(&format!("last lsn:   {}\n", scan.last_lsn()));
+    match &scan.torn_reason {
+        Some(reason) => out.push_str(&format!(
+            "torn tail:  {} byte(s) ({reason})\n",
+            scan.torn_bytes
+        )),
+        None => out.push_str("torn tail:  none\n"),
     }
     Ok(out)
 }
@@ -239,11 +352,14 @@ avqtool — compressed relational tables (AVQ, ICDE 1995)
 
 USAGE:
   avqtool create <schema.spec> <data.csv> <out.avq> [mode] [block_bytes]
-  avqtool info   <file.avq>
+  avqtool info   <file.avq | db-dir>
   avqtool dump   <file.avq>
   avqtool query  <file.avq> <attribute> <lo> <hi>
   avqtool convert <in.avq> <out.avq> <mode> [block_bytes]
   avqtool verify <file.avq>
+  avqtool open   <db-dir>
+  avqtool checkpoint <db-dir>
+  avqtool recover-info <db-dir>
 
 MODES: fieldwise | avq | chained (default) | bits
 
@@ -365,6 +481,112 @@ mod tests {
         assert_eq!(dump(&out).unwrap(), dump(&avq_path).unwrap());
         let info_out = info(&out).unwrap();
         assert!(info_out.contains("AVQ-chained-bits"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    fn seeded_db_dir(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = tmpdir(tag);
+        let db_dir = dir.join("db");
+        let schema = avq_schema::Schema::from_pairs(vec![
+            (
+                "dept",
+                avq_schema::Domain::enumerated(vec!["eng", "hr"]).unwrap(),
+            ),
+            ("id", avq_schema::Domain::uint(10_000).unwrap()),
+        ])
+        .unwrap();
+        let relation = Relation::from_rows(
+            schema,
+            (0..100u64).map(|i| vec![Value::from(["eng", "hr"][(i % 2) as usize]), Value::Uint(i)]),
+        )
+        .unwrap();
+        let (mut db, _) =
+            DurableDatabase::open(&db_dir, DbConfig::default(), SyncPolicy::Always).unwrap();
+        db.create_relation("people", &relation).unwrap();
+        db.create_secondary_index("people", 1).unwrap();
+        db.insert_row("people", &[Value::from("hr"), Value::Uint(9999)])
+            .unwrap();
+        (dir, db_dir)
+    }
+
+    #[test]
+    fn open_pins_recovery_and_cache_stat_format() {
+        let (dir, db_dir) = seeded_db_dir("open");
+        let out = open(&db_dir).unwrap();
+        assert!(
+            out.contains("checkpoint: lsn 0, 0 snapshot(s) loaded"),
+            "{out}"
+        );
+        assert!(
+            out.contains("replayed:   3 record(s) (0 skipped, 0 failed), last lsn 3"),
+            "{out}"
+        );
+        assert!(out.contains("torn tail:  none"), "{out}");
+        assert!(
+            out.contains("  people: 101 tuples in") && out.contains("secondary on [1]"),
+            "{out}"
+        );
+        // The decoded-cache line is the operator-facing format; pin it.
+        let cache_line = out
+            .lines()
+            .find(|l| l.starts_with("decoded cache: "))
+            .expect("cache line present");
+        for field in ["hits=", "misses=", "evictions=", "hit_rate="] {
+            assert!(cache_line.contains(field), "{cache_line}");
+        }
+        assert!(cache_line.ends_with('%'), "{cache_line}");
+        // `info` on a directory is the same report.
+        assert_eq!(info(&db_dir).unwrap(), out);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_and_recover_info_pin_formats() {
+        let (dir, db_dir) = seeded_db_dir("ckpt");
+        // Before any checkpoint: no manifest, three live records.
+        let ri = recover_info(&db_dir).unwrap();
+        assert!(ri.contains("manifest:   none (no checkpoint yet)"), "{ri}");
+        assert!(ri.contains("wal:        3 record(s)"), "{ri}");
+        assert!(
+            ri.contains("create-relation=1 create-secondary-index=1 insert=1"),
+            "{ri}"
+        );
+        assert!(ri.contains("last lsn:   3"), "{ri}");
+
+        let out = checkpoint(&db_dir).unwrap();
+        assert!(
+            out.contains("checkpoint: lsn 3 written, 1 relation(s)"),
+            "{out}"
+        );
+
+        let ri = recover_info(&db_dir).unwrap();
+        assert!(
+            ri.contains("manifest:   checkpoint lsn 3, 1 relation(s)"),
+            "{ri}"
+        );
+        assert!(
+            ri.contains("  people <- snap-3-0.avq (secondary on [1])"),
+            "{ri}"
+        );
+        assert!(
+            ri.contains("wal:        1 record(s)") && ri.contains("checkpoint=1"),
+            "{ri}"
+        );
+        assert!(ri.contains("torn tail:  none"), "{ri}");
+
+        // Reopening after the checkpoint loads the snapshot and replays
+        // nothing.
+        let out = open(&db_dir).unwrap();
+        assert!(
+            out.contains("checkpoint: lsn 3, 1 snapshot(s) loaded"),
+            "{out}"
+        );
+        // Only the checkpoint marker remains in the log; it is skipped.
+        assert!(
+            out.contains("replayed:   0 record(s) (1 skipped, 0 failed), last lsn 4"),
+            "{out}"
+        );
+        assert!(out.contains("  people: 101 tuples in"), "{out}");
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -30,6 +30,9 @@ fn run(args: &[String]) -> Result<String, commands::CliError> {
             rest.get(4).map(|s| s.parse()).transpose()?,
         ),
         ("info", [path]) => commands::info(Path::new(path)),
+        ("open", [dir]) => commands::open(Path::new(dir)),
+        ("checkpoint", [dir]) => commands::checkpoint(Path::new(dir)),
+        ("recover-info", [dir]) => commands::recover_info(Path::new(dir)),
         ("dump", [path]) => commands::dump(Path::new(path)),
         ("verify", [path]) => commands::verify(Path::new(path)),
         ("query", [path, attr, lo, hi]) => commands::query(Path::new(path), attr, lo, hi),

@@ -188,6 +188,14 @@ impl Database {
         rel.delete(&tuple)
     }
 
+    /// Replaces one logical row with another (§4.2: delete + insert).
+    pub fn update_row(&mut self, name: &str, old: &[Value], new: &[Value]) -> Result<(), DbError> {
+        let rel = self.relation_mut(name)?;
+        let old = rel.schema().encode_row(old)?;
+        let new = rel.schema().encode_row(new)?;
+        rel.update(&old, &new)
+    }
+
     /// Empties the buffer pool and every relation's decoded-block cache so
     /// the next queries run cold (the paper's cost model assumes cold
     /// reads).

@@ -34,6 +34,13 @@ pub enum DbError {
         /// Attribute position.
         attribute: usize,
     },
+    /// A durability-layer failure: WAL, snapshot, or manifest I/O.
+    /// Carries the rendered cause (the underlying errors are not
+    /// `Clone`/`Eq`, which this type promises).
+    Durability {
+        /// Human-readable cause.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -49,6 +56,7 @@ impl fmt::Display for DbError {
             DbError::IndexExists { attribute } => {
                 write!(f, "secondary index already exists on attribute {attribute}")
             }
+            DbError::Durability { detail } => write!(f, "durability error: {detail}"),
         }
     }
 }
@@ -79,5 +87,21 @@ impl From<IndexError> for DbError {
 impl From<StorageError> for DbError {
     fn from(e: StorageError) -> Self {
         DbError::Storage(e)
+    }
+}
+
+impl From<avq_wal::WalError> for DbError {
+    fn from(e: avq_wal::WalError) -> Self {
+        DbError::Durability {
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl From<avq_file::FileError> for DbError {
+    fn from(e: avq_file::FileError) -> Self {
+        DbError::Durability {
+            detail: e.to_string(),
+        }
     }
 }

@@ -45,6 +45,7 @@ mod aggregate;
 mod config;
 mod cost;
 mod database;
+mod durable;
 mod error;
 mod extsort;
 mod join;
@@ -57,7 +58,10 @@ pub use aggregate::{Aggregate, AggregateValue};
 pub use config::DbConfig;
 pub use cost::QueryCost;
 pub use database::Database;
+pub use durable::{CheckpointReport, DurableDatabase, RecoveryReport};
 pub use error::DbError;
+// Re-exported so durable callers need not depend on `avq-wal` directly.
+pub use avq_wal::SyncPolicy;
 pub use extsort::{ExternalSorter, SortedStream};
 pub use join::{block_nested_loop, equijoin, index_nested_loop, JoinStrategy};
 pub use query::{AccessPath, RangePredicate, Selection};

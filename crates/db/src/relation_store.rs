@@ -353,6 +353,12 @@ impl StoredRelation {
         self.secondaries.contains_key(&attr)
     }
 
+    /// Attribute positions with secondary indexes, ascending (recorded in
+    /// the durable manifest so indexes are rebuilt on open).
+    pub fn secondary_attrs(&self) -> Vec<usize> {
+        self.secondaries.keys().copied().collect()
+    }
+
     /// Decodes every block in φ order (full scan without cost accounting).
     pub fn scan_all(&self) -> Result<Vec<Tuple>, DbError> {
         let mut out = Vec::with_capacity(self.tuple_count);

@@ -26,6 +26,9 @@ pub enum FileError {
     /// A structural inconsistency (with a valid checksum, this indicates a
     /// writer bug or a forged file).
     Corrupt {
+        /// Container section being parsed when validation failed
+        /// (`"header"`, `"schema"`, `"blocks"`, or `"trailer"`).
+        section: &'static str,
         /// Byte offset of the inconsistency.
         offset: usize,
         /// Human-readable cause.
@@ -49,8 +52,15 @@ impl fmt::Display for FileError {
                 f,
                 "checksum mismatch: file records {stored:#010x}, contents hash to {actual:#010x}"
             ),
-            FileError::Corrupt { offset, detail } => {
-                write!(f, "corrupt .avq file at byte {offset}: {detail}")
+            FileError::Corrupt {
+                section,
+                offset,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "corrupt .avq file in {section} at byte {offset}: {detail}"
+                )
             }
             FileError::Schema(e) => write!(f, "embedded schema invalid: {e}"),
             FileError::Codec(e) => write!(f, "embedded block invalid: {e}"),

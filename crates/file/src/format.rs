@@ -104,17 +104,26 @@ pub fn write_coded_relation<W: Write>(w: &mut W, rel: &CodedRelation) -> Result<
 struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Which container section the cursor is currently inside; carried
+    /// into every [`FileError::Corrupt`] so a failed load names both the
+    /// section and the file offset.
+    section: &'static str,
 }
 
 impl<'a> Cursor<'a> {
+    fn corrupt(&self, offset: usize, detail: String) -> FileError {
+        FileError::Corrupt {
+            section: self.section,
+            offset,
+            detail,
+        }
+    }
+
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], FileError> {
         let s = self
             .bytes
             .get(self.pos..self.pos + n)
-            .ok_or_else(|| FileError::Corrupt {
-                offset: self.pos,
-                detail: format!("truncated {what}"),
-            })?;
+            .ok_or_else(|| self.corrupt(self.pos, format!("truncated {what}")))?;
         self.pos += n;
         Ok(s)
     }
@@ -143,34 +152,46 @@ impl<'a> Cursor<'a> {
         let len = self.u16(what)? as usize;
         let offset = self.pos;
         let bytes = self.take(len, what)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| FileError::Corrupt {
-            offset,
-            detail: format!("{what} is not valid UTF-8"),
-        })
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| self.corrupt(offset, format!("{what} is not valid UTF-8")))
     }
 }
 
 /// Deserializes a coded relation from the `.avq` container format.
+///
+/// A failing load reports *where* the file went bad: if the trailing
+/// checksum mismatches (truncation, torn write, bit rot), the structural
+/// parse still runs so the error can name the section and byte offset of
+/// the first inconsistency; a bare [`FileError::ChecksumMismatch`] is
+/// returned only when the structure itself is intact.
 pub fn read_coded_relation<R: Read>(r: &mut R) -> Result<CodedRelation, FileError> {
     let mut bytes = Vec::new();
     r.read_to_end(&mut bytes)?;
     if bytes.len() < MAGIC.len() + 2 + 4 {
         return Err(FileError::Corrupt {
+            section: "header",
             offset: 0,
             detail: "file shorter than header".into(),
         });
     }
-    // Verify the trailing checksum before parsing anything else.
     let (body, tail) = bytes.split_at(bytes.len() - 4);
     let stored = u32::from_le_bytes(tail.try_into().unwrap());
     let actual = crc32(body);
-    if stored != actual {
-        return Err(FileError::ChecksumMismatch { stored, actual });
+    match (stored == actual, parse_body(body)) {
+        (true, parsed) => parsed,
+        // The structural error pinpoints the damage (section + offset);
+        // prefer it over the bare checksum failure.
+        (false, Err(e @ FileError::Corrupt { .. })) => Err(e),
+        (false, _) => Err(FileError::ChecksumMismatch { stored, actual }),
     }
+}
 
+/// Parses the checksummed body of an `.avq` container.
+fn parse_body(body: &[u8]) -> Result<CodedRelation, FileError> {
     let mut c = Cursor {
         bytes: body,
         pos: 0,
+        section: "header",
     };
     if c.take(4, "magic")? != MAGIC {
         return Err(FileError::BadMagic);
@@ -179,16 +200,13 @@ pub fn read_coded_relation<R: Read>(r: &mut R) -> Result<CodedRelation, FileErro
     if version != VERSION {
         return Err(FileError::UnsupportedVersion { version });
     }
-    let mode = CodingMode::from_tag(c.u8("mode")?).ok_or_else(|| FileError::Corrupt {
-        offset: 6,
-        detail: "unknown coding mode".into(),
-    })?;
-    let rep = rep_from_tag(c.u8("rep")?).ok_or_else(|| FileError::Corrupt {
-        offset: 7,
-        detail: "unknown representative policy".into(),
-    })?;
+    let mode = CodingMode::from_tag(c.u8("mode")?)
+        .ok_or_else(|| c.corrupt(6, "unknown coding mode".into()))?;
+    let rep = rep_from_tag(c.u8("rep")?)
+        .ok_or_else(|| c.corrupt(7, "unknown representative policy".into()))?;
     let block_capacity = c.u32("block capacity")? as usize;
 
+    c.section = "schema";
     let arity = c.u16("arity")? as usize;
     let mut pairs = Vec::with_capacity(arity);
     for _ in 0..arity {
@@ -209,35 +227,29 @@ pub fn read_coded_relation<R: Read>(r: &mut R) -> Result<CodedRelation, FileErro
                 }
                 Domain::enumerated(values)
             }
-            t => {
-                return Err(FileError::Corrupt {
-                    offset: c.pos,
-                    detail: format!("unknown domain tag {t}"),
-                })
-            }
+            t => return Err(c.corrupt(c.pos, format!("unknown domain tag {t}"))),
         }?;
         pairs.push((name, domain));
     }
     let schema: Arc<Schema> = Schema::from_pairs(pairs)?;
 
+    c.section = "blocks";
     let tuple_count = c.u64("tuple count")? as usize;
     let block_count = c.u32("block count")? as usize;
     let mut blocks = Vec::with_capacity(block_count);
     for _ in 0..block_count {
         let len = c.u32("block length")? as usize;
         if len > block_capacity {
-            return Err(FileError::Corrupt {
-                offset: c.pos,
-                detail: format!("block of {len} bytes exceeds capacity {block_capacity}"),
-            });
+            return Err(c.corrupt(
+                c.pos,
+                format!("block of {len} bytes exceeds capacity {block_capacity}"),
+            ));
         }
         blocks.push(c.take(len, "block body")?.to_vec());
     }
+    c.section = "trailer";
     if c.pos != body.len() {
-        return Err(FileError::Corrupt {
-            offset: c.pos,
-            detail: "trailing bytes after last block".into(),
-        });
+        return Err(c.corrupt(c.pos, "trailing bytes after last block".into()));
     }
 
     let options = CodecOptions {
@@ -248,6 +260,7 @@ pub fn read_coded_relation<R: Read>(r: &mut R) -> Result<CodedRelation, FileErro
     let rel = CodedRelation::from_blocks(schema, options, blocks)?;
     if rel.tuple_count() != tuple_count {
         return Err(FileError::Corrupt {
+            section: "blocks",
             offset: 0,
             detail: format!(
                 "header claims {tuple_count} tuples, blocks hold {}",
@@ -369,6 +382,67 @@ mod tests {
         for cut in [0, 3, 10, buf.len() / 2, buf.len() - 1] {
             assert!(read_coded_relation(&mut &buf[..cut]).is_err());
         }
+    }
+
+    #[test]
+    fn truncated_file_names_the_failing_section() {
+        let rel = sample_coded();
+        let mut buf = Vec::new();
+        write_coded_relation(&mut buf, &rel).unwrap();
+
+        // Shorter than the fixed header.
+        let err = read_coded_relation(&mut &buf[..6]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FileError::Corrupt {
+                    section: "header",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+
+        // Cut mid-schema: the fixed header is 12 bytes, arity is read at
+        // offset 12, and the first attribute name ("dept", 4 bytes) starts
+        // at offset 16 — cutting at byte 20 leaves the name unreadable.
+        let err = read_coded_relation(&mut &buf[..20]).unwrap_err();
+        match err {
+            FileError::Corrupt {
+                section, offset, ..
+            } => {
+                assert_eq!(section, "schema");
+                assert_eq!(offset, 16, "damage located at the attribute name");
+            }
+            other => panic!("expected a located Corrupt error, got {other}"),
+        }
+
+        // Cut inside the block stream.
+        let err = read_coded_relation(&mut &buf[..buf.len() - 10]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FileError::Corrupt {
+                    section: "blocks",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn structure_preserving_bitflip_reports_checksum_mismatch() {
+        let rel = sample_coded();
+        let mut buf = Vec::new();
+        write_coded_relation(&mut buf, &rel).unwrap();
+        // Flip one bit inside the first attribute name ("dept" → "eept"):
+        // the structure still parses, so the checksum is the only witness.
+        buf[16] ^= 0x01;
+        assert!(matches!(
+            read_coded_relation(&mut &buf[..]).unwrap_err(),
+            FileError::ChecksumMismatch { .. }
+        ));
     }
 
     #[test]

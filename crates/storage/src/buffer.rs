@@ -37,6 +37,21 @@ impl PoolStats {
     }
 }
 
+impl core::fmt::Display for PoolStats {
+    /// `hits=H misses=M evictions=E hit_rate=P%` — the format `avqtool`
+    /// prints (and tests pin), so keep it stable.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} evictions={} hit_rate={:.1}%",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
 #[derive(Debug)]
 struct Frame {
     block: BlockId,

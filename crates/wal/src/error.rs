@@ -1,0 +1,50 @@
+//! Error type for the write-ahead log.
+
+use core::fmt;
+
+/// Errors raised while writing or scanning a write-ahead log.
+///
+/// Note that a *torn tail* — an incomplete or checksum-invalid suffix left
+/// by a crash mid-append — is **not** an error: the reader truncates it and
+/// reports it in [`crate::WalScan`]. `Corrupt` is reserved for damage that
+/// cannot be explained by a torn append, such as a record that decodes to
+/// an unknown tag after its checksum verified.
+#[derive(Debug)]
+pub enum WalError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A record body whose checksum verified but whose contents do not
+    /// decode (writer bug or forged log).
+    Corrupt {
+        /// Byte offset of the record frame in the log.
+        offset: u64,
+        /// Human-readable cause.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
+            WalError::Corrupt { offset, detail } => {
+                write!(f, "corrupt WAL record at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}

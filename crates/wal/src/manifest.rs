@@ -1,0 +1,190 @@
+//! The `MANIFEST` file: the durable root of a database directory.
+//!
+//! The manifest names the current checkpoint generation — which snapshot
+//! file holds each relation, which secondary indexes to rebuild, and the
+//! LSN the snapshots capture. It is replaced atomically (write to a temp
+//! file, `fsync`, `rename`), so a reader always sees either the old or the
+//! new generation, never a mix.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   "AVQM"               4 bytes
+//! version u16                  (currently 1)
+//! checkpoint_lsn u64
+//! relation_count u32
+//!   per relation:
+//!     name_len u16, name bytes (UTF-8)
+//!     snapshot_len u16, snapshot file name bytes (UTF-8)
+//!     secondary_count u16, attribute u32 each
+//! crc32 u32                    over everything above
+//! ```
+
+use crate::error::WalError;
+use crate::writer::Lsn;
+use avq_file::{crc32, Crc32};
+use std::path::Path;
+
+/// File name of the manifest inside a database directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+const MAGIC: &[u8; 4] = b"AVQM";
+const VERSION: u16 = 1;
+
+/// One relation's entry in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Relation name.
+    pub name: String,
+    /// Snapshot file name (relative to the database directory).
+    pub snapshot: String,
+    /// Attribute positions with secondary indexes (rebuilt on open).
+    pub secondary_attrs: Vec<usize>,
+}
+
+/// The durable root: checkpoint LSN plus the snapshot files of that
+/// generation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Highest LSN captured by the snapshots; WAL records at or below it
+    /// are skipped on replay.
+    pub checkpoint_lsn: Lsn,
+    /// Per-relation snapshot entries, in name order.
+    pub relations: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Serializes the manifest.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.checkpoint_lsn.to_le_bytes());
+        buf.extend_from_slice(&(self.relations.len() as u32).to_le_bytes());
+        for r in &self.relations {
+            for s in [&r.name, &r.snapshot] {
+                buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+                buf.extend_from_slice(s.as_bytes());
+            }
+            buf.extend_from_slice(&(r.secondary_attrs.len() as u16).to_le_bytes());
+            for &a in &r.secondary_attrs {
+                buf.extend_from_slice(&(a as u32).to_le_bytes());
+            }
+        }
+        let mut h = Crc32::new();
+        h.update(&buf);
+        buf.extend_from_slice(&h.finish().to_le_bytes());
+        buf
+    }
+
+    /// Deserializes a manifest, verifying its checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WalError> {
+        if bytes.len() < 4 + 2 + 8 + 4 + 4 {
+            return Err(corrupt(0, "shorter than header"));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(tail.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(corrupt(0, "checksum mismatch"));
+        }
+        if &body[..4] != MAGIC {
+            return Err(corrupt(0, "bad magic"));
+        }
+        let version = u16::from_le_bytes(body[4..6].try_into().unwrap());
+        if version != VERSION {
+            return Err(corrupt(4, &format!("unsupported version {version}")));
+        }
+        let mut c = Cursor { body, pos: 6 };
+        let checkpoint_lsn = u64::from_le_bytes(c.take(8, "checkpoint lsn")?.try_into().unwrap());
+        let count = u32::from_le_bytes(c.take(4, "relation count")?.try_into().unwrap()) as usize;
+        let mut relations = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = c.string("relation name")?;
+            let snapshot = c.string("snapshot name")?;
+            let nsec =
+                u16::from_le_bytes(c.take(2, "secondary count")?.try_into().unwrap()) as usize;
+            let mut secondary_attrs = Vec::with_capacity(nsec);
+            for _ in 0..nsec {
+                secondary_attrs
+                    .push(u32::from_le_bytes(c.take(4, "attribute")?.try_into().unwrap()) as usize);
+            }
+            relations.push(ManifestEntry {
+                name,
+                snapshot,
+                secondary_attrs,
+            });
+        }
+        if c.pos != body.len() {
+            return Err(corrupt(c.pos, "trailing bytes"));
+        }
+        Ok(Manifest {
+            checkpoint_lsn,
+            relations,
+        })
+    }
+
+    /// Reads the manifest from a database directory. `Ok(None)` when the
+    /// directory has no manifest yet (a fresh database).
+    pub fn read_dir<P: AsRef<Path>>(dir: P) -> Result<Option<Self>, WalError> {
+        let path = dir.as_ref().join(MANIFEST_FILE);
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(Some(Self::from_bytes(&bytes)?)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Atomically replaces the manifest in a database directory: temp file,
+    /// `fsync`, `rename`, then a best-effort directory sync.
+    pub fn write_dir<P: AsRef<Path>>(&self, dir: P) -> Result<(), WalError> {
+        let dir = dir.as_ref();
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        let bytes = self.to_bytes();
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut f, &bytes)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+        sync_dir(dir);
+        Ok(())
+    }
+}
+
+fn corrupt(pos: usize, detail: &str) -> WalError {
+    WalError::Corrupt {
+        offset: pos as u64,
+        detail: format!("MANIFEST: {detail}"),
+    }
+}
+
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WalError> {
+        let s = self
+            .body
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| corrupt(self.pos, &format!("truncated {what}")))?;
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, WalError> {
+        let len = u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()) as usize;
+        let at = self.pos;
+        String::from_utf8(self.take(len, what)?.to_vec())
+            .map_err(|_| corrupt(at, &format!("{what} is not valid UTF-8")))
+    }
+}
+
+/// Best-effort `fsync` of a directory so renames inside it are durable.
+/// Ignored on platforms where directories cannot be opened for sync.
+pub fn sync_dir(dir: &Path) {
+    if let Ok(f) = std::fs::File::open(dir) {
+        let _ = f.sync_all();
+    }
+}

@@ -1,0 +1,343 @@
+//! Crash-injection matrix: a scripted workload is logged, then the log is
+//! truncated at every record boundary (and inside records, and corrupted
+//! mid-stream), the database is reopened, and the recovered state must
+//! equal a reference replay of exactly the committed prefix — no panics,
+//! no partial applies, torn tails truncated rather than fatal.
+//!
+//! Every WAL record corresponds to exactly one scripted operation (the
+//! writer appends before applying), so "k complete records survive" maps
+//! to "the first k operations committed".
+
+use avq_codec::CodecOptions;
+use avq_db::{Database, DbConfig, DbError, DurableDatabase, SyncPolicy};
+use avq_schema::{Domain, Relation, Schema, Tuple};
+use avq_wal::{scan_bytes, WAL_FILE};
+use std::path::{Path, PathBuf};
+
+const REL: &str = "t";
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("avq-crash-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config() -> DbConfig {
+    DbConfig {
+        codec: CodecOptions {
+            block_capacity: 512,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn schema() -> std::sync::Arc<Schema> {
+    Schema::from_pairs(vec![
+        ("a", Domain::uint(64).unwrap()),
+        ("b", Domain::uint(64).unwrap()),
+        ("c", Domain::uint(4096).unwrap()),
+    ])
+    .unwrap()
+}
+
+fn initial_relation(n: u64) -> Relation {
+    let tuples: Vec<Tuple> = (0..n)
+        .map(|i| Tuple::from([(i * 7) % 64, (i * 13) % 64, (i * 29) % 4096]))
+        .collect();
+    Relation::from_tuples(schema(), tuples).unwrap()
+}
+
+/// One scripted operation = one WAL record.
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u64),
+    Index(usize),
+    Insert(Tuple),
+    Delete(Tuple),
+    Update(Tuple, Tuple),
+}
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn tuple(&mut self) -> Tuple {
+        Tuple::from([self.next() % 64, self.next() % 64, self.next() % 4096])
+    }
+}
+
+/// Builds the scripted workload: create + index prologue, then `n`
+/// mutations mixing inserts, deletes (mostly of live tuples, sometimes of
+/// absent ones, to exercise the logged-but-failed path), and updates.
+fn scripted_workload(n: usize, seed: u64) -> Vec<Op> {
+    let mut ops = vec![Op::Create(150), Op::Index(1)];
+    let mut live: Vec<Tuple> = initial_relation(150).tuples().to_vec();
+    let mut rng = Lcg(seed);
+    for _ in 0..n {
+        match rng.next() % 10 {
+            0..=3 => {
+                let t = rng.tuple();
+                live.push(t.clone());
+                ops.push(Op::Insert(t));
+            }
+            4..=6 if !live.is_empty() => {
+                let idx = (rng.next() as usize) % live.len();
+                let t = live.swap_remove(idx);
+                ops.push(Op::Delete(t));
+            }
+            7 => {
+                // Probably absent: exercises delete-fails-after-logging.
+                ops.push(Op::Delete(rng.tuple()));
+            }
+            _ if !live.is_empty() => {
+                let idx = (rng.next() as usize) % live.len();
+                let old = live[idx].clone();
+                let new = rng.tuple();
+                live[idx] = new.clone();
+                ops.push(Op::Update(old, new));
+            }
+            _ => {
+                let t = rng.tuple();
+                live.push(t.clone());
+                ops.push(Op::Insert(t));
+            }
+        }
+    }
+    ops
+}
+
+fn ignore_not_found(r: Result<(), DbError>) {
+    match r {
+        Ok(()) | Err(DbError::TupleNotFound) => {}
+        Err(e) => panic!("unexpected workload error: {e}"),
+    }
+}
+
+fn apply_durable(db: &mut DurableDatabase, op: &Op) {
+    match op {
+        Op::Create(n) => db.create_relation(REL, &initial_relation(*n)).unwrap(),
+        Op::Index(attr) => db.create_secondary_index(REL, *attr).unwrap(),
+        Op::Insert(t) => db.insert_tuple(REL, t).unwrap(),
+        Op::Delete(t) => ignore_not_found(db.delete_tuple(REL, t)),
+        Op::Update(old, new) => ignore_not_found(db.update_tuple(REL, old, new)),
+    }
+}
+
+fn apply_reference(db: &mut Database, op: &Op) {
+    match op {
+        Op::Create(n) => db.create_relation(REL, &initial_relation(*n)).unwrap(),
+        Op::Index(attr) => db.create_secondary_index(REL, *attr).unwrap(),
+        Op::Insert(t) => db.relation_mut(REL).unwrap().insert(t).unwrap(),
+        Op::Delete(t) => ignore_not_found(db.relation_mut(REL).unwrap().delete(t)),
+        Op::Update(old, new) => ignore_not_found(db.relation_mut(REL).unwrap().update(old, new)),
+    }
+}
+
+/// Byte offsets where each frame starts, plus the end offset.
+fn frame_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let scan = scan_bytes(bytes).unwrap();
+    assert_eq!(scan.torn_bytes, 0, "workload log must scan clean");
+    let mut starts = vec![0usize];
+    let mut pos = 0usize;
+    for _ in &scan.records {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += avq_wal::FRAME_HEADER_BYTES + len;
+        starts.push(pos);
+    }
+    assert_eq!(pos, bytes.len());
+    starts
+}
+
+/// Asserts the recovered database matches the reference, logically and
+/// structurally.
+fn assert_equivalent(recovered: &DurableDatabase, reference: &Database, what: &str) {
+    let rec = recovered.database().relation(REL);
+    let refr = reference.relation(REL);
+    match (rec, refr) {
+        (Err(_), Err(_)) => {}
+        (Ok(rec), Ok(refr)) => {
+            assert_eq!(rec.tuple_count(), refr.tuple_count(), "{what}: count");
+            assert_eq!(
+                rec.scan_all().unwrap(),
+                refr.scan_all().unwrap(),
+                "{what}: contents"
+            );
+            assert_eq!(
+                rec.has_secondary_index(1),
+                refr.has_secondary_index(1),
+                "{what}: secondary index"
+            );
+            if refr.has_secondary_index(1) {
+                let (a, _) = rec.select_range(1, 5, 20).unwrap();
+                let (b, _) = refr.select_range(1, 5, 20).unwrap();
+                let (mut a, mut b) = (a, b);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{what}: indexed selection");
+            }
+            rec.primary_index().validate().unwrap();
+        }
+        (rec, refr) => panic!(
+            "{what}: relation presence diverged (recovered {}, reference {})",
+            rec.is_ok(),
+            refr.is_ok()
+        ),
+    }
+}
+
+/// Runs `ops` through a durable database in a fresh dir and returns the
+/// final log bytes (the dir is discarded; only the log matters when no
+/// checkpoint ran).
+fn run_and_capture(ops: &[Op], dir: &Path) -> Vec<u8> {
+    {
+        let (mut db, report) = DurableDatabase::open(dir, config(), SyncPolicy::Always).unwrap();
+        assert_eq!(report.replayed, 0);
+        for op in ops {
+            apply_durable(&mut db, op);
+        }
+        assert_eq!(db.last_lsn(), ops.len() as u64, "one record per op");
+    }
+    std::fs::read(dir.join(WAL_FILE)).unwrap()
+}
+
+fn reopen_with_log(dir: &Path, log: &[u8]) -> DurableDatabase {
+    std::fs::remove_dir_all(dir).ok();
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(dir.join(WAL_FILE), log).unwrap();
+    let (db, _) = DurableDatabase::open(dir, config(), SyncPolicy::Always).unwrap();
+    db
+}
+
+#[test]
+fn truncation_at_every_record_boundary_recovers_committed_prefix() {
+    let ops = scripted_workload(200, 0xA5EED);
+    assert!(ops.len() >= 202);
+    let dir = tmpdir("boundary");
+    let bytes = run_and_capture(&ops, &dir);
+    let boundaries = frame_boundaries(&bytes);
+    assert_eq!(boundaries.len(), ops.len() + 1);
+
+    let cut_dir = tmpdir("boundary-cut");
+    let mut reference = Database::new(config());
+    for k in 0..=ops.len() {
+        if k > 0 {
+            apply_reference(&mut reference, &ops[k - 1]);
+        }
+        // Kill exactly at the record boundary: k committed records.
+        let recovered = reopen_with_log(&cut_dir, &bytes[..boundaries[k]]);
+        assert_equivalent(&recovered, &reference, &format!("boundary cut {k}"));
+        drop(recovered);
+        // Kill mid-record: the torn frame must be truncated, leaving the
+        // same k committed records (sampled to keep the matrix fast).
+        if k < ops.len() && k % 5 == 0 {
+            let frame_len = boundaries[k + 1] - boundaries[k];
+            for cut_in in [1, frame_len / 2, frame_len - 1] {
+                let cut = boundaries[k] + cut_in;
+                let recovered = reopen_with_log(&cut_dir, &bytes[..cut]);
+                assert_equivalent(
+                    &recovered,
+                    &reference,
+                    &format!("mid-record cut {k}+{cut_in}"),
+                );
+                // The torn tail was physically truncated on recovery.
+                assert_eq!(
+                    std::fs::metadata(cut_dir.join(WAL_FILE)).unwrap().len(),
+                    boundaries[k] as u64,
+                    "mid-record cut {k}+{cut_in} must truncate to the boundary"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(dir).ok();
+    std::fs::remove_dir_all(cut_dir).ok();
+}
+
+#[test]
+fn corruption_inside_a_record_truncates_from_that_record() {
+    let ops = scripted_workload(120, 0xBEEF);
+    let dir = tmpdir("corrupt");
+    let bytes = run_and_capture(&ops, &dir);
+    let boundaries = frame_boundaries(&bytes);
+
+    let cut_dir = tmpdir("corrupt-cut");
+    for stride in 0..24usize {
+        let pos = 13 + stride * (bytes.len() - 14) / 24;
+        // The record whose frame contains the flipped byte dies; every
+        // record before it survives.
+        let k = boundaries.partition_point(|&b| b <= pos) - 1;
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x41;
+        let recovered = reopen_with_log(&cut_dir, &bad);
+        let mut reference = Database::new(config());
+        for op in &ops[..k] {
+            apply_reference(&mut reference, op);
+        }
+        assert_equivalent(&recovered, &reference, &format!("flip at byte {pos}"));
+    }
+    std::fs::remove_dir_all(dir).ok();
+    std::fs::remove_dir_all(cut_dir).ok();
+}
+
+#[test]
+fn truncation_after_checkpoint_replays_only_the_tail() {
+    let ops = scripted_workload(120, 0xC0FFEE);
+    let (pre, post) = ops.split_at(62);
+    let dir = tmpdir("ckpt");
+    {
+        let (mut db, _) = DurableDatabase::open(&dir, config(), SyncPolicy::Always).unwrap();
+        for op in pre {
+            apply_durable(&mut db, op);
+        }
+        db.checkpoint().unwrap();
+        for op in post {
+            apply_durable(&mut db, op);
+        }
+    }
+    let bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+    // Record 0 is the checkpoint marker; records 1.. are the tail ops.
+    let boundaries = frame_boundaries(&bytes);
+    assert_eq!(boundaries.len(), post.len() + 2);
+
+    // Reference state at the checkpoint.
+    let mut reference = Database::new(config());
+    for op in pre {
+        apply_reference(&mut reference, op);
+    }
+
+    let cut_dir = tmpdir("ckpt-cut");
+    for j in 0..boundaries.len() {
+        if j >= 2 {
+            apply_reference(&mut reference, &post[j - 2]);
+        }
+        // Clone the directory (manifest + snapshots), truncating the log.
+        std::fs::remove_dir_all(&cut_dir).ok();
+        std::fs::create_dir_all(&cut_dir).unwrap();
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let name = entry.file_name();
+            if name.to_str() == Some(WAL_FILE) {
+                continue;
+            }
+            std::fs::copy(entry.path(), cut_dir.join(&name)).unwrap();
+        }
+        std::fs::write(cut_dir.join(WAL_FILE), &bytes[..boundaries[j]]).unwrap();
+        let (recovered, report) =
+            DurableDatabase::open(&cut_dir, config(), SyncPolicy::Always).unwrap();
+        assert_eq!(report.snapshots_loaded, 1, "cut {j}: snapshot loads");
+        assert!(
+            report.replayed <= j.saturating_sub(1),
+            "cut {j}: only tail records replay"
+        );
+        assert_equivalent(&recovered, &reference, &format!("checkpoint cut {j}"));
+    }
+    std::fs::remove_dir_all(dir).ok();
+    std::fs::remove_dir_all(cut_dir).ok();
+}
