@@ -26,6 +26,7 @@ fn main() {
         .nth(2)
         .unwrap_or_else(|| "results/BENCH_decode.json".to_owned());
     let reps = if n >= 50_000 { 20 } else { 50 };
+    let obs_before = avq_obs::global().snapshot();
 
     let (_, relation) = harness::timing_relation(n);
     let coded = compress(&relation, CodecOptions::default()).unwrap();
@@ -154,13 +155,21 @@ fn main() {
         })
         .collect();
     let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // Per-block latency percentiles from the metrics registry: everything
+    // recorded since the experiment started.
+    let obs_delta = avq_obs::global().snapshot().since(&obs_before);
+    let latency = avq_bench::report::latency_json(
+        &obs_delta,
+        &["avq.codec.encode_block.ns", "avq.codec.decode_block.ns"],
+    );
     let json = format!(
         "{{\n  \"experiment\": \"decode\",\n  \"tuples\": {n},\n  \"blocks\": {blocks},\n  \
          \"host_threads\": {host_threads},\n  \
          \"fresh_scratch_ms\": {fresh_ms:.3},\n  \"reused_scratch_ms\": {reused_ms:.3},\n  \
          \"sequential_decompress_ms\": {seq_ms:.3},\n  \"parallel_decompress\": [{}],\n  \
          \"scan_cold_ms\": {cold_ms:.3},\n  \"scan_warm_ms\": {warm_ms:.3},\n  \
-         \"warm_cache_hits\": {},\n  \"warm_cache_misses\": {}\n}}\n",
+         \"warm_cache_hits\": {},\n  \"warm_cache_misses\": {},\n  \
+         \"latency_ns\": {latency}\n}}\n",
         par_json.join(", "),
         warm_stats.hits,
         warm_stats.misses,

@@ -65,6 +65,7 @@ fn main() {
         .nth(2)
         .unwrap_or_else(|| "results/BENCH_recovery.json".to_owned());
 
+    let obs_before = avq_obs::global().snapshot();
     let base = initial_relation(5_000);
     let work = std::env::temp_dir().join(format!("avq-exp-recovery-{}", std::process::id()));
     std::fs::remove_dir_all(&work).ok();
@@ -159,12 +160,25 @@ fn main() {
             )
         })
         .collect();
+    // WAL latency percentiles from the metrics registry across the whole
+    // experiment (all policies plus replay and checkpoint).
+    let obs_delta = avq_obs::global().snapshot().since(&obs_before);
+    let latency = avq_bench::report::latency_json(
+        &obs_delta,
+        &[
+            "avq.wal.append.ns",
+            "avq.wal.fsync.ns",
+            "avq.wal.group_commit.ns",
+            "avq.db.checkpoint.ns",
+        ],
+    );
     let json = format!(
         "{{\n  \"experiment\": \"recovery\",\n  \"mutations\": {n},\n  \
          \"policies\": [{}],\n  \
          \"replay\": {{\"records\": {replayed}, \"ms\": {replay_ms:.1}, \
          \"records_per_s\": {replay_per_s:.0}}},\n  \
-         \"checkpoint_ms\": {checkpoint_ms:.1},\n  \"reopen_after_checkpoint_ms\": {reopen_ms:.1}\n}}\n",
+         \"checkpoint_ms\": {checkpoint_ms:.1},\n  \"reopen_after_checkpoint_ms\": {reopen_ms:.1},\n  \
+         \"latency_ns\": {latency}\n}}\n",
         policy_json.join(", "),
     );
     if let Some(dir) = std::path::Path::new(&json_path).parent() {

@@ -19,7 +19,31 @@ fn main() -> ExitCode {
     }
 }
 
+/// Removes `name <value>` from `args`, returning the value when present.
+fn take_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, commands::CliError> {
+    match args.iter().position(|a| a == name) {
+        Some(i) if i + 1 < args.len() => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("{name} needs a value").into()),
+        None => Ok(None),
+    }
+}
+
 fn run(args: &[String]) -> Result<String, commands::CliError> {
+    let mut args = args.to_vec();
+    let format = take_flag(&mut args, "--format")?.unwrap_or_else(|| "prom".to_owned());
+    let metrics_out = take_flag(&mut args, "--metrics-out")?;
+    let output = dispatch(&args, &format)?;
+    match metrics_out {
+        Some(p) => Ok(output + &commands::write_metrics(Path::new(&p))?),
+        None => Ok(output),
+    }
+}
+
+fn dispatch(args: &[String], format: &str) -> Result<String, commands::CliError> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match (cmd, &args[1..]) {
         ("create", rest) if rest.len() >= 3 => commands::create(
@@ -42,6 +66,17 @@ fn run(args: &[String]) -> Result<String, commands::CliError> {
             &rest[2],
             rest.get(3).map(|s| s.parse()).transpose()?,
         ),
+        ("stats", rest) if rest.len() <= 1 => commands::stats(rest.first().map(Path::new), format),
+        ("explain", [path, attr, lo, hi]) => commands::explain_file(Path::new(path), attr, lo, hi),
+        ("explain", [dir, relation, attr, lo, hi]) => {
+            commands::explain_dir(Path::new(dir), relation, attr, lo, hi)
+        }
+        ("explain-join", [path, outer_attr, inner_attr]) => {
+            commands::explain_join_file(Path::new(path), outer_attr, inner_attr)
+        }
+        ("explain-join", [dir, outer, outer_attr, inner, inner_attr]) => {
+            commands::explain_join_dir(Path::new(dir), outer, outer_attr, inner, inner_attr)
+        }
         ("help", _) | ("--help", _) | ("-h", _) => Ok(commands::USAGE.to_string()),
         (other, _) => Err(format!("unknown or malformed command {other:?}").into()),
     }

@@ -136,6 +136,8 @@ impl BlockCodec {
     }
 
     fn encode_unchecked(&self, tuples: &[Tuple], out: &mut Vec<u8>) {
+        let _span = avq_obs::span!("avq.codec.encode_block");
+        let start_len = out.len();
         let u = tuples.len();
         let rep_idx = match self.mode {
             CodingMode::FieldWise => 0,
@@ -203,6 +205,17 @@ impl BlockCodec {
                     bw.push_bits_big(&value, bl);
                 }
                 out.extend_from_slice(&bw.into_bytes());
+            }
+        }
+        avq_obs::counter!("avq.codec.encode.blocks").inc();
+        avq_obs::counter!("avq.codec.encode.tuples").add(u as u64);
+        avq_obs::counter!("avq.codec.encode.bytes_out").add((out.len() - start_len) as u64);
+        match self.mode {
+            CodingMode::FieldWise => avq_obs::counter!("avq.codec.encode.mode.fieldwise").inc(),
+            CodingMode::Avq => avq_obs::counter!("avq.codec.encode.mode.avq").inc(),
+            CodingMode::AvqChained => avq_obs::counter!("avq.codec.encode.mode.avq_chained").inc(),
+            CodingMode::AvqChainedBits => {
+                avq_obs::counter!("avq.codec.encode.mode.avq_chained_bits").inc()
             }
         }
     }
@@ -308,9 +321,14 @@ impl BlockCodec {
         scratch: &mut DecodeScratch,
     ) -> Result<(), CodecError> {
         let base = out.len();
+        let _span = avq_obs::span!("avq.codec.decode_block");
         let result = self.decode_inner(bytes, out, scratch);
         if result.is_err() {
             out.truncate(base);
+        } else {
+            avq_obs::counter!("avq.codec.decode.blocks").inc();
+            avq_obs::counter!("avq.codec.decode.tuples").add((out.len() - base) as u64);
+            avq_obs::counter!("avq.codec.decode.bytes_in").add(bytes.len() as u64);
         }
         result
     }

@@ -73,6 +73,8 @@ pub fn compress_sorted(
     tuples: &[Tuple],
     options: CodecOptions,
 ) -> Result<CodedRelation, CodecError> {
+    let _span = avq_obs::span!("avq.codec.compress");
+    avq_obs::counter!("avq.codec.compress.relations").inc();
     let codec = BlockCodec::with_options(schema.clone(), options.mode, options.rep);
     let packer = BlockPacker::new(codec.clone(), options.block_capacity);
     let ranges = packer.partition(tuples)?;

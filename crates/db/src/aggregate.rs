@@ -65,6 +65,8 @@ impl StoredRelation {
         agg: Aggregate,
         selection: &Selection,
     ) -> Result<(AggregateValue, QueryCost), DbError> {
+        let _span = avq_obs::span!("avq.db.aggregate");
+        avq_obs::counter!("avq.db.aggregates").inc();
         let mut tracker = CostTracker::new(self.device());
 
         if selection.predicates().is_empty() {
@@ -121,9 +123,10 @@ impl StoredRelation {
     }
 }
 
-/// Streaming fold state shared by all aggregate functions.
+/// Streaming fold state shared by all aggregate functions (and by
+/// [`crate::explain`]'s timed aggregate stage).
 #[derive(Debug, Default, Clone, Copy)]
-struct AggState {
+pub(crate) struct AggState {
     count: u64,
     sum: u128,
     min: Option<u64>,
@@ -131,7 +134,7 @@ struct AggState {
 }
 
 impl AggState {
-    fn feed(&mut self, agg: Aggregate, t: &avq_schema::Tuple) {
+    pub(crate) fn feed(&mut self, agg: Aggregate, t: &avq_schema::Tuple) {
         self.count += 1;
         let attr = match agg {
             Aggregate::Count => return,
@@ -146,7 +149,7 @@ impl AggState {
         self.max = Some(self.max.map_or(v, |m| m.max(v)));
     }
 
-    fn finish(self, agg: Aggregate) -> AggregateValue {
+    pub(crate) fn finish(self, agg: Aggregate) -> AggregateValue {
         match agg {
             Aggregate::Count => AggregateValue::Count(self.count),
             Aggregate::Sum { .. } => AggregateValue::Sum(self.sum),

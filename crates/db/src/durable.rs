@@ -301,6 +301,8 @@ impl DurableDatabase {
     /// generation of snapshot files (temp-file + rename), atomically swaps
     /// the manifest, truncates the log, and deletes the old generation.
     pub fn checkpoint(&mut self) -> Result<CheckpointReport, DbError> {
+        let _span = avq_obs::span!("avq.db.checkpoint");
+        avq_obs::counter!("avq.db.checkpoints").inc();
         self.wal.sync()?;
         let ck = self.wal.last_lsn();
         let mut entries = Vec::new();

@@ -1,0 +1,617 @@
+//! `EXPLAIN ANALYZE`: per-stage wall-clock timing and cache attribution
+//! for selections, equijoins, and aggregates.
+//!
+//! The cost model in [`crate::cost`] charges the *simulated* 1994 disk;
+//! this module measures where *real* time goes — index probing, block
+//! decode, predicate filtering, join matching — and how many block reads
+//! each stage served from cache (buffer-pool hits + decoded-block hits)
+//! instead of decode + device I/O. Reports render as a fixed-format table
+//! that `avqtool explain` prints and a CLI golden test pins.
+
+use crate::aggregate::{AggState, Aggregate, AggregateValue};
+use crate::database::Database;
+use crate::error::DbError;
+use crate::join::JoinStrategy;
+use crate::query::{AccessPath, Selection};
+use crate::relation_store::StoredRelation;
+use avq_schema::Tuple;
+use avq_storage::{BlockId, PoolStats};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// One timed stage of a query plan.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Stage name (`index-probe`, `scan`, `filter`, `join`, …).
+    pub stage: &'static str,
+    /// Rows the stage produced (for scans: tuples decoded; for probes:
+    /// candidate blocks located).
+    pub rows: u64,
+    /// Data blocks the stage touched.
+    pub blocks: u64,
+    /// Block reads served from cache during the stage (buffer-pool hits
+    /// plus decoded-block cache hits).
+    pub cache_hits: u64,
+    /// Wall-clock time spent in the stage.
+    pub elapsed: Duration,
+}
+
+/// A per-stage `EXPLAIN ANALYZE` report.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// Human-readable description of the query.
+    pub query: String,
+    /// The plan chosen (access path or join strategy).
+    pub plan: String,
+    /// Timed stages in execution order.
+    pub stages: Vec<StageReport>,
+    /// Rows in the final result.
+    pub rows: u64,
+}
+
+impl ExplainReport {
+    /// Total elapsed time across all stages.
+    pub fn total_elapsed(&self) -> Duration {
+        self.stages.iter().map(|s| s.elapsed).sum()
+    }
+
+    /// Total cache hits across all stages.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.stages.iter().map(|s| s.cache_hits).sum()
+    }
+}
+
+/// Formats a duration compactly (`845ns`, `12.3µs`, `4.5ms`, `1.20s`).
+pub fn format_elapsed(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+impl core::fmt::Display for ExplainReport {
+    /// The `avqtool explain` table. A CLI golden test pins this shape
+    /// (header, column order, separator, `total` row) — change it there
+    /// too or not at all.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "EXPLAIN ANALYZE: {}", self.query)?;
+        writeln!(f, "plan: {}", self.plan)?;
+        writeln!(
+            f,
+            "{:<13} | {:>10} | {:>8} | {:>10} | {:>10}",
+            "stage", "rows", "blocks", "cache_hits", "elapsed"
+        )?;
+        writeln!(
+            f,
+            "{:-<14}+{:-<12}+{:-<10}+{:-<12}+{:-<11}",
+            "", "", "", "", ""
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "{:<13} | {:>10} | {:>8} | {:>10} | {:>10}",
+                s.stage,
+                s.rows,
+                s.blocks,
+                s.cache_hits,
+                format_elapsed(s.elapsed)
+            )?;
+        }
+        let blocks: u64 = self.stages.iter().map(|s| s.blocks).sum();
+        write!(
+            f,
+            "{:<13} | {:>10} | {:>8} | {:>10} | {:>10}",
+            "total",
+            self.rows,
+            blocks,
+            self.total_cache_hits(),
+            format_elapsed(self.total_elapsed())
+        )
+    }
+}
+
+/// Cache counters at a stage boundary: decoded-block cache + buffer pool.
+struct CacheMark {
+    decoded: PoolStats,
+    pool: PoolStats,
+}
+
+impl CacheMark {
+    fn take(rel: &StoredRelation) -> Self {
+        CacheMark {
+            decoded: rel.decoded_stats(),
+            pool: rel.pool_stats(),
+        }
+    }
+
+    /// Cache hits accrued on `rel` since this mark.
+    fn hits_since(&self, rel: &StoredRelation) -> u64 {
+        rel.decoded_stats().since(&self.decoded).hits + rel.pool_stats().since(&self.pool).hits
+    }
+}
+
+fn path_name(path: AccessPath) -> String {
+    match path {
+        AccessPath::ClusteredRange => "clustered-range".to_owned(),
+        AccessPath::SecondaryIndex { attr } => format!("secondary-index(attr={attr})"),
+        AccessPath::FullScan => "full-scan".to_owned(),
+    }
+}
+
+impl StoredRelation {
+    /// Executes `selection` like [`Self::select`], additionally timing each
+    /// plan stage and attributing cache hits to it.
+    pub fn explain_select(
+        &self,
+        query: String,
+        selection: &Selection,
+    ) -> Result<(Vec<Tuple>, ExplainReport), DbError> {
+        let _span = avq_obs::span!("avq.db.explain");
+        let path = selection.plan(self);
+        let mut stages = Vec::new();
+
+        // Stage 1: locate candidate blocks through the chosen access path.
+        let mark = CacheMark::take(self);
+        let probe_start = Instant::now();
+        let candidates: Vec<BlockId> = match path {
+            AccessPath::ClusteredRange => {
+                let mut lo = 0u64;
+                let mut hi = u64::MAX;
+                for p in selection.predicates() {
+                    if p.attr == 0 {
+                        lo = lo.max(p.lo);
+                        hi = hi.min(p.hi);
+                    }
+                }
+                if lo > hi {
+                    Vec::new()
+                } else {
+                    self.clustered_candidate_blocks(lo, hi)?
+                }
+            }
+            AccessPath::SecondaryIndex { attr } => {
+                let p = selection
+                    .predicates()
+                    .iter()
+                    .find(|p| p.attr == attr)
+                    .expect("planned attr has a predicate");
+                self.secondary_candidate_blocks(attr, p.lo, p.hi)?
+            }
+            AccessPath::FullScan => self.all_block_ids(),
+        };
+        stages.push(StageReport {
+            stage: "index-probe",
+            rows: candidates.len() as u64,
+            blocks: 0,
+            cache_hits: mark.hits_since(self),
+            elapsed: probe_start.elapsed(),
+        });
+
+        // Stages 2+3: decode candidates (scan) and apply conjuncts (filter),
+        // timed separately within one streaming pass.
+        let mut scan_elapsed = Duration::ZERO;
+        let mut filter_elapsed = Duration::ZERO;
+        let mut scanned = 0u64;
+        let mark = CacheMark::take(self);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        for &id in &candidates {
+            let t = Instant::now();
+            scratch.clear();
+            self.decode_block_into(id, &mut scratch)?;
+            scan_elapsed += t.elapsed();
+            scanned += scratch.len() as u64;
+            let t = Instant::now();
+            for tuple in &scratch {
+                if selection.matches(tuple) {
+                    out.push(tuple.clone());
+                }
+            }
+            filter_elapsed += t.elapsed();
+        }
+        stages.push(StageReport {
+            stage: "scan",
+            rows: scanned,
+            blocks: candidates.len() as u64,
+            cache_hits: mark.hits_since(self),
+            elapsed: scan_elapsed,
+        });
+        stages.push(StageReport {
+            stage: "filter",
+            rows: out.len() as u64,
+            blocks: 0,
+            cache_hits: 0,
+            elapsed: filter_elapsed,
+        });
+
+        let rows = out.len() as u64;
+        Ok((
+            out,
+            ExplainReport {
+                query,
+                plan: path_name(path),
+                stages,
+                rows,
+            },
+        ))
+    }
+
+    /// Evaluates `agg` under `selection` like [`Self::aggregate`], with the
+    /// per-stage report of the underlying selection plus an `aggregate`
+    /// stage.
+    pub fn explain_aggregate(
+        &self,
+        query: String,
+        agg: Aggregate,
+        selection: &Selection,
+    ) -> Result<(AggregateValue, ExplainReport), DbError> {
+        let (rows, mut report) = self.explain_select(query, selection)?;
+        let t = Instant::now();
+        let mut state = AggState::default();
+        for tuple in &rows {
+            state.feed(agg, tuple);
+        }
+        let value = state.finish(agg);
+        report.stages.push(StageReport {
+            stage: "aggregate",
+            rows: 1,
+            blocks: 0,
+            cache_hits: 0,
+            elapsed: t.elapsed(),
+        });
+        report.rows = 1;
+        Ok((value, report))
+    }
+}
+
+/// Executes `outer ⋈ inner` like [`crate::equijoin`], additionally timing
+/// each join stage (outer scan, index probe, inner scan, matching) and
+/// attributing cache hits to each.
+pub fn explain_equijoin(
+    query: String,
+    outer: &StoredRelation,
+    outer_attr: usize,
+    inner: &StoredRelation,
+    inner_attr: usize,
+) -> Result<(Vec<(Tuple, Tuple)>, ExplainReport), DbError> {
+    let _span = avq_obs::span!("avq.db.explain");
+    let use_index = inner.has_secondary_index(inner_attr);
+    let strategy = if use_index {
+        JoinStrategy::IndexNestedLoop
+    } else {
+        JoinStrategy::BlockNestedLoop
+    };
+
+    let mut outer_scan = Duration::ZERO;
+    let mut probe = Duration::ZERO;
+    let mut inner_scan = Duration::ZERO;
+    let mut join = Duration::ZERO;
+    let mut outer_rows = 0u64;
+    let mut inner_rows = 0u64;
+    let mut probe_blocks = 0u64;
+    let mut inner_blocks = 0u64;
+    let mut outer_hits = 0u64;
+    let mut inner_hits = 0u64;
+
+    let mut out = Vec::new();
+    let mut outer_tuples = Vec::new();
+    let mut inner_tuples = Vec::new();
+    let inner_ids = inner.all_block_ids();
+    let outer_ids = outer.all_block_ids();
+    let outer_block_count = outer_ids.len() as u64;
+    for oid in outer_ids {
+        let mark = CacheMark::take(outer);
+        let t = Instant::now();
+        outer_tuples.clear();
+        outer.decode_block_into(oid, &mut outer_tuples)?;
+        outer_scan += t.elapsed();
+        outer_hits += mark.hits_since(outer);
+        outer_rows += outer_tuples.len() as u64;
+
+        let t = Instant::now();
+        let mut by_value: BTreeMap<u64, Vec<&Tuple>> = BTreeMap::new();
+        for tuple in &outer_tuples {
+            by_value
+                .entry(tuple.digits()[outer_attr])
+                .or_default()
+                .push(tuple);
+        }
+        join += t.elapsed();
+
+        let candidates: Vec<BlockId> = if use_index {
+            let t = Instant::now();
+            let mut set = BTreeSet::new();
+            for &v in by_value.keys() {
+                for b in inner.secondary_candidate_blocks(inner_attr, v, v)? {
+                    set.insert(b);
+                }
+            }
+            probe += t.elapsed();
+            probe_blocks += set.len() as u64;
+            set.into_iter().collect()
+        } else {
+            inner_ids.clone()
+        };
+
+        for iid in candidates {
+            let mark = CacheMark::take(inner);
+            let t = Instant::now();
+            inner_tuples.clear();
+            inner.decode_block_into(iid, &mut inner_tuples)?;
+            inner_scan += t.elapsed();
+            inner_hits += mark.hits_since(inner);
+            inner_blocks += 1;
+            inner_rows += inner_tuples.len() as u64;
+
+            let t = Instant::now();
+            for it in &inner_tuples {
+                if let Some(os) = by_value.get(&it.digits()[inner_attr]) {
+                    for ot in os {
+                        out.push(((*ot).clone(), it.clone()));
+                    }
+                }
+            }
+            join += t.elapsed();
+        }
+    }
+
+    let mut stages = vec![StageReport {
+        stage: "scan-outer",
+        rows: outer_rows,
+        blocks: outer_block_count,
+        cache_hits: outer_hits,
+        elapsed: outer_scan,
+    }];
+    if use_index {
+        stages.push(StageReport {
+            stage: "index-probe",
+            rows: probe_blocks,
+            blocks: 0,
+            cache_hits: 0,
+            elapsed: probe,
+        });
+    }
+    stages.push(StageReport {
+        stage: "scan-inner",
+        rows: inner_rows,
+        blocks: inner_blocks,
+        cache_hits: inner_hits,
+        elapsed: inner_scan,
+    });
+    stages.push(StageReport {
+        stage: "join",
+        rows: out.len() as u64,
+        blocks: 0,
+        cache_hits: 0,
+        elapsed: join,
+    });
+
+    let rows = out.len() as u64;
+    Ok((
+        out,
+        ExplainReport {
+            query,
+            plan: match strategy {
+                JoinStrategy::IndexNestedLoop => "index-nested-loop".to_owned(),
+                JoinStrategy::BlockNestedLoop => "block-nested-loop".to_owned(),
+            },
+            stages,
+            rows,
+        },
+    ))
+}
+
+impl Database {
+    /// `EXPLAIN ANALYZE` for a logical range selection (same arguments as
+    /// [`Self::select_range`]).
+    pub fn explain_select_range(
+        &self,
+        name: &str,
+        attr: &str,
+        lo: &avq_schema::Value,
+        hi: &avq_schema::Value,
+    ) -> Result<ExplainReport, DbError> {
+        let rel = self.relation(name)?;
+        let schema = rel.schema().clone();
+        let attr_idx = schema.index_of(attr)?;
+        let domain = schema.attribute(attr_idx).domain();
+        let lo_ord = domain.encode(lo)?;
+        let hi_ord = domain.encode(hi)?;
+        let selection = Selection::all().and(crate::query::RangePredicate {
+            attr: attr_idx,
+            lo: lo_ord,
+            hi: hi_ord,
+        });
+        let query = format!("select {name} where {lo} <= {attr} <= {hi}");
+        let (_, report) = rel.explain_select(query, &selection)?;
+        Ok(report)
+    }
+
+    /// `EXPLAIN ANALYZE` for `outer ⋈ inner` on the named attributes.
+    pub fn explain_equijoin(
+        &self,
+        outer_name: &str,
+        outer_attr: &str,
+        inner_name: &str,
+        inner_attr: &str,
+    ) -> Result<ExplainReport, DbError> {
+        let outer = self.relation(outer_name)?;
+        let inner = self.relation(inner_name)?;
+        let oa = outer.schema().index_of(outer_attr)?;
+        let ia = inner.schema().index_of(inner_attr)?;
+        let query = format!("join {outer_name}.{outer_attr} = {inner_name}.{inner_attr}");
+        let (_, report) = explain_equijoin(query, outer, oa, inner, ia)?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DbConfig;
+    use crate::query::RangePredicate;
+    use avq_codec::CodecOptions;
+    use avq_schema::{Domain, Relation, Schema};
+    use avq_storage::{BlockDevice, BufferPool};
+
+    fn stored(with_index: bool) -> StoredRelation {
+        let schema = Schema::from_pairs(vec![
+            ("a", Domain::uint(16).unwrap()),
+            ("b", Domain::uint(64).unwrap()),
+        ])
+        .unwrap();
+        let tuples: Vec<Tuple> = (0..1500u64)
+            .map(|i| Tuple::from([(i * 3) % 16, (i * 7) % 64]))
+            .collect();
+        let relation = Relation::from_tuples(schema, tuples).unwrap();
+        let config = DbConfig {
+            codec: CodecOptions {
+                block_capacity: 256,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let device = BlockDevice::new(256, config.disk);
+        let pool = BufferPool::new(device.clone(), config.buffer_frames);
+        let mut s = StoredRelation::bulk_load(device, pool, &relation, config).unwrap();
+        if with_index {
+            s.create_secondary_index(1).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn explain_select_matches_select() {
+        let rel = stored(true);
+        let sel = Selection::all().and(RangePredicate {
+            attr: 1,
+            lo: 10,
+            hi: 30,
+        });
+        let (expected, _, path) = rel.select(&sel).unwrap();
+        let (rows, report) = rel.explain_select("q".to_owned(), &sel).unwrap();
+        assert_eq!(rows, expected);
+        assert_eq!(path, AccessPath::SecondaryIndex { attr: 1 });
+        assert_eq!(report.plan, "secondary-index(attr=1)");
+        assert_eq!(report.rows, rows.len() as u64);
+        let names: Vec<_> = report.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(names, ["index-probe", "scan", "filter"]);
+        // The filter stage's row count is the result size; the scan stage
+        // decoded at least that many.
+        assert_eq!(report.stages[2].rows, rows.len() as u64);
+        assert!(report.stages[1].rows >= report.stages[2].rows);
+        assert!(report.stages[1].blocks > 0);
+    }
+
+    #[test]
+    fn warm_rescan_attributes_cache_hits() {
+        let rel = stored(false);
+        let sel = Selection::all().and(RangePredicate {
+            attr: 1,
+            lo: 0,
+            hi: 63,
+        });
+        let (_, cold) = rel.explain_select("q".to_owned(), &sel).unwrap();
+        let (_, warm) = rel.explain_select("q".to_owned(), &sel).unwrap();
+        assert_eq!(cold.plan, "full-scan");
+        // Second scan of the same blocks is served from cache.
+        let warm_scan = &warm.stages[1];
+        assert!(
+            warm_scan.cache_hits >= warm_scan.blocks,
+            "warm scan should hit cache: {warm_scan:?}"
+        );
+        let _ = cold;
+    }
+
+    #[test]
+    fn explain_join_matches_equijoin() {
+        let rel = stored(true);
+        let (expected, _, _) = crate::join::equijoin(&rel, 1, &rel, 1).unwrap();
+        let (mut rows, report) = explain_equijoin("j".to_owned(), &rel, 1, &rel, 1).unwrap();
+        let mut expected = expected;
+        rows.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(rows, expected);
+        assert_eq!(report.plan, "index-nested-loop");
+        let names: Vec<_> = report.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(names, ["scan-outer", "index-probe", "scan-inner", "join"]);
+        assert_eq!(report.rows, rows.len() as u64);
+    }
+
+    #[test]
+    fn explain_aggregate_appends_stage() {
+        let rel = stored(false);
+        let sel = Selection::all().and(RangePredicate {
+            attr: 1,
+            lo: 0,
+            hi: 31,
+        });
+        let (expected, _) = rel.aggregate(Aggregate::Sum { attr: 1 }, &sel).unwrap();
+        let (value, report) = rel
+            .explain_aggregate("agg".to_owned(), Aggregate::Sum { attr: 1 }, &sel)
+            .unwrap();
+        assert_eq!(value, expected);
+        assert_eq!(report.stages.last().unwrap().stage, "aggregate");
+        assert_eq!(report.rows, 1);
+    }
+
+    #[test]
+    fn report_renders_pinned_table_shape() {
+        let report = ExplainReport {
+            query: "select t where 1 <= b <= 2".to_owned(),
+            plan: "full-scan".to_owned(),
+            stages: vec![
+                StageReport {
+                    stage: "scan",
+                    rows: 100,
+                    blocks: 4,
+                    cache_hits: 2,
+                    elapsed: Duration::from_micros(1234),
+                },
+                StageReport {
+                    stage: "filter",
+                    rows: 10,
+                    blocks: 0,
+                    cache_hits: 0,
+                    elapsed: Duration::from_nanos(900),
+                },
+            ],
+            rows: 10,
+        };
+        let text = report.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "EXPLAIN ANALYZE: select t where 1 <= b <= 2");
+        assert_eq!(lines[1], "plan: full-scan");
+        assert_eq!(
+            lines[2],
+            "stage         |       rows |   blocks | cache_hits |    elapsed"
+        );
+        assert!(lines[3].chars().all(|c| c == '-' || c == '+'));
+        assert_eq!(
+            lines[4],
+            "scan          |        100 |        4 |          2 |      1.2ms"
+        );
+        assert_eq!(
+            lines[5],
+            "filter        |         10 |        0 |          0 |      900ns"
+        );
+        assert_eq!(
+            lines[6],
+            "total         |         10 |        4 |          2 |      1.2ms"
+        );
+    }
+
+    #[test]
+    fn elapsed_formatting_units() {
+        assert_eq!(format_elapsed(Duration::from_nanos(845)), "845ns");
+        assert_eq!(format_elapsed(Duration::from_nanos(12_340)), "12.3µs");
+        assert_eq!(format_elapsed(Duration::from_micros(4_500)), "4.5ms");
+        assert_eq!(format_elapsed(Duration::from_millis(1_200)), "1.20s");
+    }
+}

@@ -41,6 +41,8 @@ pub fn equijoin(
     inner: &StoredRelation,
     inner_attr: usize,
 ) -> Result<JoinResult, DbError> {
+    let _span = avq_obs::span!("avq.db.join");
+    avq_obs::counter!("avq.db.joins").inc();
     if inner.has_secondary_index(inner_attr) {
         index_nested_loop(outer, outer_attr, inner, inner_attr)
             .map(|(rows, cost)| (rows, cost, JoinStrategy::IndexNestedLoop))

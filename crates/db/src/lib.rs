@@ -47,6 +47,7 @@ mod cost;
 mod database;
 mod durable;
 mod error;
+mod explain;
 mod extsort;
 mod join;
 mod query;
@@ -60,6 +61,7 @@ pub use cost::QueryCost;
 pub use database::Database;
 pub use durable::{CheckpointReport, DurableDatabase, RecoveryReport};
 pub use error::DbError;
+pub use explain::{explain_equijoin, format_elapsed, ExplainReport, StageReport};
 // Re-exported so durable callers need not depend on `avq-wal` directly.
 pub use avq_wal::SyncPolicy;
 pub use extsort::{ExternalSorter, SortedStream};

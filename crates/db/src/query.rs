@@ -115,6 +115,8 @@ impl StoredRelation {
         init: T,
         mut f: impl FnMut(&mut T, &Tuple),
     ) -> Result<(T, QueryCost, AccessPath), DbError> {
+        let _span = avq_obs::span!("avq.db.select");
+        avq_obs::counter!("avq.db.queries").inc();
         let path = selection.plan(self);
         let mut tracker = CostTracker::new(self.device());
         let candidates: Vec<BlockId> = match path {

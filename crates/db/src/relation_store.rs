@@ -297,6 +297,11 @@ impl StoredRelation {
         self.decoded.stats()
     }
 
+    /// Counters of the (shared) buffer pool this relation reads through.
+    pub(crate) fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Resets the decoded-block cache counters.
     pub fn reset_decoded_stats(&self) {
         self.decoded.reset_stats();
@@ -405,6 +410,8 @@ impl StoredRelation {
         lo: u64,
         hi: u64,
     ) -> Result<(Vec<Tuple>, QueryCost), DbError> {
+        let _span = avq_obs::span!("avq.db.select");
+        avq_obs::counter!("avq.db.queries").inc();
         let mut tracker = CostTracker::new(&self.device);
         let candidates: Vec<BlockId> = if attr == 0 {
             self.clustered_candidates(lo, hi)?

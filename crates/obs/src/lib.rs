@@ -1,0 +1,44 @@
+//! `avq-obs` — the unified observability layer for the AVQ workspace.
+//!
+//! A zero-dependency metrics core shared by every crate in the workspace:
+//!
+//! - [`Counter`] / [`Gauge`] — single relaxed atomics.
+//! - [`Histogram`] — 65 fixed base-2 log-scale buckets with lock-free
+//!   recording and p50/p95/p99/max estimates exact to one bucket width.
+//! - [`Registry`] — namespaced get-or-register metric store; [`global()`]
+//!   is the process-wide instance everything reports to.
+//! - [`span!`] — RAII timing guards that record elapsed nanoseconds into a
+//!   histogram named `<span>.ns`, with an optional [`SpanObserver`] hook
+//!   for bridging into external tracing backends (`tracing-bridge`
+//!   feature).
+//! - [`Snapshot`] — owned registry state with `since()` deltas and
+//!   Prometheus-text / JSON renderers, used by `avqtool stats`, the
+//!   `--metrics-out` flag, and the bench harness.
+//!
+//! # Naming scheme
+//!
+//! Metric names are dot-namespaced by layer: `avq.codec.*`,
+//! `avq.storage.pool.*`, `avq.storage.cache.*`, `avq.wal.*`, `avq.db.*`.
+//! Span histograms end in `.ns`. The Prometheus renderer rewrites `.` to
+//! `_` (`avq.wal.fsync.ns` → `avq_wal_fsync_ns`).
+//!
+//! # Hot-path cost
+//!
+//! The [`counter!`]/[`gauge!`]/[`histogram!`] macros cache their registry
+//! handle in a per-call-site `OnceLock`, so steady-state cost is one atomic
+//! load plus the metric update itself — no locking, no allocation, no map
+//! lookup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metric;
+mod registry;
+mod span;
+
+pub use metric::{
+    bucket_index, bucket_lower, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot,
+    HISTOGRAM_BUCKETS,
+};
+pub use registry::{global, histogram_json, Registry, Snapshot};
+pub use span::{set_span_observer, SpanGuard, SpanObserver};

@@ -1,0 +1,207 @@
+//! RAII timing spans and the handle-caching macros.
+//!
+//! `span!("avq.codec.decode_block")` opens a [`SpanGuard`] that records the
+//! elapsed wall time (nanoseconds) into the histogram named
+//! `avq.codec.decode_block.ns` when dropped. The histogram handle is cached
+//! in a per-call-site static, so entering a span costs one `OnceLock` load,
+//! one `Instant::now`, and (on drop) one histogram record — cheap enough
+//! for per-block hot paths.
+//!
+//! An optional [`SpanObserver`] hook forwards span enter/exit events to an
+//! external tracing backend. With the `tracing-bridge` feature an adapter
+//! crate can install a `tracing`-subscriber-backed observer via
+//! [`set_span_observer`]; the core crate itself stays dependency-free.
+
+use crate::metric::Histogram;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Receives span lifecycle events. Implement this to bridge spans into an
+/// external tracing system (e.g. a `tracing`-subscriber adapter behind the
+/// `tracing-bridge` feature).
+pub trait SpanObserver: Send + Sync {
+    /// Called when a span is entered.
+    fn enter(&self, name: &'static str);
+    /// Called when a span closes, with its elapsed time in nanoseconds.
+    fn exit(&self, name: &'static str, elapsed_ns: u64);
+}
+
+static OBSERVER: OnceLock<Box<dyn SpanObserver>> = OnceLock::new();
+
+/// Installs the process-wide span observer. Only the first call wins;
+/// returns `false` if an observer was already installed.
+pub fn set_span_observer(observer: Box<dyn SpanObserver>) -> bool {
+    OBSERVER.set(observer).is_ok()
+}
+
+#[inline]
+fn observer() -> Option<&'static dyn SpanObserver> {
+    OBSERVER.get().map(|b| b.as_ref())
+}
+
+/// An open timing span. Records its elapsed time into `hist` when dropped.
+/// Created by the [`crate::span!`] macro; construct directly only in tests.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    name: &'static str,
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Opens a span that records into `hist` on drop.
+    #[inline]
+    pub fn enter(name: &'static str, hist: &'a Histogram) -> Self {
+        if let Some(obs) = observer() {
+            obs.enter(name);
+        }
+        SpanGuard {
+            name,
+            hist,
+            start: Instant::now(),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(ns);
+        if let Some(obs) = observer() {
+            obs.exit(self.name, ns);
+        }
+    }
+}
+
+/// Returns a cached `&'static` handle to the global counter `$name`.
+/// The registry is consulted once per call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        let h: &'static $crate::Counter = HANDLE.get_or_init(|| $crate::global().counter($name));
+        h
+    }};
+}
+
+/// Returns a cached `&'static` handle to the global gauge `$name`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        let h: &'static $crate::Gauge = HANDLE.get_or_init(|| $crate::global().gauge($name));
+        h
+    }};
+}
+
+/// Returns a cached `&'static` handle to the global histogram `$name`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        let h: &'static $crate::Histogram =
+            HANDLE.get_or_init(|| $crate::global().histogram($name));
+        h
+    }};
+}
+
+/// Opens a timing span: `let _g = span!("avq.wal.fsync");` records elapsed
+/// nanoseconds into the global histogram `avq.wal.fsync.ns` when `_g` drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name, $crate::histogram!(concat!($name, ".ns")))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn guard_records_elapsed_on_drop() {
+        let h = Histogram::new();
+        {
+            let _g = SpanGuard::enter("test.span", &h);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.sum >= 1_000_000, "at least 1ms recorded, got {}", s.sum);
+    }
+
+    #[test]
+    fn span_macro_reuses_one_global_histogram() {
+        {
+            let _a = crate::span!("avq.obs.test.spanmacro");
+        }
+        {
+            let _b = crate::span!("avq.obs.test.spanmacro");
+        }
+        let snap = crate::global().snapshot();
+        let h = &snap.histograms["avq.obs.test.spanmacro.ns"];
+        assert!(h.count >= 2);
+    }
+
+    #[test]
+    fn counter_macro_caches_handle() {
+        crate::counter!("avq.obs.test.counter").add(3);
+        crate::counter!("avq.obs.test.counter").add(4);
+        assert!(crate::global().counter("avq.obs.test.counter").get() >= 7);
+    }
+
+    struct CountingObserver {
+        enters: AtomicU64,
+        exits: AtomicU64,
+    }
+
+    impl SpanObserver for CountingObserver {
+        fn enter(&self, _name: &'static str) {
+            self.enters.fetch_add(1, Ordering::Relaxed);
+        }
+        fn exit(&self, _name: &'static str, elapsed_ns: u64) {
+            // Elapsed is a real measurement, not a sentinel.
+            assert!(elapsed_ns < u64::MAX);
+            self.exits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn observer_sees_enter_and_exit() {
+        // The observer slot is process-global and first-set-wins; this is
+        // the only test in the crate that installs one.
+        let obs = Box::leak(Box::new(CountingObserver {
+            enters: AtomicU64::new(0),
+            exits: AtomicU64::new(0),
+        }));
+        assert!(set_span_observer(Box::new(ObserverRef(obs))));
+        {
+            let _g = crate::span!("avq.obs.test.observed");
+        }
+        assert!(obs.enters.load(Ordering::Relaxed) >= 1);
+        assert!(obs.exits.load(Ordering::Relaxed) >= 1);
+        // Second install is rejected.
+        assert!(!set_span_observer(Box::new(ObserverRef(obs))));
+    }
+
+    struct ObserverRef(&'static CountingObserver);
+
+    impl SpanObserver for ObserverRef {
+        fn enter(&self, name: &'static str) {
+            self.0.enter(name);
+        }
+        fn exit(&self, name: &'static str, elapsed_ns: u64) {
+            self.0.exit(name, elapsed_ns);
+        }
+    }
+}

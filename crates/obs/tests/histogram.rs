@@ -1,0 +1,120 @@
+//! Histogram coverage: bucket-boundary property tests (every value lands in
+//! the right log bucket, quantile estimates are within one bucket width of
+//! the exact quantile) and a concurrency smoke test hammering one histogram
+//! from 8 threads.
+
+use avq_obs::{
+    bucket_index, bucket_lower, bucket_upper, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in the bucket whose [lower, upper] range holds it,
+    /// and that bucket is the only one incremented.
+    #[test]
+    fn value_lands_in_its_log_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        prop_assert!(bucket_lower(i) <= v);
+        prop_assert!(v <= bucket_upper(i));
+
+        let h = Histogram::new();
+        h.record(v);
+        let s = h.snapshot();
+        prop_assert_eq!(s.buckets[i], 1);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), 1);
+        prop_assert_eq!(s.max, v);
+    }
+
+    /// Bucket boundaries tile u64 with no gaps or overlaps: each bucket
+    /// starts one past the previous bucket's upper bound.
+    #[test]
+    fn buckets_tile_u64(i in 1usize..HISTOGRAM_BUCKETS) {
+        prop_assert_eq!(bucket_lower(i), bucket_upper(i - 1) + 1);
+        // Boundary values map back to their own bucket.
+        prop_assert_eq!(bucket_index(bucket_lower(i)), i);
+        prop_assert_eq!(bucket_index(bucket_upper(i)), i);
+    }
+
+    /// The histogram's quantile estimate is within one bucket of the exact
+    /// quantile of the recorded sample: it never exceeds the upper bound of
+    /// the exact quantile's bucket, and never undershoots its lower bound.
+    #[test]
+    fn quantile_within_one_bucket(
+        mut values in prop::collection::vec(0u64..1_000_000, 1..300),
+        q_permille in 0u64..=1000,
+    ) {
+        let q = q_permille as f64 / 1000.0;
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let estimate = h.snapshot().quantile(q);
+
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+        let exact = values[rank - 1];
+
+        let i = bucket_index(exact);
+        prop_assert!(
+            estimate >= bucket_lower(i) && estimate <= bucket_upper(i),
+            "q={q}: estimate {estimate} outside bucket [{}, {}] of exact {exact}",
+            bucket_lower(i),
+            bucket_upper(i)
+        );
+    }
+
+    /// sum/count/max track the recorded sample exactly (they are not
+    /// bucket-quantized).
+    #[test]
+    fn aggregates_are_exact(values in prop::collection::vec(0u64..1_000_000, 0..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(s.max, values.iter().copied().max().unwrap_or(0));
+    }
+}
+
+/// 8 threads × 100k records against one histogram: no observation is lost
+/// and the invariants (bucket total = count, sum/max correct) hold.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 100_000;
+
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread across buckets: values 0..2^20 in a pattern
+                    // unique per thread.
+                    h.record((i * (t + 1)) % (1 << 20));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("recorder thread panicked");
+    }
+
+    let s = h.snapshot();
+    assert_eq!(s.count, THREADS * PER_THREAD);
+    assert_eq!(s.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (i * (t + 1)) % (1 << 20)))
+        .sum();
+    assert_eq!(s.sum, expected_sum);
+    assert!(s.max < 1 << 20);
+    // Reset really zeroes it.
+    h.reset();
+    assert_eq!(h.snapshot(), HistogramSnapshot::default());
+}

@@ -35,20 +35,34 @@ impl PoolStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The traffic accrued since `earlier` (saturating per-field
+    /// difference) — for per-query cache attribution and benchmark
+    /// iterations that must not accumulate across runs.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
 }
 
 impl core::fmt::Display for PoolStats {
     /// `hits=H misses=M evictions=E hit_rate=P%` — the format `avqtool`
-    /// prints (and tests pin), so keep it stable.
+    /// prints (and tests pin), so keep it stable. With no traffic the rate
+    /// is undefined and prints as `hit_rate=-`, not a misleading `0.0%`.
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "hits={} misses={} evictions={} hit_rate={:.1}%",
-            self.hits,
-            self.misses,
-            self.evictions,
-            self.hit_rate() * 100.0
-        )
+            "hits={} misses={} evictions={} hit_rate=",
+            self.hits, self.misses, self.evictions,
+        )?;
+        if self.hits + self.misses == 0 {
+            write!(f, "-")
+        } else {
+            write!(f, "{:.1}%", self.hit_rate() * 100.0)
+        }
     }
 }
 
@@ -121,12 +135,14 @@ impl BufferPool {
                     .data
                     .clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                avq_obs::counter!("avq.storage.pool.hits").inc();
                 return Ok(data);
             }
         }
         // Miss: physical read outside the latch, then install.
         let data = Arc::new(self.device.read(id)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        avq_obs::counter!("avq.storage.pool.misses").inc();
         self.install(id, data.clone());
         Ok(data)
     }
@@ -193,6 +209,7 @@ impl BufferPool {
             let old = inner.frames[victim].take().expect("victim occupied");
             inner.map.remove(&old.block);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            avq_obs::counter!("avq.storage.pool.evictions").inc();
             victim
         };
         inner.frames[slot] = Some(Frame { block: id, data });
@@ -298,6 +315,58 @@ mod tests {
     fn zero_frames_rejected() {
         let device = BlockDevice::new(32, DiskProfile::instant());
         let _ = BufferPool::new(device, 0);
+    }
+
+    #[test]
+    fn stats_display_cold_and_warm() {
+        // No traffic: the rate is undefined, printed as `-`.
+        let cold = PoolStats::default();
+        assert_eq!(cold.to_string(), "hits=0 misses=0 evictions=0 hit_rate=-");
+        // Any traffic: percentage with one decimal.
+        let warm = PoolStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert_eq!(
+            warm.to_string(),
+            "hits=3 misses=1 evictions=0 hit_rate=75.0%"
+        );
+        // All misses is still traffic, so a real 0.0%.
+        let all_miss = PoolStats {
+            hits: 0,
+            misses: 4,
+            evictions: 2,
+        };
+        assert_eq!(
+            all_miss.to_string(),
+            "hits=0 misses=4 evictions=2 hit_rate=0.0%"
+        );
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let earlier = PoolStats {
+            hits: 5,
+            misses: 2,
+            evictions: 1,
+        };
+        let later = PoolStats {
+            hits: 9,
+            misses: 2,
+            evictions: 1,
+        };
+        let d = later.since(&earlier);
+        assert_eq!(
+            d,
+            PoolStats {
+                hits: 4,
+                misses: 0,
+                evictions: 0
+            }
+        );
+        // A reset in between must not underflow.
+        assert_eq!(PoolStats::default().since(&later), PoolStats::default());
     }
 
     #[test]

@@ -95,10 +95,12 @@ impl<V> DecodedCache<V> {
                     .value
                     .clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                avq_obs::counter!("avq.storage.cache.hits").inc();
                 Some(value)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                avq_obs::counter!("avq.storage.cache.misses").inc();
                 None
             }
         }
@@ -124,6 +126,7 @@ impl<V> DecodedCache<V> {
             let old = inner.entries[victim].take().expect("victim occupied");
             inner.map.remove(&old.block);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            avq_obs::counter!("avq.storage.cache.evictions").inc();
             victim
         };
         inner.entries[slot] = Some(Entry { block: id, value });
@@ -178,6 +181,13 @@ impl<V> DecodedCache<V> {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// The traffic accrued since `earlier` (a snapshot previously returned
+    /// by [`Self::stats`]). Lets benchmark iterations report per-run deltas
+    /// without resetting the process-lifetime counters.
+    pub fn stats_since(&self, earlier: &PoolStats) -> PoolStats {
+        self.stats().since(earlier)
     }
 }
 
@@ -266,6 +276,23 @@ mod tests {
         assert!(cache.get(0).is_none());
         // Disabled caches measure nothing.
         assert_eq!(cache.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn stats_since_reports_per_iteration_delta() {
+        let cache = DecodedCache::new(4);
+        runs(&cache, &[(0, 1), (1, 2)]);
+        cache.get(0).unwrap();
+        cache.get(9); // miss
+        let iteration_start = cache.stats();
+        // Second "benchmark iteration": 2 hits, 1 miss.
+        cache.get(0).unwrap();
+        cache.get(1).unwrap();
+        cache.get(9);
+        let delta = cache.stats_since(&iteration_start);
+        assert_eq!((delta.hits, delta.misses, delta.evictions), (2, 1, 0));
+        // The lifetime counters are untouched.
+        assert_eq!(cache.stats().hits, 3);
     }
 
     #[test]

@@ -160,6 +160,8 @@ impl WalWriter {
     /// Appends one record, returning its LSN. Durability follows the sync
     /// policy.
     pub fn append(&mut self, record: &WalRecord) -> Result<Lsn, WalError> {
+        let _span = avq_obs::span!("avq.wal.append");
+        avq_obs::counter!("avq.wal.records").inc();
         let lsn = self.encode_frame(record);
         self.commit()?;
         Ok(lsn)
@@ -169,6 +171,9 @@ impl WalWriter {
     /// written together and, unless the policy is [`SyncPolicy::Manual`],
     /// made durable with a *single* `fsync`. Returns the batch's LSNs.
     pub fn append_batch(&mut self, records: &[WalRecord]) -> Result<Vec<Lsn>, WalError> {
+        let _span = avq_obs::span!("avq.wal.group_commit");
+        avq_obs::counter!("avq.wal.records").add(records.len() as u64);
+        avq_obs::histogram!("avq.wal.group_commit.batch_size").record(records.len() as u64);
         let lsns: Vec<Lsn> = records.iter().map(|r| self.encode_frame(r)).collect();
         match self.policy {
             SyncPolicy::Manual => self.flush()?,
@@ -182,6 +187,7 @@ impl WalWriter {
         if !self.pending.is_empty() {
             self.file.write_all(&self.pending)?;
             self.stats.bytes += self.pending.len() as u64;
+            avq_obs::counter!("avq.wal.bytes").add(self.pending.len() as u64);
             self.pending.clear();
         }
         Ok(())
@@ -190,8 +196,12 @@ impl WalWriter {
     /// Flushes buffered frames and `fsync`s the log file.
     pub fn sync(&mut self) -> Result<(), WalError> {
         self.flush()?;
-        self.file.sync_data()?;
+        {
+            let _span = avq_obs::span!("avq.wal.fsync");
+            self.file.sync_data()?;
+        }
         self.stats.syncs += 1;
+        avq_obs::counter!("avq.wal.syncs").inc();
         self.unsynced_records = 0;
         Ok(())
     }
