@@ -237,20 +237,58 @@ pub fn dump(path: &Path) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `avqtool verify <file.avq>` — checksum, structure, and order check.
-pub fn verify(path: &Path) -> Result<String, CliError> {
+/// `avqtool verify <file.avq> [--deep]` — checksum, structure, and order
+/// check; `--deep` additionally re-verifies every block against its
+/// metadata and its own re-encoding.
+pub fn verify(path: &Path, deep: bool) -> Result<String, CliError> {
     let coded = avq_file::load(path)?; // checksum + structural checks happen here
+    let tuples = check_coded_relation(&coded, deep)?;
+    let mut out = format!(
+        "ok: {} tuples in {} blocks, checksum valid, φ order intact",
+        tuples,
+        coded.block_count()
+    );
+    if deep {
+        out.push_str(&format!(
+            ", deep: {} blocks match metadata and re-encode byte-identically",
+            coded.block_count()
+        ));
+    }
+    Ok(out)
+}
+
+/// Decodes every block of `coded` in order, checking global φ order and the
+/// header tuple count; with `deep`, each block must also be non-empty,
+/// internally φ-sorted, agree with its [`avq_codec::BlockMeta`], and
+/// re-encode to exactly its stored bytes. Returns the decoded tuple count.
+fn check_coded_relation(coded: &avq_codec::CodedRelation, deep: bool) -> Result<usize, CliError> {
+    let codec = coded.codec();
     let mut prev: Option<avq_schema::Tuple> = None;
     let mut tuples = 0usize;
     for i in 0..coded.block_count() {
-        for t in coded.decode_block(i)? {
+        let run = coded.decode_block(i)?;
+        for t in &run {
             if let Some(p) = &prev {
-                if t < *p {
+                if *t < *p {
                     return Err(format!("φ order violated in block {i}").into());
                 }
             }
-            prev = Some(t);
+            prev = Some(t.clone());
             tuples += 1;
+        }
+        if !deep {
+            continue;
+        }
+        let meta = coded.meta(i);
+        let Some(last) = run.last() else {
+            return Err(format!("block {i}: decodes to zero tuples").into());
+        };
+        if meta.tuple_count != run.len() || meta.min != run[0] || meta.max != *last {
+            return Err(format!("block {i}: metadata disagrees with decoded contents").into());
+        }
+        let reencoded = codec.encode(&run)?;
+        if reencoded != coded.block(i) {
+            return Err(format!("block {i}: re-encode differs from stored bytes").into());
         }
     }
     if tuples != coded.tuple_count() {
@@ -260,10 +298,168 @@ pub fn verify(path: &Path) -> Result<String, CliError> {
         )
         .into());
     }
+    Ok(tuples)
+}
+
+/// `avqtool scrub <file.avq | db-dir> [--repair]` — verifies all CRCs and
+/// structure, lists damage, and (for a database directory, with `--repair`)
+/// truncates the torn log tail and rewrites the snapshot generation.
+/// Returns `Err` (carrying the full report) whenever damage remains, so the
+/// process exit code reflects the file's health.
+pub fn scrub(path: &Path, repair: bool) -> Result<String, CliError> {
+    if path.is_dir() {
+        scrub_dir(path, repair)
+    } else {
+        scrub_file(path)
+    }
+}
+
+/// Scrubs a bare `.avq` file. There is no log to replay, so damage is
+/// always unrepairable — report it and point at the durable path.
+fn scrub_file(path: &Path) -> Result<String, CliError> {
+    let mut out = format!("scrub:     {}\n", path.display());
+    match avq_file::load(path).map_err(CliError::from).and_then(|c| {
+        let n = check_coded_relation(&c, true)?;
+        Ok((n, c.block_count()))
+    }) {
+        Ok((tuples, blocks)) => {
+            out.push_str(&format!(
+                "container: ok ({tuples} tuples in {blocks} blocks)\nresult:    clean\n"
+            ));
+            Ok(out)
+        }
+        Err(e) => {
+            out.push_str(&format!(
+                "container: CORRUPT ({e})\nresult:    damaged — a bare .avq file has no log to \
+                 repair from; restore it from a checkpointed database directory\n"
+            ));
+            Err(out.into())
+        }
+    }
+}
+
+/// Scrubs a durable database directory: manifest, every snapshot named by
+/// it (deep-verified), the write-ahead log, and leftover temp files.
+fn scrub_dir(dir: &Path, repair: bool) -> Result<String, CliError> {
+    let mut out = format!("scrub:     {}\n", dir.display());
+    // Damage that repair cannot undo: data before the checkpoint exists
+    // only in the snapshots, and a manifest names the only valid generation.
+    let mut fatal: Vec<String> = Vec::new();
+    // Damage the WAL discipline repairs: torn tails and stale temp files.
+    let mut fixable: Vec<String> = Vec::new();
+
+    match avq_wal::Manifest::read_dir(dir) {
+        Ok(None) => out.push_str("manifest:  none (no checkpoint yet)\n"),
+        Ok(Some(m)) => {
+            out.push_str(&format!(
+                "manifest:  checkpoint lsn {}, {} relation(s)\n",
+                m.checkpoint_lsn,
+                m.relations.len()
+            ));
+            for entry in &m.relations {
+                let snap = dir.join(&entry.snapshot);
+                match avq_file::load(&snap)
+                    .map_err(CliError::from)
+                    .and_then(|c| check_coded_relation(&c, true))
+                {
+                    Ok(tuples) => out.push_str(&format!(
+                        "  {} ({}): ok, {tuples} tuples\n",
+                        entry.snapshot, entry.name
+                    )),
+                    Err(e) => {
+                        out.push_str(&format!(
+                            "  {} ({}): CORRUPT ({e})\n",
+                            entry.snapshot, entry.name
+                        ));
+                        fatal.push(format!("snapshot {} is damaged", entry.snapshot));
+                    }
+                }
+            }
+        }
+        Err(e) => fatal.push(format!("manifest unreadable: {e}")),
+    }
+
+    match avq_wal::scan(dir.join(avq_wal::WAL_FILE)) {
+        Ok(scan) => {
+            out.push_str(&format!(
+                "wal:       {} record(s), last lsn {}\n",
+                scan.records.len(),
+                scan.last_lsn()
+            ));
+            if scan.torn_bytes > 0 {
+                let reason = scan.torn_reason.as_deref().unwrap_or("unknown");
+                fixable.push(format!(
+                    "torn log tail: {} byte(s) ({reason})",
+                    scan.torn_bytes
+                ));
+            }
+        }
+        Err(e) => fatal.push(format!("wal unreadable: {e}")),
+    }
+
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if let Some(name) = entry.file_name().to_str() {
+                if name.ends_with(".tmp") {
+                    fixable.push(format!("leftover temp file {name}"));
+                }
+            }
+        }
+    }
+
+    for d in &fatal {
+        out.push_str(&format!(
+            "damage:    {d} (unrepairable: the data it holds lives nowhere else)\n"
+        ));
+    }
+    for d in &fixable {
+        out.push_str(&format!("damage:    {d}\n"));
+    }
+    if !fatal.is_empty() {
+        out.push_str("result:    damaged beyond repair\n");
+        return Err(out.into());
+    }
+    if fixable.is_empty() {
+        out.push_str("result:    clean\n");
+        return Ok(out);
+    }
+    if !repair {
+        out.push_str("result:    damaged (re-run with --repair)\n");
+        return Err(out.into());
+    }
+
+    // Repair: the ordinary recovery path truncates the torn tail and
+    // replays the surviving records; a fresh checkpoint then rewrites the
+    // snapshot generation and clears stale temp files.
+    let (mut db, report) = DurableDatabase::open(dir, DbConfig::default(), SyncPolicy::Manual)?;
+    let ck = db.checkpoint()?;
+    out.push_str(&format!(
+        "repair:    truncated {} torn byte(s), replayed {} record(s), \
+         new checkpoint at lsn {} ({} relation(s))\n",
+        report.torn_bytes, report.replayed, ck.checkpoint_lsn, ck.relations
+    ));
+    drop(db);
+    // Re-verify the repaired generation end to end.
+    let manifest = avq_wal::Manifest::read_dir(dir)?.ok_or("repair left no manifest")?;
+    for entry in &manifest.relations {
+        let coded = avq_file::load(dir.join(&entry.snapshot))?;
+        check_coded_relation(&coded, true)
+            .map_err(|e| format!("post-repair snapshot {} fails: {e}", entry.snapshot))?;
+    }
+    out.push_str("result:    repaired and re-verified\n");
+    Ok(out)
+}
+
+/// `avqtool inject <file> <seed> <k>` — flips `k` seeded bits of any file
+/// in place (the scrub/repair drill: damage a copy, watch scrub find it).
+pub fn inject(path: &Path, seed: u64, k: usize) -> Result<String, CliError> {
+    let offsets = avq_storage::corrupt_file_in_place(path, seed, k)?;
+    let rendered: Vec<String> = offsets.iter().map(|o| o.to_string()).collect();
     Ok(format!(
-        "ok: {} tuples in {} blocks, checksum valid, φ order intact",
-        tuples,
-        coded.block_count()
+        "injected {} bit flip(s) into {} (seed {seed}) at byte offset(s): {}\n",
+        offsets.len(),
+        path.display(),
+        rendered.join(", ")
     ))
 }
 
@@ -521,7 +717,9 @@ USAGE:
   avqtool dump   <file.avq>
   avqtool query  <file.avq> <attribute> <lo> <hi>
   avqtool convert <in.avq> <out.avq> <mode> [block_bytes]
-  avqtool verify <file.avq>
+  avqtool verify <file.avq> [--deep]
+  avqtool scrub  <file.avq | db-dir> [--repair]
+  avqtool inject <file> <seed> <k>
   avqtool open   <db-dir>
   avqtool checkpoint <db-dir>
   avqtool recover-info <db-dir>
@@ -584,8 +782,15 @@ mod tests {
         let info_out = info(&avq_path).unwrap();
         assert!(info_out.contains("500 in"));
         assert!(info_out.contains("dept:enum:eng,hr,ops"));
-        let verify_out = verify(&avq_path).unwrap();
+        let verify_out = verify(&avq_path, false).unwrap();
         assert!(verify_out.starts_with("ok: 500 tuples"));
+        // Deep verification extends, never replaces, the pinned line.
+        let deep_out = verify(&avq_path, true).unwrap();
+        assert!(deep_out.starts_with(&verify_out), "{deep_out}");
+        assert!(
+            deep_out.contains("deep:") && deep_out.contains("re-encode byte-identically"),
+            "{deep_out}"
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -923,7 +1128,130 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(&avq_path, &bytes).unwrap();
-        assert!(verify(&avq_path).is_err());
+        assert!(verify(&avq_path, false).is_err());
+        assert!(verify(&avq_path, true).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    // Tentpole: `inject` + `scrub` on a bare `.avq` file — seeded damage is
+    // found, reported as unrepairable, and the offsets are reproducible.
+    #[test]
+    fn inject_then_scrub_file() {
+        let (dir, avq_path) = setup("scrub-file", 300);
+        let clean = scrub(&avq_path, false).unwrap();
+        assert!(clean.contains("container: ok"), "{clean}");
+        assert!(clean.contains("result:    clean"), "{clean}");
+
+        let msg = inject(&avq_path, 0xFEED, 3).unwrap();
+        assert!(msg.starts_with("injected 3 bit flip(s)"), "{msg}");
+        let err = scrub(&avq_path, false).unwrap_err().to_string();
+        assert!(err.contains("container: CORRUPT"), "{err}");
+        assert!(
+            err.contains("unrepairable") || err.contains("no log to"),
+            "{err}"
+        );
+        // `--repair` cannot help a bare file either.
+        assert!(scrub(&avq_path, true).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    // Tentpole acceptance: a durable dir with a checkpoint, post-checkpoint
+    // mutations, and an injected torn tail. `scrub` reports the damage;
+    // `scrub --repair` truncates the tail, replays the log, rewrites the
+    // snapshots, and the repaired relation is byte-identical to what
+    // recovery alone would produce — and passes `verify --deep`.
+    #[test]
+    fn scrub_repair_restores_durable_dir() {
+        let (dir, db_dir) = seeded_db_dir("scrub-repair");
+        {
+            let (mut db, _) =
+                DurableDatabase::open(&db_dir, DbConfig::default(), SyncPolicy::Always).unwrap();
+            db.checkpoint().unwrap();
+            // Post-checkpoint mutations live only in the log.
+            db.insert_row("people", &[Value::from("eng"), Value::Uint(8888)])
+                .unwrap();
+            db.delete_row("people", &[Value::from("hr"), Value::Uint(9999)])
+                .unwrap();
+        }
+        // The logical contents recovery alone would produce.
+        let reference = {
+            let (db, _) =
+                DurableDatabase::open(&db_dir, DbConfig::default(), SyncPolicy::Manual).unwrap();
+            db.database()
+                .relation("people")
+                .unwrap()
+                .scan_all()
+                .unwrap()
+        };
+
+        // Tear the log tail: append garbage that scan will reject.
+        let wal_path = db_dir.join(avq_wal::WAL_FILE);
+        let mut wal = std::fs::read(&wal_path).unwrap();
+        wal.extend_from_slice(&[0xAB; 17]);
+        std::fs::write(&wal_path, &wal).unwrap();
+
+        let err = scrub(&db_dir, false).unwrap_err().to_string();
+        assert!(err.contains("torn log tail: 17 byte(s)"), "{err}");
+        assert!(
+            err.contains("result:    damaged (re-run with --repair)"),
+            "{err}"
+        );
+
+        let out = scrub(&db_dir, true).unwrap();
+        assert!(out.contains("truncated 17 torn byte(s)"), "{out}");
+        assert!(out.contains("result:    repaired and re-verified"), "{out}");
+
+        // Clean after repair; snapshots pass deep verification.
+        let clean = scrub(&db_dir, false).unwrap();
+        assert!(clean.contains("result:    clean"), "{clean}");
+        let manifest = avq_wal::Manifest::read_dir(&db_dir).unwrap().unwrap();
+        for entry in &manifest.relations {
+            let v = verify(&db_dir.join(&entry.snapshot), true).unwrap();
+            assert!(v.contains("re-encode byte-identically"), "{v}");
+        }
+
+        // The repaired store holds exactly the pre-damage contents.
+        let (db, report) =
+            DurableDatabase::open(&db_dir, DbConfig::default(), SyncPolicy::Manual).unwrap();
+        assert_eq!(report.torn_bytes, 0, "repair already truncated the tail");
+        assert_eq!(
+            db.database()
+                .relation("people")
+                .unwrap()
+                .scan_all()
+                .unwrap(),
+            reference
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    // A damaged snapshot is beyond repair: its data exists nowhere else
+    // once the checkpoint truncated the log. Scrub must say so and refuse.
+    #[test]
+    fn scrub_reports_corrupt_snapshot_as_unrepairable() {
+        let (dir, db_dir) = seeded_db_dir("scrub-snap");
+        {
+            let (mut db, _) =
+                DurableDatabase::open(&db_dir, DbConfig::default(), SyncPolicy::Always).unwrap();
+            db.checkpoint().unwrap();
+        }
+        let manifest = avq_wal::Manifest::read_dir(&db_dir).unwrap().unwrap();
+        let snap = db_dir.join(&manifest.relations[0].snapshot);
+        inject(&snap, 77, 4).unwrap();
+
+        let err = scrub(&db_dir, true).unwrap_err().to_string();
+        assert!(err.contains("CORRUPT"), "{err}");
+        assert!(err.contains("result:    damaged beyond repair"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    // Scrub on a fresh (never-checkpointed) dir is clean, not an error.
+    #[test]
+    fn scrub_fresh_dir_is_clean() {
+        let (dir, db_dir) = seeded_db_dir("scrub-fresh");
+        let out = scrub(&db_dir, false).unwrap();
+        assert!(out.contains("manifest:  none (no checkpoint yet)"), "{out}");
+        assert!(out.contains("result:    clean"), "{out}");
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -32,18 +32,44 @@ fn take_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, comma
     }
 }
 
+/// Removes the boolean switch `name` from `args`, returning whether it was
+/// present.
+fn take_switch(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Command-specific boolean switches, extracted before positional dispatch.
+struct Switches {
+    deep: bool,
+    repair: bool,
+}
+
 fn run(args: &[String]) -> Result<String, commands::CliError> {
     let mut args = args.to_vec();
     let format = take_flag(&mut args, "--format")?.unwrap_or_else(|| "prom".to_owned());
     let metrics_out = take_flag(&mut args, "--metrics-out")?;
-    let output = dispatch(&args, &format)?;
+    let switches = Switches {
+        deep: take_switch(&mut args, "--deep"),
+        repair: take_switch(&mut args, "--repair"),
+    };
+    let output = dispatch(&args, &format, &switches)?;
     match metrics_out {
         Some(p) => Ok(output + &commands::write_metrics(Path::new(&p))?),
         None => Ok(output),
     }
 }
 
-fn dispatch(args: &[String], format: &str) -> Result<String, commands::CliError> {
+fn dispatch(
+    args: &[String],
+    format: &str,
+    switches: &Switches,
+) -> Result<String, commands::CliError> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match (cmd, &args[1..]) {
         ("create", rest) if rest.len() >= 3 => commands::create(
@@ -58,7 +84,9 @@ fn dispatch(args: &[String], format: &str) -> Result<String, commands::CliError>
         ("checkpoint", [dir]) => commands::checkpoint(Path::new(dir)),
         ("recover-info", [dir]) => commands::recover_info(Path::new(dir)),
         ("dump", [path]) => commands::dump(Path::new(path)),
-        ("verify", [path]) => commands::verify(Path::new(path)),
+        ("verify", [path]) => commands::verify(Path::new(path), switches.deep),
+        ("scrub", [path]) => commands::scrub(Path::new(path), switches.repair),
+        ("inject", [path, seed, k]) => commands::inject(Path::new(path), seed.parse()?, k.parse()?),
         ("query", [path, attr, lo, hi]) => commands::query(Path::new(path), attr, lo, hi),
         ("convert", rest) if rest.len() >= 3 => commands::convert(
             Path::new(&rest[0]),

@@ -119,8 +119,20 @@ impl<'a> BitReader<'a> {
         Some(v)
     }
 
+    /// Bits left before the end of the input.
+    pub fn remaining_bits(&self) -> usize {
+        (self.bytes.len() * 8).saturating_sub(self.pos)
+    }
+
     /// Reads `n` bits into a bignum, MSB first.
+    ///
+    /// `n` may come straight from an attacker-controlled gamma code, so the
+    /// read refuses (returns `None`) before allocating anything when the
+    /// input cannot possibly hold `n` more bits.
     pub fn read_bits_big(&mut self, n: usize) -> Option<BigUnsigned> {
+        if n > self.remaining_bits() {
+            return None;
+        }
         let nbytes = n.div_ceil(8);
         let mut bytes = vec![0u8; nbytes];
         let lead = nbytes * 8 - n;

@@ -342,6 +342,7 @@ impl BlockCodec {
         let (u, rep_idx) = read_header(bytes)?;
         if u == 0 {
             return Err(CodecError::Corrupt {
+                section: "header",
                 offset: 0,
                 detail: "block with zero tuples".into(),
             });
@@ -353,6 +354,7 @@ impl BlockCodec {
             let need = u * m;
             if bytes.len() < pos + need {
                 return Err(CodecError::Corrupt {
+                    section: "body",
                     offset: pos,
                     detail: format!("field-wise body truncated: need {need} bytes"),
                 });
@@ -369,12 +371,14 @@ impl BlockCodec {
 
         if rep_idx >= u {
             return Err(CodecError::Corrupt {
+                section: "header",
                 offset: 2,
                 detail: format!("rep_idx {rep_idx} out of range for {u} tuples"),
             });
         }
         if bytes.len() < pos + m {
             return Err(CodecError::Corrupt {
+                section: "representative",
                 offset: pos,
                 detail: "representative tuple truncated".into(),
             });
@@ -383,6 +387,7 @@ impl BlockCodec {
         self.schema
             .validate_tuple(&rep)
             .map_err(|e| CodecError::Corrupt {
+                section: "representative",
                 offset: pos,
                 detail: format!("representative invalid: {e}"),
             })?;
@@ -403,6 +408,7 @@ impl BlockCodec {
                 let bl = br
                     .read_gamma()
                     .ok_or_else(|| CodecError::Corrupt {
+                        section: "entries",
                         offset: pos,
                         detail: format!("bit entry {k}: truncated gamma length"),
                     })?
@@ -415,12 +421,14 @@ impl BlockCodec {
                     let value = br
                         .read_bits_u64(bl as u32)
                         .ok_or_else(|| CodecError::Corrupt {
+                            section: "entries",
                             offset: pos,
                             detail: format!("bit entry {k}: truncated payload"),
                         })?;
                     radix.unrank_u64_into(value, &mut diffs[k * n..])
                 } else {
                     let value = br.read_bits_big(bl).ok_or_else(|| CodecError::Corrupt {
+                        section: "entries",
                         offset: pos,
                         detail: format!("bit entry {k}: truncated payload"),
                     })?;
@@ -504,6 +512,7 @@ impl BlockCodec {
         let (u, rep_idx) = read_header(bytes)?;
         if u == 0 {
             return Err(CodecError::Corrupt {
+                section: "header",
                 offset: 0,
                 detail: "block with zero tuples".into(),
             });
@@ -514,6 +523,7 @@ impl BlockCodec {
         if self.mode == CodingMode::FieldWise {
             if bytes.len() < body + u * m {
                 return Err(CodecError::Corrupt {
+                    section: "body",
                     offset: body,
                     detail: "field-wise body truncated".into(),
                 });
@@ -538,11 +548,21 @@ impl BlockCodec {
 
         if rep_idx >= u || bytes.len() < body + m {
             return Err(CodecError::Corrupt {
+                section: "header",
                 offset: 2,
                 detail: "bad representative".into(),
             });
         }
         let rep = self.schema.read_tuple(&bytes[body..body + m]);
+        // Untrusted bytes can spell digits outside their radices; arithmetic
+        // below assumes validity, so reject here (as full decode does).
+        self.schema
+            .validate_tuple(&rep)
+            .map_err(|e| CodecError::Corrupt {
+                section: "representative",
+                offset: body,
+                detail: format!("representative invalid: {e}"),
+            })?;
         match tuple.cmp(&rep) {
             core::cmp::Ordering::Equal => Ok(true),
             core::cmp::Ordering::Less => {
@@ -626,12 +646,14 @@ impl BlockCodec {
                 let bl = br
                     .read_gamma()
                     .ok_or_else(|| CodecError::Corrupt {
+                        section: "entries",
                         offset: pos,
                         detail: format!("bit entry {k}: truncated gamma length"),
                     })?
                     .checked_sub(1)
                     .expect("gamma codes are >= 1") as usize;
                 let value = br.read_bits_big(bl).ok_or_else(|| CodecError::Corrupt {
+                    section: "entries",
                     offset: pos,
                     detail: format!("bit entry {k}: truncated payload"),
                 })?;
@@ -657,6 +679,7 @@ impl BlockCodec {
         let (u, rep_idx) = read_header(bytes)?;
         if u == 0 {
             return Err(CodecError::Corrupt {
+                section: "header",
                 offset: 0,
                 detail: "block with zero tuples".into(),
             });
@@ -665,12 +688,14 @@ impl BlockCodec {
         let pos = BLOCK_HEADER_BYTES;
         if self.mode != CodingMode::FieldWise && rep_idx >= u {
             return Err(CodecError::Corrupt {
+                section: "header",
                 offset: 2,
                 detail: "rep_idx out of range".into(),
             });
         }
         if bytes.len() < pos + m {
             return Err(CodecError::Corrupt {
+                section: "representative",
                 offset: pos,
                 detail: "representative tuple truncated".into(),
             });
@@ -687,6 +712,7 @@ impl BlockCodec {
 fn read_header(bytes: &[u8]) -> Result<(usize, usize), CodecError> {
     if bytes.len() < BLOCK_HEADER_BYTES {
         return Err(CodecError::Corrupt {
+            section: "header",
             offset: 0,
             detail: "block shorter than header".into(),
         });

@@ -33,6 +33,9 @@ pub enum CodecError {
     },
     /// The encoded stream ended prematurely or contained impossible values.
     Corrupt {
+        /// Which part of the block stream was inconsistent (`"header"`,
+        /// `"representative"`, `"body"`, or `"entries"`).
+        section: &'static str,
         /// Byte offset at which the inconsistency was detected.
         offset: usize,
         /// Human-readable cause.
@@ -67,8 +70,15 @@ impl fmt::Display for CodecError {
                     "coded block needs {needed} bytes, capacity is {capacity}"
                 )
             }
-            CodecError::Corrupt { offset, detail } => {
-                write!(f, "corrupt block stream at byte {offset}: {detail}")
+            CodecError::Corrupt {
+                section,
+                offset,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "corrupt block stream in {section} at byte {offset}: {detail}"
+                )
             }
             CodecError::DifferenceOutOfSpace { entry } => {
                 write!(
@@ -82,3 +92,23 @@ impl fmt::Display for CodecError {
 }
 
 impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the corruption message format: section and byte offset must
+    /// always be present so a report can be traced back into the stream.
+    #[test]
+    fn corrupt_display_carries_section_and_offset() {
+        let e = CodecError::Corrupt {
+            section: "entries",
+            offset: 17,
+            detail: "missing count byte".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "corrupt block stream in entries at byte 17: missing count byte"
+        );
+    }
+}

@@ -78,11 +78,13 @@ pub(crate) fn read_entry_append(
     // ok_or_else (not ok_or) keeps the error construction — and its String
     // allocation — off the success path, which this hot loop relies on.
     let count = *buf.get(pos).ok_or_else(|| CodecError::Corrupt {
+        section: "entries",
         offset: pos,
         detail: "missing count byte".into(),
     })? as usize;
     if count > m {
         return Err(CodecError::Corrupt {
+            section: "entries",
             offset: pos,
             detail: format!("count {count} exceeds tuple width {m}"),
         });
@@ -91,6 +93,7 @@ pub(crate) fn read_entry_append(
     let tail = buf
         .get(pos + 1..pos + 1 + tail_len)
         .ok_or_else(|| CodecError::Corrupt {
+            section: "entries",
             offset: pos + 1,
             detail: format!("entry tail truncated: need {tail_len} bytes"),
         })?;
@@ -110,6 +113,7 @@ pub(crate) fn read_entry_append(
     if let Err(e) = schema.radix().validate(&digits[start..]) {
         digits.truncate(start);
         return Err(CodecError::Corrupt {
+            section: "entries",
             offset: pos,
             detail: format!("entry digits invalid: {e}"),
         });

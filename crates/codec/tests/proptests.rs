@@ -237,3 +237,74 @@ proptest! {
         }
     }
 }
+
+/// An arbitrary schema alone (no tuples) — the cheap generator for the
+/// high-case-count untrusted-byte harness below.
+fn arb_schema() -> impl Strategy<Value = Arc<Schema>> {
+    prop::collection::vec(1u64..5000, 1..8).prop_map(|sizes| {
+        Schema::from_pairs(
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (format!("a{i}"), Domain::uint(s).unwrap())),
+        )
+        .unwrap()
+    })
+}
+
+// The untrusted-byte harness: every decode entry point — block decode
+// (which drives the RLE reader and the mixed-radix unranker), point
+// lookup, and the header accessors — must treat its input as hostile.
+// 1000+ cases each of fully arbitrary bytes and of mutated valid
+// encodings; outcomes are `Ok` or `Err`, never a panic or a runaway
+// allocation.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// Fully arbitrary bytes through every decoder entry point.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        schema in arb_schema(),
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut scratch = DecodeScratch::new();
+        for codec in all_codecs(&schema) {
+            let mut out = Vec::new();
+            let _ = codec.decode_into_scratch(&bytes, &mut out, &mut scratch);
+            prop_assert!(out.is_empty() || codec.decode(&bytes).is_ok());
+            let _ = codec.read_representative(&bytes);
+            let _ = codec.tuple_count(&bytes);
+            let probe = Tuple::new(schema.radix().min_digits());
+            let _ = codec.contains_tuple(&bytes, &probe);
+        }
+    }
+
+    /// Mutation corpus: flip bytes of *valid* encodings — damage that keeps
+    /// most of the structure plausible, the hardest case for a parser. A
+    /// mutated block may still decode; whatever it decodes to must then
+    /// re-encode (or be rejected) without panicking.
+    #[test]
+    fn mutated_valid_blocks_never_panic(
+        (schema, tuples) in arb_schema_and_tuples(),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), 1u8..=255), 1..4),
+    ) {
+        let mut scratch = DecodeScratch::new();
+        for codec in all_codecs(&schema) {
+            let coded = codec.encode(&tuples).unwrap();
+            let mut bad = coded.clone();
+            for (at, mask) in &flips {
+                let i = at.index(bad.len());
+                bad[i] ^= mask;
+            }
+            let mut out = Vec::new();
+            if codec.decode_into_scratch(&bad, &mut out, &mut scratch).is_ok() {
+                // Decoded garbage may be unsorted or schema-invalid; the
+                // encoder must reject it cleanly, not crash on it.
+                let _ = codec.encode(&out);
+            }
+            let probe = tuples[0].clone();
+            let _ = codec.contains_tuple(&bad, &probe);
+            let _ = codec.read_representative(&bad);
+        }
+    }
+}

@@ -1,7 +1,24 @@
 //! Database configuration.
 
 use avq_codec::{CodecOptions, CodingMode, RepChoice};
-use avq_storage::DiskProfile;
+use avq_storage::{DiskProfile, RetryPolicy};
+
+/// How scans react to an unreadable or corrupt data block.
+///
+/// The paper's block-local coding (§3) means damage never spreads past a
+/// block boundary, so a relation with `k` bad blocks still holds every
+/// tuple of the other `N − k`. `SkipCorrupt` serves them: the bad block is
+/// quarantined (counted in `avq_corrupt_blocks_total`) and the scan keeps
+/// going. `FailFast` — the default — surfaces the first error unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanPolicy {
+    /// The first unreadable or corrupt block aborts the operation.
+    #[default]
+    FailFast,
+    /// Corrupt blocks are quarantined and skipped; intact blocks keep
+    /// serving reads.
+    SkipCorrupt,
+}
 
 /// Configuration for a [`crate::Database`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,6 +42,11 @@ pub struct DbConfig {
     /// `t₃` (tuple extraction) for uncoded ones. Zero by default; the
     /// response-time experiments set it from measured or published values.
     pub cpu_ms_per_block: f64,
+    /// How scans react to a corrupt data block (default: fail fast).
+    pub scan_policy: ScanPolicy,
+    /// Bounded retry for *transient* device read faults on the data path;
+    /// hard faults and corruption are never retried.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DbConfig {
@@ -36,6 +58,8 @@ impl Default for DbConfig {
             disk: DiskProfile::paper_fixed(),
             index_order: usize::MAX,
             cpu_ms_per_block: 0.0,
+            scan_policy: ScanPolicy::FailFast,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -84,6 +108,18 @@ impl DbConfig {
         self.decoded_cache_blocks = blocks;
         self
     }
+
+    /// Same configuration with a different corrupt-block scan policy.
+    pub fn with_scan_policy(mut self, policy: ScanPolicy) -> Self {
+        self.scan_policy = policy;
+        self
+    }
+
+    /// Same configuration with a different transient-fault retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -109,10 +145,20 @@ mod tests {
             .with_mode(CodingMode::Avq)
             .with_block_capacity(4096)
             .with_cpu_ms_per_block(13.85)
-            .with_decoded_cache_blocks(0);
+            .with_decoded_cache_blocks(0)
+            .with_scan_policy(ScanPolicy::SkipCorrupt)
+            .with_retry(RetryPolicy::none());
         assert_eq!(c.codec.mode, CodingMode::Avq);
         assert_eq!(c.codec.block_capacity, 4096);
         assert_eq!(c.cpu_ms_per_block, 13.85);
         assert_eq!(c.decoded_cache_blocks, 0);
+        assert_eq!(c.scan_policy, ScanPolicy::SkipCorrupt);
+        assert_eq!(c.retry.max_attempts, 1);
+    }
+
+    #[test]
+    fn scan_policy_defaults_to_fail_fast() {
+        assert_eq!(DbConfig::default().scan_policy, ScanPolicy::FailFast);
+        assert_eq!(DbConfig::default().retry, RetryPolicy::default());
     }
 }

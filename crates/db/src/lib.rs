@@ -56,7 +56,7 @@ mod scan;
 mod secondary;
 
 pub use aggregate::{Aggregate, AggregateValue};
-pub use config::DbConfig;
+pub use config::{DbConfig, ScanPolicy};
 pub use cost::QueryCost;
 pub use database::Database;
 pub use durable::{CheckpointReport, DurableDatabase, RecoveryReport};
@@ -64,6 +64,8 @@ pub use error::DbError;
 pub use explain::{explain_equijoin, format_elapsed, ExplainReport, StageReport};
 // Re-exported so durable callers need not depend on `avq-wal` directly.
 pub use avq_wal::SyncPolicy;
+// Re-exported so degraded-mode callers need not depend on `avq-storage`.
+pub use avq_storage::RetryPolicy;
 pub use extsort::{ExternalSorter, SortedStream};
 pub use join::{block_nested_loop, equijoin, index_nested_loop, JoinStrategy};
 pub use query::{AccessPath, RangePredicate, Selection};

@@ -7,19 +7,19 @@
 //! the affected block (splitting it when the coded form outgrows the block,
 //! freeing it when emptied).
 
-use crate::config::DbConfig;
+use crate::config::{DbConfig, ScanPolicy};
 use crate::cost::{CostTracker, QueryCost};
 use crate::error::DbError;
 use crate::secondary::SecondaryIndex;
 #[cfg(test)]
 use avq_codec::CodingMode;
 use avq_codec::{
-    delete_from_block, insert_into_block, BlockCodec, BlockPacker, DecodeScratch, DeleteOutcome,
-    InsertOutcome,
+    delete_from_block, insert_into_block, BlockCodec, BlockPacker, CodecError, DecodeScratch,
+    DeleteOutcome, InsertOutcome,
 };
 use avq_schema::{Relation, Schema, Tuple};
-use avq_storage::{BlockDevice, BlockId, BufferPool, DecodedCache, PoolStats};
-use std::collections::BTreeMap;
+use avq_storage::{BlockDevice, BlockId, BufferPool, DecodedCache, PoolStats, StorageError};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
 use avq_index::BPlusTree;
@@ -53,6 +53,10 @@ pub struct StoredRelation {
     decoded: DecodedCache<Vec<Tuple>>,
     /// Reusable decode scratch shared by all cache-miss decodes.
     scratch: Mutex<DecodeScratch>,
+    /// Blocks found unreadable or corrupt during policy-aware reads. Under
+    /// [`ScanPolicy::SkipCorrupt`] these are skipped on later scans; each
+    /// block is counted once in `avq_corrupt_blocks_total`.
+    quarantined: Mutex<BTreeSet<BlockId>>,
     blocks: Vec<StoredBlock>,
     primary: BPlusTree,
     secondaries: BTreeMap<usize, SecondaryIndex>,
@@ -101,6 +105,7 @@ impl StoredRelation {
             pool,
             decoded: DecodedCache::new(config.decoded_cache_blocks),
             scratch: Mutex::new(DecodeScratch::new()),
+            quarantined: Mutex::new(BTreeSet::new()),
             config,
             blocks,
             primary,
@@ -175,6 +180,7 @@ impl StoredRelation {
             pool,
             decoded: DecodedCache::new(config.decoded_cache_blocks),
             scratch: Mutex::new(DecodeScratch::new()),
+            quarantined: Mutex::new(BTreeSet::new()),
             config,
             blocks,
             primary,
@@ -278,18 +284,81 @@ impl StoredRelation {
             out.extend_from_slice(&run);
             return Ok(());
         }
-        let bytes = self.pool.read(id)?;
+        let bytes = self.pool.read_with_retry(id, self.config.retry)?;
         let mut scratch = self.scratch.lock().expect("decode scratch poisoned");
         if self.decoded.is_enabled() {
             let mut run = Vec::new();
             self.codec
                 .decode_into_scratch(&bytes, &mut run, &mut scratch)?;
+            check_phi_order(&run)?;
             out.extend_from_slice(&run);
             self.decoded.insert(id, Arc::new(run));
         } else {
+            let start = out.len();
             self.codec.decode_into_scratch(&bytes, out, &mut scratch)?;
+            if let Err(e) = check_phi_order(&out[start..]) {
+                out.truncate(start);
+                return Err(e);
+            }
         }
         Ok(())
+    }
+
+    /// Policy-aware block decode: under [`ScanPolicy::FailFast`] this is
+    /// [`Self::decode_block_into`]; under [`ScanPolicy::SkipCorrupt`] an
+    /// unreadable or corrupt block is quarantined and reported as skipped
+    /// (`Ok(false)`) instead of aborting the scan. Already-quarantined
+    /// blocks are skipped without re-reading.
+    pub(crate) fn decode_block_policy(
+        &self,
+        id: BlockId,
+        out: &mut Vec<Tuple>,
+    ) -> Result<bool, DbError> {
+        let skip = self.config.scan_policy == ScanPolicy::SkipCorrupt;
+        if skip && self.is_quarantined(id) {
+            return Ok(false);
+        }
+        match self.decode_block_into(id, out) {
+            Ok(()) => Ok(true),
+            Err(e) if skip && is_block_corruption(&e) => {
+                self.quarantine(id);
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// True iff `id` has been quarantined by a prior policy-aware read.
+    pub fn is_quarantined(&self, id: BlockId) -> bool {
+        self.quarantined
+            .lock()
+            .expect("quarantine set poisoned")
+            .contains(&id)
+    }
+
+    /// Blocks quarantined so far, ascending.
+    pub fn quarantined_blocks(&self) -> Vec<BlockId> {
+        self.quarantined
+            .lock()
+            .expect("quarantine set poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Quarantines `id`, counting it in `avq_corrupt_blocks_total` the
+    /// first time. The decoded-cache entry (if any) is dropped so a later
+    /// repair is not masked by stale tuples.
+    fn quarantine(&self, id: BlockId) {
+        let newly = self
+            .quarantined
+            .lock()
+            .expect("quarantine set poisoned")
+            .insert(id);
+        if newly {
+            self.decoded.invalidate(id);
+            avq_obs::counter!("avq.corrupt_blocks.total").inc();
+        }
     }
 
     /// Decoded-block cache counters (hits mean zero decode calls).
@@ -346,8 +415,9 @@ impl StoredRelation {
         let mut buf = Vec::new();
         for b in &self.blocks {
             buf.clear();
-            self.decode_block_into(b.id, &mut buf)?;
-            idx.add_block(&buf, b.id)?;
+            if self.decode_block_policy(b.id, &mut buf)? {
+                idx.add_block(&buf, b.id)?;
+            }
         }
         self.secondaries.insert(attr, idx);
         Ok(())
@@ -365,10 +435,12 @@ impl StoredRelation {
     }
 
     /// Decodes every block in φ order (full scan without cost accounting).
+    /// Under [`ScanPolicy::SkipCorrupt`] damaged blocks are quarantined and
+    /// the surviving blocks' tuples are returned.
     pub fn scan_all(&self) -> Result<Vec<Tuple>, DbError> {
         let mut out = Vec::with_capacity(self.tuple_count);
         for b in &self.blocks {
-            self.decode_block_into(b.id, &mut out)?;
+            self.decode_block_policy(b.id, &mut out)?;
         }
         Ok(out)
     }
@@ -384,12 +456,31 @@ impl StoredRelation {
         let found = match hit {
             None => false,
             Some((_, block)) => {
-                // Early-exit point probe: no full block reconstruction.
-                let bytes = self.pool.read(block as BlockId)?;
-                self.charge_cpu(1);
-                tracker.cost.data_blocks += 1;
-                tracker.cost.tuples_scanned += self.codec.tuple_count(&bytes)?;
-                self.codec.contains_tuple(&bytes, tuple)?
+                let id = block as BlockId;
+                let skip = self.config.scan_policy == ScanPolicy::SkipCorrupt;
+                if skip && self.is_quarantined(id) {
+                    false
+                } else {
+                    // Early-exit point probe: no full block reconstruction.
+                    let probe = (|| -> Result<(bool, usize), DbError> {
+                        let bytes = self.pool.read_with_retry(id, self.config.retry)?;
+                        let scanned = self.codec.tuple_count(&bytes)?;
+                        Ok((self.codec.contains_tuple(&bytes, tuple)?, scanned))
+                    })();
+                    match probe {
+                        Ok((present, scanned)) => {
+                            self.charge_cpu(1);
+                            tracker.cost.data_blocks += 1;
+                            tracker.cost.tuples_scanned += scanned;
+                            present
+                        }
+                        Err(e) if skip && is_block_corruption(&e) => {
+                            self.quarantine(id);
+                            false
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
             }
         };
         tracker.cost.tuples_matched += found as usize;
@@ -424,11 +515,13 @@ impl StoredRelation {
 
         let mut out = Vec::new();
         let mut scratch = Vec::new();
-        tracker.cost.data_blocks = candidates.len() as u64;
         for id in candidates {
             scratch.clear();
-            self.codec.decode_into(&self.pool.read(id)?, &mut scratch)?;
+            if !self.decode_block_policy(id, &mut scratch)? {
+                continue;
+            }
             self.charge_cpu(1);
+            tracker.cost.data_blocks += 1;
             tracker.cost.tuples_scanned += scratch.len();
             for t in &scratch {
                 let v = t.digits()[attr];
@@ -674,6 +767,31 @@ impl StoredRelation {
             }
         }
     }
+}
+
+/// A decoded run must be φ-sorted: block coding stores tuples in φ order,
+/// so an out-of-order run means the bytes were silently damaged in a way
+/// that still parsed (e.g. a bit flip inside an RLE count). Checked on
+/// every cache-miss decode — O(n) over tuples already in cache.
+fn check_phi_order(run: &[Tuple]) -> Result<(), DbError> {
+    if run.windows(2).any(|w| w[0] > w[1]) {
+        return Err(DbError::Codec(CodecError::Corrupt {
+            section: "entries",
+            offset: 0,
+            detail: "decoded run violates phi order".to_owned(),
+        }));
+    }
+    Ok(())
+}
+
+/// True for errors that condemn a single block (unreadable media or bytes
+/// that no longer decode) rather than the whole operation. Only these are
+/// skippable under [`ScanPolicy::SkipCorrupt`].
+fn is_block_corruption(e: &DbError) -> bool {
+    matches!(
+        e,
+        DbError::Codec(_) | DbError::Schema(_) | DbError::Storage(StorageError::Io { .. })
+    )
 }
 
 /// Serializes a tuple into its fixed-width primary-index key (byte order =

@@ -72,10 +72,16 @@ impl RangeScan<'_> {
             let id = meta.id;
             self.next_block += 1;
             self.buf.clear();
-            if let Err(e) = self.rel.decode_block_into(id, &mut self.buf) {
-                self.error = Some(e);
-                self.done = true;
-                return false;
+            // Policy-aware: under `SkipCorrupt` a damaged block is
+            // quarantined and the scan moves on to the next one.
+            match self.rel.decode_block_policy(id, &mut self.buf) {
+                Ok(true) => {}
+                Ok(false) => continue,
+                Err(e) => {
+                    self.error = Some(e);
+                    self.done = true;
+                    return false;
+                }
             }
             self.blocks_read += 1;
             // Skip the prefix below `lo`.

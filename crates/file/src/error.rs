@@ -96,3 +96,23 @@ impl From<CodecError> for FileError {
         FileError::Codec(e)
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the corruption message format: section and byte offset must
+    /// always be present so a report can be traced back into the file.
+    #[test]
+    fn corrupt_display_carries_section_and_offset() {
+        let e = FileError::Corrupt {
+            section: "schema",
+            offset: 16,
+            detail: "attribute count exceeds remaining input".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "corrupt .avq file in schema at byte 16: attribute count exceeds remaining input"
+        );
+    }
+}

@@ -119,6 +119,28 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// Bytes left before the end of the body.
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
+    /// Bounds-checks a count field against the remaining input, where each
+    /// counted element occupies at least `min_each` bytes. Hostile headers
+    /// can claim up to 2³²−1 elements; refusing here keeps the subsequent
+    /// `Vec::with_capacity` proportional to the actual input size.
+    fn check_count(&self, count: usize, min_each: usize, what: &str) -> Result<(), FileError> {
+        if count > self.remaining() / min_each {
+            return Err(self.corrupt(
+                self.pos,
+                format!(
+                    "{what} {count} exceeds remaining input ({} bytes)",
+                    self.remaining()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], FileError> {
         let s = self
             .bytes
@@ -208,6 +230,9 @@ fn parse_body(body: &[u8]) -> Result<CodedRelation, FileError> {
 
     c.section = "schema";
     let arity = c.u16("arity")? as usize;
+    // Every attribute needs at least a name length (2), a domain tag (1),
+    // and the smallest domain payload (an empty enumeration's count, 4).
+    c.check_count(arity, 7, "attribute count")?;
     let mut pairs = Vec::with_capacity(arity);
     for _ in 0..arity {
         let name = c.string("attribute name")?;
@@ -221,6 +246,8 @@ fn parse_body(body: &[u8]) -> Result<CodedRelation, FileError> {
             }
             2 => {
                 let count = c.u32("enum count")? as usize;
+                // Every enumerated value carries at least its u16 length.
+                c.check_count(count, 2, "enum value count")?;
                 let mut values = Vec::with_capacity(count);
                 for _ in 0..count {
                     values.push(c.string("enum value")?);
@@ -236,6 +263,8 @@ fn parse_body(body: &[u8]) -> Result<CodedRelation, FileError> {
     c.section = "blocks";
     let tuple_count = c.u64("tuple count")? as usize;
     let block_count = c.u32("block count")? as usize;
+    // Every block carries at least its u32 length prefix.
+    c.check_count(block_count, 4, "block count")?;
     let mut blocks = Vec::with_capacity(block_count);
     for _ in 0..block_count {
         let len = c.u32("block length")? as usize;
@@ -374,6 +403,81 @@ mod tests {
         }
     }
 
+    /// A hostile header may claim up to 2³²−1 elements in any count field;
+    /// every such claim must be rejected against the remaining input before
+    /// any proportional allocation happens.
+    #[test]
+    fn hostile_counts_rejected_before_allocation() {
+        let header = |rest: &[u8]| {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(MAGIC);
+            buf.extend_from_slice(&VERSION.to_le_bytes());
+            buf.push(0); // mode
+            buf.push(0); // rep
+            buf.extend_from_slice(&8192u32.to_le_bytes());
+            buf.extend_from_slice(rest);
+            let crc = crc32(&buf);
+            buf.extend_from_slice(&crc.to_le_bytes());
+            buf
+        };
+
+        // Arity far beyond what the input could hold.
+        let huge_arity = header(&u16::MAX.to_le_bytes());
+        let err = read_coded_relation(&mut &huge_arity[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FileError::Corrupt {
+                    section: "schema",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+
+        // One enumerated attribute claiming u32::MAX values.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u16.to_le_bytes()); // arity
+        body.extend_from_slice(&1u16.to_le_bytes()); // name len
+        body.push(b'a');
+        body.push(2); // Enumerated
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        let huge_enum = header(&body);
+        let err = read_coded_relation(&mut &huge_enum[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FileError::Corrupt {
+                    section: "schema",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+
+        // A valid schema followed by a block count no input could hold.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u16.to_le_bytes()); // arity
+        body.extend_from_slice(&1u16.to_le_bytes()); // name len
+        body.push(b'a');
+        body.push(0); // Uint
+        body.extend_from_slice(&16u64.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes()); // tuple count
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // block count
+        let huge_blocks = header(&body);
+        let err = read_coded_relation(&mut &huge_blocks[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FileError::Corrupt {
+                    section: "blocks",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
     #[test]
     fn truncation_is_detected() {
         let rel = sample_coded();
@@ -403,16 +507,17 @@ mod tests {
             "{err}"
         );
 
-        // Cut mid-schema: the fixed header is 12 bytes, arity is read at
-        // offset 12, and the first attribute name ("dept", 4 bytes) starts
-        // at offset 16 — cutting at byte 20 leaves the name unreadable.
+        // Cut mid-schema: the fixed header is 12 bytes and arity (3) is
+        // read at offset 12. Cutting at byte 20 leaves only 6 bytes after
+        // the count — far less than 3 attributes could occupy — so the
+        // arity bounds check rejects at offset 14 before parsing names.
         let err = read_coded_relation(&mut &buf[..20]).unwrap_err();
         match err {
             FileError::Corrupt {
                 section, offset, ..
             } => {
                 assert_eq!(section, "schema");
-                assert_eq!(offset, 16, "damage located at the attribute name");
+                assert_eq!(offset, 14, "damage located at the arity count");
             }
             other => panic!("expected a located Corrupt error, got {other}"),
         }

@@ -147,6 +147,18 @@ impl BufferPool {
         Ok(data)
     }
 
+    /// Like [`Self::read`], but transient device faults ([`StorageError::Io`]
+    /// with `transient: true`) are retried under `policy`, with exponential
+    /// virtual backoff charged to the device clock. Each retry increments
+    /// the `avq.io_retries.total` counter.
+    pub fn read_with_retry(
+        &self,
+        id: BlockId,
+        policy: crate::fault::RetryPolicy,
+    ) -> Result<Arc<Vec<u8>>, StorageError> {
+        crate::fault::retry_with_backoff(policy, self.device.clock(), || self.read(id))
+    }
+
     /// Writes a block through the pool: the device is updated immediately
     /// (write-through) and the frame refreshed.
     pub fn write(&self, id: BlockId, data: &[u8]) -> Result<(), StorageError> {

@@ -8,6 +8,7 @@
 
 use crate::clock::SimClock;
 use crate::error::{BlockId, StorageError};
+use crate::fault::FaultPlan;
 use crate::profile::DiskProfile;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -44,6 +45,7 @@ pub struct BlockDevice {
     free_list: RwLock<Vec<BlockId>>,
     reads: AtomicU64,
     writes: AtomicU64,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl BlockDevice {
@@ -63,7 +65,26 @@ impl BlockDevice {
             free_list: RwLock::new(Vec::new()),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            faults: RwLock::new(None),
         })
+    }
+
+    /// Installs a fault plan; every later read/write consults it. Replaces
+    /// any previous plan.
+    pub fn set_fault_plan(&self, plan: FaultPlan) -> Arc<FaultPlan> {
+        let plan = Arc::new(plan);
+        *self.faults.write().expect("device lock poisoned") = Some(plan.clone());
+        plan
+    }
+
+    /// Removes the installed fault plan, if any.
+    pub fn clear_fault_plan(&self) {
+        *self.faults.write().expect("device lock poisoned") = None;
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.read().expect("device lock poisoned").clone()
     }
 
     /// The device's block size in bytes.
@@ -120,13 +141,15 @@ impl BlockDevice {
         Ok(())
     }
 
-    /// Reads a block, charging one block transfer.
+    /// Reads a block, charging one block transfer. When a fault plan is
+    /// installed the attempt is still charged (the arm moved) before the
+    /// plan gets to fail the read or damage the returned bytes.
     pub fn read(&self, id: BlockId) -> Result<Vec<u8>, StorageError> {
         let slots = self.slots.read().expect("device lock poisoned");
         let slot = slots
             .get(id as usize)
             .ok_or(StorageError::NoSuchBlock { id })?;
-        let data = slot
+        let mut data = slot
             .data
             .as_ref()
             .ok_or(StorageError::NoSuchBlock { id })?
@@ -135,6 +158,9 @@ impl BlockDevice {
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.clock
             .advance_ms(self.profile.block_time_ms(self.block_size));
+        if let Some(plan) = self.fault_plan() {
+            plan.on_read(id, &mut data)?;
+        }
         Ok(data)
     }
 
@@ -148,13 +174,23 @@ impl BlockDevice {
                 block_size: self.block_size,
             });
         }
+        // A torn write truncates the payload; a write error aborts before
+        // the slot is touched (and charges nothing, like other rejects).
+        let payload = match self.fault_plan() {
+            Some(plan) => {
+                let mut copy = data.to_vec();
+                plan.on_write(id, &mut copy)?;
+                Some(copy)
+            }
+            None => None,
+        };
         let mut slots = self.slots.write().expect("device lock poisoned");
         let slot = slots
             .get_mut(id as usize)
             .ok_or(StorageError::NoSuchBlock { id })?;
         let buf = slot.data.as_mut().ok_or(StorageError::NoSuchBlock { id })?;
         buf.clear();
-        buf.extend_from_slice(data);
+        buf.extend_from_slice(payload.as_deref().unwrap_or(data));
         drop(slots);
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.clock

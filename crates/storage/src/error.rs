@@ -22,6 +22,17 @@ pub enum StorageError {
     },
     /// The device ran out of block ids (more than `u32::MAX` allocations).
     OutOfBlocks,
+    /// A device-level I/O failure on one block (injected by a
+    /// [`crate::FaultPlan`], or surfaced from a real medium). `transient`
+    /// failures may succeed if retried; hard ones will not.
+    Io {
+        /// The block the transfer targeted.
+        id: BlockId,
+        /// Human-readable cause.
+        detail: &'static str,
+        /// Whether a retry can be expected to succeed.
+        transient: bool,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -32,6 +43,14 @@ impl fmt::Display for StorageError {
                 write!(f, "write of {got} bytes exceeds block size {block_size}")
             }
             StorageError::OutOfBlocks => write!(f, "device out of block ids"),
+            StorageError::Io {
+                id,
+                detail,
+                transient,
+            } => {
+                let kind = if *transient { "transient " } else { "" };
+                write!(f, "{kind}i/o error on block {id}: {detail}")
+            }
         }
     }
 }

@@ -12,6 +12,12 @@
 //!
 //! The device counts physical reads and writes — that counter *is* the `N`
 //! (number of blocks accessed) of the paper's §5.3.3 measurements.
+//!
+//! For robustness testing the device also accepts a seeded [`FaultPlan`]
+//! (bit flips, hard/transient read errors, torn writes) consulted on every
+//! transfer, and [`FaultFile`] provides the same treatment for real file
+//! streams on the durable path. [`BufferPool::read_with_retry`] retries
+//! transient faults under a bounded [`RetryPolicy`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +27,7 @@ mod clock;
 mod decoded;
 mod device;
 mod error;
+mod fault;
 mod lru;
 mod profile;
 
@@ -29,4 +36,8 @@ pub use clock::SimClock;
 pub use decoded::DecodedCache;
 pub use device::{BlockDevice, IoStats};
 pub use error::{BlockId, StorageError};
+pub use fault::{
+    corrupt_file_in_place, retry_with_backoff, FaultFile, FaultKind, FaultPlan, RetryPolicy,
+    StreamFault,
+};
 pub use profile::{DiskProfile, MachineProfile};

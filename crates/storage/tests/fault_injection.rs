@@ -1,0 +1,142 @@
+//! Device-level fault-injection integration: a [`FaultPlan`] installed on a
+//! [`BlockDevice`] must shape every read and write that reaches the device,
+//! while the [`BufferPool`] keeps its caching contract (a cached block
+//! never re-consults the plan until invalidated).
+
+use avq_storage::{
+    BlockDevice, BufferPool, DiskProfile, FaultKind, FaultPlan, RetryPolicy, StorageError,
+};
+
+fn device_and_pool() -> (
+    std::sync::Arc<BlockDevice>,
+    std::sync::Arc<BufferPool>,
+    Vec<avq_storage::BlockId>,
+) {
+    let device = BlockDevice::new(256, DiskProfile::paper_fixed());
+    let pool = BufferPool::new(device.clone(), 64);
+    let mut ids = Vec::new();
+    for i in 0..10u8 {
+        let id = device.allocate().unwrap();
+        pool.write(id, &[i; 200]).unwrap();
+        ids.push(id);
+    }
+    (device, pool, ids)
+}
+
+#[test]
+fn read_error_fires_only_on_targeted_blocks() {
+    let (device, pool, ids) = device_and_pool();
+    let plan =
+        device.set_fault_plan(FaultPlan::new(1).with_fault_on(FaultKind::ReadError, [ids[3]]));
+    pool.clear();
+    for &id in &ids {
+        let got = pool.read(id);
+        if id == ids[3] {
+            assert!(matches!(
+                got,
+                Err(StorageError::Io {
+                    transient: false,
+                    ..
+                })
+            ));
+        } else {
+            assert_eq!(got.unwrap().len(), 200);
+        }
+    }
+    assert_eq!(plan.faults_fired(), 1);
+    device.clear_fault_plan();
+    assert!(
+        pool.read(ids[3]).is_ok(),
+        "clearing the plan heals the block"
+    );
+}
+
+#[test]
+fn pool_cache_shields_reads_until_invalidated() {
+    let (device, pool, ids) = device_and_pool();
+    // Warm the cache first, then install the fault.
+    pool.read(ids[0]).unwrap();
+    device.set_fault_plan(FaultPlan::new(2).with_fault_on(FaultKind::ReadError, [ids[0]]));
+    assert!(
+        pool.read(ids[0]).is_ok(),
+        "cached frame served without touching the device"
+    );
+    pool.invalidate(ids[0]);
+    assert!(pool.read(ids[0]).is_err(), "cache miss reaches the fault");
+}
+
+#[test]
+fn bit_flip_is_deterministic_per_seed() {
+    let (device, pool, ids) = device_and_pool();
+    device.set_fault_plan(FaultPlan::new(42).with_fault_on(FaultKind::BitFlip, [ids[5]]));
+    pool.clear();
+    let a = pool.read(ids[5]).unwrap();
+    pool.clear();
+    let b = pool.read(ids[5]).unwrap();
+    assert_eq!(*a, *b, "same seed flips the same bit");
+    let clean = [5u8; 200];
+    let diff: u32 = clean
+        .iter()
+        .zip(a.iter())
+        .map(|(x, y)| (x ^ y).count_ones())
+        .sum();
+    assert_eq!(diff, 1, "exactly one damaged bit");
+}
+
+#[test]
+fn write_error_and_torn_write() {
+    let (device, pool, ids) = device_and_pool();
+    device.set_fault_plan(
+        FaultPlan::new(3)
+            .with_fault_on(FaultKind::WriteError, [ids[1]])
+            .with_fault_on(FaultKind::TornWrite, [ids[2]]),
+    );
+    assert!(matches!(
+        pool.write(ids[1], &[9u8; 100]),
+        Err(StorageError::Io { .. })
+    ));
+    // Torn write reports success but persists only a strict prefix.
+    pool.write(ids[2], &[9u8; 100]).unwrap();
+    pool.invalidate(ids[2]);
+    device.clear_fault_plan();
+    let stored = pool.read(ids[2]).unwrap();
+    assert!(
+        stored.len() < 100,
+        "suffix lost: {} bytes kept",
+        stored.len()
+    );
+    assert!(stored.iter().all(|&b| b == 9));
+}
+
+#[test]
+fn transient_read_heals_through_retry() {
+    let (device, pool, ids) = device_and_pool();
+    device.set_fault_plan(
+        FaultPlan::new(4).with_fault_on(FaultKind::TransientRead { failures: 2 }, [ids[7]]),
+    );
+    pool.clear();
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        backoff_ms: 2.0,
+    };
+    let before = device.clock().now_ms();
+    let got = pool.read_with_retry(ids[7], policy).unwrap();
+    assert_eq!(got.len(), 200);
+    assert!(
+        device.clock().now_ms() - before >= 6.0 - 1e-9,
+        "two backoffs charged: 2 + 4 ms"
+    );
+
+    // The same fault with no retry budget surfaces the transient error.
+    device.set_fault_plan(
+        FaultPlan::new(4).with_fault_on(FaultKind::TransientRead { failures: 2 }, [ids[8]]),
+    );
+    pool.clear();
+    assert!(matches!(
+        pool.read_with_retry(ids[8], RetryPolicy::none()),
+        Err(StorageError::Io {
+            transient: true,
+            ..
+        })
+    ));
+}
