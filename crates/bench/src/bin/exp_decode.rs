@@ -10,6 +10,9 @@
 //!
 //! Usage: `cargo run --release -p avq-bench --bin exp_decode [n] [json_path]`
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use avq_bench::harness;
 use avq_bench::measure::avg_ms;
 use avq_bench::report::Table;
@@ -158,10 +161,12 @@ fn main() {
     // Per-block latency percentiles from the metrics registry: everything
     // recorded since the experiment started.
     let obs_delta = avq_obs::global().snapshot().since(&obs_before);
-    let latency = avq_bench::report::latency_json(
-        &obs_delta,
-        &["avq.codec.encode_block.ns", "avq.codec.decode_block.ns"],
-    );
+    let families = [
+        format!("{}.ns", avq_obs::names::SPAN_CODEC_ENCODE_BLOCK),
+        format!("{}.ns", avq_obs::names::SPAN_CODEC_DECODE_BLOCK),
+    ];
+    let family_refs: Vec<&str> = families.iter().map(String::as_str).collect();
+    let latency = avq_bench::report::latency_json(&obs_delta, &family_refs);
     let json = format!(
         "{{\n  \"experiment\": \"decode\",\n  \"tuples\": {n},\n  \"blocks\": {blocks},\n  \
          \"host_threads\": {host_threads},\n  \

@@ -9,6 +9,9 @@
 //!
 //! Usage: `cargo run --release -p avq-bench --bin exp_recovery [n] [json_path]`
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use avq_bench::report::Table;
 use avq_db::{DbConfig, DurableDatabase, SyncPolicy};
 use avq_schema::{Domain, Relation, Schema, Tuple};
@@ -163,15 +166,14 @@ fn main() {
     // WAL latency percentiles from the metrics registry across the whole
     // experiment (all policies plus replay and checkpoint).
     let obs_delta = avq_obs::global().snapshot().since(&obs_before);
-    let latency = avq_bench::report::latency_json(
-        &obs_delta,
-        &[
-            "avq.wal.append.ns",
-            "avq.wal.fsync.ns",
-            "avq.wal.group_commit.ns",
-            "avq.db.checkpoint.ns",
-        ],
-    );
+    let families = [
+        format!("{}.ns", avq_obs::names::SPAN_WAL_APPEND),
+        format!("{}.ns", avq_obs::names::SPAN_WAL_FSYNC),
+        format!("{}.ns", avq_obs::names::SPAN_WAL_GROUP_COMMIT),
+        format!("{}.ns", avq_obs::names::SPAN_DB_CHECKPOINT),
+    ];
+    let family_refs: Vec<&str> = families.iter().map(String::as_str).collect();
+    let latency = avq_bench::report::latency_json(&obs_delta, &family_refs);
     let json = format!(
         "{{\n  \"experiment\": \"recovery\",\n  \"mutations\": {n},\n  \
          \"policies\": [{}],\n  \

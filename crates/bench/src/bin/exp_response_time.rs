@@ -8,6 +8,9 @@
 //!
 //! Usage: `cargo run --release -p avq-bench --bin exp_response_time [n]`
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use avq_bench::harness;
 use avq_bench::report::Table;
 use avq_codec::CodingMode;

@@ -1056,31 +1056,46 @@ mod tests {
     // export after the built-in stats workload (this is what CI greps).
     #[test]
     fn stats_prom_lists_every_namespace() {
+        use avq_obs::names;
         let out = stats(None, "prom").unwrap();
-        for family in [
-            "avq_codec_encode_blocks",
-            "avq_codec_decode_blocks",
-            "avq_codec_encode_block_ns",
-            "avq_storage_pool_hits",
-            "avq_storage_cache_hits",
-            "avq_wal_records",
-            "avq_wal_fsync_ns",
-            "avq_db_queries",
-            "avq_db_joins",
-            "avq_db_checkpoints",
-            "avq_db_select_ns",
-        ] {
-            assert!(out.contains(family), "missing family {family} in:\n{out}");
+        // Derive the expected families from the canonical name registry so
+        // this test can never drift from the constants production code uses.
+        let counters = [
+            names::CODEC_ENCODE_BLOCKS,
+            names::CODEC_DECODE_BLOCKS,
+            names::STORAGE_POOL_HITS,
+            names::STORAGE_CACHE_HITS,
+            names::WAL_RECORDS,
+            names::DB_QUERIES,
+            names::DB_JOINS,
+            names::DB_CHECKPOINTS,
+        ];
+        let spans = [
+            names::SPAN_CODEC_ENCODE_BLOCK,
+            names::SPAN_WAL_FSYNC,
+            names::SPAN_DB_SELECT,
+        ];
+        for family in counters
+            .iter()
+            .map(|n| names::prom(n))
+            .chain(spans.iter().map(|n| names::prom(&format!("{n}.ns"))))
+        {
+            assert!(out.contains(&family), "missing family {family} in:\n{out}");
         }
         assert!(out.contains("# TYPE"), "{out}");
     }
 
     #[test]
     fn stats_json_and_file_target() {
+        use avq_obs::names;
         let (dir, avq_path) = setup("stats", 200);
         let out = stats(Some(&avq_path), "json").unwrap();
         assert!(out.trim_start().starts_with('{'), "{out}");
-        for key in ["avq.codec.decode.blocks", "avq.db.queries", "avq.wal.syncs"] {
+        for key in [
+            names::CODEC_DECODE_BLOCKS,
+            names::DB_QUERIES,
+            names::WAL_SYNCS,
+        ] {
             assert!(
                 out.contains(&format!("\"{key}\"")),
                 "missing {key} in:\n{out}"

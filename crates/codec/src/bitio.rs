@@ -38,7 +38,9 @@ impl BitWriter {
         }
         self.used -= 1;
         if bit {
-            *self.bytes.last_mut().expect("pushed above") |= 1 << self.used;
+            if let Some(last) = self.bytes.last_mut() {
+                *last |= 1 << self.used;
+            }
         }
     }
 
@@ -61,7 +63,8 @@ impl BitWriter {
         }
         let skip = total.saturating_sub(n);
         for i in skip..total {
-            let byte = bytes[i / 8];
+            // `i < total = bytes.len() * 8`, so the byte always exists.
+            let byte = bytes.get(i / 8).copied().unwrap_or(0);
             self.push_bit(byte >> (7 - i % 8) & 1 == 1);
         }
     }
@@ -134,12 +137,16 @@ impl<'a> BitReader<'a> {
             return None;
         }
         let nbytes = n.div_ceil(8);
+        // lint: bounded(n was checked against remaining_bits just above)
         let mut bytes = vec![0u8; nbytes];
         let lead = nbytes * 8 - n;
         for i in 0..n {
             let bit = self.read_bit()? as u8;
             let at = lead + i;
-            bytes[at / 8] |= bit << (7 - at % 8);
+            // `at < nbytes * 8`, so the byte always exists.
+            if let Some(b) = bytes.get_mut(at / 8) {
+                *b |= bit << (7 - at % 8);
+            }
         }
         Some(BigUnsigned::from_bytes_be(&bytes))
     }

@@ -21,6 +21,7 @@ use crate::bitio::{gamma_len, BitReader, BitWriter};
 use crate::error::CodecError;
 use crate::mode::{CodingMode, RepChoice};
 use crate::rle;
+use avq_obs::names;
 use avq_schema::{Schema, Tuple};
 use std::sync::Arc;
 
@@ -114,7 +115,7 @@ impl BlockCodec {
                     detail: e.to_string(),
                 })?;
         }
-        if let Some(pos) = tuples.windows(2).position(|w| w[0] > w[1]) {
+        if let Some(pos) = tuples.windows(2).position(|w| matches!(w, [a, b] if a > b)) {
             return Err(CodecError::UnsortedInput { position: pos + 1 });
         }
         Ok(())
@@ -123,6 +124,7 @@ impl BlockCodec {
     /// Encodes a φ-sorted run of tuples into a fresh byte stream.
     pub fn encode(&self, tuples: &[Tuple]) -> Result<Vec<u8>, CodecError> {
         self.check_input(tuples)?;
+        // lint: bounded(measure() is the exact coded size of this run)
         let mut out = Vec::with_capacity(self.measure(tuples));
         self.encode_unchecked(tuples, &mut out);
         Ok(out)
@@ -136,7 +138,7 @@ impl BlockCodec {
     }
 
     fn encode_unchecked(&self, tuples: &[Tuple], out: &mut Vec<u8>) {
-        let _span = avq_obs::span!("avq.codec.encode_block");
+        let _span = avq_obs::span!(names::SPAN_CODEC_ENCODE_BLOCK);
         let start_len = out.len();
         let u = tuples.len();
         let rep_idx = match self.mode {
@@ -153,9 +155,11 @@ impl BlockCodec {
                 }
             }
             CodingMode::Avq => {
+                // lint: allow(AVQ-L001, rep.index(u) < u and check_input rejected empty runs)
                 let rep = &tuples[rep_idx];
                 self.schema.write_tuple(rep, out);
                 let radix = self.schema.radix();
+                // lint: bounded(one serialized tuple, schema tuple_bytes)
                 let mut scratch = Vec::with_capacity(self.schema.tuple_bytes());
                 for (i, t) in tuples.iter().enumerate() {
                     if i == rep_idx {
@@ -166,56 +170,50 @@ impl BlockCodec {
                 }
             }
             CodingMode::AvqChained => {
+                // lint: allow(AVQ-L001, rep.index(u) < u and check_input rejected empty runs)
                 let rep = &tuples[rep_idx];
                 self.schema.write_tuple(rep, out);
                 let radix = self.schema.radix();
+                // lint: bounded(one serialized tuple, schema tuple_bytes)
                 let mut scratch = Vec::with_capacity(self.schema.tuple_bytes());
-                for i in 0..u {
-                    if i == rep_idx {
-                        continue;
+                // The chained entries are exactly the adjacent gaps in φ
+                // order: before the representative entry k is the gap to the
+                // successor, after it the gap to the predecessor
+                // (Example 3.3) — both enumerate every window once.
+                for w in tuples.windows(2) {
+                    if let [prev, next] = w {
+                        let diff = radix.abs_diff(next.digits(), prev.digits());
+                        rle::write_entry(&self.schema, &diff, out, &mut scratch);
                     }
-                    // Every chained difference is an adjacent gap: before the
-                    // representative the gap to the successor, after it the
-                    // gap to the predecessor (Example 3.3).
-                    let diff = if i < rep_idx {
-                        radix.abs_diff(tuples[i + 1].digits(), tuples[i].digits())
-                    } else {
-                        radix.abs_diff(tuples[i].digits(), tuples[i - 1].digits())
-                    };
-                    rle::write_entry(&self.schema, &diff, out, &mut scratch);
                 }
             }
             CodingMode::AvqChainedBits => {
+                // lint: allow(AVQ-L001, rep.index(u) < u and check_input rejected empty runs)
                 let rep = &tuples[rep_idx];
                 self.schema.write_tuple(rep, out);
                 let radix = self.schema.radix();
                 let mut bw = BitWriter::new();
-                for i in 0..u {
-                    if i == rep_idx {
-                        continue;
+                for w in tuples.windows(2) {
+                    if let [prev, next] = w {
+                        let diff = radix.abs_diff(next.digits(), prev.digits());
+                        let value = radix.rank(&diff);
+                        let bl = value.bit_len();
+                        bw.push_gamma(bl as u64 + 1);
+                        bw.push_bits_big(&value, bl);
                     }
-                    let diff = if i < rep_idx {
-                        radix.abs_diff(tuples[i + 1].digits(), tuples[i].digits())
-                    } else {
-                        radix.abs_diff(tuples[i].digits(), tuples[i - 1].digits())
-                    };
-                    let value = radix.rank(&diff);
-                    let bl = value.bit_len();
-                    bw.push_gamma(bl as u64 + 1);
-                    bw.push_bits_big(&value, bl);
                 }
                 out.extend_from_slice(&bw.into_bytes());
             }
         }
-        avq_obs::counter!("avq.codec.encode.blocks").inc();
-        avq_obs::counter!("avq.codec.encode.tuples").add(u as u64);
-        avq_obs::counter!("avq.codec.encode.bytes_out").add((out.len() - start_len) as u64);
+        avq_obs::counter!(names::CODEC_ENCODE_BLOCKS).inc();
+        avq_obs::counter!(names::CODEC_ENCODE_TUPLES).add(u as u64);
+        avq_obs::counter!(names::CODEC_ENCODE_BYTES_OUT).add((out.len() - start_len) as u64);
         match self.mode {
-            CodingMode::FieldWise => avq_obs::counter!("avq.codec.encode.mode.fieldwise").inc(),
-            CodingMode::Avq => avq_obs::counter!("avq.codec.encode.mode.avq").inc(),
-            CodingMode::AvqChained => avq_obs::counter!("avq.codec.encode.mode.avq_chained").inc(),
+            CodingMode::FieldWise => avq_obs::counter!(names::CODEC_ENCODE_MODE_FIELDWISE).inc(),
+            CodingMode::Avq => avq_obs::counter!(names::CODEC_ENCODE_MODE_AVQ).inc(),
+            CodingMode::AvqChained => avq_obs::counter!(names::CODEC_ENCODE_MODE_AVQ_CHAINED).inc(),
             CodingMode::AvqChainedBits => {
-                avq_obs::counter!("avq.codec.encode.mode.avq_chained_bits").inc()
+                avq_obs::counter!(names::CODEC_ENCODE_MODE_AVQ_CHAINED_BITS).inc()
             }
         }
     }
@@ -235,6 +233,7 @@ impl BlockCodec {
             CodingMode::FieldWise => BLOCK_HEADER_BYTES + u * m,
             CodingMode::Avq => {
                 let rep_idx = self.rep.index(u);
+                // lint: allow(AVQ-L001, rep.index(u) < u and u > 0 was checked above)
                 let rep = &tuples[rep_idx];
                 let radix = self.schema.radix();
                 let mut size = BLOCK_HEADER_BYTES + m;
@@ -253,15 +252,19 @@ impl BlockCodec {
                 let radix = self.schema.radix();
                 let mut size = BLOCK_HEADER_BYTES + m;
                 for w in tuples.windows(2) {
-                    let diff = radix.abs_diff(w[1].digits(), w[0].digits());
-                    size += rle::entry_cost(&self.schema, &diff);
+                    if let [prev, next] = w {
+                        let diff = radix.abs_diff(next.digits(), prev.digits());
+                        size += rle::entry_cost(&self.schema, &diff);
+                    }
                 }
                 size
             }
             CodingMode::AvqChainedBits => {
                 let mut bits = 0usize;
                 for w in tuples.windows(2) {
-                    bits += self.append_bits(&w[0], &w[1]);
+                    if let [prev, next] = w {
+                        bits += self.append_bits(prev, next);
+                    }
                 }
                 BLOCK_HEADER_BYTES + m + bits.div_ceil(8)
             }
@@ -321,14 +324,14 @@ impl BlockCodec {
         scratch: &mut DecodeScratch,
     ) -> Result<(), CodecError> {
         let base = out.len();
-        let _span = avq_obs::span!("avq.codec.decode_block");
+        let _span = avq_obs::span!(names::SPAN_CODEC_DECODE_BLOCK);
         let result = self.decode_inner(bytes, out, scratch);
         if result.is_err() {
             out.truncate(base);
         } else {
-            avq_obs::counter!("avq.codec.decode.blocks").inc();
-            avq_obs::counter!("avq.codec.decode.tuples").add((out.len() - base) as u64);
-            avq_obs::counter!("avq.codec.decode.bytes_in").add(bytes.len() as u64);
+            avq_obs::counter!(names::CODEC_DECODE_BLOCKS).inc();
+            avq_obs::counter!(names::CODEC_DECODE_TUPLES).add((out.len() - base) as u64);
+            avq_obs::counter!(names::CODEC_DECODE_BYTES_IN).add(bytes.len() as u64);
         }
         result
     }
@@ -352,19 +355,24 @@ impl BlockCodec {
 
         if self.mode == CodingMode::FieldWise {
             let need = u * m;
-            if bytes.len() < pos + need {
+            let Some(body) = bytes.get(pos..pos + need) else {
                 return Err(CodecError::Corrupt {
                     section: "body",
                     offset: pos,
                     detail: format!("field-wise body truncated: need {need} bytes"),
                 });
-            }
+            };
             out.reserve(u);
-            for i in 0..u {
-                out.push(
-                    self.schema
-                        .read_tuple(&bytes[pos + i * m..pos + (i + 1) * m]),
-                );
+            if m == 0 {
+                // Zero-width tuples: the body is empty and every record
+                // reads as the all-zero digit vector.
+                for _ in 0..u {
+                    out.push(self.schema.read_tuple(&[]));
+                }
+            } else {
+                for rec in body.chunks_exact(m) {
+                    out.push(self.schema.read_tuple(rec));
+                }
             }
             return Ok(());
         }
@@ -376,14 +384,14 @@ impl BlockCodec {
                 detail: format!("rep_idx {rep_idx} out of range for {u} tuples"),
             });
         }
-        if bytes.len() < pos + m {
+        let Some(rep_bytes) = bytes.get(pos..pos + m) else {
             return Err(CodecError::Corrupt {
                 section: "representative",
                 offset: pos,
                 detail: "representative tuple truncated".into(),
             });
-        }
-        let rep = self.schema.read_tuple(&bytes[pos..pos + m]);
+        };
+        let rep = self.schema.read_tuple(rep_bytes);
         self.schema
             .validate_tuple(&rep)
             .map_err(|e| CodecError::Corrupt {
@@ -394,6 +402,15 @@ impl BlockCodec {
         pos += m;
 
         let n = self.schema.arity();
+        if n == 0 {
+            // Zero-arity schema: every difference is empty, so every tuple
+            // is the representative. Nothing to parse and nothing can fail.
+            out.reserve(u);
+            for _ in 0..u {
+                out.push(rep.clone());
+            }
+            return Ok(());
+        }
         let radix = self.schema.radix();
         let DecodeScratch {
             diffs,
@@ -403,7 +420,7 @@ impl BlockCodec {
         diffs.clear();
         diffs.reserve((u - 1) * n);
         if self.mode == CodingMode::AvqChainedBits {
-            let mut br = BitReader::new(&bytes[pos..]);
+            let mut br = BitReader::new(bytes.get(pos..).unwrap_or(&[]));
             for k in 0..u - 1 {
                 let bl = br
                     .read_gamma()
@@ -412,11 +429,13 @@ impl BlockCodec {
                         offset: pos,
                         detail: format!("bit entry {k}: truncated gamma length"),
                     })?
-                    .checked_sub(1)
-                    .expect("gamma codes are >= 1") as usize;
+                    // Gamma codes are structurally >= 1.
+                    .saturating_sub(1) as usize;
                 diffs.resize((k + 1) * n, 0);
                 // Nearly every difference fits a machine word; unrank those
-                // without building a bignum.
+                // without building a bignum. The destination is the entry's
+                // arena slot, sized by the resize above.
+                let dst = diffs.get_mut(k * n..).unwrap_or_default();
                 let ok = if bl < 64 {
                     let value = br
                         .read_bits_u64(bl as u32)
@@ -425,14 +444,14 @@ impl BlockCodec {
                             offset: pos,
                             detail: format!("bit entry {k}: truncated payload"),
                         })?;
-                    radix.unrank_u64_into(value, &mut diffs[k * n..])
+                    radix.unrank_u64_into(value, dst)
                 } else {
                     let value = br.read_bits_big(bl).ok_or_else(|| CodecError::Corrupt {
                         section: "entries",
                         offset: pos,
                         detail: format!("bit entry {k}: truncated payload"),
                     })?;
-                    radix.unrank_into(value, &mut diffs[k * n..])
+                    radix.unrank_into(value, dst)
                 };
                 if !ok {
                     return Err(CodecError::DifferenceOutOfSpace { entry: k });
@@ -453,22 +472,30 @@ impl BlockCodec {
                 // Every entry is an independent offset from the
                 // representative (held pristine in `running`); entries are
                 // stored in φ order, so reconstruction pushes in φ order too.
-                for k in 0..rep_idx {
+                // Entry k describes tuple k before the representative and
+                // tuple k + 1 after it, so the representative is emitted
+                // just before entry rep_idx's tuple (or last).
+                let mut rep_slot = Some(rep);
+                for (k, d) in diffs.chunks_exact(n).enumerate() {
+                    if k == rep_idx {
+                        if let Some(r) = rep_slot.take() {
+                            out.push(r);
+                        }
+                    }
                     tmp.clear();
                     tmp.extend_from_slice(running);
-                    if !radix.sub_assign(tmp, &diffs[k * n..(k + 1) * n]) {
+                    let ok = if k < rep_idx {
+                        radix.sub_assign(tmp, d)
+                    } else {
+                        radix.add_assign(tmp, d)
+                    };
+                    if !ok {
                         return Err(CodecError::DifferenceOutOfSpace { entry: k });
                     }
                     out.push(Tuple::new(tmp.clone()));
                 }
-                out.push(rep);
-                for k in rep_idx..u - 1 {
-                    tmp.clear();
-                    tmp.extend_from_slice(running);
-                    if !radix.add_assign(tmp, &diffs[k * n..(k + 1) * n]) {
-                        return Err(CodecError::DifferenceOutOfSpace { entry: k });
-                    }
-                    out.push(Tuple::new(tmp.clone()));
+                if let Some(r) = rep_slot.take() {
+                    out.push(r);
                 }
             }
             CodingMode::AvqChained | CodingMode::AvqChainedBits => {
@@ -477,26 +504,28 @@ impl BlockCodec {
                 // the reconstructed tuple so the first half can then be
                 // pushed in ascending φ order, and stream forwards over the
                 // second half on the running buffer alone.
-                for i in (0..rep_idx).rev() {
-                    if !radix.sub_assign(running, &diffs[i * n..(i + 1) * n]) {
+                for (i, d) in diffs.chunks_exact_mut(n).take(rep_idx).enumerate().rev() {
+                    if !radix.sub_assign(running, d) {
                         return Err(CodecError::DifferenceOutOfSpace { entry: i });
                     }
-                    diffs[i * n..(i + 1) * n].copy_from_slice(running);
+                    d.copy_from_slice(running);
                 }
-                for i in 0..rep_idx {
-                    out.push(Tuple::new(diffs[i * n..(i + 1) * n].to_vec()));
+                for d in diffs.chunks_exact(n).take(rep_idx) {
+                    out.push(Tuple::new(d.to_vec()));
                 }
                 running.clear();
                 running.extend_from_slice(rep.digits());
                 out.push(rep);
-                for k in rep_idx..u - 1 {
-                    if !radix.add_assign(running, &diffs[k * n..(k + 1) * n]) {
+                for (k, d) in diffs.chunks_exact(n).enumerate().skip(rep_idx) {
+                    if !radix.add_assign(running, d) {
                         return Err(CodecError::DifferenceOutOfSpace { entry: k });
                     }
                     out.push(Tuple::new(running.clone()));
                 }
             }
-            CodingMode::FieldWise => unreachable!("handled above"),
+            CodingMode::FieldWise => {
+                // Handled (and returned from) above; nothing to reconstruct.
+            }
         }
         Ok(())
     }
@@ -521,13 +550,14 @@ impl BlockCodec {
         let body = BLOCK_HEADER_BYTES;
 
         if self.mode == CodingMode::FieldWise {
-            if bytes.len() < body + u * m {
+            let Some(records) = bytes.get(body..body + u * m) else {
                 return Err(CodecError::Corrupt {
                     section: "body",
                     offset: body,
                     detail: "field-wise body truncated".into(),
                 });
-            }
+            };
+            // lint: bounded(one serialized tuple, schema tuple_bytes)
             let mut key = Vec::with_capacity(m);
             self.schema.write_tuple(tuple, &mut key);
             // Fixed-width records in φ order: serialized comparison is
@@ -536,8 +566,10 @@ impl BlockCodec {
             let mut hi = u;
             while lo < hi {
                 let mid = (lo + hi) / 2;
-                let rec = &bytes[body + mid * m..body + (mid + 1) * m];
-                match rec.cmp(&key[..]) {
+                // `mid < u` keeps the range inside `records`; an empty
+                // fallback can only order Less/Greater and end the search.
+                let rec = records.get(mid * m..(mid + 1) * m).unwrap_or(&[]);
+                match rec.cmp(key.as_slice()) {
                     core::cmp::Ordering::Equal => return Ok(true),
                     core::cmp::Ordering::Less => lo = mid + 1,
                     core::cmp::Ordering::Greater => hi = mid,
@@ -546,14 +578,21 @@ impl BlockCodec {
             return Ok(false);
         }
 
-        if rep_idx >= u || bytes.len() < body + m {
+        if rep_idx >= u {
             return Err(CodecError::Corrupt {
                 section: "header",
                 offset: 2,
                 detail: "bad representative".into(),
             });
         }
-        let rep = self.schema.read_tuple(&bytes[body..body + m]);
+        let Some(rep_bytes) = bytes.get(body..body + m) else {
+            return Err(CodecError::Corrupt {
+                section: "header",
+                offset: 2,
+                detail: "bad representative".into(),
+            });
+        };
+        let rep = self.schema.read_tuple(rep_bytes);
         // Untrusted bytes can spell digits outside their radices; arithmetic
         // below assumes validity, so reject here (as full decode does).
         self.schema
@@ -574,7 +613,7 @@ impl BlockCodec {
                     CodingMode::Avq => {
                         // Entries before the representative are t = rep − d,
                         // ascending in φ as k grows.
-                        for (k, d) in diffs[..rep_idx].iter().enumerate() {
+                        for (k, d) in diffs.iter().take(rep_idx).enumerate() {
                             let t = radix
                                 .checked_sub(rep.digits(), d)
                                 .ok_or(CodecError::DifferenceOutOfSpace { entry: k })?;
@@ -590,9 +629,9 @@ impl BlockCodec {
                         // Chained: walk backward from the representative,
                         // stopping once below the target.
                         let mut cur = rep.into_digits();
-                        for i in (0..rep_idx).rev() {
+                        for (i, d) in diffs.iter().take(rep_idx).enumerate().rev() {
                             cur = radix
-                                .checked_sub(&cur, &diffs[i])
+                                .checked_sub(&cur, d)
                                 .ok_or(CodecError::DifferenceOutOfSpace { entry: i })?;
                             match cur.as_slice().cmp(tuple.digits()) {
                                 core::cmp::Ordering::Equal => return Ok(true),
@@ -612,12 +651,12 @@ impl BlockCodec {
                 let radix = self.schema.radix();
                 let rep_digits = rep.into_digits();
                 let mut cur = rep_digits.clone();
-                for (k, d) in diffs[rep_idx..].iter().enumerate() {
+                for (k, d) in diffs.iter().enumerate().skip(rep_idx) {
                     cur = match self.mode {
                         CodingMode::Avq => radix.checked_add(&rep_digits, d),
                         _ => radix.checked_add(&cur, d),
                     }
-                    .ok_or(CodecError::DifferenceOutOfSpace { entry: rep_idx + k })?;
+                    .ok_or(CodecError::DifferenceOutOfSpace { entry: k })?;
                     match cur.as_slice().cmp(tuple.digits()) {
                         core::cmp::Ordering::Equal => return Ok(true),
                         core::cmp::Ordering::Greater => return Ok(false),
@@ -639,9 +678,10 @@ impl BlockCodec {
         count: usize,
     ) -> Result<Vec<Vec<u64>>, CodecError> {
         let radix = self.schema.radix();
+        // lint: bounded(count is the header tuple count, at most u16::MAX)
         let mut diffs = Vec::with_capacity(count);
         if self.mode == CodingMode::AvqChainedBits {
-            let mut br = crate::bitio::BitReader::new(&bytes[pos..]);
+            let mut br = crate::bitio::BitReader::new(bytes.get(pos..).unwrap_or(&[]));
             for k in 0..count {
                 let bl = br
                     .read_gamma()
@@ -650,8 +690,8 @@ impl BlockCodec {
                         offset: pos,
                         detail: format!("bit entry {k}: truncated gamma length"),
                     })?
-                    .checked_sub(1)
-                    .expect("gamma codes are >= 1") as usize;
+                    // Gamma codes are structurally >= 1.
+                    .saturating_sub(1) as usize;
                 let value = br.read_bits_big(bl).ok_or_else(|| CodecError::Corrupt {
                     section: "entries",
                     offset: pos,
@@ -693,14 +733,14 @@ impl BlockCodec {
                 detail: "rep_idx out of range".into(),
             });
         }
-        if bytes.len() < pos + m {
+        let Some(rep_bytes) = bytes.get(pos..pos + m) else {
             return Err(CodecError::Corrupt {
                 section: "representative",
                 offset: pos,
                 detail: "representative tuple truncated".into(),
             });
-        }
-        Ok(self.schema.read_tuple(&bytes[pos..pos + m]))
+        };
+        Ok(self.schema.read_tuple(rep_bytes))
     }
 
     /// Number of tuples recorded in a coded block's header.
@@ -710,15 +750,15 @@ impl BlockCodec {
 }
 
 fn read_header(bytes: &[u8]) -> Result<(usize, usize), CodecError> {
-    if bytes.len() < BLOCK_HEADER_BYTES {
+    let Some((&[c0, c1, r0, r1], _)) = bytes.split_first_chunk::<BLOCK_HEADER_BYTES>() else {
         return Err(CodecError::Corrupt {
             section: "header",
             offset: 0,
             detail: "block shorter than header".into(),
         });
-    }
-    let u = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
-    let rep_idx = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
+    };
+    let u = u16::from_le_bytes([c0, c1]) as usize;
+    let rep_idx = u16::from_le_bytes([r0, r1]) as usize;
     Ok((u, rep_idx))
 }
 

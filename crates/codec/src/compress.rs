@@ -10,6 +10,7 @@ use crate::error::CodecError;
 use crate::mode::{CodingMode, RepChoice};
 use crate::packer::BlockPacker;
 use crate::stats::CompressionStats;
+use avq_obs::names;
 use avq_schema::{Relation, Schema, Tuple};
 use std::sync::Arc;
 
@@ -73,24 +74,31 @@ pub fn compress_sorted(
     tuples: &[Tuple],
     options: CodecOptions,
 ) -> Result<CodedRelation, CodecError> {
-    let _span = avq_obs::span!("avq.codec.compress");
-    avq_obs::counter!("avq.codec.compress.relations").inc();
+    let _span = avq_obs::span!(names::SPAN_CODEC_COMPRESS);
+    avq_obs::counter!(names::CODEC_COMPRESS_RELATIONS).inc();
     let codec = BlockCodec::with_options(schema.clone(), options.mode, options.rep);
     let packer = BlockPacker::new(codec.clone(), options.block_capacity);
     let ranges = packer.partition(tuples)?;
+    // lint: bounded(one entry per packed block range)
     let mut blocks = Vec::with_capacity(ranges.len());
+    // lint: bounded(one entry per packed block range)
     let mut meta = Vec::with_capacity(ranges.len());
     for r in ranges {
-        let run = &tuples[r.clone()];
+        // Partition ranges tile `tuples`, so each is in bounds and
+        // non-empty.
+        let run = tuples.get(r).unwrap_or(&[]);
         let coded = codec.encode(run)?;
         let rep_idx = match options.mode {
             CodingMode::FieldWise => 0,
             _ => options.rep.index(run.len()),
         };
+        let (Some(rep), Some(min), Some(max)) = (run.get(rep_idx), run.first(), run.last()) else {
+            return Err(CodecError::EmptyBlock);
+        };
         meta.push(BlockMeta {
-            representative: run[rep_idx].clone(),
-            min: run[0].clone(),
-            max: run[run.len() - 1].clone(),
+            representative: rep.clone(),
+            min: min.clone(),
+            max: max.clone(),
             tuple_count: run.len(),
             coded_bytes: coded.len(),
         });
@@ -115,23 +123,28 @@ impl CodedRelation {
         blocks: Vec<Vec<u8>>,
     ) -> Result<Self, CodecError> {
         let codec = BlockCodec::with_options(schema.clone(), options.mode, options.rep);
+        // lint: bounded(one entry per supplied block)
         let mut meta = Vec::with_capacity(blocks.len());
         let mut tuple_count = 0usize;
         let mut prev_max: Option<Tuple> = None;
         for (i, b) in blocks.iter().enumerate() {
             let tuples = codec.decode(b)?;
             let rep = codec.read_representative(b)?;
+            // Decode rejects empty blocks, so min/max always exist.
+            let (Some(min), Some(max)) = (tuples.first(), tuples.last()) else {
+                return Err(CodecError::EmptyBlock);
+            };
             if let Some(pm) = &prev_max {
-                if tuples[0] < *pm {
+                if min < pm {
                     return Err(CodecError::UnsortedInput { position: i });
                 }
             }
-            prev_max = Some(tuples[tuples.len() - 1].clone());
+            prev_max = Some(max.clone());
             tuple_count += tuples.len();
             meta.push(BlockMeta {
                 representative: rep,
-                min: tuples[0].clone(),
-                max: tuples[tuples.len() - 1].clone(),
+                min: min.clone(),
+                max: max.clone(),
                 tuple_count: tuples.len(),
                 coded_bytes: b.len(),
             });
@@ -175,8 +188,12 @@ impl CodedRelation {
     }
 
     /// The coded byte stream of block `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.block_count()` (documented index API).
     #[inline]
     pub fn block(&self, i: usize) -> &[u8] {
+        // lint: allow(AVQ-L001, documented panicking index accessor; i is caller-validated)
         &self.blocks[i]
     }
 
@@ -187,8 +204,12 @@ impl CodedRelation {
     }
 
     /// Metadata of block `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.block_count()` (documented index API).
     #[inline]
     pub fn meta(&self, i: usize) -> &BlockMeta {
+        // lint: allow(AVQ-L001, documented panicking index accessor; i is caller-validated)
         &self.meta[i]
     }
 
@@ -199,7 +220,11 @@ impl CodedRelation {
     }
 
     /// Decodes block `i` into tuples.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.block_count()` (documented index API).
     pub fn decode_block(&self, i: usize) -> Result<Vec<Tuple>, CodecError> {
+        // lint: allow(AVQ-L001, documented panicking index accessor; i is caller-validated)
         self.codec().decode(&self.blocks[i])
     }
 
@@ -211,12 +236,16 @@ impl CodedRelation {
     pub fn decompress(&self) -> Result<Relation, CodecError> {
         let codec = self.codec();
         let mut scratch = crate::block::DecodeScratch::new();
+        // lint: bounded(tuple_count was counted at compression time)
         let mut tuples = Vec::with_capacity(self.tuple_count);
         for b in &self.blocks {
             codec.decode_into_scratch(b, &mut tuples, &mut scratch)?;
         }
-        Ok(Relation::from_tuples(self.schema.clone(), tuples)
-            .expect("decoded tuples are schema-valid"))
+        Relation::from_tuples(self.schema.clone(), tuples).map_err(|e| CodecError::Corrupt {
+            section: "entries",
+            offset: 0,
+            detail: format!("decoded tuples violate the schema: {e}"),
+        })
     }
 
     /// Index of the first block whose φ-range could contain `tuple`

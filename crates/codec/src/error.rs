@@ -34,7 +34,8 @@ pub enum CodecError {
     /// The encoded stream ended prematurely or contained impossible values.
     Corrupt {
         /// Which part of the block stream was inconsistent (`"header"`,
-        /// `"representative"`, `"body"`, or `"entries"`).
+        /// `"representative"`, `"body"`, or `"entries"`; the database layer
+        /// additionally uses `"order"` when a decoded run violates φ order).
         section: &'static str,
         /// Byte offset at which the inconsistency was detected.
         offset: usize,

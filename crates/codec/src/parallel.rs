@@ -62,27 +62,44 @@ fn sort_parallel(mut tuples: Vec<Tuple>, threads: usize) -> Vec<Tuple> {
         return tuples;
     }
 
-    let mut heads: Vec<usize> = (0..runs).map(|r| r * chunk).collect();
-    let ends: Vec<usize> = (0..runs).map(|r| ((r + 1) * chunk).min(n)).collect();
-    let take = |src: &mut [Tuple], heads: &mut [usize], r: usize| {
-        let t = std::mem::replace(&mut src[heads[r]], Tuple::new(Vec::new()));
-        heads[r] += 1;
-        t
-    };
+    /// Moves run `r`'s head tuple (if any) onto the heap and advances the
+    /// run's cursor.
+    fn push_head(
+        tuples: &mut [Tuple],
+        cursors: &mut [(usize, usize)],
+        r: usize,
+        heap: &mut BinaryHeap<Reverse<(Tuple, usize)>>,
+    ) {
+        let Some(&mut (ref mut head, end)) = cursors.get_mut(r) else {
+            return;
+        };
+        if *head >= end {
+            return;
+        }
+        let Some(slot) = tuples.get_mut(*head) else {
+            return;
+        };
+        *head += 1;
+        heap.push(Reverse((
+            std::mem::replace(slot, Tuple::new(Vec::new())),
+            r,
+        )));
+    }
+
+    // Per-run cursors: (next index, one past the run's end).
+    let mut cursors: Vec<(usize, usize)> = (0..runs)
+        .map(|r| (r * chunk, ((r + 1) * chunk).min(n)))
+        .collect();
+    // lint: bounded(one heap slot per sorted run; runs ≤ thread count)
     let mut heap: BinaryHeap<Reverse<(Tuple, usize)>> = BinaryHeap::with_capacity(runs);
     for r in 0..runs {
-        if heads[r] < ends[r] {
-            let t = take(&mut tuples, &mut heads, r);
-            heap.push(Reverse((t, r)));
-        }
+        push_head(&mut tuples, &mut cursors, r, &mut heap);
     }
+    // lint: bounded(n is the input tuple count)
     let mut out = Vec::with_capacity(n);
     while let Some(Reverse((t, r))) = heap.pop() {
         out.push(t);
-        if heads[r] < ends[r] {
-            let t = take(&mut tuples, &mut heads, r);
-            heap.push(Reverse((t, r)));
-        }
+        push_head(&mut tuples, &mut cursors, r, &mut heap);
     }
     out
 }
@@ -102,6 +119,7 @@ pub fn compress_sorted_parallel(
     let packer = BlockPacker::new(codec.clone(), options.block_capacity);
     let ranges = packer.partition(tuples)?;
 
+    // lint: bounded(one slot per partitioned block range)
     let mut blocks: Vec<Result<Vec<u8>, CodecError>> = Vec::with_capacity(ranges.len());
     blocks.resize_with(ranges.len(), || Ok(Vec::new()));
 
@@ -115,7 +133,8 @@ pub fn compress_sorted_parallel(
             let codec = codec.clone();
             scope.spawn(move || {
                 for (r, out) in ranges_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *out = codec.encode(&tuples[r.clone()]);
+                    // Partition ranges tile `tuples`, so each is in bounds.
+                    *out = codec.encode(tuples.get(r.clone()).unwrap_or(&[]));
                 }
             });
         }
@@ -150,6 +169,7 @@ pub fn decode_blocks_parallel(
 
     let per_worker = blocks.len().div_ceil(threads);
     let stripes = blocks.len().div_ceil(per_worker);
+    // lint: bounded(one slot per decode stripe; stripes ≤ thread count)
     let mut parts: Vec<Result<Vec<Tuple>, CodecError>> = Vec::with_capacity(stripes);
     parts.resize_with(stripes, || Ok(Vec::new()));
 
@@ -189,8 +209,11 @@ pub fn decode_blocks_parallel(
 pub fn decompress_parallel(coded: &CodedRelation, threads: usize) -> Result<Relation, CodecError> {
     let codec = coded.codec();
     let tuples = decode_blocks_parallel(&codec, coded.blocks(), threads)?;
-    Ok(Relation::from_tuples(coded.schema().clone(), tuples)
-        .expect("decoded tuples are schema-valid"))
+    Relation::from_tuples(coded.schema().clone(), tuples).map_err(|e| CodecError::Corrupt {
+        section: "entries",
+        offset: 0,
+        detail: format!("decoded tuples violate the schema: {e}"),
+    })
 }
 
 #[cfg(test)]

@@ -58,7 +58,8 @@ pub(crate) fn write_entry(
     schema.write_tuple(&Tuple::new(digits.to_vec()), scratch);
     let lz = scratch.iter().take_while(|&&b| b == 0).count().min(255);
     out.push(lz as u8);
-    out.extend_from_slice(&scratch[lz..]);
+    // `lz` is at most the staged length, so the tail slice always exists.
+    out.extend_from_slice(scratch.get(lz..).unwrap_or(&[]));
 }
 
 /// Reads one coded entry starting at `buf[pos]`, appending the difference's
@@ -103,14 +104,20 @@ pub(crate) fn read_entry_append(
         let w = schema.byte_width(i);
         let mut d = 0u64;
         for p in off..off + w {
-            let b = if p < count { 0 } else { tail[p - count] };
+            // `p < m` and `tail` holds the `m - count` non-elided bytes, so
+            // `p - count` is always in bounds when `p ≥ count`.
+            let b = if p < count {
+                0
+            } else {
+                tail.get(p - count).copied().unwrap_or(0)
+            };
             d = d << 8 | b as u64;
         }
         digits.push(d);
     }
     // A difference is expressed in 𝓡-space digits (φ⁻¹ of the distance), so
     // every digit must respect its radix; anything else is corruption.
-    if let Err(e) = schema.radix().validate(&digits[start..]) {
+    if let Err(e) = schema.radix().validate(digits.get(start..).unwrap_or(&[])) {
         digits.truncate(start);
         return Err(CodecError::Corrupt {
             section: "entries",
@@ -128,6 +135,7 @@ pub(crate) fn read_entry(
     buf: &[u8],
     pos: usize,
 ) -> Result<(Vec<u64>, usize), CodecError> {
+    // lint: bounded(one digit per schema attribute)
     let mut digits = Vec::with_capacity(schema.arity());
     let next = read_entry_append(schema, buf, pos, &mut digits)?;
     Ok((digits, next))

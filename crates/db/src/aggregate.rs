@@ -10,6 +10,7 @@ use crate::cost::{CostTracker, QueryCost};
 use crate::error::DbError;
 use crate::query::Selection;
 use crate::relation_store::StoredRelation;
+use avq_obs::names;
 use std::collections::BTreeMap;
 
 /// An aggregate function over one attribute (ordinal space).
@@ -65,8 +66,8 @@ impl StoredRelation {
         agg: Aggregate,
         selection: &Selection,
     ) -> Result<(AggregateValue, QueryCost), DbError> {
-        let _span = avq_obs::span!("avq.db.aggregate");
-        avq_obs::counter!("avq.db.aggregates").inc();
+        let _span = avq_obs::span!(names::SPAN_DB_AGGREGATE);
+        avq_obs::counter!(names::DB_AGGREGATES).inc();
         let mut tracker = CostTracker::new(self.device());
 
         if selection.predicates().is_empty() {

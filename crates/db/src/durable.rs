@@ -28,6 +28,7 @@
 use crate::config::DbConfig;
 use crate::database::Database;
 use crate::error::DbError;
+use avq_obs::names;
 use avq_schema::{Relation, Tuple, Value};
 use avq_wal::{
     recover, Lsn, Manifest, ManifestEntry, SyncPolicy, WalRecord, WalWriter, WalWriterStats,
@@ -301,8 +302,8 @@ impl DurableDatabase {
     /// generation of snapshot files (temp-file + rename), atomically swaps
     /// the manifest, truncates the log, and deletes the old generation.
     pub fn checkpoint(&mut self) -> Result<CheckpointReport, DbError> {
-        let _span = avq_obs::span!("avq.db.checkpoint");
-        avq_obs::counter!("avq.db.checkpoints").inc();
+        let _span = avq_obs::span!(names::SPAN_DB_CHECKPOINT);
+        avq_obs::counter!(names::DB_CHECKPOINTS).inc();
         self.wal.sync()?;
         let ck = self.wal.last_lsn();
         let mut entries = Vec::new();

@@ -14,10 +14,11 @@ use crate::error::DbError;
 use crate::join::JoinStrategy;
 use crate::query::{AccessPath, Selection};
 use crate::relation_store::StoredRelation;
+use avq_obs::{names, Stopwatch};
 use avq_schema::Tuple;
 use avq_storage::{BlockId, PoolStats};
 use std::collections::{BTreeMap, BTreeSet};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One timed stage of a query plan.
 #[derive(Debug, Clone)]
@@ -152,13 +153,13 @@ impl StoredRelation {
         query: String,
         selection: &Selection,
     ) -> Result<(Vec<Tuple>, ExplainReport), DbError> {
-        let _span = avq_obs::span!("avq.db.explain");
+        let _span = avq_obs::span!(names::SPAN_DB_EXPLAIN);
         let path = selection.plan(self);
         let mut stages = Vec::new();
 
         // Stage 1: locate candidate blocks through the chosen access path.
         let mark = CacheMark::take(self);
-        let probe_start = Instant::now();
+        let probe_start = Stopwatch::start();
         let candidates: Vec<BlockId> = match path {
             AccessPath::ClusteredRange => {
                 let mut lo = 0u64;
@@ -202,12 +203,12 @@ impl StoredRelation {
         let mut out = Vec::new();
         let mut scratch = Vec::new();
         for &id in &candidates {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             scratch.clear();
             self.decode_block_into(id, &mut scratch)?;
             scan_elapsed += t.elapsed();
             scanned += scratch.len() as u64;
-            let t = Instant::now();
+            let t = Stopwatch::start();
             for tuple in &scratch {
                 if selection.matches(tuple) {
                     out.push(tuple.clone());
@@ -252,7 +253,7 @@ impl StoredRelation {
         selection: &Selection,
     ) -> Result<(AggregateValue, ExplainReport), DbError> {
         let (rows, mut report) = self.explain_select(query, selection)?;
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let mut state = AggState::default();
         for tuple in &rows {
             state.feed(agg, tuple);
@@ -280,7 +281,7 @@ pub fn explain_equijoin(
     inner: &StoredRelation,
     inner_attr: usize,
 ) -> Result<(Vec<(Tuple, Tuple)>, ExplainReport), DbError> {
-    let _span = avq_obs::span!("avq.db.explain");
+    let _span = avq_obs::span!(names::SPAN_DB_EXPLAIN);
     let use_index = inner.has_secondary_index(inner_attr);
     let strategy = if use_index {
         JoinStrategy::IndexNestedLoop
@@ -307,14 +308,14 @@ pub fn explain_equijoin(
     let outer_block_count = outer_ids.len() as u64;
     for oid in outer_ids {
         let mark = CacheMark::take(outer);
-        let t = Instant::now();
+        let t = Stopwatch::start();
         outer_tuples.clear();
         outer.decode_block_into(oid, &mut outer_tuples)?;
         outer_scan += t.elapsed();
         outer_hits += mark.hits_since(outer);
         outer_rows += outer_tuples.len() as u64;
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let mut by_value: BTreeMap<u64, Vec<&Tuple>> = BTreeMap::new();
         for tuple in &outer_tuples {
             by_value
@@ -325,7 +326,7 @@ pub fn explain_equijoin(
         join += t.elapsed();
 
         let candidates: Vec<BlockId> = if use_index {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let mut set = BTreeSet::new();
             for &v in by_value.keys() {
                 for b in inner.secondary_candidate_blocks(inner_attr, v, v)? {
@@ -341,7 +342,7 @@ pub fn explain_equijoin(
 
         for iid in candidates {
             let mark = CacheMark::take(inner);
-            let t = Instant::now();
+            let t = Stopwatch::start();
             inner_tuples.clear();
             inner.decode_block_into(iid, &mut inner_tuples)?;
             inner_scan += t.elapsed();
@@ -349,7 +350,7 @@ pub fn explain_equijoin(
             inner_blocks += 1;
             inner_rows += inner_tuples.len() as u64;
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             for it in &inner_tuples {
                 if let Some(os) = by_value.get(&it.digits()[inner_attr]) {
                     for ot in os {

@@ -17,6 +17,7 @@
 use crate::cost::{CostTracker, QueryCost};
 use crate::error::DbError;
 use crate::relation_store::StoredRelation;
+use avq_obs::names;
 use avq_schema::Tuple;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -41,8 +42,8 @@ pub fn equijoin(
     inner: &StoredRelation,
     inner_attr: usize,
 ) -> Result<JoinResult, DbError> {
-    let _span = avq_obs::span!("avq.db.join");
-    avq_obs::counter!("avq.db.joins").inc();
+    let _span = avq_obs::span!(names::SPAN_DB_JOIN);
+    avq_obs::counter!(names::DB_JOINS).inc();
     if inner.has_secondary_index(inner_attr) {
         index_nested_loop(outer, outer_attr, inner, inner_attr)
             .map(|(rows, cost)| (rows, cost, JoinStrategy::IndexNestedLoop))

@@ -10,6 +10,7 @@
 use crate::cost::{CostTracker, QueryCost};
 use crate::error::DbError;
 use crate::relation_store::StoredRelation;
+use avq_obs::names;
 use avq_schema::Tuple;
 use avq_storage::BlockId;
 
@@ -115,8 +116,8 @@ impl StoredRelation {
         init: T,
         mut f: impl FnMut(&mut T, &Tuple),
     ) -> Result<(T, QueryCost, AccessPath), DbError> {
-        let _span = avq_obs::span!("avq.db.select");
-        avq_obs::counter!("avq.db.queries").inc();
+        let _span = avq_obs::span!(names::SPAN_DB_SELECT);
+        avq_obs::counter!(names::DB_QUERIES).inc();
         let path = selection.plan(self);
         let mut tracker = CostTracker::new(self.device());
         let candidates: Vec<BlockId> = match path {

@@ -23,6 +23,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
 use avq_index::BPlusTree;
+use avq_obs::names;
 
 /// In-memory bookkeeping for one coded data block.
 #[derive(Debug, Clone)]
@@ -357,7 +358,7 @@ impl StoredRelation {
             .insert(id);
         if newly {
             self.decoded.invalidate(id);
-            avq_obs::counter!("avq.corrupt_blocks.total").inc();
+            avq_obs::counter!(names::CORRUPT_BLOCKS_TOTAL).inc();
         }
     }
 
@@ -501,8 +502,8 @@ impl StoredRelation {
         lo: u64,
         hi: u64,
     ) -> Result<(Vec<Tuple>, QueryCost), DbError> {
-        let _span = avq_obs::span!("avq.db.select");
-        avq_obs::counter!("avq.db.queries").inc();
+        let _span = avq_obs::span!(names::SPAN_DB_SELECT);
+        avq_obs::counter!(names::DB_QUERIES).inc();
         let mut tracker = CostTracker::new(&self.device);
         let candidates: Vec<BlockId> = if attr == 0 {
             self.clustered_candidates(lo, hi)?
@@ -774,9 +775,9 @@ impl StoredRelation {
 /// that still parsed (e.g. a bit flip inside an RLE count). Checked on
 /// every cache-miss decode — O(n) over tuples already in cache.
 fn check_phi_order(run: &[Tuple]) -> Result<(), DbError> {
-    if run.windows(2).any(|w| w[0] > w[1]) {
+    if run.windows(2).any(|w| matches!(w, [a, b] if a > b)) {
         return Err(DbError::Codec(CodecError::Corrupt {
-            section: "entries",
+            section: "order",
             offset: 0,
             detail: "decoded run violates phi order".to_owned(),
         }));

@@ -20,6 +20,7 @@ const TABLE: [u32; 256] = {
             };
             bit += 1;
         }
+        // lint: allow(AVQ-L001, i < 256 by the loop bound; const eval rejects any OOB)
         table[i] = crc;
         i += 1;
     }
@@ -47,6 +48,7 @@ impl Crc32 {
     /// Feeds bytes into the hash.
     pub fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
+            // lint: allow(AVQ-L001, index is masked to 8 bits and TABLE has 256 entries)
             self.state = self.state >> 8 ^ TABLE[((self.state ^ b as u32) & 0xFF) as usize];
         }
     }

@@ -27,7 +27,9 @@ pub enum FileError {
     /// writer bug or a forged file).
     Corrupt {
         /// Container section being parsed when validation failed
-        /// (`"header"`, `"schema"`, `"blocks"`, or `"trailer"`).
+        /// (`"file.header"`, `"file.schema"`, `"file.blocks"`, or
+        /// `"file.trailer"` — the `file.` prefix keeps the vocabulary
+        /// disjoint from [`CodecError::Corrupt`]'s block sections).
         section: &'static str,
         /// Byte offset of the inconsistency.
         offset: usize,
@@ -106,13 +108,13 @@ mod tests {
     #[test]
     fn corrupt_display_carries_section_and_offset() {
         let e = FileError::Corrupt {
-            section: "schema",
+            section: "file.schema",
             offset: 16,
             detail: "attribute count exceeds remaining input".into(),
         };
         assert_eq!(
             e.to_string(),
-            "corrupt .avq file in schema at byte 16: attribute count exceeds remaining input"
+            "corrupt .avq file in file.schema at byte 16: attribute count exceeds remaining input"
         );
     }
 }

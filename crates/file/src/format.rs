@@ -51,6 +51,7 @@ fn rep_from_tag(tag: u8) -> Option<RepChoice> {
 
 /// Serializes a coded relation into the `.avq` container format.
 pub fn write_coded_relation<W: Write>(w: &mut W, rel: &CodedRelation) -> Result<(), FileError> {
+    // lint: bounded(container size of the relation being written)
     let mut buf = Vec::with_capacity(64 + rel.blocks().iter().map(|b| b.len() + 4).sum::<usize>());
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
@@ -150,24 +151,34 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
+    /// Takes exactly `N` bytes as a fixed-size array.
+    fn array<const N: usize>(&mut self, what: &str) -> Result<[u8; N], FileError> {
+        let s = self.take(N, what)?;
+        // `take` returned exactly `N` bytes, so the chunk always exists.
+        match s.split_first_chunk::<N>() {
+            Some((a, _)) => Ok(*a),
+            None => Err(self.corrupt(self.pos, format!("truncated {what}"))),
+        }
+    }
+
     fn u8(&mut self, what: &str) -> Result<u8, FileError> {
-        Ok(self.take(1, what)?[0])
+        Ok(u8::from_le_bytes(self.array::<1>(what)?))
     }
 
     fn u16(&mut self, what: &str) -> Result<u16, FileError> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array::<2>(what)?))
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, FileError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array::<4>(what)?))
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, FileError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array::<8>(what)?))
     }
 
     fn i64(&mut self, what: &str) -> Result<i64, FileError> {
-        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.array::<8>(what)?))
     }
 
     fn string(&mut self, what: &str) -> Result<String, FileError> {
@@ -191,13 +202,20 @@ pub fn read_coded_relation<R: Read>(r: &mut R) -> Result<CodedRelation, FileErro
     r.read_to_end(&mut bytes)?;
     if bytes.len() < MAGIC.len() + 2 + 4 {
         return Err(FileError::Corrupt {
-            section: "header",
+            section: "file.header",
             offset: 0,
             detail: "file shorter than header".into(),
         });
     }
-    let (body, tail) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_le_bytes(tail.try_into().unwrap());
+    // The length check above guarantees at least 4 trailing bytes.
+    let Some((body, tail)) = bytes.split_last_chunk::<4>() else {
+        return Err(FileError::Corrupt {
+            section: "file.header",
+            offset: 0,
+            detail: "file shorter than its checksum".into(),
+        });
+    };
+    let stored = u32::from_le_bytes(*tail);
     let actual = crc32(body);
     match (stored == actual, parse_body(body)) {
         (true, parsed) => parsed,
@@ -213,7 +231,7 @@ fn parse_body(body: &[u8]) -> Result<CodedRelation, FileError> {
     let mut c = Cursor {
         bytes: body,
         pos: 0,
-        section: "header",
+        section: "file.header",
     };
     if c.take(4, "magic")? != MAGIC {
         return Err(FileError::BadMagic);
@@ -228,11 +246,12 @@ fn parse_body(body: &[u8]) -> Result<CodedRelation, FileError> {
         .ok_or_else(|| c.corrupt(7, "unknown representative policy".into()))?;
     let block_capacity = c.u32("block capacity")? as usize;
 
-    c.section = "schema";
+    c.section = "file.schema";
     let arity = c.u16("arity")? as usize;
     // Every attribute needs at least a name length (2), a domain tag (1),
     // and the smallest domain payload (an empty enumeration's count, 4).
     c.check_count(arity, 7, "attribute count")?;
+    // lint: bounded(arity was checked against the remaining input)
     let mut pairs = Vec::with_capacity(arity);
     for _ in 0..arity {
         let name = c.string("attribute name")?;
@@ -248,6 +267,7 @@ fn parse_body(body: &[u8]) -> Result<CodedRelation, FileError> {
                 let count = c.u32("enum count")? as usize;
                 // Every enumerated value carries at least its u16 length.
                 c.check_count(count, 2, "enum value count")?;
+                // lint: bounded(count was checked against the remaining input)
                 let mut values = Vec::with_capacity(count);
                 for _ in 0..count {
                     values.push(c.string("enum value")?);
@@ -260,11 +280,12 @@ fn parse_body(body: &[u8]) -> Result<CodedRelation, FileError> {
     }
     let schema: Arc<Schema> = Schema::from_pairs(pairs)?;
 
-    c.section = "blocks";
+    c.section = "file.blocks";
     let tuple_count = c.u64("tuple count")? as usize;
     let block_count = c.u32("block count")? as usize;
     // Every block carries at least its u32 length prefix.
     c.check_count(block_count, 4, "block count")?;
+    // lint: bounded(block_count was checked against the remaining input)
     let mut blocks = Vec::with_capacity(block_count);
     for _ in 0..block_count {
         let len = c.u32("block length")? as usize;
@@ -276,7 +297,7 @@ fn parse_body(body: &[u8]) -> Result<CodedRelation, FileError> {
         }
         blocks.push(c.take(len, "block body")?.to_vec());
     }
-    c.section = "trailer";
+    c.section = "file.trailer";
     if c.pos != body.len() {
         return Err(c.corrupt(c.pos, "trailing bytes after last block".into()));
     }
@@ -289,7 +310,7 @@ fn parse_body(body: &[u8]) -> Result<CodedRelation, FileError> {
     let rel = CodedRelation::from_blocks(schema, options, blocks)?;
     if rel.tuple_count() != tuple_count {
         return Err(FileError::Corrupt {
-            section: "blocks",
+            section: "file.blocks",
             offset: 0,
             detail: format!(
                 "header claims {tuple_count} tuples, blocks hold {}",
@@ -428,7 +449,7 @@ mod tests {
             matches!(
                 err,
                 FileError::Corrupt {
-                    section: "schema",
+                    section: "file.schema",
                     ..
                 }
             ),
@@ -448,7 +469,7 @@ mod tests {
             matches!(
                 err,
                 FileError::Corrupt {
-                    section: "schema",
+                    section: "file.schema",
                     ..
                 }
             ),
@@ -470,7 +491,7 @@ mod tests {
             matches!(
                 err,
                 FileError::Corrupt {
-                    section: "blocks",
+                    section: "file.blocks",
                     ..
                 }
             ),
@@ -500,7 +521,7 @@ mod tests {
             matches!(
                 err,
                 FileError::Corrupt {
-                    section: "header",
+                    section: "file.header",
                     ..
                 }
             ),
@@ -516,7 +537,7 @@ mod tests {
             FileError::Corrupt {
                 section, offset, ..
             } => {
-                assert_eq!(section, "schema");
+                assert_eq!(section, "file.schema");
                 assert_eq!(offset, 14, "damage located at the arity count");
             }
             other => panic!("expected a located Corrupt error, got {other}"),
@@ -528,7 +549,7 @@ mod tests {
             matches!(
                 err,
                 FileError::Corrupt {
-                    section: "blocks",
+                    section: "file.blocks",
                     ..
                 }
             ),

@@ -1,0 +1,673 @@
+//! The rule engine: six project-native rules over the scanned
+//! workspace, plus waiver resolution.
+//!
+//! Rules first collect *candidate* findings; resolution then matches
+//! each candidate against the `// lint:` directives of its file — a
+//! matching waiver suppresses the finding and is recorded in the waiver
+//! summary, an unmatched candidate becomes a reported finding, and any
+//! directive that waived nothing (or failed to parse) is itself a
+//! finding. This ordering means a stale waiver can never silently hide
+//! future regressions.
+
+use crate::config;
+use crate::lexer::{balanced, DirectiveKind, Kind, Token};
+use crate::workspace::{
+    design_section, parse_metric_consts, table_backticks, SourceFile, Workspace,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One reported problem.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`AVQ-L001` … `AVQ-L006`, or `AVQ-WAIVER` for waiver
+    /// hygiene problems).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// One waiver that suppressed at least one finding.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// Line of the `// lint:` comment.
+    pub line: u32,
+    /// The rule it waived.
+    pub rule: String,
+    /// The written justification.
+    pub reason: String,
+}
+
+/// The linter's complete output for one run.
+pub struct Report {
+    /// Findings, sorted by (file, line, rule, message).
+    pub findings: Vec<Finding>,
+    /// Waivers in effect, sorted by (file, line).
+    pub waivers: Vec<Waiver>,
+}
+
+/// Run every rule over the workspace and resolve waivers.
+pub fn run(ws: &mut Workspace) -> Report {
+    let mut candidates = Vec::new();
+    for f in &ws.files {
+        if config::in_scope(&f.rel, config::DECODE_PATHS) {
+            l001_panic_freedom(f, &mut candidates);
+            l002_bounded_capacity(f, &mut candidates);
+        }
+        if !config::in_scope(&f.rel, config::CLOCK_EXEMPT) {
+            l005_virtual_clock(f, &mut candidates);
+        }
+    }
+    l003_crate_root_hygiene(ws, &mut candidates);
+    l004_metric_names(ws, &mut candidates);
+    l006_corrupt_sections(ws, &mut candidates);
+
+    resolve(ws, candidates)
+}
+
+/// Match candidates against directives; collect final findings and the
+/// waiver summary.
+fn resolve(ws: &mut Workspace, candidates: Vec<Finding>) -> Report {
+    let mut findings = Vec::new();
+    for c in candidates {
+        let mut waived = false;
+        if let Some(file) = ws.files.iter_mut().find(|f| f.rel == c.file) {
+            let effective: Vec<u32> = file
+                .scan
+                .directives
+                .iter()
+                .map(|d| file.scan.effective_line(d.line))
+                .collect();
+            for (d, eff) in file.scan.directives.iter_mut().zip(effective) {
+                let applies = match &d.kind {
+                    DirectiveKind::Allow(rule) => *rule == c.rule,
+                    DirectiveKind::Bounded => c.rule == "AVQ-L002",
+                    DirectiveKind::Malformed(_) => false,
+                };
+                if applies && eff == c.line {
+                    d.used = true;
+                    waived = true;
+                    break;
+                }
+            }
+        }
+        if !waived {
+            findings.push(c);
+        }
+    }
+
+    let mut waivers = Vec::new();
+    for f in &ws.files {
+        for d in &f.scan.directives {
+            match &d.kind {
+                DirectiveKind::Malformed(msg) => findings.push(Finding {
+                    file: f.rel.clone(),
+                    line: d.line,
+                    rule: "AVQ-WAIVER".into(),
+                    message: msg.clone(),
+                }),
+                _ if !d.used => findings.push(Finding {
+                    file: f.rel.clone(),
+                    line: d.line,
+                    rule: "AVQ-WAIVER".into(),
+                    message: "unused waiver: no finding on its line to suppress".into(),
+                }),
+                DirectiveKind::Allow(rule) => waivers.push(Waiver {
+                    file: f.rel.clone(),
+                    line: d.line,
+                    rule: rule.clone(),
+                    reason: d.reason.clone(),
+                }),
+                DirectiveKind::Bounded => waivers.push(Waiver {
+                    file: f.rel.clone(),
+                    line: d.line,
+                    rule: "AVQ-L002".into(),
+                    reason: d.reason.clone(),
+                }),
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+    waivers.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Report { findings, waivers }
+}
+
+const ASSERT_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+const BANNED_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const BANNED_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that may legally precede `[` without it being an index
+/// expression (slice patterns, array types, `return [..]`, …).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while", "yield",
+];
+
+fn push(out: &mut Vec<Finding>, file: &SourceFile, line: u32, rule: &str, message: String) {
+    out.push(Finding {
+        file: file.rel.clone(),
+        line,
+        rule: rule.to_string(),
+        message,
+    });
+}
+
+/// AVQ-L001: no panicking constructs in untrusted decode paths.
+fn l001_panic_freedom(file: &SourceFile, out: &mut Vec<Finding>) {
+    let t = &file.scan.tokens;
+    let mut i = 0usize;
+    while i < t.len() {
+        let tok = &t[i];
+        // Assert-family macros are deliberate invariant checks; their
+        // argument group (often containing indexing) is not scanned.
+        if tok.kind == Kind::Ident
+            && ASSERT_MACROS.contains(&tok.text.as_str())
+            && t.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            if let Some(open) = t.get(i + 2) {
+                let pair = [('(', ')'), ('[', ']'), ('{', '}')]
+                    .into_iter()
+                    .find(|(o, _)| open.is_punct(*o));
+                if let Some((o, c)) = pair {
+                    if let Some(end) = balanced(t, i + 2, o, c) {
+                        i = end + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        if tok.is_punct('.') {
+            if let Some(m) = t.get(i + 1) {
+                if m.kind == Kind::Ident && BANNED_METHODS.contains(&m.text.as_str()) {
+                    push(
+                        out,
+                        file,
+                        m.line,
+                        "AVQ-L001",
+                        format!(
+                            "`.{}()` in an untrusted decode path (return `Corrupt` instead)",
+                            m.text
+                        ),
+                    );
+                }
+            }
+        }
+        if tok.kind == Kind::Ident
+            && BANNED_MACROS.contains(&tok.text.as_str())
+            && t.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            push(
+                out,
+                file,
+                tok.line,
+                "AVQ-L001",
+                format!(
+                    "`{}!` in an untrusted decode path (return `Corrupt` instead)",
+                    tok.text
+                ),
+            );
+        }
+        if tok.is_punct('[') && i > 0 {
+            let prev = &t[i - 1];
+            let indexes = prev.is_punct(')')
+                || prev.is_punct(']')
+                || (prev.kind == Kind::Ident && !KEYWORDS.contains(&prev.text.as_str()));
+            if indexes {
+                push(
+                    out,
+                    file,
+                    tok.line,
+                    "AVQ-L001",
+                    "direct `[…]` indexing in an untrusted decode path (use `get`/slice patterns)"
+                        .to_string(),
+                );
+            }
+        }
+        i += 1;
+    }
+}
+
+/// AVQ-L002: allocations sized by untrusted input need a bounded waiver.
+fn l002_bounded_capacity(file: &SourceFile, out: &mut Vec<Finding>) {
+    let t = &file.scan.tokens;
+    for (i, tok) in t.iter().enumerate() {
+        if tok.is_ident("with_capacity") && t.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            if let Some(end) = balanced(t, i + 1, '(', ')') {
+                let args = &t[i + 2..end];
+                if !(args.len() == 1 && args[0].kind == Kind::Number) {
+                    push(
+                        out,
+                        file,
+                        tok.line,
+                        "AVQ-L002",
+                        "`with_capacity` with a non-literal length in a decode path needs a `// lint: bounded(<why>)` waiver".to_string(),
+                    );
+                }
+            }
+        }
+        if tok.is_ident("vec")
+            && t.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && t.get(i + 2).is_some_and(|n| n.is_punct('['))
+        {
+            if let Some(end) = balanced(t, i + 2, '[', ']') {
+                let group = &t[i + 3..end];
+                if let Some(semi) = top_level_semicolon(group) {
+                    let len = &group[semi + 1..];
+                    if !(len.len() == 1 && len[0].kind == Kind::Number) {
+                        push(
+                            out,
+                            file,
+                            tok.line,
+                            "AVQ-L002",
+                            "`vec![_; n]` with a non-literal length in a decode path needs a `// lint: bounded(<why>)` waiver".to_string(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Position of the first `;` at bracket depth zero within a delimiter
+/// group's tokens, if any.
+fn top_level_semicolon(group: &[Token]) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in group.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// AVQ-L003: every member crate root carries the hygiene attributes.
+fn l003_crate_root_hygiene(ws: &Workspace, out: &mut Vec<Finding>) {
+    for member in &ws.members {
+        let member_dir = format!("{member}/");
+        if config::in_scope(&member_dir, config::L003_EXEMPT) {
+            continue;
+        }
+        let mut roots: Vec<&SourceFile> = Vec::new();
+        for candidate in [
+            format!("{member}/src/lib.rs"),
+            format!("{member}/src/main.rs"),
+        ] {
+            if let Some(f) = ws.file(&candidate) {
+                roots.push(f);
+            }
+        }
+        let bin_prefix = format!("{member}/src/bin/");
+        for f in &ws.files {
+            if f.rel.starts_with(&bin_prefix) && !f.rel[bin_prefix.len()..].contains('/') {
+                roots.push(f);
+            }
+        }
+        for root in roots {
+            let (forbids_unsafe, warns_docs) = hygiene_attrs(&root.scan.tokens);
+            if !forbids_unsafe {
+                out.push(Finding {
+                    file: root.rel.clone(),
+                    line: 1,
+                    rule: "AVQ-L003".into(),
+                    message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+                });
+            }
+            if !warns_docs {
+                out.push(Finding {
+                    file: root.rel.clone(),
+                    line: 1,
+                    rule: "AVQ-L003".into(),
+                    message: "crate root is missing `#![warn(missing_docs)]`".into(),
+                });
+            }
+        }
+    }
+}
+
+/// Does the token stream declare `forbid`/`deny`(unsafe_code) and
+/// `warn`/`deny`/`forbid`(missing_docs)?
+fn hygiene_attrs(t: &[Token]) -> (bool, bool) {
+    let mut unsafe_forbidden = false;
+    let mut docs_warned = false;
+    for (i, tok) in t.iter().enumerate() {
+        if tok.kind != Kind::Ident {
+            continue;
+        }
+        let level = tok.text.as_str();
+        if !matches!(level, "forbid" | "deny" | "warn") {
+            continue;
+        }
+        if !t.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if let Some(end) = balanced(t, i + 1, '(', ')') {
+            for arg in &t[i + 2..end] {
+                if arg.is_ident("unsafe_code") && matches!(level, "forbid" | "deny") {
+                    unsafe_forbidden = true;
+                }
+                if arg.is_ident("missing_docs") {
+                    docs_warned = true;
+                }
+            }
+        }
+    }
+    (unsafe_forbidden, docs_warned)
+}
+
+/// Is `s` a well-formed dot-namespaced metric name (`avq.x.y`)?
+fn valid_metric_name(s: &str) -> bool {
+    s.starts_with("avq.")
+        && s.len() > 4
+        && !s.ends_with('.')
+        && !s.contains("..")
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+}
+
+/// AVQ-L004: metric names are declared once, well-formed, documented,
+/// and referenced through constants.
+fn l004_metric_names(ws: &Workspace, out: &mut Vec<Finding>) {
+    let names_file = ws.file(config::METRIC_NAME_HOME);
+    let mut const_values: BTreeMap<String, String> = BTreeMap::new();
+    if let Some(nf) = names_file {
+        let (consts, all) = parse_metric_consts(&nf.scan);
+        let mut seen_values: BTreeMap<&str, &str> = BTreeMap::new();
+        for c in &consts {
+            if !valid_metric_name(&c.value) {
+                out.push(Finding {
+                    file: nf.rel.clone(),
+                    line: c.line,
+                    rule: "AVQ-L004".into(),
+                    message: format!(
+                        "metric name `{}` is not dot-namespaced lowercase under `avq.`",
+                        c.value
+                    ),
+                });
+            }
+            if let Some(other) = seen_values.insert(&c.value, &c.ident) {
+                out.push(Finding {
+                    file: nf.rel.clone(),
+                    line: c.line,
+                    rule: "AVQ-L004".into(),
+                    message: format!(
+                        "metric name `{}` is declared twice (`{}` and `{}`)",
+                        c.value, other, c.ident
+                    ),
+                });
+            }
+            const_values.insert(c.ident.clone(), c.value.clone());
+        }
+        let all_set: BTreeSet<&str> = all.iter().map(String::as_str).collect();
+        for c in &consts {
+            if !all_set.contains(c.ident.as_str()) {
+                out.push(Finding {
+                    file: nf.rel.clone(),
+                    line: c.line,
+                    rule: "AVQ-L004".into(),
+                    message: format!("constant `{}` is missing from `names::ALL`", c.ident),
+                });
+            }
+        }
+        for ident in &all {
+            if !const_values.contains_key(ident) {
+                out.push(Finding {
+                    file: nf.rel.clone(),
+                    line: 1,
+                    rule: "AVQ-L004".into(),
+                    message: format!("`names::ALL` lists unknown constant `{ident}`"),
+                });
+            }
+        }
+        // Two-way check against the DESIGN.md §10 metric inventory.
+        if let Some(section) = design_section(&ws.root, 10) {
+            let documented: BTreeSet<String> = table_backticks(&section)
+                .into_iter()
+                .filter(|n| valid_metric_name(n))
+                .collect();
+            if documented.is_empty() {
+                out.push(Finding {
+                    file: "DESIGN.md".into(),
+                    line: 1,
+                    rule: "AVQ-L004".into(),
+                    message: "DESIGN.md §10 has no metric inventory table to check names against"
+                        .into(),
+                });
+            } else {
+                for c in &consts {
+                    if valid_metric_name(&c.value) && !documented.contains(&c.value) {
+                        out.push(Finding {
+                            file: nf.rel.clone(),
+                            line: c.line,
+                            rule: "AVQ-L004".into(),
+                            message: format!(
+                                "metric `{}` is not documented in the DESIGN.md §10 inventory",
+                                c.value
+                            ),
+                        });
+                    }
+                }
+                let declared: BTreeSet<&str> = const_values.values().map(String::as_str).collect();
+                for name in &documented {
+                    if !declared.contains(name.as_str()) {
+                        out.push(Finding {
+                            file: "DESIGN.md".into(),
+                            line: 1,
+                            rule: "AVQ-L004".into(),
+                            message: format!(
+                                "DESIGN.md §10 documents `{name}`, which `avq_obs::names` does not declare"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Call-site discipline: metric names are spelled once, in names.rs.
+    for f in &ws.files {
+        if f.rel == config::METRIC_NAME_HOME {
+            continue;
+        }
+        for tok in &f.scan.tokens {
+            if tok.kind == Kind::Str && valid_metric_name(&tok.text) {
+                push(
+                    out,
+                    f,
+                    tok.line,
+                    "AVQ-L004",
+                    format!(
+                        "metric-name literal \"{}\" outside `avq_obs::names` (use the constants)",
+                        tok.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // Kind consistency: one constant, one instrument kind.
+    let mut kinds: BTreeMap<String, BTreeMap<&'static str, (String, u32)>> = BTreeMap::new();
+    for f in &ws.files {
+        let t = &f.scan.tokens;
+        for (i, tok) in t.iter().enumerate() {
+            let kind = match tok.text.as_str() {
+                "counter" => "counter",
+                "gauge" => "gauge",
+                "histogram" => "histogram",
+                "span" => "span",
+                _ => continue,
+            };
+            if tok.kind != Kind::Ident
+                || !t.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                || !t.get(i + 2).is_some_and(|n| n.is_punct('('))
+            {
+                continue;
+            }
+            // First identifier of the argument: `names::IDENT` or `IDENT`.
+            let mut j = i + 3;
+            while t
+                .get(j)
+                .is_some_and(|x| x.is_ident("names") || x.is_punct(':'))
+            {
+                j += 1;
+            }
+            let Some(arg) = t.get(j).filter(|x| x.kind == Kind::Ident) else {
+                continue;
+            };
+            if !const_values.contains_key(&arg.text) {
+                continue;
+            }
+            kinds
+                .entry(arg.text.clone())
+                .or_default()
+                .entry(kind)
+                .or_insert((f.rel.clone(), arg.line));
+        }
+    }
+    for (ident, by_kind) in &kinds {
+        if by_kind.len() > 1 {
+            let all: Vec<&str> = by_kind.keys().copied().collect();
+            let (file, line) = by_kind.values().next_back().cloned().unwrap_or_default();
+            out.push(Finding {
+                file,
+                line,
+                rule: "AVQ-L004".into(),
+                message: format!(
+                    "metric `names::{ident}` is registered as more than one instrument kind ({})",
+                    all.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// AVQ-L005: only `avq-obs` (and the bench harness) may read the real
+/// clock; everything else charges the virtual clock via `Stopwatch`.
+fn l005_virtual_clock(file: &SourceFile, out: &mut Vec<Finding>) {
+    let t = &file.scan.tokens;
+    for (i, tok) in t.iter().enumerate() {
+        if tok.is_ident("Instant")
+            && t.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && t.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && t.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            push(
+                out,
+                file,
+                tok.line,
+                "AVQ-L005",
+                "`Instant::now()` outside avq-obs/bench (use `avq_obs::Stopwatch`)".to_string(),
+            );
+        }
+        if tok.is_ident("SystemTime") {
+            push(
+                out,
+                file,
+                tok.line,
+                "AVQ-L005",
+                "`SystemTime` outside avq-obs/bench (use `avq_obs::Stopwatch`)".to_string(),
+            );
+        }
+    }
+}
+
+/// AVQ-L006: `Corrupt { section: … }` strings come from the documented
+/// vocabulary and only from the crate that owns them.
+fn l006_corrupt_sections(ws: &Workspace, out: &mut Vec<Finding>) {
+    let vocab: BTreeMap<&str, &str> = config::CORRUPT_SECTIONS.iter().copied().collect();
+    let documented: Option<BTreeSet<String>> =
+        design_section(&ws.root, 12).map(|s| table_backticks(&s).into_iter().collect());
+    for f in &ws.files {
+        let t = &f.scan.tokens;
+        for (i, tok) in t.iter().enumerate() {
+            if !tok.is_ident("Corrupt") || !t.get(i + 1).is_some_and(|n| n.is_punct('{')) {
+                continue;
+            }
+            let Some(end) = balanced(t, i + 1, '{', '}') else {
+                continue;
+            };
+            let group = &t[i + 2..end];
+            for (j, g) in group.iter().enumerate() {
+                if g.is_ident("section")
+                    && group.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && group.get(j + 2).is_some_and(|n| n.kind == Kind::Str)
+                {
+                    let s = &group[j + 2];
+                    match vocab.get(s.text.as_str()) {
+                        None => push(
+                            out,
+                            f,
+                            s.line,
+                            "AVQ-L006",
+                            format!(
+                                "Corrupt section \"{}\" is not in the documented vocabulary",
+                                s.text
+                            ),
+                        ),
+                        Some(owner) if !f.rel.starts_with(owner) => push(
+                            out,
+                            f,
+                            s.line,
+                            "AVQ-L006",
+                            format!(
+                                "Corrupt section \"{}\" belongs to `{}` but is produced here",
+                                s.text, owner
+                            ),
+                        ),
+                        Some(_) => {}
+                    }
+                    if let Some(doc) = &documented {
+                        if !doc.contains(&s.text) {
+                            push(
+                                out,
+                                f,
+                                s.line,
+                                "AVQ-L006",
+                                format!(
+                                    "Corrupt section \"{}\" is missing from the DESIGN.md §12 vocabulary table",
+                                    s.text
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // The documented table must not drift from the configured vocabulary.
+    if let Some(doc) = &documented {
+        for (section, _) in config::CORRUPT_SECTIONS {
+            if !doc.contains(*section) {
+                out.push(Finding {
+                    file: "DESIGN.md".into(),
+                    line: 1,
+                    rule: "AVQ-L006".into(),
+                    message: format!(
+                        "section `{section}` is in the lint vocabulary but missing from the DESIGN.md §12 table"
+                    ),
+                });
+            }
+        }
+    }
+}

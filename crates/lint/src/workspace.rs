@@ -1,0 +1,264 @@
+//! Workspace discovery: find every production `.rs` file under
+//! `crates/*/src`, scan each one, and parse the bits of workspace
+//! metadata the cross-file rules need (member list, `names.rs`
+//! constants, DESIGN.md sections).
+
+use crate::lexer::{self, Kind, Scan};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One scanned source file.
+pub struct SourceFile {
+    /// `/`-separated path relative to the workspace root.
+    pub rel: String,
+    /// Token stream and directives.
+    pub scan: Scan,
+}
+
+/// The scanned workspace.
+pub struct Workspace {
+    /// Absolute root directory.
+    pub root: PathBuf,
+    /// Every `crates/*/src/**/*.rs` file, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Member directories parsed from the root `Cargo.toml` (empty when
+    /// the root has no manifest — fixture trees often don't).
+    pub members: Vec<String>,
+}
+
+impl Workspace {
+    /// Scan everything under `root`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        let crates_dir = root.join("crates");
+        let mut crate_dirs = Vec::new();
+        collect_crate_dirs(&crates_dir, &mut crate_dirs)?;
+        crate_dirs.sort();
+        for dir in &crate_dirs {
+            let src = dir.join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            let mut rs_files = Vec::new();
+            collect_rs_files(&src, &mut rs_files)?;
+            rs_files.sort();
+            for path in rs_files {
+                let text = fs::read_to_string(&path)?;
+                let rel = relative(root, &path);
+                files.push(SourceFile {
+                    rel,
+                    scan: lexer::scan(&text),
+                });
+            }
+        }
+        let members = parse_members(root);
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            members,
+        })
+    }
+
+    /// The scan for an exact relative path, if that file was loaded.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+/// Crate directories are `crates/<name>` plus nested `crates/shims/<name>`:
+/// any directory under `crates/` that contains a `Cargo.toml`.
+fn collect_crate_dirs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if !path.is_dir() {
+            continue;
+        }
+        if path.join("Cargo.toml").is_file() {
+            out.push(path);
+        } else {
+            collect_crate_dirs(&path, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Path of `p` relative to `root`, `/`-separated.
+fn relative(root: &Path, p: &Path) -> String {
+    let rel = p.strip_prefix(root).unwrap_or(p);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Parse `members = [ "…", … ]` out of the root `Cargo.toml` without a
+/// TOML parser: take every quoted string between the `members = [`
+/// bracket and its closing `]`.
+fn parse_members(root: &Path) -> Vec<String> {
+    let Ok(text) = fs::read_to_string(root.join("Cargo.toml")) else {
+        return Vec::new();
+    };
+    let Some(start) = text.find("members") else {
+        return Vec::new();
+    };
+    let Some(open) = text[start..].find('[') else {
+        return Vec::new();
+    };
+    let after = &text[start + open + 1..];
+    let Some(close) = after.find(']') else {
+        return Vec::new();
+    };
+    after[..close]
+        .split('"')
+        .skip(1)
+        .step_by(2)
+        .map(str::to_string)
+        .collect()
+}
+
+/// A metric-name constant parsed from `names.rs`.
+pub struct MetricConst {
+    /// Constant identifier (`CODEC_ENCODE_BLOCKS`).
+    pub ident: String,
+    /// The metric name it holds (`avq.codec.encode.blocks`).
+    pub value: String,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// Parse `pub const IDENT: &str = "…";` declarations and the `ALL`
+/// slice out of the scanned `names.rs` token stream.
+pub fn parse_metric_consts(scan: &Scan) -> (Vec<MetricConst>, Vec<String>) {
+    let mut consts = Vec::new();
+    let mut all = Vec::new();
+    let t = &scan.tokens;
+    let mut i = 0usize;
+    while i < t.len() {
+        if t[i].is_ident("const") && i + 1 < t.len() && t[i + 1].kind == Kind::Ident {
+            let ident = t[i + 1].text.clone();
+            // Find the `=` then the value, stopping at `;`.
+            let mut j = i + 2;
+            while j < t.len() && !t[j].is_punct('=') && !t[j].is_punct(';') {
+                j += 1;
+            }
+            if j < t.len() && t[j].is_punct('=') {
+                if ident == "ALL" {
+                    let mut k = j + 1;
+                    while k < t.len() && !t[k].is_punct(';') {
+                        if t[k].kind == Kind::Ident {
+                            all.push(t[k].text.clone());
+                        }
+                        k += 1;
+                    }
+                    i = k;
+                    continue;
+                }
+                if let Some(v) = t.get(j + 1).filter(|v| v.kind == Kind::Str) {
+                    consts.push(MetricConst {
+                        ident,
+                        value: v.text.clone(),
+                        line: v.line,
+                    });
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    (consts, all)
+}
+
+/// Extract the body of a `## N.`-numbered DESIGN.md section, if the
+/// document exists and has that section.
+pub fn design_section(root: &Path, number: u32) -> Option<String> {
+    let text = fs::read_to_string(root.join("DESIGN.md")).ok()?;
+    let header = format!("## {number}.");
+    let start = text
+        .lines()
+        .scan(0usize, |off, l| {
+            let this = *off;
+            *off += l.len() + 1;
+            Some((this, l))
+        })
+        .find(|(_, l)| l.starts_with(&header))
+        .map(|(off, _)| off)?;
+    let rest = &text[start..];
+    let body_start = rest.find('\n').map(|i| i + 1).unwrap_or(rest.len());
+    let body = &rest[body_start..];
+    let end = body.find("\n## ").map(|i| i + 1).unwrap_or(body.len());
+    Some(body[..end].to_string())
+}
+
+/// All backtick-quoted strings on table rows (`| … |` lines) of a
+/// markdown section.
+pub fn table_backticks(section: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in section.lines() {
+        let line = line.trim_start();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let after = &rest[open + 1..];
+            let Some(close) = after.find('`') else { break };
+            out.push(after[..close].to_string());
+            rest = &after[close + 1..];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_parsing() {
+        let dir = std::env::temp_dir().join("avq-lint-members-test");
+        fs::create_dir_all(&dir).ok();
+        fs::write(
+            dir.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"crates/a\", \"crates/b\"]\n",
+        )
+        .ok();
+        assert_eq!(parse_members(&dir), ["crates/a", "crates/b"]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metric_const_parsing() {
+        let scan = lexer::scan(
+            "/// Doc.\npub const A: &str = \"avq.a\";\npub const B: &str = \"avq.b\";\npub const ALL: &[&str] = &[A, B];\npub fn prom(n: &str) -> String { n.into() }",
+        );
+        let (consts, all) = parse_metric_consts(&scan);
+        assert_eq!(consts.len(), 2);
+        assert_eq!(consts[0].ident, "A");
+        assert_eq!(consts[0].value, "avq.a");
+        assert_eq!(all, ["A", "B"]);
+    }
+
+    #[test]
+    fn backtick_extraction() {
+        let got =
+            table_backticks("| `avq.x` | counter |\nprose with `ignored`\n| `avq.y` | span |\n");
+        assert_eq!(got, ["avq.x", "avq.y"]);
+    }
+}

@@ -1,0 +1,31 @@
+//! AVQ-L001 fixture: every banned panic construct on a decode surface.
+
+fn decode(bytes: &[u8]) -> u8 {
+    let first = bytes.first().unwrap();
+    let second = bytes.get(1).expect("second byte");
+    let third = bytes[2];
+    if *first == 0 {
+        panic!("zero");
+    }
+    match second {
+        0 => unreachable!(),
+        _ => first + second + third,
+    }
+}
+
+fn asserts_are_fine(bytes: &[u8]) -> u8 {
+    // The assert family is exempt: deliberate invariant checks may index.
+    debug_assert!(bytes[0] > 0);
+    assert_eq!(bytes[1], 7);
+    bytes.iter().copied().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(v[0], super::decode(&v));
+        v.get(9).unwrap();
+    }
+}

@@ -1,0 +1,11 @@
+//! AVQ-L002 fixture: untrusted-length allocations with and without the
+//! required bounded waiver.
+
+fn alloc(claimed: usize) -> (Vec<u8>, Vec<u8>, Vec<u8>, Vec<u8>) {
+    let unwaived = Vec::with_capacity(claimed);
+    let from_macro = vec![0u8; claimed];
+    // lint: bounded(claimed was checked against the remaining input)
+    let waived = Vec::with_capacity(claimed);
+    let literal_is_fine = Vec::with_capacity(4096);
+    (unwaived, from_macro, waived, literal_is_fine)
+}

@@ -1,0 +1,7 @@
+//! A compliant crate root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Documented.
+pub fn ok() {}

@@ -1,0 +1,7 @@
+//! AVQ-L004 fixture: a call site spelling a metric name as a literal.
+
+fn record() {
+    observe("avq.codec.decode.blocks");
+}
+
+fn observe(_name: &str) {}

@@ -1,0 +1,14 @@
+//! AVQ-L004 fixture: a names module with one well-formed constant, one
+//! badly-formed name, one duplicate, and one constant missing from ALL.
+
+/// Fine.
+pub const GOOD: &str = "avq.codec.decode.blocks";
+/// Uppercase and not dot-namespaced.
+pub const BAD_FORM: &str = "AVQ_Decode_Blocks";
+/// Same value as GOOD.
+pub const DUPLICATE: &str = "avq.codec.decode.blocks";
+/// Well-formed but absent from ALL and the DESIGN table.
+pub const FORGOTTEN: &str = "avq.codec.forgotten.total";
+
+/// The exhaustive list (FORGOTTEN is deliberately missing).
+pub const ALL: &[&str] = &[GOOD, BAD_FORM, DUPLICATE];

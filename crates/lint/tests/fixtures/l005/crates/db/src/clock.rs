@@ -1,0 +1,9 @@
+//! AVQ-L005 fixture: real-clock reads outside avq-obs/bench.
+
+use std::time::{Instant, SystemTime};
+
+fn timed() -> u128 {
+    let start = Instant::now();
+    let _wall = SystemTime::now();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,21 @@
+//! AVQ-L006 fixture: Corrupt-section vocabulary violations.
+
+enum CodecError {
+    Corrupt { section: &'static str, offset: usize },
+}
+
+fn errors() -> (CodecError, CodecError, CodecError) {
+    let documented = CodecError::Corrupt {
+        section: "header",
+        offset: 0,
+    };
+    let unknown = CodecError::Corrupt {
+        section: "mystery",
+        offset: 1,
+    };
+    let wrong_crate = CodecError::Corrupt {
+        section: "file.header",
+        offset: 2,
+    };
+    (documented, unknown, wrong_crate)
+}

@@ -1,0 +1,14 @@
+//! Waiver-hygiene fixture: one waiver in effect, one unused, one with
+//! an empty reason, and one that is not valid directive syntax.
+
+fn decode(bytes: &[u8]) -> u8 {
+    // lint: allow(AVQ-L001, the slice is length-checked by the caller)
+    let used = bytes[0];
+    // lint: allow(AVQ-L001, nothing on the next line violates anything)
+    let unused = 1u8;
+    // lint: allow(AVQ-L001,)
+    let empty_reason = bytes[1];
+    // lint: gesundheit(AVQ-L001, not a real directive)
+    let malformed = bytes[2];
+    used + unused + empty_reason + malformed
+}

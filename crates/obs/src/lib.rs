@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod metric;
+pub mod names;
 mod registry;
 mod span;
 
@@ -41,4 +42,4 @@ pub use metric::{
     HISTOGRAM_BUCKETS,
 };
 pub use registry::{global, histogram_json, Registry, Snapshot};
-pub use span::{set_span_observer, SpanGuard, SpanObserver};
+pub use span::{set_span_observer, SpanGuard, SpanObserver, Stopwatch};

@@ -14,7 +14,35 @@
 
 use crate::metric::Histogram;
 use std::sync::OnceLock;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A wall-clock stopwatch for ad-hoc stage timing (e.g. `EXPLAIN ANALYZE`).
+///
+/// The AVQ workspace confines raw `std::time` reads to this crate and the
+/// bench harness (`avq-lint` rule **AVQ-L005**): engine code that needs real
+/// elapsed time goes through [`Stopwatch`] or [`crate::span!`], and code
+/// that charges simulated 1994-disk time uses the storage crate's virtual
+/// clock instead.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Wall-clock time elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
 
 /// Receives span lifecycle events. Implement this to bridge spans into an
 /// external tracing system (e.g. a `tracing`-subscriber adapter behind the
@@ -114,13 +142,23 @@ macro_rules! histogram {
     }};
 }
 
-/// Opens a timing span: `let _g = span!("avq.wal.fsync");` records elapsed
-/// nanoseconds into the global histogram `avq.wal.fsync.ns` when `_g` drops.
+/// Opens a timing span: `let _g = span!(names::SPAN_WAL_FSYNC);` records
+/// elapsed nanoseconds into the global histogram `avq.wal.fsync.ns` when
+/// `_g` drops. The name may be any `&'static str` expression — typically a
+/// [`crate::names`] constant — not just a literal; the `.ns` histogram
+/// handle is resolved once per call site and cached.
 #[macro_export]
 macro_rules! span {
-    ($name:expr) => {
-        $crate::SpanGuard::enter($name, $crate::histogram!(concat!($name, ".ns")))
-    };
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        let h: &'static $crate::Histogram = HANDLE.get_or_init(|| {
+            let mut n = ::std::string::String::from($name);
+            n.push_str(".ns");
+            $crate::global().histogram(&n)
+        });
+        $crate::SpanGuard::enter($name, h)
+    }};
 }
 
 #[cfg(test)]
@@ -151,6 +189,23 @@ mod tests {
         let snap = crate::global().snapshot();
         let h = &snap.histograms["avq.obs.test.spanmacro.ns"];
         assert!(h.count >= 2);
+    }
+
+    #[test]
+    fn stopwatch_measures_elapsed() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(sw.elapsed() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn span_macro_accepts_const_names() {
+        const NAME: &str = "avq.obs.test.constspan";
+        {
+            let _g = crate::span!(NAME);
+        }
+        let snap = crate::global().snapshot();
+        assert!(snap.histograms["avq.obs.test.constspan.ns"].count >= 1);
     }
 
     #[test]

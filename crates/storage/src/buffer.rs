@@ -9,6 +9,7 @@
 use crate::device::BlockDevice;
 use crate::error::{BlockId, StorageError};
 use crate::lru::LruList;
+use avq_obs::names;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -135,14 +136,14 @@ impl BufferPool {
                     .data
                     .clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                avq_obs::counter!("avq.storage.pool.hits").inc();
+                avq_obs::counter!(names::STORAGE_POOL_HITS).inc();
                 return Ok(data);
             }
         }
         // Miss: physical read outside the latch, then install.
         let data = Arc::new(self.device.read(id)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        avq_obs::counter!("avq.storage.pool.misses").inc();
+        avq_obs::counter!(names::STORAGE_POOL_MISSES).inc();
         self.install(id, data.clone());
         Ok(data)
     }
@@ -221,7 +222,7 @@ impl BufferPool {
             let old = inner.frames[victim].take().expect("victim occupied");
             inner.map.remove(&old.block);
             self.evictions.fetch_add(1, Ordering::Relaxed);
-            avq_obs::counter!("avq.storage.pool.evictions").inc();
+            avq_obs::counter!(names::STORAGE_POOL_EVICTIONS).inc();
             victim
         };
         inner.frames[slot] = Some(Frame { block: id, data });

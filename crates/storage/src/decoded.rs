@@ -13,6 +13,7 @@
 use crate::buffer::PoolStats;
 use crate::error::BlockId;
 use crate::lru::LruList;
+use avq_obs::names;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -95,12 +96,12 @@ impl<V> DecodedCache<V> {
                     .value
                     .clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                avq_obs::counter!("avq.storage.cache.hits").inc();
+                avq_obs::counter!(names::STORAGE_CACHE_HITS).inc();
                 Some(value)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                avq_obs::counter!("avq.storage.cache.misses").inc();
+                avq_obs::counter!(names::STORAGE_CACHE_MISSES).inc();
                 None
             }
         }
@@ -126,7 +127,7 @@ impl<V> DecodedCache<V> {
             let old = inner.entries[victim].take().expect("victim occupied");
             inner.map.remove(&old.block);
             self.evictions.fetch_add(1, Ordering::Relaxed);
-            avq_obs::counter!("avq.storage.cache.evictions").inc();
+            avq_obs::counter!(names::STORAGE_CACHE_EVICTIONS).inc();
             victim
         };
         inner.entries[slot] = Some(Entry { block: id, value });

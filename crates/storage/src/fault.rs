@@ -17,6 +17,7 @@
 
 use crate::clock::SimClock;
 use crate::error::{BlockId, StorageError};
+use avq_obs::names;
 use std::collections::BTreeSet;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -273,7 +274,7 @@ pub fn retry_with_backoff<T>(
             Err(StorageError::Io {
                 transient: true, ..
             }) if attempt < attempts => {
-                avq_obs::counter!("avq.io_retries.total").inc();
+                avq_obs::counter!(names::IO_RETRIES_TOTAL).inc();
                 clock.advance_ms(backoff);
                 backoff *= 2.0;
                 attempt += 1;

@@ -44,8 +44,19 @@ pub fn scan_bytes(bytes: &[u8]) -> Result<WalScan, WalError> {
             ));
             break;
         };
-        let body_len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
-        let stored_crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+        // `header` is exactly FRAME_HEADER_BYTES (8) long, so the chunk
+        // always exists; the else arm mirrors the truncated-header case.
+        let Some((&[l0, l1, l2, l3, c0, c1, c2, c3], _)) =
+            header.split_first_chunk::<FRAME_HEADER_BYTES>()
+        else {
+            torn_reason = Some(format!(
+                "incomplete frame header ({} of {FRAME_HEADER_BYTES} bytes)",
+                bytes.len() - pos
+            ));
+            break;
+        };
+        let body_len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
+        let stored_crc = u32::from_le_bytes([c0, c1, c2, c3]);
         let body_start = pos + FRAME_HEADER_BYTES;
         let Some(body) = bytes.get(body_start..body_start + body_len) else {
             torn_reason = Some(format!(
@@ -58,11 +69,11 @@ pub fn scan_bytes(bytes: &[u8]) -> Result<WalScan, WalError> {
             torn_reason = Some(format!("checksum mismatch in record body at byte {pos}"));
             break;
         }
-        if body.len() < 8 {
+        let Some((lsn_bytes, payload)) = body.split_first_chunk::<8>() else {
             torn_reason = Some(format!("record body at byte {pos} shorter than an LSN"));
             break;
-        }
-        let lsn = u64::from_le_bytes(body[..8].try_into().unwrap());
+        };
+        let lsn = u64::from_le_bytes(*lsn_bytes);
         // A checksum-valid record with a non-increasing LSN means the log
         // was overwritten mid-stream; nothing after it can be trusted.
         if lsn <= prev_lsn {
@@ -71,7 +82,7 @@ pub fn scan_bytes(bytes: &[u8]) -> Result<WalScan, WalError> {
             ));
             break;
         }
-        let record = WalRecord::decode(&body[8..], pos as u64)?;
+        let record = WalRecord::decode(payload, pos as u64)?;
         prev_lsn = lsn;
         records.push((lsn, record));
         pos = body_start + body_len;

@@ -105,16 +105,29 @@ impl<'a> Body<'a> {
         Ok(s)
     }
 
+    /// Takes exactly `N` bytes as a fixed-size array.
+    fn array<const N: usize>(&mut self, what: &str) -> Result<[u8; N], WalError> {
+        let s = self.take(N, what)?;
+        // `take` returned exactly `N` bytes, so the chunk always exists.
+        match s.split_first_chunk::<N>() {
+            Some((a, _)) => Ok(*a),
+            None => Err(WalError::Corrupt {
+                offset: self.offset,
+                detail: format!("record body truncated reading {what}"),
+            }),
+        }
+    }
+
     fn u16(&mut self, what: &str) -> Result<u16, WalError> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array::<2>(what)?))
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, WalError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array::<4>(what)?))
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, WalError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array::<8>(what)?))
     }
 
     fn string(&mut self, what: &str) -> Result<String, WalError> {
@@ -128,6 +141,7 @@ impl<'a> Body<'a> {
 
     fn tuple(&mut self, what: &str) -> Result<Tuple, WalError> {
         let arity = self.u16(what)? as usize;
+        // lint: bounded(arity is a wire u16; at most 64Ki digits)
         let mut digits = Vec::with_capacity(arity);
         for _ in 0..arity {
             digits.push(self.u64(what)?);
@@ -202,7 +216,7 @@ impl WalRecord {
             pos: 0,
             offset,
         };
-        let tag = b.take(1, "record tag")?[0];
+        let tag = u8::from_le_bytes(b.array::<1>("record tag")?);
         let rec = match tag {
             TAG_CREATE_RELATION => {
                 let name = b.string("relation name")?;

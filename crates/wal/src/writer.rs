@@ -20,6 +20,7 @@
 use crate::error::WalError;
 use crate::record::WalRecord;
 use avq_file::Crc32;
+use avq_obs::names;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
@@ -160,8 +161,8 @@ impl WalWriter {
     /// Appends one record, returning its LSN. Durability follows the sync
     /// policy.
     pub fn append(&mut self, record: &WalRecord) -> Result<Lsn, WalError> {
-        let _span = avq_obs::span!("avq.wal.append");
-        avq_obs::counter!("avq.wal.records").inc();
+        let _span = avq_obs::span!(names::SPAN_WAL_APPEND);
+        avq_obs::counter!(names::WAL_RECORDS).inc();
         let lsn = self.encode_frame(record);
         self.commit()?;
         Ok(lsn)
@@ -171,9 +172,9 @@ impl WalWriter {
     /// written together and, unless the policy is [`SyncPolicy::Manual`],
     /// made durable with a *single* `fsync`. Returns the batch's LSNs.
     pub fn append_batch(&mut self, records: &[WalRecord]) -> Result<Vec<Lsn>, WalError> {
-        let _span = avq_obs::span!("avq.wal.group_commit");
-        avq_obs::counter!("avq.wal.records").add(records.len() as u64);
-        avq_obs::histogram!("avq.wal.group_commit.batch_size").record(records.len() as u64);
+        let _span = avq_obs::span!(names::SPAN_WAL_GROUP_COMMIT);
+        avq_obs::counter!(names::WAL_RECORDS).add(records.len() as u64);
+        avq_obs::histogram!(names::WAL_GROUP_COMMIT_BATCH_SIZE).record(records.len() as u64);
         let lsns: Vec<Lsn> = records.iter().map(|r| self.encode_frame(r)).collect();
         match self.policy {
             SyncPolicy::Manual => self.flush()?,
@@ -187,7 +188,7 @@ impl WalWriter {
         if !self.pending.is_empty() {
             self.file.write_all(&self.pending)?;
             self.stats.bytes += self.pending.len() as u64;
-            avq_obs::counter!("avq.wal.bytes").add(self.pending.len() as u64);
+            avq_obs::counter!(names::WAL_BYTES).add(self.pending.len() as u64);
             self.pending.clear();
         }
         Ok(())
@@ -197,11 +198,11 @@ impl WalWriter {
     pub fn sync(&mut self) -> Result<(), WalError> {
         self.flush()?;
         {
-            let _span = avq_obs::span!("avq.wal.fsync");
+            let _span = avq_obs::span!(names::SPAN_WAL_FSYNC);
             self.file.sync_data()?;
         }
         self.stats.syncs += 1;
-        avq_obs::counter!("avq.wal.syncs").inc();
+        avq_obs::counter!(names::WAL_SYNCS).inc();
         self.unsynced_records = 0;
         Ok(())
     }
