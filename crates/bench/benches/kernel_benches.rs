@@ -1,0 +1,161 @@
+//! Criterion micro-benchmarks for the decode kernels: scalar vs SWAR
+//! per-block decode across coding modes, fixed-chunk vs work-stealing
+//! parallel decompression at 1/2/4/8 threads, and a counting-allocator
+//! check that the steady-state SWAR decode path performs at most one heap
+//! allocation per decoded tuple (the tuple's own digit storage).
+
+use avq_codec::{
+    compress, decode_blocks_chunked, decode_blocks_parallel, BlockCodec, CodecOptions, CodingMode,
+    DecodeKernel, DecodeScratch, RepChoice,
+};
+use avq_schema::{Schema, Tuple};
+use avq_workload::SyntheticSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Heap allocations observed process-wide, for the ≤ 1 alloc/tuple check.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// [`System`] with an allocation counter in front.
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn sorted_tuples(n: usize) -> (Arc<Schema>, Vec<Tuple>) {
+    let spec = SyntheticSpec::section_5_2(n);
+    let schema = spec.schema();
+    let mut tuples = spec.generate().into_tuples();
+    tuples.sort_unstable();
+    tuples.dedup();
+    (schema, tuples)
+}
+
+/// Steady-state allocation budget: with a warmed scratch and a reused
+/// output vector, decoding a block through the SWAR kernel must allocate
+/// at most one heap block per tuple (each `Tuple`'s digit storage) — the
+/// staging buffers are reused, never reallocated.
+fn assert_swar_alloc_budget() {
+    let (schema, tuples) = sorted_tuples(4096);
+    let run = &tuples[..400.min(tuples.len())];
+    for mode in CodingMode::ALL {
+        let codec = BlockCodec::with_options(schema.clone(), mode, RepChoice::Median)
+            .with_kernel(DecodeKernel::Swar);
+        let coded = codec.encode(run).unwrap();
+        let mut out: Vec<Tuple> = Vec::new();
+        let mut scratch = DecodeScratch::new();
+        // Warm every buffer (scratch staging, output capacity).
+        for _ in 0..3 {
+            out.clear();
+            codec
+                .decode_into_scratch(&coded, &mut out, &mut scratch)
+                .unwrap();
+        }
+        const ROUNDS: u64 = 16;
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..ROUNDS {
+            out.clear();
+            codec
+                .decode_into_scratch(&coded, &mut out, &mut scratch)
+                .unwrap();
+            black_box(&out);
+        }
+        let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+        let per_tuple = allocs as f64 / (ROUNDS * run.len() as u64) as f64;
+        println!("swar {mode} steady-state: {per_tuple:.3} allocs/tuple ({allocs} total)");
+        assert!(
+            per_tuple <= 1.0,
+            "SWAR decode ({mode}) allocated {per_tuple:.3} heap blocks per tuple (> 1)"
+        );
+    }
+}
+
+/// Per-block decode under each kernel, for every coding mode.
+fn bench_kernel_decode(c: &mut Criterion) {
+    assert_swar_alloc_budget();
+
+    let (schema, tuples) = sorted_tuples(4096);
+    let run = &tuples[..400.min(tuples.len())];
+
+    let mut g = c.benchmark_group("kernel_decode");
+    g.throughput(Throughput::Elements(run.len() as u64));
+    for mode in CodingMode::ALL {
+        for kernel in DecodeKernel::ALL {
+            let codec = BlockCodec::with_options(schema.clone(), mode, RepChoice::Median)
+                .with_kernel(kernel);
+            let coded = codec.encode(run).unwrap();
+            g.bench_with_input(BenchmarkId::new(kernel, mode), &codec, |b, codec| {
+                let mut out = Vec::new();
+                let mut scratch = DecodeScratch::new();
+                b.iter(|| {
+                    out.clear();
+                    codec
+                        .decode_into_scratch(black_box(&coded), &mut out, &mut scratch)
+                        .unwrap();
+                    black_box(&out);
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Whole-relation parallel decode: fixed-chunk striping vs. the
+/// work-stealing block queue at 1/2/4/8 threads.
+fn bench_parallel_strategies(c: &mut Criterion) {
+    let spec = SyntheticSpec::section_5_2(20_000);
+    let relation = spec.generate();
+    let coded = compress(&relation, CodecOptions::default()).unwrap();
+    let codec = coded.codec();
+
+    let mut g = c.benchmark_group("parallel_decode");
+    g.throughput(Throughput::Elements(coded.tuple_count() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("chunked", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        decode_blocks_chunked(&codec, black_box(coded.blocks()), threads).unwrap(),
+                    )
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("stealing", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        decode_blocks_parallel(&codec, black_box(coded.blocks()), threads).unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel_decode, bench_parallel_strategies);
+criterion_main!(benches);

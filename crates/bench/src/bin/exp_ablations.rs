@@ -37,6 +37,7 @@ fn main() {
                     mode,
                     rep,
                     block_capacity: 8192,
+                    ..Default::default()
                 },
             )
             .unwrap();

@@ -3,7 +3,7 @@
 
 use crate::csv;
 use crate::spec;
-use avq_codec::{compress, CodecOptions, CodingMode, RepChoice};
+use avq_codec::{compress, CodecOptions, CodingMode, DecodeKernel, RepChoice};
 use avq_db::{Database, DbConfig, DurableDatabase, RecoveryReport, SyncPolicy};
 use avq_schema::{Relation, Value};
 use std::path::Path;
@@ -19,6 +19,19 @@ fn parse_mode(s: &str) -> Result<CodingMode, CliError> {
         "bits" | "avq-chained-bits" => Ok(CodingMode::AvqChainedBits),
         other => Err(format!("unknown mode {other:?} (fieldwise|avq|chained|bits)").into()),
     }
+}
+
+fn parse_kernel(s: &str) -> Result<DecodeKernel, CliError> {
+    DecodeKernel::parse(s).ok_or_else(|| format!("unknown kernel {s:?} (scalar|swar)").into())
+}
+
+/// Loads an `.avq` file, honouring an optional `--kernel` override.
+fn load_coded(path: &Path, kernel: Option<&str>) -> Result<avq_codec::CodedRelation, CliError> {
+    let coded = avq_file::load(path)?;
+    Ok(match kernel {
+        Some(k) => coded.with_kernel(parse_kernel(k)?),
+        None => coded,
+    })
 }
 
 /// `avqtool create <schema.spec> <data.csv> <out.avq> [mode] [block_bytes]`
@@ -46,6 +59,7 @@ pub fn create(
         mode: mode.map(parse_mode).transpose()?.unwrap_or_default(),
         rep: RepChoice::Median,
         block_capacity: block_capacity.unwrap_or(8192),
+        ..Default::default()
     };
     let coded = compress(&relation, options)?;
     avq_file::save(out_path, &coded)?;
@@ -221,9 +235,10 @@ pub fn recover_info(dir: &Path) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `avqtool dump <file.avq>` — decompress to CSV (φ order).
-pub fn dump(path: &Path) -> Result<String, CliError> {
-    let coded = avq_file::load(path)?;
+/// `avqtool dump <file.avq> [--kernel scalar|swar]` — decompress to CSV
+/// (φ order).
+pub fn dump(path: &Path, kernel: Option<&str>) -> Result<String, CliError> {
+    let coded = load_coded(path, kernel)?;
     let schema = coded.schema().clone();
     let mut out = String::new();
     for i in 0..coded.block_count() {
@@ -237,11 +252,11 @@ pub fn dump(path: &Path) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `avqtool verify <file.avq> [--deep]` — checksum, structure, and order
-/// check; `--deep` additionally re-verifies every block against its
-/// metadata and its own re-encoding.
-pub fn verify(path: &Path, deep: bool) -> Result<String, CliError> {
-    let coded = avq_file::load(path)?; // checksum + structural checks happen here
+/// `avqtool verify <file.avq> [--deep] [--kernel scalar|swar]` — checksum,
+/// structure, and order check; `--deep` additionally re-verifies every
+/// block against its metadata and its own re-encoding.
+pub fn verify(path: &Path, deep: bool, kernel: Option<&str>) -> Result<String, CliError> {
+    let coded = load_coded(path, kernel)?; // checksum + structural checks happen here
     let tuples = check_coded_relation(&coded, deep)?;
     let mut out = format!(
         "ok: {} tuples in {} blocks, checksum valid, φ order intact",
@@ -463,10 +478,16 @@ pub fn inject(path: &Path, seed: u64, k: usize) -> Result<String, CliError> {
     ))
 }
 
-/// `avqtool query <file.avq> <attr> <lo> <hi>` — selection with block
-/// pruning on the clustering prefix (attribute 0).
-pub fn query(path: &Path, attr: &str, lo: &str, hi: &str) -> Result<String, CliError> {
-    let coded = avq_file::load(path)?;
+/// `avqtool query <file.avq> <attr> <lo> <hi> [--kernel scalar|swar]` —
+/// selection with block pruning on the clustering prefix (attribute 0).
+pub fn query(
+    path: &Path,
+    attr: &str,
+    lo: &str,
+    hi: &str,
+    kernel: Option<&str>,
+) -> Result<String, CliError> {
+    let coded = load_coded(path, kernel)?;
     let schema = coded.schema().clone();
     let attr_idx = schema.index_of(attr)?;
     let domain = schema.attribute(attr_idx).domain();
@@ -526,6 +547,7 @@ pub fn convert(
         mode: parse_mode(mode)?,
         rep: RepChoice::Median,
         block_capacity: block_capacity.unwrap_or(coded.options().block_capacity),
+        ..Default::default()
     };
     let recoded = compress(&relation, options)?;
     avq_file::save(out_path, &recoded)?;
@@ -545,8 +567,8 @@ pub fn convert(
 /// Loads an `.avq` file into an in-memory [`Database`] holding one relation
 /// named after the file stem. Lets `explain`/`explain-join` run against
 /// plain files, not only durable directories.
-fn database_from_avq(path: &Path) -> Result<(Database, String), CliError> {
-    let coded = avq_file::load(path)?;
+fn database_from_avq(path: &Path, kernel: Option<&str>) -> Result<(Database, String), CliError> {
+    let coded = load_coded(path, kernel)?;
     let name = path
         .file_stem()
         .and_then(|s| s.to_str())
@@ -577,10 +599,16 @@ fn render_explain_select(
     Ok(format!("{report}\n"))
 }
 
-/// `avqtool explain <file.avq> <attribute> <lo> <hi>` — `EXPLAIN ANALYZE`
-/// for a range selection over the file's relation.
-pub fn explain_file(path: &Path, attr: &str, lo: &str, hi: &str) -> Result<String, CliError> {
-    let (db, name) = database_from_avq(path)?;
+/// `avqtool explain <file.avq> <attribute> <lo> <hi> [--kernel scalar|swar]`
+/// — `EXPLAIN ANALYZE` for a range selection over the file's relation.
+pub fn explain_file(
+    path: &Path,
+    attr: &str,
+    lo: &str,
+    hi: &str,
+    kernel: Option<&str>,
+) -> Result<String, CliError> {
+    let (db, name) = database_from_avq(path, kernel)?;
     render_explain_select(&db, &name, attr, lo, hi)
 }
 
@@ -604,7 +632,7 @@ pub fn explain_join_file(
     outer_attr: &str,
     inner_attr: &str,
 ) -> Result<String, CliError> {
-    let (db, name) = database_from_avq(path)?;
+    let (db, name) = database_from_avq(path, None)?;
     let report = db.explain_equijoin(&name, outer_attr, &name, inner_attr)?;
     Ok(format!("{report}\n"))
 }
@@ -732,6 +760,8 @@ USAGE:
 FLAGS (any command):
   --metrics-out <path>   write a metrics snapshot after the command
                          (.prom/.txt -> Prometheus text, else JSON)
+  --kernel scalar|swar   decode kernel for dump/query/verify/explain
+                         (default: swar; scalar is the reference path)
 
 MODES: fieldwise | avq | chained (default) | bits
 
@@ -782,10 +812,10 @@ mod tests {
         let info_out = info(&avq_path).unwrap();
         assert!(info_out.contains("500 in"));
         assert!(info_out.contains("dept:enum:eng,hr,ops"));
-        let verify_out = verify(&avq_path, false).unwrap();
+        let verify_out = verify(&avq_path, false, None).unwrap();
         assert!(verify_out.starts_with("ok: 500 tuples"));
         // Deep verification extends, never replaces, the pinned line.
-        let deep_out = verify(&avq_path, true).unwrap();
+        let deep_out = verify(&avq_path, true, None).unwrap();
         assert!(deep_out.starts_with(&verify_out), "{deep_out}");
         assert!(
             deep_out.contains("deep:") && deep_out.contains("re-encode byte-identically"),
@@ -797,7 +827,7 @@ mod tests {
     #[test]
     fn dump_roundtrips_rows() {
         let (dir, avq_path) = setup("dump", 200);
-        let out = dump(&avq_path).unwrap();
+        let out = dump(&avq_path, None).unwrap();
         let records = csv::parse(&out).unwrap();
         assert_eq!(records.len(), 200);
         // Every dumped row re-encodes under the schema (losslessness at the
@@ -814,7 +844,7 @@ mod tests {
     #[test]
     fn query_filters_and_prunes() {
         let (dir, avq_path) = setup("query", 300);
-        let out = query(&avq_path, "years", "10", "12").unwrap();
+        let out = query(&avq_path, "years", "10", "12", None).unwrap();
         let lines: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
         assert!(!lines.is_empty());
         for l in &lines {
@@ -822,7 +852,7 @@ mod tests {
             assert!((10..=12).contains(&year));
         }
         // Clustering-prefix query reports pruning.
-        let out = query(&avq_path, "dept", "eng", "eng").unwrap();
+        let out = query(&avq_path, "dept", "eng", "eng", None).unwrap();
         let note = out.lines().last().unwrap();
         assert!(note.starts_with("# "));
         std::fs::remove_dir_all(dir).ok();
@@ -857,7 +887,7 @@ mod tests {
         let msg = convert(&avq_path, &out, "bits", None).unwrap();
         assert!(msg.contains("AVQ-chained-bits"));
         // Same logical contents under the new coding.
-        assert_eq!(dump(&out).unwrap(), dump(&avq_path).unwrap());
+        assert_eq!(dump(&out, None).unwrap(), dump(&avq_path, None).unwrap());
         let info_out = info(&out).unwrap();
         assert!(info_out.contains("AVQ-chained-bits"));
         std::fs::remove_dir_all(dir).ok();
@@ -979,7 +1009,7 @@ mod tests {
     #[test]
     fn explain_select_golden_format() {
         let (dir, avq_path) = setup("explain", 600);
-        let out = explain_file(&avq_path, "years", "5", "20").unwrap();
+        let out = explain_file(&avq_path, "years", "5", "20", None).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(
             lines[0],
@@ -1143,8 +1173,8 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(&avq_path, &bytes).unwrap();
-        assert!(verify(&avq_path, false).is_err());
-        assert!(verify(&avq_path, true).is_err());
+        assert!(verify(&avq_path, false, None).is_err());
+        assert!(verify(&avq_path, true, None).is_err());
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -1221,7 +1251,7 @@ mod tests {
         assert!(clean.contains("result:    clean"), "{clean}");
         let manifest = avq_wal::Manifest::read_dir(&db_dir).unwrap().unwrap();
         for entry in &manifest.relations {
-            let v = verify(&db_dir.join(&entry.snapshot), true).unwrap();
+            let v = verify(&db_dir.join(&entry.snapshot), true, None).unwrap();
             assert!(v.contains("re-encode byte-identically"), "{v}");
         }
 

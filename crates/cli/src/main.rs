@@ -47,10 +47,13 @@ fn take_switch(args: &mut Vec<String>, name: &str) -> bool {
     }
 }
 
-/// Command-specific boolean switches, extracted before positional dispatch.
+/// Command-specific switches and flags, extracted before positional
+/// dispatch.
 struct Switches {
     deep: bool,
     repair: bool,
+    /// `--kernel scalar|swar` decode-kernel override for read commands.
+    kernel: Option<String>,
 }
 
 fn run(args: &[String]) -> Result<String, commands::CliError> {
@@ -60,6 +63,7 @@ fn run(args: &[String]) -> Result<String, commands::CliError> {
     let switches = Switches {
         deep: take_switch(&mut args, "--deep"),
         repair: take_switch(&mut args, "--repair"),
+        kernel: take_flag(&mut args, "--kernel")?,
     };
     let output = dispatch(&args, &format, &switches)?;
     match metrics_out {
@@ -86,11 +90,15 @@ fn dispatch(
         ("open", [dir]) => commands::open(Path::new(dir)),
         ("checkpoint", [dir]) => commands::checkpoint(Path::new(dir)),
         ("recover-info", [dir]) => commands::recover_info(Path::new(dir)),
-        ("dump", [path]) => commands::dump(Path::new(path)),
-        ("verify", [path]) => commands::verify(Path::new(path), switches.deep),
+        ("dump", [path]) => commands::dump(Path::new(path), switches.kernel.as_deref()),
+        ("verify", [path]) => {
+            commands::verify(Path::new(path), switches.deep, switches.kernel.as_deref())
+        }
         ("scrub", [path]) => commands::scrub(Path::new(path), switches.repair),
         ("inject", [path, seed, k]) => commands::inject(Path::new(path), seed.parse()?, k.parse()?),
-        ("query", [path, attr, lo, hi]) => commands::query(Path::new(path), attr, lo, hi),
+        ("query", [path, attr, lo, hi]) => {
+            commands::query(Path::new(path), attr, lo, hi, switches.kernel.as_deref())
+        }
         ("convert", rest) if rest.len() >= 3 => commands::convert(
             Path::new(&rest[0]),
             Path::new(&rest[1]),
@@ -98,7 +106,9 @@ fn dispatch(
             rest.get(3).map(|s| s.parse()).transpose()?,
         ),
         ("stats", rest) if rest.len() <= 1 => commands::stats(rest.first().map(Path::new), format),
-        ("explain", [path, attr, lo, hi]) => commands::explain_file(Path::new(path), attr, lo, hi),
+        ("explain", [path, attr, lo, hi]) => {
+            commands::explain_file(Path::new(path), attr, lo, hi, switches.kernel.as_deref())
+        }
         ("explain", [dir, relation, attr, lo, hi]) => {
             commands::explain_dir(Path::new(dir), relation, attr, lo, hi)
         }

@@ -17,10 +17,12 @@
 //! [`CodingMode::FieldWise`] the representative and entries are replaced by
 //! `count` fixed-width tuples.
 
-use crate::bitio::{gamma_len, BitReader, BitWriter};
+use crate::bitio::{gamma_len, BitReader, BitWriter, WordReader};
 use crate::error::CodecError;
+use crate::kernel::DecodeKernel;
 use crate::mode::{CodingMode, RepChoice};
 use crate::rle;
+use avq_num::BigUnsigned;
 use avq_obs::names;
 use avq_schema::{Schema, Tuple};
 use std::sync::Arc;
@@ -49,6 +51,15 @@ pub struct DecodeScratch {
     running: Vec<u64>,
     /// Per-entry work buffer for the un-chained mode.
     tmp: Vec<u64>,
+    /// Machine-word φ-distances staged for batched unranking (SWAR bit
+    /// mode): a run of consecutive small entries is collected here, then
+    /// unranked in one [`avq_num::MixedRadix::unrank_u64_batch_into`] call.
+    values: Vec<u64>,
+    /// Work bignum for oversized (≥ 2⁶⁴) bit-mode entries; divided down to
+    /// zero by each unrank, so only its limb capacity persists.
+    big: BigUnsigned,
+    /// Big-endian staging bytes backing `big` between read and parse.
+    big_bytes: Vec<u8>,
 }
 
 impl DecodeScratch {
@@ -68,18 +79,32 @@ pub struct BlockCodec {
     schema: Arc<Schema>,
     mode: CodingMode,
     rep: RepChoice,
+    kernel: DecodeKernel,
 }
 
 impl BlockCodec {
     /// Creates a codec with the paper's defaults (chained AVQ, median
-    /// representative).
+    /// representative) and the default decode kernel.
     pub fn new(schema: Arc<Schema>) -> Self {
         Self::with_options(schema, CodingMode::default(), RepChoice::default())
     }
 
-    /// Creates a codec with explicit mode and representative policy.
+    /// Creates a codec with explicit mode and representative policy (and
+    /// the default decode kernel; see [`Self::with_kernel`]).
     pub fn with_options(schema: Arc<Schema>, mode: CodingMode, rep: RepChoice) -> Self {
-        BlockCodec { schema, mode, rep }
+        BlockCodec {
+            schema,
+            mode,
+            rep,
+            kernel: DecodeKernel::default(),
+        }
+    }
+
+    /// Selects the decode kernel (builder style). Encoding is unaffected.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: DecodeKernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// The schema this codec codes for.
@@ -98,6 +123,12 @@ impl BlockCodec {
     #[inline]
     pub fn rep_choice(&self) -> RepChoice {
         self.rep
+    }
+
+    /// The decode kernel this codec routes through.
+    #[inline]
+    pub fn kernel(&self) -> DecodeKernel {
+        self.kernel
     }
 
     fn check_input(&self, tuples: &[Tuple]) -> Result<(), CodecError> {
@@ -332,6 +363,10 @@ impl BlockCodec {
             avq_obs::counter!(names::CODEC_DECODE_BLOCKS).inc();
             avq_obs::counter!(names::CODEC_DECODE_TUPLES).add((out.len() - base) as u64);
             avq_obs::counter!(names::CODEC_DECODE_BYTES_IN).add(bytes.len() as u64);
+            match self.kernel {
+                DecodeKernel::Scalar => avq_obs::counter!(names::CODEC_DECODE_KERNEL_SCALAR).inc(),
+                DecodeKernel::Swar => avq_obs::counter!(names::CODEC_DECODE_KERNEL_SWAR).inc(),
+            }
         }
         result
     }
@@ -368,6 +403,22 @@ impl BlockCodec {
                 // reads as the all-zero digit vector.
                 for _ in 0..u {
                     out.push(self.schema.read_tuple(&[]));
+                }
+            } else if self.kernel == DecodeKernel::Swar {
+                // One whole-word load per attribute cell instead of the
+                // per-byte shift loop inside read_tuple.
+                let n = self.schema.arity();
+                for rec in body.chunks_exact(m) {
+                    // lint: bounded(one digit per schema attribute)
+                    let mut digits = Vec::with_capacity(n);
+                    for i in 0..n {
+                        digits.push(rle::load_be(
+                            rec,
+                            self.schema.byte_offset(i),
+                            self.schema.byte_width(i),
+                        ));
+                    }
+                    out.push(Tuple::new(digits));
                 }
             } else {
                 for rec in body.chunks_exact(m) {
@@ -416,56 +467,140 @@ impl BlockCodec {
             diffs,
             running,
             tmp,
+            values,
+            big,
+            big_bytes,
         } = scratch;
         diffs.clear();
         diffs.reserve((u - 1) * n);
-        if self.mode == CodingMode::AvqChainedBits {
-            let mut br = BitReader::new(bytes.get(pos..).unwrap_or(&[]));
-            for k in 0..u - 1 {
-                let bl = br
-                    .read_gamma()
-                    .ok_or_else(|| CodecError::Corrupt {
-                        section: "entries",
-                        offset: pos,
-                        detail: format!("bit entry {k}: truncated gamma length"),
-                    })?
-                    // Gamma codes are structurally >= 1.
-                    .saturating_sub(1) as usize;
-                diffs.resize((k + 1) * n, 0);
-                // Nearly every difference fits a machine word; unrank those
-                // without building a bignum. The destination is the entry's
-                // arena slot, sized by the resize above.
-                let dst = diffs.get_mut(k * n..).unwrap_or_default();
-                let ok = if bl < 64 {
-                    let value = br
-                        .read_bits_u64(bl as u32)
+        match (self.mode, self.kernel) {
+            (CodingMode::AvqChainedBits, DecodeKernel::Scalar) => {
+                let mut br = BitReader::new(bytes.get(pos..).unwrap_or(&[]));
+                for k in 0..u - 1 {
+                    let bl = br
+                        .read_gamma()
                         .ok_or_else(|| CodecError::Corrupt {
+                            section: "entries",
+                            offset: pos,
+                            detail: format!("bit entry {k}: truncated gamma length"),
+                        })?
+                        // Gamma codes are structurally >= 1.
+                        .saturating_sub(1) as usize;
+                    diffs.resize((k + 1) * n, 0);
+                    // Nearly every difference fits a machine word; unrank
+                    // those without building a bignum. The destination is
+                    // the entry's arena slot, sized by the resize above.
+                    let dst = diffs.get_mut(k * n..).unwrap_or_default();
+                    let ok = if bl < 64 {
+                        let value =
+                            br.read_bits_u64(bl as u32)
+                                .ok_or_else(|| CodecError::Corrupt {
+                                    section: "entries",
+                                    offset: pos,
+                                    detail: format!("bit entry {k}: truncated payload"),
+                                })?;
+                        radix.unrank_u64_into(value, dst)
+                    } else {
+                        let value = br.read_bits_big(bl).ok_or_else(|| CodecError::Corrupt {
                             section: "entries",
                             offset: pos,
                             detail: format!("bit entry {k}: truncated payload"),
                         })?;
-                    radix.unrank_u64_into(value, dst)
-                } else {
-                    let value = br.read_bits_big(bl).ok_or_else(|| CodecError::Corrupt {
-                        section: "entries",
-                        offset: pos,
-                        detail: format!("bit entry {k}: truncated payload"),
-                    })?;
-                    radix.unrank_into(value, dst)
-                };
-                if !ok {
-                    return Err(CodecError::DifferenceOutOfSpace { entry: k });
+                        radix.unrank_into(value, dst)
+                    };
+                    if !ok {
+                        return Err(CodecError::DifferenceOutOfSpace { entry: k });
+                    }
                 }
             }
-        } else {
-            for _ in 0..u - 1 {
-                pos = rle::read_entry_append(&self.schema, bytes, pos, diffs)?;
+            (CodingMode::AvqChainedBits, DecodeKernel::Swar) => {
+                // Word-at-a-time gamma decoding plus batched unranking:
+                // machine-word φ-distances are collected per run of
+                // consecutive small entries and unranked together, sharing
+                // the high-order division work across the run. Validity is
+                // pre-checked per value (O(1) against ‖𝓡‖), so errors
+                // surface at the same entry index as the scalar kernel.
+                let mut wr = WordReader::new(bytes.get(pos..).unwrap_or(&[]));
+                diffs.resize((u - 1) * n, 0);
+                values.clear();
+                let mut run_start = 0usize;
+                for k in 0..u - 1 {
+                    let bl = wr
+                        .read_gamma()
+                        .ok_or_else(|| CodecError::Corrupt {
+                            section: "entries",
+                            offset: pos,
+                            detail: format!("bit entry {k}: truncated gamma length"),
+                        })?
+                        // Gamma codes are structurally >= 1.
+                        .saturating_sub(1) as usize;
+                    if bl < 64 {
+                        let value =
+                            wr.read_bits_u64(bl as u32)
+                                .ok_or_else(|| CodecError::Corrupt {
+                                    section: "entries",
+                                    offset: pos,
+                                    detail: format!("bit entry {k}: truncated payload"),
+                                })?;
+                        if !radix.value_in_space(value) {
+                            return Err(CodecError::DifferenceOutOfSpace { entry: k });
+                        }
+                        values.push(value);
+                    } else {
+                        // A bignum-sized entry ends the current small run:
+                        // flush the batch, then unrank this one directly
+                        // into its arena slot.
+                        let dst = diffs
+                            .get_mut(run_start * n..(run_start + values.len()) * n)
+                            .unwrap_or_default();
+                        if !radix.unrank_u64_batch_into(values, dst) {
+                            return Err(CodecError::DifferenceOutOfSpace { entry: run_start });
+                        }
+                        values.clear();
+                        run_start = k + 1;
+                        wr.read_bits_big_into(bl, big_bytes, big).ok_or_else(|| {
+                            CodecError::Corrupt {
+                                section: "entries",
+                                offset: pos,
+                                detail: format!("bit entry {k}: truncated payload"),
+                            }
+                        })?;
+                        let dst = diffs.get_mut(k * n..(k + 1) * n).unwrap_or_default();
+                        if !radix.unrank_assign_into(big, dst) {
+                            return Err(CodecError::DifferenceOutOfSpace { entry: k });
+                        }
+                    }
+                }
+                let dst = diffs
+                    .get_mut(run_start * n..(run_start + values.len()) * n)
+                    .unwrap_or_default();
+                if !radix.unrank_u64_batch_into(values, dst) {
+                    return Err(CodecError::DifferenceOutOfSpace { entry: run_start });
+                }
+            }
+            (_, DecodeKernel::Scalar) => {
+                for _ in 0..u - 1 {
+                    pos = rle::read_entry_append(&self.schema, bytes, pos, diffs)?;
+                }
+            }
+            (_, DecodeKernel::Swar) => {
+                for _ in 0..u - 1 {
+                    pos = rle::read_entry_append_swar(&self.schema, bytes, pos, diffs)?;
+                }
             }
         }
 
         out.reserve(u);
         running.clear();
         running.extend_from_slice(rep.digits());
+        // The SWAR kernel skips the leading zero digits of each difference:
+        // a difference compresses precisely because its prefix is zero, and
+        // adding/subtracting zero with no carry is the identity. The scan
+        // for the first nonzero digit costs n compares; the skipped digit
+        // steps cost a compare-and-branch each, so the trade is free at
+        // worst and large for the long zero runs AVQ entries carry.
+        let prefix_skip = self.kernel == DecodeKernel::Swar;
+        let first_nz = |d: &[u64]| d.iter().position(|&x| x != 0).unwrap_or(n);
 
         match self.mode {
             CodingMode::Avq => {
@@ -484,10 +619,11 @@ impl BlockCodec {
                     }
                     tmp.clear();
                     tmp.extend_from_slice(running);
-                    let ok = if k < rep_idx {
-                        radix.sub_assign(tmp, d)
-                    } else {
-                        radix.add_assign(tmp, d)
+                    let ok = match (k < rep_idx, prefix_skip) {
+                        (true, false) => radix.sub_assign(tmp, d),
+                        (true, true) => radix.sub_assign_prefix(tmp, d, first_nz(d)),
+                        (false, false) => radix.add_assign(tmp, d),
+                        (false, true) => radix.add_assign_prefix(tmp, d, first_nz(d)),
                     };
                     if !ok {
                         return Err(CodecError::DifferenceOutOfSpace { entry: k });
@@ -505,7 +641,12 @@ impl BlockCodec {
                 // pushed in ascending φ order, and stream forwards over the
                 // second half on the running buffer alone.
                 for (i, d) in diffs.chunks_exact_mut(n).take(rep_idx).enumerate().rev() {
-                    if !radix.sub_assign(running, d) {
+                    let ok = if prefix_skip {
+                        radix.sub_assign_prefix(running, d, first_nz(d))
+                    } else {
+                        radix.sub_assign(running, d)
+                    };
+                    if !ok {
                         return Err(CodecError::DifferenceOutOfSpace { entry: i });
                     }
                     d.copy_from_slice(running);
@@ -517,7 +658,12 @@ impl BlockCodec {
                 running.extend_from_slice(rep.digits());
                 out.push(rep);
                 for (k, d) in diffs.chunks_exact(n).enumerate().skip(rep_idx) {
-                    if !radix.add_assign(running, d) {
+                    let ok = if prefix_skip {
+                        radix.add_assign_prefix(running, d, first_nz(d))
+                    } else {
+                        radix.add_assign(running, d)
+                    };
+                    if !ok {
                         return Err(CodecError::DifferenceOutOfSpace { entry: k });
                     }
                     out.push(Tuple::new(running.clone()));

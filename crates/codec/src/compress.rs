@@ -7,6 +7,7 @@
 
 use crate::block::BlockCodec;
 use crate::error::CodecError;
+use crate::kernel::DecodeKernel;
 use crate::mode::{CodingMode, RepChoice};
 use crate::packer::BlockPacker;
 use crate::stats::CompressionStats;
@@ -23,6 +24,10 @@ pub struct CodecOptions {
     pub rep: RepChoice,
     /// Disk-block capacity in bytes (the paper uses 8192).
     pub block_capacity: usize,
+    /// Which decode kernel block decoding routes through. Affects decode
+    /// speed only — the coded bytes and decoded tuples are identical for
+    /// every kernel.
+    pub kernel: DecodeKernel,
 }
 
 impl Default for CodecOptions {
@@ -31,6 +36,7 @@ impl Default for CodecOptions {
             mode: CodingMode::default(),
             rep: RepChoice::default(),
             block_capacity: 8192,
+            kernel: DecodeKernel::default(),
         }
     }
 }
@@ -122,7 +128,8 @@ impl CodedRelation {
         options: CodecOptions,
         blocks: Vec<Vec<u8>>,
     ) -> Result<Self, CodecError> {
-        let codec = BlockCodec::with_options(schema.clone(), options.mode, options.rep);
+        let codec = BlockCodec::with_options(schema.clone(), options.mode, options.rep)
+            .with_kernel(options.kernel);
         // lint: bounded(one entry per supplied block)
         let mut meta = Vec::with_capacity(blocks.len());
         let mut tuple_count = 0usize;
@@ -170,9 +177,20 @@ impl CodedRelation {
         self.options
     }
 
-    /// A codec configured for this relation's blocks.
+    /// A codec configured for this relation's blocks (including the decode
+    /// kernel selected in the options).
     pub fn codec(&self) -> BlockCodec {
         BlockCodec::with_options(self.schema.clone(), self.options.mode, self.options.rep)
+            .with_kernel(self.options.kernel)
+    }
+
+    /// Same relation, decoded through a different kernel. The coded bytes
+    /// are untouched — only the decode path selected by [`Self::codec`]
+    /// changes.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: DecodeKernel) -> Self {
+        self.options.kernel = kernel;
+        self
     }
 
     /// Number of coded blocks.

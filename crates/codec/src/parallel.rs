@@ -6,9 +6,12 @@
 //! computes the partition sequentially (it is a cheap scan), and encodes the
 //! runs on worker threads, producing output byte-identical to
 //! [`crate::compress`]. Decoding parallelises the same way — blocks are
-//! self-contained streams — so [`decompress_parallel`] stripes them across
-//! workers, each reusing one [`DecodeScratch`], and concatenates the per-
-//! stripe tuple runs in φ order.
+//! self-contained streams — but block decode times are skewed (a p99 block
+//! costs ~30× the median), so [`decompress_parallel`] feeds workers from a
+//! shared atomic work-stealing queue rather than fixed stripes: each worker
+//! claims the next undecoded block, reusing one [`DecodeScratch`], and the
+//! per-block runs are reassembled in φ order afterwards. The old striped
+//! schedule survives as [`decode_blocks_chunked`] for benchmarking.
 
 use crate::block::{BlockCodec, DecodeScratch};
 use crate::compress::{compress_sorted, CodecOptions, CodedRelation};
@@ -145,18 +148,27 @@ pub fn compress_sorted_parallel(
 }
 
 /// Decodes a φ-ordered sequence of coded block streams into their tuples
-/// using up to `threads` worker threads, one [`DecodeScratch`] per worker.
+/// using up to `threads` worker threads, one [`DecodeScratch`] per worker,
+/// scheduled through a shared work-stealing block queue.
 ///
-/// Blocks are striped contiguously across the workers (mirroring
-/// [`compress_sorted_parallel`]) and the per-stripe runs concatenated, so
-/// the output is identical to decoding every block sequentially with
-/// [`BlockCodec::decode_into`]. The first error encountered (in block
-/// order) is returned.
+/// Workers claim blocks one at a time from an atomic global index
+/// (`fetch_add`), so a straggler block — a 4 ms p99 outlier — occupies one
+/// worker while the rest keep draining the queue; fixed chunk assignment
+/// (see [`decode_blocks_chunked`]) would instead serialize the whole pass
+/// behind the unluckiest stripe. Each worker accumulates `(block index,
+/// tuple run)` pairs; after the scope joins, the runs are reassembled in
+/// block order, so the output is identical to decoding every block
+/// sequentially with [`BlockCodec::decode_into`].
+///
+/// On failure, decoding aborts early and the error of the φ-smallest
+/// failing block among those the workers reached is returned.
 pub fn decode_blocks_parallel(
     codec: &BlockCodec,
     blocks: &[Vec<u8>],
     threads: usize,
 ) -> Result<Vec<Tuple>, CodecError> {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
     let threads = threads.max(1);
     if threads == 1 || blocks.len() < 2 {
         let mut out = Vec::new();
@@ -165,6 +177,87 @@ pub fn decode_blocks_parallel(
             codec.decode_into_scratch(b, &mut out, &mut scratch)?;
         }
         return Ok(out);
+    }
+
+    type WorkerRuns = Vec<(usize, Vec<Tuple>)>;
+    let workers = threads.min(blocks.len());
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    // lint: bounded(one slot per worker; workers ≤ thread count)
+    let mut parts: Vec<(WorkerRuns, Option<(usize, CodecError)>)> = Vec::with_capacity(workers);
+    parts.resize_with(workers, || (Vec::new(), None));
+
+    std::thread::scope(|scope| {
+        for slot in parts.iter_mut() {
+            let codec = codec.clone();
+            let next = &next;
+            let failed = &failed;
+            scope.spawn(move || {
+                let mut scratch = DecodeScratch::new();
+                let mut runs: WorkerRuns = Vec::new();
+                let mut err = None;
+                while !failed.load(Ordering::Relaxed) {
+                    // Claiming is the only synchronization: fetch_add hands
+                    // every block to exactly one worker, and idle workers
+                    // keep claiming until the queue is dry.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(b) = blocks.get(i) else {
+                        break;
+                    };
+                    let mut out = Vec::new();
+                    match codec.decode_into_scratch(b, &mut out, &mut scratch) {
+                        Ok(()) => runs.push((i, out)),
+                        Err(e) => {
+                            err = Some((i, e));
+                            failed.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                *slot = (runs, err);
+            });
+        }
+    });
+
+    // Smallest failing block index wins, for a deterministic error.
+    let mut first_err: Option<(usize, CodecError)> = None;
+    for (_, e) in parts.iter_mut() {
+        if let Some((i, err)) = e.take() {
+            if first_err.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                first_err = Some((i, err));
+            }
+        }
+    }
+    if let Some((_, err)) = first_err {
+        return Err(err);
+    }
+
+    // Reassemble the out-of-order runs into φ order.
+    let mut runs: WorkerRuns = parts.into_iter().flat_map(|(r, _)| r).collect();
+    runs.sort_unstable_by_key(|&(i, _)| i);
+    // lint: bounded(sum of the decoded runs' lengths)
+    let mut out = Vec::with_capacity(runs.iter().map(|(_, r)| r.len()).sum());
+    for (_, run) in runs {
+        out.extend(run);
+    }
+    Ok(out)
+}
+
+/// The fixed-chunk predecessor of [`decode_blocks_parallel`]: blocks are
+/// striped contiguously across the workers (mirroring
+/// [`compress_sorted_parallel`]) and the per-stripe runs concatenated.
+///
+/// Kept as the baseline the `kernel_benches` scheduling comparison measures
+/// against; the output contract is the same as the work-stealing path's,
+/// and the first error encountered (in stripe order) is returned.
+pub fn decode_blocks_chunked(
+    codec: &BlockCodec,
+    blocks: &[Vec<u8>],
+    threads: usize,
+) -> Result<Vec<Tuple>, CodecError> {
+    let threads = threads.max(1);
+    if threads == 1 || blocks.len() < 2 {
+        return decode_blocks_parallel(codec, blocks, 1);
     }
 
     let per_worker = blocks.len().div_ceil(threads);

@@ -128,6 +128,98 @@ pub(crate) fn read_entry_append(
     Ok(pos + 1 + tail_len)
 }
 
+/// Big-endian load of `len ≤ 8` bytes starting at `bytes[start]`, as the
+/// low bytes of a u64.
+///
+/// The hot path reads a full 8-byte word and shifts the wanted prefix down,
+/// so a whole attribute cell costs one unaligned load instead of a per-byte
+/// shift loop; only the last few bytes of a buffer fall back to the loop.
+/// Missing bytes (out-of-range `start..start + len`) read as zero, matching
+/// the scalar decoder's zero padding.
+#[inline]
+pub(crate) fn load_be(bytes: &[u8], start: usize, len: usize) -> u64 {
+    debug_assert!(len <= 8);
+    if len == 0 {
+        return 0;
+    }
+    if let Some(win) = bytes.get(start..).and_then(|s| s.first_chunk::<8>()) {
+        return u64::from_be_bytes(*win) >> ((8 - len) * 8);
+    }
+    let mut d = 0u64;
+    for p in start..start + len {
+        d = d << 8 | bytes.get(p).copied().unwrap_or(0) as u64;
+    }
+    d
+}
+
+/// SWAR variant of [`read_entry_append`]: identical inputs, outputs, and
+/// error classifications, but digits are assembled with whole-word loads.
+///
+/// Where the scalar path walks every byte of the `m`-byte fixed-width
+/// serialization, this one works per *attribute cell*: a cell entirely
+/// inside the elided zero run is materialized as the literal `0` (no loads
+/// at all — the branchless zero-run expansion), and every other cell is one
+/// [`load_be`] of its surviving tail bytes.
+pub(crate) fn read_entry_append_swar(
+    schema: &Schema,
+    buf: &[u8],
+    pos: usize,
+    digits: &mut Vec<u64>,
+) -> Result<usize, CodecError> {
+    let m = schema.tuple_bytes();
+    // ok_or_else (not ok_or) keeps the error construction — and its String
+    // allocation — off the success path, which this hot loop relies on.
+    let count = *buf.get(pos).ok_or_else(|| CodecError::Corrupt {
+        section: "entries",
+        offset: pos,
+        detail: "missing count byte".into(),
+    })? as usize;
+    if count > m {
+        return Err(CodecError::Corrupt {
+            section: "entries",
+            offset: pos,
+            detail: format!("count {count} exceeds tuple width {m}"),
+        });
+    }
+    let tail_len = m - count;
+    let tail = buf
+        .get(pos + 1..pos + 1 + tail_len)
+        .ok_or_else(|| CodecError::Corrupt {
+            section: "entries",
+            offset: pos + 1,
+            detail: format!("entry tail truncated: need {tail_len} bytes"),
+        })?;
+    let start = digits.len();
+    for i in 0..schema.arity() {
+        let off = schema.byte_offset(i);
+        let w = schema.byte_width(i);
+        // Cell `i` occupies serialized bytes [off, off + w). Bytes below
+        // `count` are the elided zero run; the rest live in `tail` shifted
+        // left by `count`.
+        let d = if off + w <= count {
+            0
+        } else {
+            // A cell straddling the zero-run boundary keeps only its last
+            // `off + w − count` bytes; the elided prefix contributes zero
+            // high bytes, which the shorter load reproduces exactly.
+            let first = off.max(count);
+            load_be(tail, first - count, off + w - first)
+        };
+        digits.push(d);
+    }
+    // A difference is expressed in 𝓡-space digits (φ⁻¹ of the distance), so
+    // every digit must respect its radix; anything else is corruption.
+    if let Err(e) = schema.radix().validate(digits.get(start..).unwrap_or(&[])) {
+        digits.truncate(start);
+        return Err(CodecError::Corrupt {
+            section: "entries",
+            offset: pos,
+            detail: format!("entry digits invalid: {e}"),
+        });
+    }
+    Ok(pos + 1 + tail_len)
+}
+
 /// Reads one coded entry starting at `buf[pos]`, returning the difference
 /// digit vector and the position one past the entry.
 pub(crate) fn read_entry(

@@ -1,0 +1,192 @@
+//! Differential tests pinning the scalar and SWAR decode kernels to each
+//! other. The scalar kernel is the reference oracle: for every input —
+//! valid, truncated, or bit-flipped — the SWAR kernel must return exactly
+//! the same tuples on success and exactly the same [`CodecError`]
+//! classification on failure. No input may make one kernel panic while the
+//! other errors (AVQ-L001 applies to both).
+
+use avq_codec::{BlockCodec, CodingMode, DecodeKernel, DecodeScratch, RepChoice};
+use avq_schema::{Domain, Schema, Tuple};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// An arbitrary schema (1–8 attributes, domain sizes 1–5000) together with
+/// a sorted bag of valid tuples for it.
+fn arb_schema_and_tuples() -> impl Strategy<Value = (Arc<Schema>, Vec<Tuple>)> {
+    prop::collection::vec(1u64..5000, 1..8).prop_flat_map(|sizes| {
+        let schema = Schema::from_pairs(
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (format!("a{i}"), Domain::uint(s).unwrap())),
+        )
+        .unwrap();
+        let digit_strats: Vec<_> = sizes.iter().map(|&s| 0..s).collect();
+        let tuples = prop::collection::vec(digit_strats, 1..120).prop_map(|rows| {
+            let mut ts: Vec<Tuple> = rows.into_iter().map(Tuple::new).collect();
+            ts.sort_unstable();
+            ts
+        });
+        (Just(schema), tuples)
+    })
+}
+
+/// The same codec under both kernels, for every mode × representative.
+fn kernel_pairs(schema: &Arc<Schema>) -> Vec<(BlockCodec, BlockCodec)> {
+    let mut v = Vec::new();
+    for mode in CodingMode::ALL {
+        for rep in RepChoice::ALL {
+            let base = BlockCodec::with_options(schema.clone(), mode, rep);
+            v.push((
+                base.clone().with_kernel(DecodeKernel::Scalar),
+                base.with_kernel(DecodeKernel::Swar),
+            ));
+        }
+    }
+    v
+}
+
+/// Decodes `bytes` under both kernels and asserts the full results —
+/// decoded tuples or error values — are identical.
+fn assert_kernels_agree(
+    scalar: &BlockCodec,
+    swar: &BlockCodec,
+    bytes: &[u8],
+    scratch: &mut DecodeScratch,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    let ra = scalar.decode_into_scratch(bytes, &mut a, scratch);
+    let rb = swar.decode_into_scratch(bytes, &mut b, scratch);
+    prop_assert_eq!(
+        &ra,
+        &rb,
+        "kernel error divergence ({}, mode {:?})",
+        context,
+        scalar.mode()
+    );
+    if ra.is_ok() {
+        prop_assert_eq!(
+            &a,
+            &b,
+            "kernel tuple divergence ({}, mode {:?})",
+            context,
+            scalar.mode()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On valid encodings, both kernels decode to exactly the input run —
+    /// for every coding mode and representative policy.
+    #[test]
+    fn kernels_agree_on_valid_input((schema, tuples) in arb_schema_and_tuples()) {
+        let mut scratch = DecodeScratch::new();
+        for (scalar, swar) in kernel_pairs(&schema) {
+            let coded = scalar.encode(&tuples).unwrap();
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            scalar.decode_into_scratch(&coded, &mut a, &mut scratch).unwrap();
+            swar.decode_into_scratch(&coded, &mut b, &mut scratch).unwrap();
+            prop_assert_eq!(&a, &tuples, "scalar mode {:?}", scalar.mode());
+            prop_assert_eq!(&b, &tuples, "swar mode {:?}", swar.mode());
+        }
+    }
+
+    /// Every-byte-flip corruption matrix: flipping any byte of a valid
+    /// encoding (both a full complement and a single-bit flip) must produce
+    /// the same outcome from both kernels — same decoded tuples when the
+    /// damage goes unnoticed, same `CodecError` (section, offset, and
+    /// detail) when it is caught. No panics either way.
+    #[test]
+    fn kernels_agree_on_every_byte_flip((schema, tuples) in arb_schema_and_tuples()) {
+        let mut scratch = DecodeScratch::new();
+        for (scalar, swar) in kernel_pairs(&schema) {
+            let coded = scalar.encode(&tuples).unwrap();
+            let mut bad = coded.clone();
+            for i in 0..coded.len() {
+                for mask in [0xFFu8, 0x01] {
+                    bad[i] ^= mask;
+                    assert_kernels_agree(
+                        &scalar, &swar, &bad, &mut scratch,
+                        &format!("byte {i} ^ {mask:#04x}"),
+                    )?;
+                    bad[i] = coded[i];
+                }
+            }
+        }
+    }
+
+    /// Truncation at every length: both kernels must agree on every prefix
+    /// of a valid encoding.
+    #[test]
+    fn kernels_agree_on_truncation((schema, tuples) in arb_schema_and_tuples()) {
+        let mut scratch = DecodeScratch::new();
+        for (scalar, swar) in kernel_pairs(&schema) {
+            let coded = scalar.encode(&tuples).unwrap();
+            for cut in 0..coded.len() {
+                assert_kernels_agree(
+                    &scalar, &swar, &coded[..cut], &mut scratch,
+                    &format!("truncated to {cut}"),
+                )?;
+            }
+        }
+    }
+
+    /// Fully arbitrary bytes: whatever the scalar kernel makes of them, the
+    /// SWAR kernel must make of them too.
+    #[test]
+    fn kernels_agree_on_garbage(
+        (schema, _tuples) in arb_schema_and_tuples(),
+        bytes in prop::collection::vec(any::<u8>(), 0..384),
+    ) {
+        let mut scratch = DecodeScratch::new();
+        for (scalar, swar) in kernel_pairs(&schema) {
+            assert_kernels_agree(&scalar, &swar, &bytes, &mut scratch, "garbage")?;
+        }
+    }
+}
+
+/// Deterministic spot check: a wide-domain schema whose φ-distances exceed
+/// one machine word, forcing the SWAR bit path through its big-value
+/// (non-batched) branch as well as the batched one.
+#[test]
+fn kernels_agree_on_wide_domains() {
+    let schema = Schema::from_pairs(vec![
+        ("hi", Domain::uint(u64::MAX).unwrap()),
+        ("mid", Domain::uint(u64::MAX).unwrap()),
+        ("lo", Domain::uint(65536).unwrap()),
+    ])
+    .unwrap();
+    let tuples: Vec<Tuple> = (0..200u64)
+        .map(|i| {
+            Tuple::from([
+                i / 50,
+                (i % 50).wrapping_mul(0x0123_4567_89AB_CDEF),
+                i * 31 % 65536,
+            ])
+        })
+        .collect();
+    let mut sorted = tuples;
+    sorted.sort_unstable();
+    let mut scratch = DecodeScratch::new();
+    for mode in CodingMode::ALL {
+        let base = BlockCodec::with_options(schema.clone(), mode, RepChoice::Median);
+        let scalar = base.clone().with_kernel(DecodeKernel::Scalar);
+        let swar = base.with_kernel(DecodeKernel::Swar);
+        let coded = scalar.encode(&sorted).unwrap();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        scalar
+            .decode_into_scratch(&coded, &mut a, &mut scratch)
+            .unwrap();
+        swar.decode_into_scratch(&coded, &mut b, &mut scratch)
+            .unwrap();
+        assert_eq!(a, sorted, "scalar mode {mode:?}");
+        assert_eq!(b, sorted, "swar mode {mode:?}");
+    }
+}

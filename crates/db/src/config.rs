@@ -1,6 +1,6 @@
 //! Database configuration.
 
-use avq_codec::{CodecOptions, CodingMode, RepChoice};
+use avq_codec::{CodecOptions, CodingMode, DecodeKernel, RepChoice};
 use avq_storage::{DiskProfile, RetryPolicy};
 
 /// How scans react to an unreadable or corrupt data block.
@@ -79,6 +79,7 @@ impl DbConfig {
                 mode: CodingMode::FieldWise,
                 rep: RepChoice::Median,
                 block_capacity: 8192,
+                ..Default::default()
             },
             ..Self::default()
         }
@@ -93,6 +94,14 @@ impl DbConfig {
     /// Same configuration with a different block capacity.
     pub fn with_block_capacity(mut self, capacity: usize) -> Self {
         self.codec.block_capacity = capacity;
+        self
+    }
+
+    /// Same configuration with a different decode kernel (scalar reference
+    /// or the vectorized SWAR kernel). Decode-only: coded bytes are
+    /// identical either way.
+    pub fn with_decode_kernel(mut self, kernel: DecodeKernel) -> Self {
+        self.codec.kernel = kernel;
         self
     }
 
@@ -144,12 +153,14 @@ mod tests {
         let c = DbConfig::default()
             .with_mode(CodingMode::Avq)
             .with_block_capacity(4096)
+            .with_decode_kernel(DecodeKernel::Scalar)
             .with_cpu_ms_per_block(13.85)
             .with_decoded_cache_blocks(0)
             .with_scan_policy(ScanPolicy::SkipCorrupt)
             .with_retry(RetryPolicy::none());
         assert_eq!(c.codec.mode, CodingMode::Avq);
         assert_eq!(c.codec.block_capacity, 4096);
+        assert_eq!(c.codec.kernel, DecodeKernel::Scalar);
         assert_eq!(c.cpu_ms_per_block, 13.85);
         assert_eq!(c.decoded_cache_blocks, 0);
         assert_eq!(c.scan_policy, ScanPolicy::SkipCorrupt);

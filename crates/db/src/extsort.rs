@@ -258,7 +258,8 @@ impl StoredRelation {
         let sorter = ExternalSorter::new(device.clone(), pool.clone(), schema.clone(), sort_budget);
         let mut stream = sorter.sort(input)?;
 
-        let codec = BlockCodec::with_options(schema.clone(), config.codec.mode, config.codec.rep);
+        let codec = BlockCodec::with_options(schema.clone(), config.codec.mode, config.codec.rep)
+            .with_kernel(config.codec.kernel);
         let capacity = config.codec.block_capacity;
 
         // Streaming pack: grow a window until the coded form would

@@ -74,7 +74,8 @@ impl StoredRelation {
         config: DbConfig,
     ) -> Result<Self, DbError> {
         let schema = relation.schema().clone();
-        let codec = BlockCodec::with_options(schema.clone(), config.codec.mode, config.codec.rep);
+        let codec = BlockCodec::with_options(schema.clone(), config.codec.mode, config.codec.rep)
+            .with_kernel(config.codec.kernel);
         let packer = BlockPacker::new(codec.clone(), config.codec.block_capacity);
 
         let mut tuples = relation.tuples().to_vec();
@@ -134,7 +135,8 @@ impl StoredRelation {
             }));
         }
         config.codec = opts;
-        let codec = BlockCodec::with_options(coded.schema().clone(), opts.mode, opts.rep);
+        let codec = BlockCodec::with_options(coded.schema().clone(), opts.mode, opts.rep)
+            .with_kernel(opts.kernel);
         let mut emitted = Vec::with_capacity(coded.block_count());
         for i in 0..coded.block_count() {
             let id = device.allocate()?;
@@ -156,7 +158,8 @@ impl StoredRelation {
         config: DbConfig,
         emitted: Vec<(BlockId, Vec<Tuple>)>,
     ) -> Result<Self, DbError> {
-        let codec = BlockCodec::with_options(schema.clone(), config.codec.mode, config.codec.rep);
+        let codec = BlockCodec::with_options(schema.clone(), config.codec.mode, config.codec.rep)
+            .with_kernel(config.codec.kernel);
         let mut blocks = Vec::with_capacity(emitted.len());
         let mut keys = Vec::with_capacity(emitted.len());
         let mut tuple_count = 0usize;

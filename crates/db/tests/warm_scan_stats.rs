@@ -1,0 +1,83 @@
+//! Pins the cold/warm decoded-cache counter semantics that
+//! `exp_decode` reports: a cold scan misses every block and hits none; the
+//! warm re-scan — measured as the traffic *since* the cold pass — hits
+//! every block and performs **zero** decode calls. An earlier version of
+//! the experiment read the cumulative counters for the warm window, so the
+//! cold pass's misses leaked into the "warm" numbers (hits == misses ==
+//! block count); this test fails if that regresses.
+
+use avq_db::{Database, DbConfig};
+use avq_schema::{Domain, Relation, Schema, Tuple};
+
+fn sample_relation(n: u64) -> Relation {
+    let schema = Schema::from_pairs(vec![
+        ("a", Domain::uint(64).unwrap()),
+        ("b", Domain::uint(4096).unwrap()),
+        ("c", Domain::uint(65536).unwrap()),
+    ])
+    .unwrap();
+    let tuples: Vec<Tuple> = (0..n)
+        .map(|i| Tuple::from([(i * 7) % 64, (i * 13) % 4096, i % 65536]))
+        .collect();
+    Relation::from_tuples(schema, tuples).unwrap()
+}
+
+#[test]
+fn warm_rescan_is_all_hits_and_zero_decodes() {
+    let relation = sample_relation(4000);
+    let config = DbConfig::default()
+        .with_block_capacity(512)
+        .with_decoded_cache_blocks(10_000);
+    let mut db = Database::new(config);
+    db.create_relation("t", &relation).unwrap();
+    let rel = db.relation("t").unwrap();
+    let blocks = rel.block_count() as u64;
+    assert!(blocks > 1, "need a multi-block relation");
+
+    db.drop_caches();
+    rel.reset_decoded_stats();
+    let cold_scan = rel.scan_all().unwrap();
+    let cold = rel.decoded_stats();
+    assert_eq!(cold.hits, 0, "cold scan cannot hit the decoded cache");
+    assert_eq!(cold.misses, blocks, "cold scan decodes every block");
+
+    let warm_scan = rel.scan_all().unwrap();
+    assert_eq!(warm_scan, cold_scan);
+    // The warm window is the delta since the cold pass — cumulative
+    // counters would wrongly attribute the cold misses to the warm scan.
+    let warm = rel.decoded_stats().since(&cold);
+    assert_eq!(warm.hits, blocks, "warm re-scan hits every block");
+    assert_eq!(warm.misses, 0, "warm re-scan performs zero decode calls");
+
+    // The cumulative view keeps both passes, so the windowing matters:
+    // totals alone cannot distinguish a clean warm pass from a leak.
+    let total = rel.decoded_stats();
+    assert_eq!(total.hits, blocks);
+    assert_eq!(total.misses, blocks);
+}
+
+#[test]
+fn warm_window_counters_survive_repeat_scans() {
+    let relation = sample_relation(2000);
+    let config = DbConfig::default()
+        .with_block_capacity(512)
+        .with_decoded_cache_blocks(10_000);
+    let mut db = Database::new(config);
+    db.create_relation("t", &relation).unwrap();
+    let rel = db.relation("t").unwrap();
+    let blocks = rel.block_count() as u64;
+
+    db.drop_caches();
+    rel.reset_decoded_stats();
+    rel.scan_all().unwrap();
+    let mut prev = rel.decoded_stats();
+    // Every subsequent scan is a pure-hit window of exactly `blocks`.
+    for round in 0..3 {
+        rel.scan_all().unwrap();
+        let now = rel.decoded_stats();
+        let window = now.since(&prev);
+        assert_eq!(window.hits, blocks, "round {round}");
+        assert_eq!(window.misses, 0, "round {round}");
+        prev = now;
+    }
+}

@@ -306,6 +306,7 @@ fn parse_body(body: &[u8]) -> Result<CodedRelation, FileError> {
         mode,
         rep,
         block_capacity,
+        ..Default::default()
     };
     let rel = CodedRelation::from_blocks(schema, options, blocks)?;
     if rel.tuple_count() != tuple_count {
@@ -624,6 +625,7 @@ mod tests {
                         mode,
                         rep,
                         block_capacity: 512,
+                        ..Default::default()
                     },
                 )
                 .unwrap();

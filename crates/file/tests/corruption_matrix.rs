@@ -36,6 +36,7 @@ fn encoded(mode: CodingMode) -> (Vec<u8>, Vec<avq_schema::Tuple>) {
             mode,
             rep: RepChoice::Median,
             block_capacity: 128,
+            ..Default::default()
         },
     )
     .unwrap();

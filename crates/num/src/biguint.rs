@@ -279,24 +279,35 @@ impl BigUnsigned {
 
     /// Parses a big-endian byte slice (leading zeros allowed).
     pub fn from_bytes_be(bytes: &[u8]) -> Self {
-        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        let mut n = BigUnsigned {
+            limbs: Vec::with_capacity(bytes.len().div_ceil(8)),
+        };
+        n.set_from_bytes_be(bytes);
+        n
+    }
+
+    /// Reparses a big-endian byte slice (leading zeros allowed) into `self`,
+    /// replacing the current value but keeping the limb buffer — the
+    /// allocation-free counterpart of [`Self::from_bytes_be`] used by the
+    /// streaming decode path, which reads one bignum per oversized entry and
+    /// would otherwise pay a limb-vector allocation each time.
+    pub fn set_from_bytes_be(&mut self, bytes: &[u8]) {
+        self.limbs.clear();
         let mut acc = 0u64;
         let mut shift = 0u32;
         for &b in bytes.iter().rev() {
             acc |= (b as u64) << shift;
             shift += 8;
             if shift == 64 {
-                limbs.push(acc);
+                self.limbs.push(acc);
                 acc = 0;
                 shift = 0;
             }
         }
         if acc != 0 {
-            limbs.push(acc);
+            self.limbs.push(acc);
         }
-        let mut n = BigUnsigned { limbs };
-        n.normalize();
-        n
+        self.normalize();
     }
 }
 

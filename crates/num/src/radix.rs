@@ -84,6 +84,13 @@ pub struct MixedRadix {
     weights: Vec<BigUnsigned>,
     /// `‖𝓡‖ = Π radices` — one past the largest representable value.
     space_size: BigUnsigned,
+    /// `‖𝓡‖` as a machine word when it fits (`None` for huge spaces).
+    space_size_u64: Option<u64>,
+    /// Index of the first digit of the longest suffix of `radices` whose
+    /// product fits a u64 (the batched-unrank split point).
+    low_split: usize,
+    /// `Π radices[low_split..]` — always ≥ 1 and always a valid u64.
+    low_prod: u64,
 }
 
 impl MixedRadix {
@@ -104,10 +111,25 @@ impl MixedRadix {
             weights[i] = weights[i + 1].mul_u64(radices[i + 1]);
         }
         let space_size = weights[0].mul_u64(radices[0]);
+        let space_size_u64 = space_size.to_u64();
+        // Longest suffix whose radix product fits a machine word: the
+        // division chain for those digits can run entirely in u64.
+        let mut low_split = n;
+        let mut low_prod = 1u64;
+        while low_split > 0 {
+            let Some(p) = low_prod.checked_mul(radices[low_split - 1]) else {
+                break;
+            };
+            low_prod = p;
+            low_split -= 1;
+        }
         Ok(MixedRadix {
             radices,
             weights,
             space_size,
+            space_size_u64,
+            low_split,
+            low_prod,
         })
     }
 
@@ -192,15 +214,23 @@ impl MixedRadix {
     /// Consumes `value` so the division chain can run in place — the
     /// allocation-free counterpart of [`Self::unrank`] used by streaming
     /// block decoding.
-    pub fn unrank_into(&self, value: BigUnsigned, out: &mut [u64]) -> bool {
-        if out.len() != self.radices.len() || value >= self.space_size {
+    pub fn unrank_into(&self, mut value: BigUnsigned, out: &mut [u64]) -> bool {
+        self.unrank_assign_into(&mut value, out)
+    }
+
+    /// φ⁻¹ through a borrowed work value: divides `value` down to zero in
+    /// place, writing the digit vector into `out`. Semantics match
+    /// [`Self::unrank_into`], but the caller keeps `value` (left at zero,
+    /// limb capacity intact) so one bignum can serve every oversized entry
+    /// of a decode stream without reallocating.
+    pub fn unrank_assign_into(&self, value: &mut BigUnsigned, out: &mut [u64]) -> bool {
+        if out.len() != self.radices.len() || *value >= self.space_size {
             return false;
         }
-        let mut cur = value;
         for i in (0..self.radices.len()).rev() {
-            out[i] = cur.div_assign_u64(self.radices[i]);
+            out[i] = value.div_assign_u64(self.radices[i]);
         }
-        debug_assert!(cur.is_zero());
+        debug_assert!(value.is_zero());
         true
     }
 
@@ -219,6 +249,75 @@ impl MixedRadix {
         value == 0
     }
 
+    /// True iff a machine-word ordinal lies inside the tuple space — the
+    /// O(1) validity pre-check behind [`Self::unrank_u64_batch_into`].
+    #[inline]
+    pub fn value_in_space(&self, value: u64) -> bool {
+        match self.space_size_u64 {
+            Some(size) => value < size,
+            // ‖𝓡‖ > u64::MAX: every machine word is representable.
+            None => true,
+        }
+    }
+
+    /// Batched φ⁻¹ for machine-word ordinals: unranks `values[k]` into
+    /// `out[k·n .. (k+1)·n]` for every `k`, exploiting that consecutive
+    /// ordinals usually share their high-order digits.
+    ///
+    /// The radix vector is split at construction time into the longest
+    /// suffix whose product `P` fits a u64 and the prefix above it. Each
+    /// value needs one `/ P` and one `% P`; the low digits always run their
+    /// (u64-only) division chain, but the high-prefix chain is skipped
+    /// whenever `values[k] / P` equals the previous value's quotient — for
+    /// φ-sorted difference streams that is almost always (small gaps rarely
+    /// disturb high-order digits), so the per-value cost collapses to the
+    /// suffix chain. When the whole space fits a u64 the prefix is empty
+    /// and the suffix chain is the entire (cheap) division ladder.
+    ///
+    /// Returns `false` — leaving `out` unspecified — when `out.len()` is not
+    /// `values.len() · arity` or any value is outside the tuple space
+    /// (use [`Self::value_in_space`] to pre-screen values one at a time).
+    pub fn unrank_u64_batch_into(&self, values: &[u64], out: &mut [u64]) -> bool {
+        let n = self.radices.len();
+        if out.len() != values.len().saturating_mul(n) {
+            return false;
+        }
+        let split = self.low_split;
+        let mut prev_hi = 0u64;
+        let mut have_prev = false;
+        for (k, &v) in values.iter().enumerate() {
+            let base = k * n;
+            let (hi, mut lo) = (v / self.low_prod, v % self.low_prod);
+            if have_prev && hi == prev_hi {
+                // Same high-order prefix as the previous value: reuse its
+                // digits instead of re-running the prefix division chain.
+                out.copy_within(base - n..base - n + split, base);
+            } else {
+                let mut cur = hi;
+                for i in (0..split).rev() {
+                    let r = self.radices[i];
+                    out[base + i] = cur % r;
+                    cur /= r;
+                }
+                if cur != 0 {
+                    // v ≥ ‖𝓡‖ (covers the split == 0 case too, where
+                    // low_prod is the whole space and hi must be zero).
+                    return false;
+                }
+                prev_hi = hi;
+                have_prev = true;
+            }
+            for i in (split..n).rev() {
+                let r = self.radices[i];
+                out[base + i] = lo % r;
+                lo /= r;
+            }
+            // lo < low_prod by construction, so the suffix chain consumed it.
+            debug_assert_eq!(lo, 0);
+        }
+        true
+    }
+
     /// Lexicographic comparison of digit vectors; by construction this equals
     /// comparing φ values (the `≺` total order of §2.2).
     pub fn cmp_digits(&self, a: &[u64], b: &[u64]) -> Ordering {
@@ -234,13 +333,58 @@ impl MixedRadix {
     /// the allocation-free core of [`Self::checked_add`] and the hot path of
     /// chained block decoding.
     pub fn add_assign(&self, a: &mut [u64], b: &[u64]) -> bool {
+        self.add_assign_from(a, b, 0)
+    }
+
+    /// [`Self::add_assign`] for a `b` whose first `nz` digits are zero
+    /// (caller-guaranteed, checked in debug builds): the digit loop runs
+    /// only over `nz..n`, then the carry — if any — ripples upward and
+    /// stops at the first digit that absorbs it.
+    ///
+    /// AVQ difference entries are mostly leading zeros (that is why they
+    /// compress), so the SWAR reconstruction path skips most of each add.
+    /// Results and the overflow return are bit-identical to the full loop:
+    /// a skipped step with `b[i] == 0` and no incoming carry is the
+    /// identity.
+    pub fn add_assign_prefix(&self, a: &mut [u64], b: &[u64], nz: usize) -> bool {
+        debug_assert!(b.get(..nz).is_some_and(|p| p.iter().all(|&d| d == 0)));
+        self.add_assign_from(a, b, nz)
+    }
+
+    #[inline]
+    fn add_assign_from(&self, a: &mut [u64], b: &[u64], start: usize) -> bool {
         debug_assert!(self.validate(a).is_ok() && self.validate(b).is_ok());
         let mut carry: u64 = 0;
-        for i in (0..self.radices.len()).rev() {
-            let r = self.radices[i] as u128;
-            let sum = a[i] as u128 + b[i] as u128 + carry as u128;
-            a[i] = (sum % r) as u64;
-            carry = (sum / r) as u64;
+        for i in (start..self.radices.len()).rev() {
+            let r = self.radices[i];
+            // a[i], b[i] < r and carry ≤ 1, so the true sum is < 2r: one
+            // conditional subtract replaces the u128 divide the old loop
+            // paid per digit. `overflowing_add` covers radices near
+            // u64::MAX, where the true sum can exceed the word.
+            let (s, o1) = a[i].overflowing_add(b[i]);
+            let (s, o2) = s.overflowing_add(carry);
+            if o1 | o2 || s >= r {
+                // True sum ∈ [r, 2r): digit is sum − r (the wrapping sub
+                // folds the 2⁶⁴ the overflow dropped back in).
+                a[i] = s.wrapping_sub(r);
+                carry = 1;
+            } else {
+                a[i] = s;
+                carry = 0;
+            }
+        }
+        let mut i = start;
+        while carry == 1 && i > 0 {
+            i -= 1;
+            let r = self.radices[i];
+            // a[i] < r, so a[i] + 1 ≤ r never wraps the word.
+            let s = a[i] + 1;
+            if s >= r {
+                a[i] = s - r;
+            } else {
+                a[i] = s;
+                carry = 0;
+            }
         }
         carry == 0
     }
@@ -250,9 +394,25 @@ impl MixedRadix {
     /// Returns `false` when `a < b` (the true difference is negative); `a`
     /// then holds the wrapped digits, each still valid for its radix.
     pub fn sub_assign(&self, a: &mut [u64], b: &[u64]) -> bool {
+        self.sub_assign_from(a, b, 0)
+    }
+
+    /// [`Self::sub_assign`] for a `b` whose first `nz` digits are zero
+    /// (caller-guaranteed, checked in debug builds): the digit loop runs
+    /// only over `nz..n`, then the borrow — if any — ripples upward and
+    /// stops at the first nonzero digit. The SWAR counterpart of
+    /// [`Self::add_assign_prefix`]; results and the underflow return are
+    /// bit-identical to the full loop.
+    pub fn sub_assign_prefix(&self, a: &mut [u64], b: &[u64], nz: usize) -> bool {
+        debug_assert!(b.get(..nz).is_some_and(|p| p.iter().all(|&d| d == 0)));
+        self.sub_assign_from(a, b, nz)
+    }
+
+    #[inline]
+    fn sub_assign_from(&self, a: &mut [u64], b: &[u64], start: usize) -> bool {
         debug_assert!(self.validate(a).is_ok() && self.validate(b).is_ok());
         let mut borrow: u64 = 0;
-        for i in (0..self.radices.len()).rev() {
+        for i in (start..self.radices.len()).rev() {
             let need = b[i] as u128 + borrow as u128;
             let have = a[i] as u128;
             if have >= need {
@@ -261,6 +421,16 @@ impl MixedRadix {
             } else {
                 a[i] = (have + self.radices[i] as u128 - need) as u64;
                 borrow = 1;
+            }
+        }
+        let mut i = start;
+        while borrow == 1 && i > 0 {
+            i -= 1;
+            if a[i] > 0 {
+                a[i] -= 1;
+                borrow = 0;
+            } else {
+                a[i] = self.radices[i] - 1;
             }
         }
         borrow == 0
@@ -510,6 +680,82 @@ mod tests {
     }
 
     #[test]
+    fn batch_unrank_matches_single() {
+        let mr = employee_radix();
+        let values = [0u64, 1, 569, 570, 571, 14_830_051, 33_554_431, 2, 3];
+        let mut out = vec![0u64; values.len() * mr.arity()];
+        assert!(mr.unrank_u64_batch_into(&values, &mut out));
+        let mut single = vec![0u64; mr.arity()];
+        for (k, &v) in values.iter().enumerate() {
+            assert!(mr.unrank_u64_into(v, &mut single));
+            assert_eq!(
+                &out[k * mr.arity()..(k + 1) * mr.arity()],
+                single.as_slice(),
+                "value {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_unrank_rejects_out_of_space() {
+        let mr = employee_radix();
+        // ‖𝓡‖ = 33 554 432 fits u64, so the space bound is enforced even
+        // when the out-of-space value follows valid ones.
+        let mut out = vec![0u64; 3 * mr.arity()];
+        assert!(!mr.unrank_u64_batch_into(&[1, 2, 33_554_432], &mut out));
+        // And a wrong-sized output buffer is refused outright.
+        let mut short = vec![0u64; 2];
+        assert!(!mr.unrank_u64_batch_into(&[1], &mut short));
+        assert!(mr.value_in_space(33_554_431));
+        assert!(!mr.value_in_space(33_554_432));
+    }
+
+    #[test]
+    fn batch_unrank_huge_space_accepts_all_words() {
+        // Three radices of u64::MAX: ‖𝓡‖ ≫ u64::MAX, so every machine word
+        // is in space and the split point is interior.
+        let big = u64::MAX;
+        let mr = MixedRadix::new(vec![big, big, big]).unwrap();
+        assert!(mr.value_in_space(u64::MAX));
+        let values = [0u64, 1, u64::MAX, u64::MAX - 1, 42];
+        let mut out = vec![0u64; values.len() * 3];
+        assert!(mr.unrank_u64_batch_into(&values, &mut out));
+        let mut single = vec![0u64; 3];
+        for (k, &v) in values.iter().enumerate() {
+            assert!(mr.unrank_u64_into(v, &mut single));
+            assert_eq!(&out[k * 3..(k + 1) * 3], single.as_slice(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn batch_unrank_empty_values() {
+        let mr = employee_radix();
+        let mut out = [0u64; 0];
+        assert!(mr.unrank_u64_batch_into(&[], &mut out));
+    }
+
+    #[test]
+    fn prefix_add_sub_match_full_ops() {
+        let mr = employee_radix();
+        // b has 3 leading zero digits; prefix ops may skip them.
+        let b = [0u64, 0, 0, 8, 57];
+        for a in [[3u64, 8, 36, 39, 35], [0, 0, 0, 0, 0], [7, 15, 63, 63, 63]] {
+            for nz in 0..=3usize {
+                let mut full = a;
+                let mut pre = a;
+                let ok_full = mr.add_assign(&mut full, &b);
+                let ok_pre = mr.add_assign_prefix(&mut pre, &b, nz);
+                assert_eq!((ok_full, full), (ok_pre, pre), "add a={a:?} nz={nz}");
+                let mut full = a;
+                let mut pre = a;
+                let ok_full = mr.sub_assign(&mut full, &b);
+                let ok_pre = mr.sub_assign_prefix(&mut pre, &b, nz);
+                assert_eq!((ok_full, full), (ok_pre, pre), "sub a={a:?} nz={nz}");
+            }
+        }
+    }
+
+    #[test]
     fn abs_diff_is_symmetric() {
         let mr = employee_radix();
         let a = [3u64, 8, 36, 39, 35];
@@ -608,6 +854,49 @@ mod tests {
             };
             let diff = mr.checked_sub(&hi, &lo).unwrap();
             prop_assert_eq!(mr.checked_add(&lo, &diff).unwrap(), hi);
+        }
+
+        #[test]
+        fn prop_prefix_ops_match_full((radices, a, mut b) in arb_system_and_pair(), zeros in 0usize..8) {
+            let mr = MixedRadix::new(radices).unwrap();
+            // Zero a leading run of b, then exercise every admissible nz.
+            let run = zeros.min(b.len());
+            for d in b.iter_mut().take(run) {
+                *d = 0;
+            }
+            for nz in 0..=run {
+                let mut full = a.clone();
+                let mut pre = a.clone();
+                prop_assert_eq!(
+                    mr.add_assign(&mut full, &b),
+                    mr.add_assign_prefix(&mut pre, &b, nz)
+                );
+                prop_assert_eq!(&full, &pre);
+                let mut full = a.clone();
+                let mut pre = a.clone();
+                prop_assert_eq!(
+                    mr.sub_assign(&mut full, &b),
+                    mr.sub_assign_prefix(&mut pre, &b, nz)
+                );
+                prop_assert_eq!(&full, &pre);
+            }
+        }
+
+        #[test]
+        fn prop_batch_unrank_matches_single(
+            (radices, _a, _b) in arb_system_and_pair(),
+            raw in prop::collection::vec(0u64..1_000_000_000, 0..40)
+        ) {
+            let mr = MixedRadix::new(radices).unwrap();
+            let values: Vec<u64> = raw.into_iter().filter(|&v| mr.value_in_space(v)).collect();
+            let n = mr.arity();
+            let mut out = vec![0u64; values.len() * n];
+            prop_assert!(mr.unrank_u64_batch_into(&values, &mut out));
+            let mut single = vec![0u64; n];
+            for (k, &v) in values.iter().enumerate() {
+                prop_assert!(mr.unrank_u64_into(v, &mut single));
+                prop_assert_eq!(&out[k * n..(k + 1) * n], single.as_slice());
+            }
         }
 
         #[test]

@@ -31,6 +31,10 @@ pub const CODEC_DECODE_BLOCKS: &str = "avq.codec.decode.blocks";
 pub const CODEC_DECODE_TUPLES: &str = "avq.codec.decode.tuples";
 /// Coded bytes consumed by the decoder.
 pub const CODEC_DECODE_BYTES_IN: &str = "avq.codec.decode.bytes_in";
+/// Blocks decoded through the scalar (byte-at-a-time) reference kernel.
+pub const CODEC_DECODE_KERNEL_SCALAR: &str = "avq.codec.decode.kernel.scalar";
+/// Blocks decoded through the SWAR (word-at-a-time) kernel.
+pub const CODEC_DECODE_KERNEL_SWAR: &str = "avq.codec.decode.kernel.swar";
 /// Whole relations compressed end to end.
 pub const CODEC_COMPRESS_RELATIONS: &str = "avq.codec.compress.relations";
 
@@ -130,6 +134,8 @@ pub const ALL: &[&str] = &[
     CODEC_DECODE_BLOCKS,
     CODEC_DECODE_TUPLES,
     CODEC_DECODE_BYTES_IN,
+    CODEC_DECODE_KERNEL_SCALAR,
+    CODEC_DECODE_KERNEL_SWAR,
     CODEC_COMPRESS_RELATIONS,
     STORAGE_POOL_HITS,
     STORAGE_POOL_MISSES,
