@@ -583,7 +583,90 @@ fn database_from_avq(path: &Path, kernel: Option<&str>) -> Result<(Database, Str
     Ok((db, name))
 }
 
-fn render_explain_select(
+/// A SQL target: either a durable database directory or an `.avq` file
+/// loaded into a single-relation in-memory database.
+enum SqlTarget {
+    Durable(Box<DurableDatabase>),
+    Memory(Database),
+}
+
+impl SqlTarget {
+    fn open(path: &Path, kernel: Option<&str>) -> Result<(Self, String), CliError> {
+        if path.is_dir() {
+            let (db, _) = DurableDatabase::open(path, DbConfig::default(), SyncPolicy::Manual)?;
+            let names = db.database().relation_names().join(", ");
+            Ok((SqlTarget::Durable(Box::new(db)), names))
+        } else {
+            let (db, name) = database_from_avq(path, kernel)?;
+            Ok((SqlTarget::Memory(db), name))
+        }
+    }
+
+    fn db(&self) -> &Database {
+        match self {
+            SqlTarget::Durable(d) => d.database(),
+            SqlTarget::Memory(d) => d,
+        }
+    }
+}
+
+/// `avqtool sql <file.avq | db-dir> <statement>` — parse, plan, and run one
+/// SQL statement (see `avq_sql` for the dialect).
+pub fn sql(path: &Path, stmt: &str, kernel: Option<&str>) -> Result<String, CliError> {
+    let (target, _) = SqlTarget::open(path, kernel)?;
+    let outcome = avq_sql::run(target.db(), stmt)?;
+    Ok(format!("{}\n", outcome.render()))
+}
+
+/// The interactive loop behind `avqtool sql <target>`, split out over
+/// generic reader/writer so tests can drive it without a terminal.
+/// Statements run one per line; `\q`, `quit`, or `exit` leaves.
+pub fn sql_shell<R, W>(path: &Path, input: R, mut output: W) -> Result<(), CliError>
+where
+    R: std::io::BufRead,
+    W: std::io::Write,
+{
+    let (target, names) = SqlTarget::open(path, None)?;
+    writeln!(output, "avq-sql — relations: {names} (\\q to quit)")?;
+    write!(output, "avq> ")?;
+    output.flush()?;
+    for line in input.lines() {
+        let line = line?;
+        let stmt = line.trim();
+        if matches!(stmt, "\\q" | "quit" | "exit") {
+            break;
+        }
+        if !stmt.is_empty() {
+            match avq_sql::run(target.db(), stmt) {
+                Ok(outcome) => writeln!(output, "{}", outcome.render())?,
+                Err(e) => writeln!(output, "error: {e}")?,
+            }
+        }
+        write!(output, "avq> ")?;
+        output.flush()?;
+    }
+    writeln!(output)?;
+    Ok(())
+}
+
+/// `avqtool sql <target>` with no statement: a REPL on stdin/stdout.
+pub fn sql_repl(path: &Path) -> Result<String, CliError> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    sql_shell(path, stdin.lock(), stdout.lock())?;
+    Ok(String::new())
+}
+
+/// Quotes `raw` as a SQL literal for `domain`: enumerated members are
+/// single-quoted, numbers pass through.
+fn sql_literal(domain: &avq_schema::Domain, raw: &str) -> String {
+    match domain {
+        avq_schema::Domain::Enumerated { .. } => format!("'{raw}'"),
+        _ => raw.to_owned(),
+    }
+}
+
+fn explain_select_sql(
     db: &Database,
     name: &str,
     attr: &str,
@@ -593,14 +676,17 @@ fn render_explain_select(
     let rel = db.relation(name)?;
     let idx = rel.schema().index_of(attr)?;
     let domain = rel.schema().attribute(idx).domain();
-    let lo = parse_value(domain, lo)?;
-    let hi = parse_value(domain, hi)?;
-    let report = db.explain_select_range(name, attr, &lo, &hi)?;
-    Ok(format!("{report}\n"))
+    let stmt = format!(
+        "explain analyze select * from {name} where {attr} between {} and {}",
+        sql_literal(domain, lo),
+        sql_literal(domain, hi)
+    );
+    Ok(format!("{}\n", avq_sql::run(db, &stmt)?.render()))
 }
 
 /// `avqtool explain <file.avq> <attribute> <lo> <hi> [--kernel scalar|swar]`
-/// — `EXPLAIN ANALYZE` for a range selection over the file's relation.
+/// — alias for `avqtool sql <file> "explain analyze select * …"` over the
+/// file's relation.
 pub fn explain_file(
     path: &Path,
     attr: &str,
@@ -609,7 +695,7 @@ pub fn explain_file(
     kernel: Option<&str>,
 ) -> Result<String, CliError> {
     let (db, name) = database_from_avq(path, kernel)?;
-    render_explain_select(&db, &name, attr, lo, hi)
+    explain_select_sql(&db, &name, attr, lo, hi)
 }
 
 /// `avqtool explain <db-dir> <relation> <attribute> <lo> <hi>` — the same
@@ -622,24 +708,42 @@ pub fn explain_dir(
     hi: &str,
 ) -> Result<String, CliError> {
     let (db, _) = DurableDatabase::open(dir, DbConfig::default(), SyncPolicy::Manual)?;
-    render_explain_select(db.database(), relation, attr, lo, hi)
+    explain_select_sql(db.database(), relation, attr, lo, hi)
 }
 
-/// `avqtool explain-join <file.avq> <outer_attr> <inner_attr>` —
-/// `EXPLAIN ANALYZE` for a self-equijoin of the file's relation.
+fn explain_join_sql(
+    db: &Database,
+    outer: &str,
+    outer_attr: &str,
+    inner: &str,
+    inner_attr: &str,
+) -> Result<String, CliError> {
+    let stmt = if outer == inner {
+        format!(
+            "explain analyze select * from {outer} a join {inner} b on a.{outer_attr} = b.{inner_attr}"
+        )
+    } else {
+        format!(
+            "explain analyze select * from {outer} join {inner} \
+             on {outer}.{outer_attr} = {inner}.{inner_attr}"
+        )
+    };
+    Ok(format!("{}\n", avq_sql::run(db, &stmt)?.render()))
+}
+
+/// `avqtool explain-join <file.avq> <outer_attr> <inner_attr>` — alias for
+/// an `EXPLAIN ANALYZE` self-equijoin through the SQL planner.
 pub fn explain_join_file(
     path: &Path,
     outer_attr: &str,
     inner_attr: &str,
 ) -> Result<String, CliError> {
     let (db, name) = database_from_avq(path, None)?;
-    let report = db.explain_equijoin(&name, outer_attr, &name, inner_attr)?;
-    Ok(format!("{report}\n"))
+    explain_join_sql(&db, &name, outer_attr, &name, inner_attr)
 }
 
 /// `avqtool explain-join <db-dir> <outer> <outer_attr> <inner> <inner_attr>`
-/// — `EXPLAIN ANALYZE` for an equijoin of two relations in a durable
-/// database directory.
+/// — the same for two relations of a durable database directory.
 pub fn explain_join_dir(
     dir: &Path,
     outer: &str,
@@ -648,10 +752,7 @@ pub fn explain_join_dir(
     inner_attr: &str,
 ) -> Result<String, CliError> {
     let (db, _) = DurableDatabase::open(dir, DbConfig::default(), SyncPolicy::Manual)?;
-    let report = db
-        .database()
-        .explain_equijoin(outer, outer_attr, inner, inner_attr)?;
-    Ok(format!("{report}\n"))
+    explain_join_sql(db.database(), outer, outer_attr, inner, inner_attr)
 }
 
 /// Distinguishes the temp directories of concurrent `stats` workloads
@@ -756,6 +857,8 @@ USAGE:
   avqtool explain <db-dir> <relation> <attribute> <lo> <hi>
   avqtool explain-join <file.avq> <outer_attr> <inner_attr>
   avqtool explain-join <db-dir> <outer> <outer_attr> <inner> <inner_attr>
+  avqtool sql <file.avq | db-dir> \"<statement>\"
+  avqtool sql <file.avq | db-dir>            (interactive shell)
 
 FLAGS (any command):
   --metrics-out <path>   write a metrics snapshot after the command
@@ -1004,8 +1107,9 @@ mod tests {
         line.split('|').map(|c| c.trim().to_owned()).collect()
     }
 
-    // Satellite: golden test pinning the `EXPLAIN ANALYZE` output format —
-    // header text, column order, stage names, and a parseable total row.
+    // Satellite: golden test pinning the `EXPLAIN ANALYZE` output format
+    // now produced by the SQL planner — header text, costed plan tree,
+    // stage names, and a parseable total row.
     #[test]
     fn explain_select_golden_format() {
         let (dir, avq_path) = setup("explain", 600);
@@ -1013,24 +1117,43 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(
             lines[0],
-            "EXPLAIN ANALYZE: select data where 5 <= years <= 20"
+            "EXPLAIN ANALYZE: select * from data where years between 5 and 20"
         );
         assert_eq!(lines[1], "plan: full-scan");
+        // Costed tree: project over the chosen scan, estimates paired with
+        // actuals via the shared pre-order node numbering.
+        assert!(
+            lines[2].starts_with("-> project dept, years, bonus ("),
+            "{out}"
+        );
+        assert!(
+            lines[3]
+                .trim_start()
+                .starts_with("-> scan data via full-scan"),
+            "{out}"
+        );
+        for line in &lines[2..4] {
+            for field in ["est_rows=", "est_blocks=", "est_cost=", "actual_rows=192"] {
+                assert!(line.contains(field), "missing {field} in {line}");
+            }
+        }
+        assert!(lines[4].starts_with("plans considered: "), "{out}");
+        assert!(lines[4].contains(", estimated cost: "), "{out}");
         assert_eq!(
-            lines[2],
+            lines[5],
             "stage         |       rows |   blocks | cache_hits |    elapsed"
         );
         assert!(
-            lines[3].chars().all(|c| c == '-' || c == '+'),
+            lines[6].chars().all(|c| c == '-' || c == '+'),
             "{}",
-            lines[3]
+            lines[6]
         );
-        let stages: Vec<String> = lines[4..]
+        let stages: Vec<String> = lines[7..]
             .iter()
             .map(|l| explain_columns(l)[0].clone())
             .collect();
-        assert_eq!(stages, ["index-probe", "scan", "filter", "total"]);
-        for line in &lines[4..] {
+        assert_eq!(stages, ["scan", "filter", "project", "total"]);
+        for line in &lines[7..] {
             let cols = explain_columns(line);
             assert_eq!(cols.len(), 5, "{line}");
             for col in &cols[1..4] {
@@ -1041,9 +1164,9 @@ mod tests {
         }
         // The filter stage's row count is the result cardinality: years are
         // i % 50 over 600 rows, so 12 full cycles × 16 matching values.
-        let filter = explain_columns(lines[6]);
+        let filter = explain_columns(lines[8]);
         assert_eq!(filter[1], "192");
-        let total = explain_columns(lines[7]);
+        let total = explain_columns(lines[10]);
         assert_eq!(total[1], "192");
         std::fs::remove_dir_all(dir).ok();
     }
@@ -1053,16 +1176,33 @@ mod tests {
         let (dir, avq_path) = setup("xjoin", 300);
         let out = explain_join_file(&avq_path, "years", "years").unwrap();
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines[0], "EXPLAIN ANALYZE: join data.years = data.years");
+        assert_eq!(
+            lines[0],
+            "EXPLAIN ANALYZE: select * from data a join data b on a.years = b.years"
+        );
+        // No secondary index in a bare .avq load, so the planner must pick
+        // the block-nested-loop strategy.
         assert_eq!(lines[1], "plan: block-nested-loop");
-        let stages: Vec<String> = lines[4..]
+        assert!(
+            out.contains("block-nested-loop join b on a.years = b.years"),
+            "{out}"
+        );
+        let header = lines
+            .iter()
+            .position(|l| l.starts_with("stage "))
+            .expect("stage table present");
+        let stages: Vec<String> = lines[header + 2..]
             .iter()
             .map(|l| explain_columns(l)[0].clone())
             .collect();
-        assert_eq!(stages, ["scan-outer", "scan-inner", "join", "total"]);
+        assert_eq!(
+            stages,
+            ["scan", "filter", "scan-inner", "join", "project", "total"]
+        );
         // The self-join re-reads blocks the outer scan already decoded, so
         // the inner scan must report cache hits.
-        let inner = explain_columns(lines[5]);
+        let inner = explain_columns(lines[header + 4]);
+        assert_eq!(inner[0], "scan-inner");
         assert!(inner[3].parse::<u64>().unwrap() > 0, "{out}");
         std::fs::remove_dir_all(dir).ok();
     }
@@ -1072,13 +1212,79 @@ mod tests {
         let (dir, db_dir) = seeded_db_dir("explain-dir");
         let out = explain_dir(&db_dir, "people", "id", "10", "30").unwrap();
         assert!(
-            out.starts_with("EXPLAIN ANALYZE: select people where 10 <= id <= 30"),
+            out.starts_with("EXPLAIN ANALYZE: select * from people where id between 10 and 30"),
             "{out}"
         );
-        assert!(out.contains("plan: secondary-index(attr=1)"), "{out}");
+        // The seeded relation is a single warm block, so the cost model
+        // correctly prices the full scan below any index descent — unlike
+        // the old operator, which always probed when an index existed.
+        assert!(out.contains("plan: full-scan"), "{out}");
+        assert!(out.contains("scan people via full-scan"), "{out}");
         let out = explain_join_dir(&db_dir, "people", "id", "people", "id").unwrap();
-        assert!(out.contains("plan: index-nested-loop"), "{out}");
-        assert!(out.contains("index-probe"), "{out}");
+        assert!(out.contains("plan: block-nested-loop"), "{out}");
+        assert!(out.contains("join b on a.id = b.id"), "{out}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    // Tentpole wiring: the `sql` command against both target kinds.
+    #[test]
+    fn sql_one_shot_runs_the_full_dialect_on_a_db_dir() {
+        let (dir, db_dir) = seeded_db_dir("sql-dir");
+        // seeded people: dept = i % 2 over 100 rows plus one extra hr row.
+        let out = sql(
+            &db_dir,
+            "select dept, count(*) from people group by dept order by dept limit 2",
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("dept | count(*)"), "{out}");
+        assert!(out.contains("(2 rows)"), "{out}");
+        let out = sql(
+            &db_dir,
+            "select count(*) from people a join people b on a.dept = b.dept where a.id < 1",
+            None,
+        )
+        .unwrap();
+        // Person 0 is dept eng; 50 eng rows match on the inner side.
+        assert!(out.contains("50"), "{out}");
+        let out = sql(&db_dir, "explain select * from people where id = 7", None).unwrap();
+        assert!(out.starts_with("EXPLAIN: "), "{out}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn sql_one_shot_runs_against_an_avq_file() {
+        let (dir, avq_path) = setup("sql-avq", 60);
+        let out = sql(&avq_path, "select years from data where years = 7", None).unwrap();
+        assert!(out.contains("years"), "{out}");
+        // years = i % 50 over 60 rows: i = 7 and i = 57 both match.
+        assert!(out.contains("(2 rows)"), "{out}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn sql_errors_are_reported_not_panicked() {
+        let (dir, avq_path) = setup("sql-err", 10);
+        let err = sql(&avq_path, "select * from nowhere", None).unwrap_err();
+        assert!(err.to_string().contains("nowhere"), "{err}");
+        let err = sql(&avq_path, "select * frum data", None).unwrap_err();
+        assert!(!err.to_string().is_empty());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn sql_shell_executes_lines_and_quits() {
+        let (dir, avq_path) = setup("sql-repl", 30);
+        let input = b"select count(*) from data\n\nbad syntax here\n\\q\n" as &[u8];
+        let mut output = Vec::new();
+        sql_shell(&avq_path, input, &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.starts_with("avq-sql — relations: data"), "{text}");
+        assert!(text.contains("count(*)"), "{text}");
+        assert!(text.contains("30"), "{text}");
+        assert!(text.contains("error: "), "{text}");
+        // One prompt per input line processed, plus the initial one.
+        assert_eq!(text.matches("avq> ").count(), 4, "{text}");
         std::fs::remove_dir_all(dir).ok();
     }
 

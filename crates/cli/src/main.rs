@@ -118,6 +118,10 @@ fn dispatch(
         ("explain-join", [dir, outer, outer_attr, inner, inner_attr]) => {
             commands::explain_join_dir(Path::new(dir), outer, outer_attr, inner, inner_attr)
         }
+        ("sql", [target]) => commands::sql_repl(Path::new(target)),
+        ("sql", [target, stmt]) => {
+            commands::sql(Path::new(target), stmt, switches.kernel.as_deref())
+        }
         ("help", _) | ("--help", _) | ("-h", _) => Ok(commands::USAGE.to_string()),
         (other, _) => Err(format!("unknown or malformed command {other:?}").into()),
     }

@@ -76,6 +76,49 @@ pub fn format_elapsed(d: Duration) -> String {
     }
 }
 
+impl ExplainReport {
+    /// Renders just the fixed-format stage table (header, separator, one
+    /// row per stage, `total` row) without the query/plan preamble. Shared
+    /// by [`Display`](core::fmt::Display) and the SQL plan renderer, so
+    /// `EXPLAIN ANALYZE` tables look identical everywhere.
+    pub fn stage_table(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<13} | {:>10} | {:>8} | {:>10} | {:>10}",
+            "stage", "rows", "blocks", "cache_hits", "elapsed"
+        );
+        let _ = writeln!(
+            out,
+            "{:-<14}+{:-<12}+{:-<10}+{:-<12}+{:-<11}",
+            "", "", "", "", ""
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:<13} | {:>10} | {:>8} | {:>10} | {:>10}",
+                s.stage,
+                s.rows,
+                s.blocks,
+                s.cache_hits,
+                format_elapsed(s.elapsed)
+            );
+        }
+        let blocks: u64 = self.stages.iter().map(|s| s.blocks).sum();
+        let _ = write!(
+            out,
+            "{:<13} | {:>10} | {:>8} | {:>10} | {:>10}",
+            "total",
+            self.rows,
+            blocks,
+            self.total_cache_hits(),
+            format_elapsed(self.total_elapsed())
+        );
+        out
+    }
+}
+
 impl core::fmt::Display for ExplainReport {
     /// The `avqtool explain` table. A CLI golden test pins this shape
     /// (header, column order, separator, `total` row) — change it there
@@ -83,48 +126,21 @@ impl core::fmt::Display for ExplainReport {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         writeln!(f, "EXPLAIN ANALYZE: {}", self.query)?;
         writeln!(f, "plan: {}", self.plan)?;
-        writeln!(
-            f,
-            "{:<13} | {:>10} | {:>8} | {:>10} | {:>10}",
-            "stage", "rows", "blocks", "cache_hits", "elapsed"
-        )?;
-        writeln!(
-            f,
-            "{:-<14}+{:-<12}+{:-<10}+{:-<12}+{:-<11}",
-            "", "", "", "", ""
-        )?;
-        for s in &self.stages {
-            writeln!(
-                f,
-                "{:<13} | {:>10} | {:>8} | {:>10} | {:>10}",
-                s.stage,
-                s.rows,
-                s.blocks,
-                s.cache_hits,
-                format_elapsed(s.elapsed)
-            )?;
-        }
-        let blocks: u64 = self.stages.iter().map(|s| s.blocks).sum();
-        write!(
-            f,
-            "{:<13} | {:>10} | {:>8} | {:>10} | {:>10}",
-            "total",
-            self.rows,
-            blocks,
-            self.total_cache_hits(),
-            format_elapsed(self.total_elapsed())
-        )
+        write!(f, "{}", self.stage_table())
     }
 }
 
 /// Cache counters at a stage boundary: decoded-block cache + buffer pool.
-struct CacheMark {
+/// Public so external executors (the SQL subsystem) attribute cache hits to
+/// their own plan nodes with the same arithmetic.
+pub struct CacheMark {
     decoded: PoolStats,
     pool: PoolStats,
 }
 
 impl CacheMark {
-    fn take(rel: &StoredRelation) -> Self {
+    /// Snapshots `rel`'s cache counters at a stage boundary.
+    pub fn take(rel: &StoredRelation) -> Self {
         CacheMark {
             decoded: rel.decoded_stats(),
             pool: rel.pool_stats(),
@@ -132,17 +148,13 @@ impl CacheMark {
     }
 
     /// Cache hits accrued on `rel` since this mark.
-    fn hits_since(&self, rel: &StoredRelation) -> u64 {
+    pub fn hits_since(&self, rel: &StoredRelation) -> u64 {
         rel.decoded_stats().since(&self.decoded).hits + rel.pool_stats().since(&self.pool).hits
     }
 }
 
 fn path_name(path: AccessPath) -> String {
-    match path {
-        AccessPath::ClusteredRange => "clustered-range".to_owned(),
-        AccessPath::SecondaryIndex { attr } => format!("secondary-index(attr={attr})"),
-        AccessPath::FullScan => "full-scan".to_owned(),
-    }
+    path.to_string()
 }
 
 impl StoredRelation {
@@ -160,32 +172,7 @@ impl StoredRelation {
         // Stage 1: locate candidate blocks through the chosen access path.
         let mark = CacheMark::take(self);
         let probe_start = Stopwatch::start();
-        let candidates: Vec<BlockId> = match path {
-            AccessPath::ClusteredRange => {
-                let mut lo = 0u64;
-                let mut hi = u64::MAX;
-                for p in selection.predicates() {
-                    if p.attr == 0 {
-                        lo = lo.max(p.lo);
-                        hi = hi.min(p.hi);
-                    }
-                }
-                if lo > hi {
-                    Vec::new()
-                } else {
-                    self.clustered_candidate_blocks(lo, hi)?
-                }
-            }
-            AccessPath::SecondaryIndex { attr } => {
-                let p = selection
-                    .predicates()
-                    .iter()
-                    .find(|p| p.attr == attr)
-                    .expect("planned attr has a predicate");
-                self.secondary_candidate_blocks(attr, p.lo, p.hi)?
-            }
-            AccessPath::FullScan => self.all_block_ids(),
-        };
+        let candidates: Vec<BlockId> = self.candidate_blocks(selection, path)?;
         stages.push(StageReport {
             stage: "index-probe",
             rows: candidates.len() as u64,

@@ -61,7 +61,7 @@ pub use cost::QueryCost;
 pub use database::Database;
 pub use durable::{CheckpointReport, DurableDatabase, RecoveryReport};
 pub use error::DbError;
-pub use explain::{explain_equijoin, format_elapsed, ExplainReport, StageReport};
+pub use explain::{explain_equijoin, format_elapsed, CacheMark, ExplainReport, StageReport};
 // Re-exported so durable callers need not depend on `avq-wal` directly.
 pub use avq_wal::SyncPolicy;
 // Re-exported so degraded-mode callers need not depend on `avq-storage`.

@@ -106,7 +106,68 @@ impl Selection {
     }
 }
 
+impl core::fmt::Display for AccessPath {
+    /// The access-path names shared by `EXPLAIN` output and plan renderers
+    /// (`clustered-range`, `secondary-index(attr=N)`, `full-scan`).
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AccessPath::ClusteredRange => write!(f, "clustered-range"),
+            AccessPath::SecondaryIndex { attr } => write!(f, "secondary-index(attr={attr})"),
+            AccessPath::FullScan => write!(f, "full-scan"),
+        }
+    }
+}
+
 impl StoredRelation {
+    /// Candidate data blocks for `selection` through the access path it
+    /// planned (or any explicitly supplied `path`): the contiguous primary
+    /// run for a clustering-prefix range, the union of secondary-index
+    /// postings for an indexed conjunct, or every block. Shared by
+    /// [`Self::fold_matching`], `EXPLAIN ANALYZE`, and the SQL executor so
+    /// all three walk identical block sets.
+    pub fn candidate_blocks(
+        &self,
+        selection: &Selection,
+        path: AccessPath,
+    ) -> Result<Vec<BlockId>, DbError> {
+        match path {
+            AccessPath::ClusteredRange => {
+                // Intersect every attr-0 conjunct.
+                let mut lo = 0u64;
+                let mut hi = u64::MAX;
+                for p in selection.predicates() {
+                    if p.attr == 0 {
+                        lo = lo.max(p.lo);
+                        hi = hi.min(p.hi);
+                    }
+                }
+                if lo > hi {
+                    Ok(Vec::new())
+                } else {
+                    self.clustered_candidate_blocks(lo, hi)
+                }
+            }
+            AccessPath::SecondaryIndex { attr } => {
+                // Intersect every conjunct on the planned attribute.
+                let mut lo = 0u64;
+                let mut hi = u64::MAX;
+                let mut found = false;
+                for p in selection.predicates() {
+                    if p.attr == attr {
+                        lo = lo.max(p.lo);
+                        hi = hi.min(p.hi);
+                        found = true;
+                    }
+                }
+                if !found || lo > hi {
+                    return Ok(Vec::new());
+                }
+                self.secondary_candidate_blocks(attr, lo, hi)
+            }
+            AccessPath::FullScan => Ok(self.all_block_ids()),
+        }
+    }
+
     /// Streams every tuple matching `selection` through `f` without
     /// materializing the result set; the backbone of [`Self::select`],
     /// [`Self::aggregate`], and [`Self::aggregate_group_by`].
@@ -120,33 +181,7 @@ impl StoredRelation {
         avq_obs::counter!(names::DB_QUERIES).inc();
         let path = selection.plan(self);
         let mut tracker = CostTracker::new(self.device());
-        let candidates: Vec<BlockId> = match path {
-            AccessPath::ClusteredRange => {
-                // Intersect every attr-0 conjunct.
-                let mut lo = 0u64;
-                let mut hi = u64::MAX;
-                for p in selection.predicates() {
-                    if p.attr == 0 {
-                        lo = lo.max(p.lo);
-                        hi = hi.min(p.hi);
-                    }
-                }
-                if lo > hi {
-                    Vec::new()
-                } else {
-                    self.clustered_candidate_blocks(lo, hi)?
-                }
-            }
-            AccessPath::SecondaryIndex { attr } => {
-                let p = selection
-                    .predicates()
-                    .iter()
-                    .find(|p| p.attr == attr)
-                    .expect("planned attr has a predicate");
-                self.secondary_candidate_blocks(attr, p.lo, p.hi)?
-            }
-            AccessPath::FullScan => self.all_block_ids(),
-        };
+        let candidates: Vec<BlockId> = self.candidate_blocks(selection, path)?;
         tracker.end_index_phase();
 
         let mut acc = init;

@@ -269,7 +269,7 @@ impl StoredRelation {
     }
 
     /// All data-block ids in φ order.
-    pub(crate) fn all_block_ids(&self) -> Vec<BlockId> {
+    pub fn all_block_ids(&self) -> Vec<BlockId> {
         self.blocks.iter().map(|b| b.id).collect()
     }
 
@@ -279,11 +279,10 @@ impl StoredRelation {
     /// the cached run without touching the pool or the codec. On a miss the
     /// block is read through the pool, decoded via the shared
     /// [`DecodeScratch`], and the decoded run is cached for the next reader.
-    pub(crate) fn decode_block_into(
-        &self,
-        id: BlockId,
-        out: &mut Vec<Tuple>,
-    ) -> Result<(), DbError> {
+    ///
+    /// Public so block-at-a-time physical operators (the SQL executor in
+    /// `avq-sql`) can stream candidate blocks without materializing scans.
+    pub fn decode_block_into(&self, id: BlockId, out: &mut Vec<Tuple>) -> Result<(), DbError> {
         if let Some(run) = self.decoded.get(id) {
             out.extend_from_slice(&run);
             return Ok(());
@@ -371,8 +370,15 @@ impl StoredRelation {
     }
 
     /// Counters of the (shared) buffer pool this relation reads through.
-    pub(crate) fn pool_stats(&self) -> PoolStats {
+    pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// Number of decoded runs currently resident in the decoded-block
+    /// cache. The SQL planner uses the resident fraction to discount the
+    /// per-block cost of re-reading a warm relation.
+    pub fn decoded_cache_len(&self) -> usize {
+        self.decoded.len()
     }
 
     /// Resets the decoded-block cache counters.
@@ -385,9 +391,9 @@ impl StoredRelation {
         self.decoded.clear();
     }
 
-    /// Candidate blocks for a secondary-index range (errors if there is no
-    /// index on `attr`).
-    pub(crate) fn secondary_candidate_blocks(
+    /// Candidate blocks for a secondary-index range (falls back to every
+    /// block when there is no index on `attr`).
+    pub fn secondary_candidate_blocks(
         &self,
         attr: usize,
         lo: u64,
@@ -401,11 +407,7 @@ impl StoredRelation {
 
     /// Candidate blocks for a clustering-prefix range (public to the query
     /// planner).
-    pub(crate) fn clustered_candidate_blocks(
-        &self,
-        lo: u64,
-        hi: u64,
-    ) -> Result<Vec<BlockId>, DbError> {
+    pub fn clustered_candidate_blocks(&self, lo: u64, hi: u64) -> Result<Vec<BlockId>, DbError> {
         self.clustered_candidates(lo, hi)
     }
 

@@ -10,12 +10,15 @@
 /// Paths (relative, `/`-separated prefixes or exact files) whose
 /// non-test code must be panic-free: AVQ-L001 and AVQ-L002 apply here.
 /// These are the untrusted-byte decode surfaces hardened in DESIGN.md
-/// §11 — the codec, the `.avq` container parser, and the WAL read path.
+/// §11 — the codec, the `.avq` container parser, the WAL read path, and
+/// the SQL lexer/parser (which consume arbitrary user statements).
 pub const DECODE_PATHS: &[&str] = &[
     "crates/codec/src/",
     "crates/file/src/",
     "crates/wal/src/reader.rs",
     "crates/wal/src/record.rs",
+    "crates/sql/src/lexer.rs",
+    "crates/sql/src/parser.rs",
 ];
 
 /// Crate directories exempt from AVQ-L003 (crate-root hygiene
@@ -70,8 +73,10 @@ mod tests {
     fn scope_matching() {
         assert!(in_scope("crates/codec/src/block.rs", DECODE_PATHS));
         assert!(in_scope("crates/wal/src/reader.rs", DECODE_PATHS));
+        assert!(in_scope("crates/sql/src/parser.rs", DECODE_PATHS));
         assert!(!in_scope("crates/wal/src/writer.rs", DECODE_PATHS));
         assert!(!in_scope("crates/db/src/query.rs", DECODE_PATHS));
+        assert!(!in_scope("crates/sql/src/exec.rs", DECODE_PATHS));
     }
 
     #[test]

@@ -107,6 +107,19 @@ pub const SPAN_DB_CHECKPOINT: &str = "avq.db.checkpoint";
 /// Span around one `EXPLAIN ANALYZE` execution.
 pub const SPAN_DB_EXPLAIN: &str = "avq.db.explain";
 
+// ---- sql --------------------------------------------------------------
+
+/// SQL statements accepted by the front end.
+pub const SQL_STATEMENTS: &str = "avq.sql.statements";
+/// Plan alternatives fully costed by the SQL planner.
+pub const SQL_PLANS_CONSIDERED: &str = "avq.sql.plans_considered";
+/// Span around lexing + parsing one SQL statement.
+pub const SPAN_SQL_PARSE: &str = "avq.sql.parse";
+/// Span around binding + planning one SQL statement.
+pub const SPAN_SQL_PLAN: &str = "avq.sql.plan";
+/// Span around executing one planned SQL statement.
+pub const SPAN_SQL_EXEC: &str = "avq.sql.exec";
+
 /// Maps a dot-namespaced metric name onto the Prometheus charset
 /// (`avq.wal.fsync.ns` → `avq_wal_fsync_ns`).
 pub fn prom(name: &str) -> String {
@@ -164,6 +177,11 @@ pub const ALL: &[&str] = &[
     SPAN_DB_AGGREGATE,
     SPAN_DB_CHECKPOINT,
     SPAN_DB_EXPLAIN,
+    SQL_STATEMENTS,
+    SQL_PLANS_CONSIDERED,
+    SPAN_SQL_PARSE,
+    SPAN_SQL_PLAN,
+    SPAN_SQL_EXEC,
 ];
 
 #[cfg(test)]

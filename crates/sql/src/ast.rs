@@ -1,0 +1,288 @@
+//! The abstract syntax tree and its canonical pretty-printer.
+//!
+//! The printer emits the canonical lowercase form of a statement; the
+//! proptest suite pins `parse(print(ast)) == ast` for generated statements,
+//! so the grammar and printer must stay inverse to each other.
+
+use std::fmt;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// A plain `SELECT`.
+    Select(SelectStmt),
+    /// `EXPLAIN [ANALYZE] SELECT …`.
+    Explain {
+        /// True for `EXPLAIN ANALYZE` (execute and report actuals).
+        analyze: bool,
+        /// The statement being explained.
+        stmt: SelectStmt,
+    },
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectStmt {
+    /// The projection list.
+    pub projection: Projection,
+    /// The first `FROM` table.
+    pub from: TableRef,
+    /// `JOIN … ON …` clauses, in statement order.
+    pub joins: Vec<JoinClause>,
+    /// `WHERE` conjuncts, in statement order.
+    pub predicates: Vec<Predicate>,
+    /// `GROUP BY` column.
+    pub group_by: Option<ColRef>,
+    /// `ORDER BY` target.
+    pub order_by: Option<OrderBy>,
+    /// `LIMIT` row count.
+    pub limit: Option<u64>,
+}
+
+/// What `SELECT` projects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    /// `SELECT *`
+    Star,
+    /// An explicit item list.
+    Items(Vec<SelectItem>),
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// A column reference.
+    Column(ColRef),
+    /// An aggregate call; `arg == None` is `COUNT(*)`.
+    Aggregate {
+        /// Which aggregate.
+        func: AggFunc,
+        /// The argument column (`None` only for `COUNT(*)`).
+        arg: Option<ColRef>,
+    },
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+    /// `AVG`
+    Avg,
+}
+
+impl AggFunc {
+    /// The lowercase SQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// A possibly-qualified column reference (`age` or `p.age`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Table name or alias qualifier.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// A table reference with an optional alias (`people` or `people p`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Relation name.
+    pub name: String,
+    /// Alias, when given.
+    pub alias: Option<String>,
+}
+
+/// `JOIN table ON left = right`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinClause {
+    /// The joined table.
+    pub table: TableRef,
+    /// Left side of the equijoin condition.
+    pub left: ColRef,
+    /// Right side of the equijoin condition.
+    pub right: ColRef,
+}
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Literal {
+    /// An integer (sign folded in by the parser).
+    Number(i128),
+    /// A single-quoted string.
+    Str(String),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// One `WHERE` conjunct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `col <op> literal`.
+    Cmp {
+        /// The column.
+        col: ColRef,
+        /// The operator.
+        op: CmpOp,
+        /// The literal.
+        lit: Literal,
+    },
+    /// `col BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// The column.
+        col: ColRef,
+        /// Inclusive lower bound.
+        lo: Literal,
+        /// Inclusive upper bound.
+        hi: Literal,
+    },
+}
+
+/// `ORDER BY col [ASC|DESC]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderBy {
+    /// The sort column.
+    pub col: ColRef,
+    /// True for `DESC`.
+    pub desc: bool,
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} {a}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(n) => write!(f, "{n}"),
+            Literal::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Aggregate { func, arg: None } => write!(f, "{}(*)", func.name()),
+            SelectItem::Aggregate { func, arg: Some(c) } => write!(f, "{}({c})", func.name()),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Cmp { col, op, lit } => write!(f, "{col} {} {lit}", op.symbol()),
+            Predicate::Between { col, lo, hi } => write!(f, "{col} between {lo} and {hi}"),
+        }
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        match &self.projection {
+            Projection::Star => write!(f, "*")?,
+            Projection::Items(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+            }
+        }
+        write!(f, " from {}", self.from)?;
+        for j in &self.joins {
+            write!(f, " join {} on {} = {}", j.table, j.left, j.right)?;
+        }
+        for (i, p) in self.predicates.iter().enumerate() {
+            write!(f, " {} {p}", if i == 0 { "where" } else { "and" })?;
+        }
+        if let Some(g) = &self.group_by {
+            write!(f, " group by {g}")?;
+        }
+        if let Some(o) = &self.order_by {
+            write!(f, " order by {}", o.col)?;
+            if o.desc {
+                write!(f, " desc")?;
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " limit {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Explain {
+                analyze: false,
+                stmt,
+            } => write!(f, "explain {stmt}"),
+            Statement::Explain {
+                analyze: true,
+                stmt,
+            } => write!(f, "explain analyze {stmt}"),
+        }
+    }
+}

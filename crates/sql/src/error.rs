@@ -1,0 +1,73 @@
+//! Typed SQL errors with byte positions.
+//!
+//! Every failure mode of the front end is a value, never a panic: the lexer
+//! and parser report the byte offset of the offending input (so the REPL can
+//! point a caret at it), the binder reports which name or type failed to
+//! resolve, and execution failures wrap the underlying [`avq_db::DbError`].
+
+use std::fmt;
+
+/// An error from the SQL front end.
+#[derive(Debug)]
+pub enum SqlError {
+    /// The lexer met a character it cannot tokenize.
+    Lex {
+        /// Byte offset into the statement.
+        pos: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The parser met an unexpected token.
+    Parse {
+        /// Byte offset of the offending token.
+        pos: usize,
+        /// What was expected/found.
+        msg: String,
+    },
+    /// Name or type resolution against the catalog failed.
+    Bind {
+        /// What failed to resolve.
+        msg: String,
+    },
+    /// The underlying database operators failed during execution.
+    Exec {
+        /// The wrapped failure.
+        source: avq_db::DbError,
+    },
+}
+
+impl SqlError {
+    /// Byte offset of the failure in the statement text, when known.
+    pub fn position(&self) -> Option<usize> {
+        match self {
+            SqlError::Lex { pos, .. } | SqlError::Parse { pos, .. } => Some(*pos),
+            SqlError::Bind { .. } | SqlError::Exec { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, msg } => write!(f, "lex error at byte {pos}: {msg}"),
+            SqlError::Parse { pos, msg } => write!(f, "parse error at byte {pos}: {msg}"),
+            SqlError::Bind { msg } => write!(f, "bind error: {msg}"),
+            SqlError::Exec { source } => write!(f, "execution error: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Exec { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<avq_db::DbError> for SqlError {
+    fn from(source: avq_db::DbError) -> Self {
+        SqlError::Exec { source }
+    }
+}

@@ -1,0 +1,743 @@
+//! Execution of a [`PhysicalPlan`] over the stored AVQ operators.
+//!
+//! Rows flow between operators as ordinal vectors (the φ digit encoding of
+//! §3.1) laid out as the concatenation of the plan's `table_order`
+//! schemas; only the final projection/aggregation decodes ordinals back to
+//! domain values. Join keys are canonicalized through the internal
+//! `KeyVal` so an
+//! equijoin between attributes with *different* domains (say
+//! `IntRange{-10,89}` and `Uint{100}`) compares semantic values, not raw
+//! ordinals.
+//!
+//! Every operator is timed with [`Stopwatch`] and reports a
+//! [`StageReport`] using the same stage vocabulary as
+//! `avq_db::ExplainReport`, plus per-plan-node actual row counts keyed by
+//! the pre-order node numbering shared with the renderer — that pairing is
+//! what lets `EXPLAIN ANALYZE` print estimated vs. actual rows per node.
+
+use crate::binder::{BoundItem, BoundQuery};
+use crate::error::SqlError;
+use crate::plan::{domain_of, PhysicalPlan, PlanNode};
+use avq_db::{AccessPath, CacheMark, Database, RangePredicate, Selection, StageReport};
+use avq_obs::Stopwatch;
+use avq_schema::{Domain, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// A join key canonicalized to its semantic value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum KeyVal {
+    /// Any numeric domain (`Uint`, `IntRange`).
+    Int(i128),
+    /// An enumerated member.
+    Str(String),
+}
+
+/// Decodes `ord` in `domain` to its canonical key value.
+fn key_of(domain: &Domain, ord: u64) -> KeyVal {
+    match domain {
+        Domain::Uint { .. } => KeyVal::Int(i128::from(ord)),
+        Domain::IntRange { min, .. } => KeyVal::Int(i128::from(*min) + i128::from(ord)),
+        Domain::Enumerated { .. } => match domain.decode(ord) {
+            Ok(v) => KeyVal::Str(v.as_str().unwrap_or_default().to_owned()),
+            Err(_) => KeyVal::Str(String::new()),
+        },
+    }
+}
+
+/// Maps a canonical key value back to an ordinal of `domain`, or `None`
+/// when the value lies outside the domain (the join emits nothing).
+fn ord_of(domain: &Domain, key: &KeyVal) -> Option<u64> {
+    match (domain, key) {
+        (Domain::Uint { size }, KeyVal::Int(v)) => {
+            (*v >= 0 && *v < i128::from(*size)).then_some(*v as u64)
+        }
+        (Domain::IntRange { min, max }, KeyVal::Int(v)) => (*v >= i128::from(*min)
+            && *v <= i128::from(*max))
+        .then(|| (*v - i128::from(*min)) as u64),
+        (Domain::Enumerated { .. }, KeyVal::Str(s)) => domain.encode(&Value::from(s.as_str())).ok(),
+        _ => None,
+    }
+}
+
+/// One result cell, decoded to a displayable value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// An integer (base column or `COUNT`/`SUM`/integer `MIN`/`MAX`).
+    Int(i128),
+    /// A float (`AVG`).
+    Float(f64),
+    /// An enumerated member.
+    Str(String),
+    /// An aggregate over zero rows.
+    Null,
+}
+
+impl core::fmt::Display for Cell {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Cell::Int(n) => write!(f, "{n}"),
+            Cell::Float(x) => write!(f, "{x:.2}"),
+            Cell::Str(s) => write!(f, "{s}"),
+            Cell::Null => Ok(()),
+        }
+    }
+}
+
+impl Cell {
+    fn is_numeric(&self) -> bool {
+        matches!(self, Cell::Int(_) | Cell::Float(_) | Cell::Null)
+    }
+}
+
+/// The final result table of a statement.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Column headers in output order.
+    pub headers: Vec<String>,
+    /// Decoded result rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl QueryResult {
+    /// Renders the result as a fixed-width text table with a `(N rows)`
+    /// footer, `psql`-style: string cells left-aligned, numbers
+    /// right-aligned.
+    pub fn render(&self) -> String {
+        use core::fmt::Write as _;
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut numeric = vec![true; cols];
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate().take(cols) {
+                widths[c] = widths[c].max(cell.to_string().len());
+                numeric[c] = numeric[c] && cell.is_numeric();
+            }
+        }
+        let mut out = String::new();
+        for (c, h) in self.headers.iter().enumerate() {
+            if c > 0 {
+                out.push_str(" | ");
+            }
+            let _ = write!(out, "{h:<width$}", width = widths[c]);
+        }
+        out.push('\n');
+        for (c, w) in widths.iter().enumerate() {
+            if c > 0 {
+                out.push('+');
+            }
+            // One extra dash each side aligns with the ` | ` separators.
+            out.push_str(&"-".repeat(w + if c == 0 || c == cols - 1 { 1 } else { 2 }));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate().take(cols) {
+                if c > 0 {
+                    out.push_str(" | ");
+                }
+                let s = cell.to_string();
+                if numeric[c] {
+                    let _ = write!(out, "{s:>width$}", width = widths[c]);
+                } else {
+                    let _ = write!(out, "{s:<width$}", width = widths[c]);
+                }
+            }
+            out.push('\n');
+        }
+        let n = self.rows.len();
+        let _ = write!(out, "({n} row{})", if n == 1 { "" } else { "s" });
+        out
+    }
+}
+
+/// Everything execution produces: the result plus per-stage timings and
+/// per-node actual row counts for `EXPLAIN ANALYZE`.
+#[derive(Debug)]
+pub struct ExecOutput {
+    /// The decoded result table.
+    pub result: QueryResult,
+    /// Timed stages in execution order (ExplainReport vocabulary).
+    pub stages: Vec<StageReport>,
+    /// Actual output rows per plan node, keyed by pre-order node id.
+    pub actual_rows: Vec<u64>,
+}
+
+/// Intermediate batch between operators.
+enum Batch {
+    /// Ordinal rows in `table_order` layout.
+    Ordinals(Vec<Vec<u64>>),
+    /// Final decoded rows (after aggregation).
+    Cells(Vec<Vec<Cell>>),
+}
+
+impl Batch {
+    fn len(&self) -> usize {
+        match self {
+            Batch::Ordinals(r) => r.len(),
+            Batch::Cells(r) => r.len(),
+        }
+    }
+}
+
+struct Exec<'a> {
+    db: &'a Database,
+    q: &'a BoundQuery,
+    order: &'a [usize],
+    stages: Vec<StageReport>,
+    actual_rows: Vec<u64>,
+}
+
+/// Maps an output-row column index back to its `(table, attr)` source.
+fn source_of(q: &BoundQuery, order: &[usize], col: usize) -> (usize, usize) {
+    let mut off = 0usize;
+    for &t in order {
+        let arity = q.tables.get(t).map_or(0, |b| b.schema.arity());
+        if col < off + arity {
+            return (t, col - off);
+        }
+        off += arity;
+    }
+    (0, 0)
+}
+
+impl<'a> Exec<'a> {
+    fn stage(&mut self, stage: &'static str, rows: u64, blocks: u64, hits: u64, sw: Stopwatch) {
+        self.stages.push(StageReport {
+            stage,
+            rows,
+            blocks,
+            cache_hits: hits,
+            elapsed: sw.elapsed(),
+        });
+    }
+
+    /// The [`Selection`] carrying every bound conjunct on `table`.
+    fn selection_for(&self, table: usize) -> Selection {
+        let mut sel = Selection::all();
+        for p in self.q.predicates.iter().filter(|p| p.table == table) {
+            sel = sel.and(RangePredicate {
+                attr: p.attr,
+                lo: p.lo,
+                hi: p.hi,
+            });
+        }
+        sel
+    }
+
+    /// Scans `table` through `path`, returning matching ordinal rows.
+    fn scan(&mut self, table: usize, path: AccessPath) -> Result<Vec<Vec<u64>>, SqlError> {
+        let bt = self.q.tables.get(table).ok_or_else(|| SqlError::Bind {
+            msg: "plan references an unbound table".to_owned(),
+        })?;
+        let rel = self.db.relation(&bt.relation)?;
+        let sel = self.selection_for(table);
+
+        let sw = Stopwatch::start();
+        let candidates = rel.candidate_blocks(&sel, path)?;
+        if !matches!(path, AccessPath::FullScan) {
+            self.stage("index-probe", candidates.len() as u64, 0, 0, sw);
+        }
+
+        let sw = Stopwatch::start();
+        let mark = CacheMark::take(rel);
+        let mut tuples: Vec<Tuple> = Vec::new();
+        for id in &candidates {
+            rel.decode_block_into(*id, &mut tuples)?;
+        }
+        self.stage(
+            "scan",
+            tuples.len() as u64,
+            candidates.len() as u64,
+            mark.hits_since(rel),
+            sw,
+        );
+
+        let sw = Stopwatch::start();
+        let rows: Vec<Vec<u64>> = tuples
+            .iter()
+            .filter(|t| sel.matches(t))
+            .map(|t| t.digits().to_vec())
+            .collect();
+        self.stage("filter", rows.len() as u64, 0, 0, sw);
+        Ok(rows)
+    }
+
+    /// Nested-loop equijoin of `outer_rows` with stored table `inner`.
+    /// `index_probe` selects index-nested-loop (decode only blocks holding
+    /// probed keys) over block-nested-loop (decode the inner's full
+    /// candidate set once).
+    #[allow(clippy::too_many_arguments)]
+    fn nl_join(
+        &mut self,
+        outer_rows: Vec<Vec<u64>>,
+        inner: usize,
+        index_probe: bool,
+        outer_key: (usize, usize),
+        outer_col: usize,
+        inner_attr: usize,
+    ) -> Result<Vec<Vec<u64>>, SqlError> {
+        let bt = self.q.tables.get(inner).ok_or_else(|| SqlError::Bind {
+            msg: "plan references an unbound table".to_owned(),
+        })?;
+        let rel = self.db.relation(&bt.relation)?;
+        let sel = self.selection_for(inner);
+        let out_dom = domain_of(self.q, outer_key);
+        let in_dom = domain_of(self.q, (inner, inner_attr));
+
+        // Distinct outer key ordinals → matching inner ordinal (if any).
+        let mut key_map: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+        for row in &outer_rows {
+            let Some(&o) = row.get(outer_col) else {
+                continue;
+            };
+            key_map
+                .entry(o)
+                .or_insert_with(|| ord_of(in_dom, &key_of(out_dom, o)));
+        }
+
+        // Inner side: matching tuples grouped by the join attribute.
+        let mut by_key: BTreeMap<u64, Vec<Vec<u64>>> = BTreeMap::new();
+        if index_probe {
+            let sw = Stopwatch::start();
+            let mark = CacheMark::take(rel);
+            let mut probed_blocks = 0u64;
+            let mut matched = 0u64;
+            for inner_ord in key_map.values().flatten() {
+                let probe_sel = sel
+                    .clone()
+                    .and(RangePredicate::equals(inner_attr, *inner_ord));
+                let candidates = rel.candidate_blocks(
+                    &probe_sel,
+                    AccessPath::SecondaryIndex { attr: inner_attr },
+                )?;
+                probed_blocks += candidates.len() as u64;
+                let mut tuples: Vec<Tuple> = Vec::new();
+                for id in &candidates {
+                    rel.decode_block_into(*id, &mut tuples)?;
+                }
+                for t in tuples.iter().filter(|t| probe_sel.matches(t)) {
+                    matched += 1;
+                    by_key
+                        .entry(*inner_ord)
+                        .or_default()
+                        .push(t.digits().to_vec());
+                }
+            }
+            self.stage(
+                "index-probe",
+                matched,
+                probed_blocks,
+                mark.hits_since(rel),
+                sw,
+            );
+        } else {
+            let sw = Stopwatch::start();
+            let mark = CacheMark::take(rel);
+            let candidates = rel.candidate_blocks(&sel, AccessPath::FullScan)?;
+            let mut tuples: Vec<Tuple> = Vec::new();
+            for id in &candidates {
+                rel.decode_block_into(*id, &mut tuples)?;
+            }
+            let mut matched = 0u64;
+            for t in tuples.iter().filter(|t| sel.matches(t)) {
+                matched += 1;
+                if let Some(&o) = t.digits().get(inner_attr) {
+                    by_key.entry(o).or_default().push(t.digits().to_vec());
+                }
+            }
+            self.stage(
+                "scan-inner",
+                matched,
+                candidates.len() as u64,
+                mark.hits_since(rel),
+                sw,
+            );
+        }
+
+        let sw = Stopwatch::start();
+        let mut out = Vec::new();
+        for row in &outer_rows {
+            let Some(&o) = row.get(outer_col) else {
+                continue;
+            };
+            let Some(Some(inner_ord)) = key_map.get(&o) else {
+                continue;
+            };
+            if let Some(matches) = by_key.get(inner_ord) {
+                for m in matches {
+                    let mut joined = row.clone();
+                    joined.extend_from_slice(m);
+                    out.push(joined);
+                }
+            }
+        }
+        self.stage("join", out.len() as u64, 0, 0, sw);
+        Ok(out)
+    }
+
+    /// Streaming hash join: build on `left_rows`, probe with a scan of
+    /// `table` through `path`.
+    #[allow(clippy::too_many_arguments)]
+    fn hash_join(
+        &mut self,
+        left_rows: Vec<Vec<u64>>,
+        table: usize,
+        path: AccessPath,
+        left_key: (usize, usize),
+        left_col: usize,
+        table_attr: usize,
+    ) -> Result<Vec<Vec<u64>>, SqlError> {
+        let left_dom = domain_of(self.q, left_key);
+        let probe_dom = domain_of(self.q, (table, table_attr));
+
+        let mut build: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, row) in left_rows.iter().enumerate() {
+            if let Some(&o) = row.get(left_col) {
+                build.entry(o).or_default().push(i);
+            }
+        }
+        // Left ordinal → probe-side ordinal under the canonical key.
+        let probe_ord: BTreeMap<u64, Option<u64>> = build
+            .keys()
+            .map(|&o| (o, ord_of(probe_dom, &key_of(left_dom, o))))
+            .collect();
+        let by_probe_ord: BTreeMap<u64, &Vec<usize>> = build
+            .iter()
+            .filter_map(|(o, idxs)| probe_ord.get(o).copied().flatten().map(|p| (p, idxs)))
+            .collect();
+
+        let probe_rows = self.scan(table, path)?;
+        let sw = Stopwatch::start();
+        let mut out = Vec::new();
+        for trow in &probe_rows {
+            let Some(&o) = trow.get(table_attr) else {
+                continue;
+            };
+            if let Some(idxs) = by_probe_ord.get(&o) {
+                for &i in *idxs {
+                    let Some(lrow) = left_rows.get(i) else {
+                        continue;
+                    };
+                    let mut joined = lrow.clone();
+                    joined.extend_from_slice(trow);
+                    out.push(joined);
+                }
+            }
+        }
+        self.stage("join", out.len() as u64, 0, 0, sw);
+        Ok(out)
+    }
+
+    /// Folds `rows` into one output row per group.
+    fn aggregate(
+        &mut self,
+        rows: Vec<Vec<u64>>,
+        group_col: Option<usize>,
+        desc: bool,
+    ) -> Vec<Vec<Cell>> {
+        let sw = Stopwatch::start();
+        let mut groups: BTreeMap<u64, Vec<Acc>> = BTreeMap::new();
+        let fresh = |q: &BoundQuery| -> Vec<Acc> { q.items.iter().map(Acc::for_item).collect() };
+        if group_col.is_none() {
+            groups.insert(0, fresh(self.q));
+        }
+        for row in &rows {
+            let key = match group_col {
+                Some(c) => row.get(c).copied().unwrap_or(0),
+                None => 0,
+            };
+            let accs = groups.entry(key).or_insert_with(|| fresh(self.q));
+            for (acc, item) in accs.iter_mut().zip(self.q.items.iter()) {
+                acc.feed(self.q, self.order, item, row);
+            }
+        }
+        let mut out: Vec<Vec<Cell>> = Vec::new();
+        let finish = |accs: &[Acc]| -> Vec<Cell> {
+            accs.iter()
+                .zip(self.q.items.iter())
+                .map(|(a, item)| a.finish(self.q, item))
+                .collect()
+        };
+        if desc {
+            for accs in groups.values().rev() {
+                out.push(finish(accs));
+            }
+        } else {
+            for accs in groups.values() {
+                out.push(finish(accs));
+            }
+        }
+        self.stage("aggregate", out.len() as u64, 0, 0, sw);
+        out
+    }
+
+    fn exec_node(&mut self, node: &PlanNode, counter: &mut usize) -> Result<Batch, SqlError> {
+        let my_id = *counter;
+        *counter += 1;
+        // Keep the slot — children allocate ids before we know our rows.
+        if self.actual_rows.len() <= my_id {
+            self.actual_rows.resize(my_id + 1, 0);
+        }
+        let batch = match node {
+            PlanNode::Scan { table, path, .. } => Batch::Ordinals(self.scan(*table, *path)?),
+            PlanNode::NlJoin {
+                outer,
+                inner,
+                strategy,
+                outer_key,
+                outer_col,
+                inner_attr,
+                ..
+            } => {
+                let Batch::Ordinals(outer_rows) = self.exec_node(outer, counter)? else {
+                    return Err(SqlError::Bind {
+                        msg: "join input is not an ordinal stream".to_owned(),
+                    });
+                };
+                let index_probe = matches!(strategy, avq_db::JoinStrategy::IndexNestedLoop);
+                Batch::Ordinals(self.nl_join(
+                    outer_rows,
+                    *inner,
+                    index_probe,
+                    *outer_key,
+                    *outer_col,
+                    *inner_attr,
+                )?)
+            }
+            PlanNode::HashJoin {
+                left,
+                table,
+                path,
+                left_key,
+                left_col,
+                table_attr,
+                ..
+            } => {
+                let Batch::Ordinals(left_rows) = self.exec_node(left, counter)? else {
+                    return Err(SqlError::Bind {
+                        msg: "join input is not an ordinal stream".to_owned(),
+                    });
+                };
+                Batch::Ordinals(self.hash_join(
+                    left_rows,
+                    *table,
+                    *path,
+                    *left_key,
+                    *left_col,
+                    *table_attr,
+                )?)
+            }
+            PlanNode::Aggregate {
+                input,
+                group_col,
+                desc,
+                ..
+            } => {
+                let Batch::Ordinals(rows) = self.exec_node(input, counter)? else {
+                    return Err(SqlError::Bind {
+                        msg: "aggregate input is not an ordinal stream".to_owned(),
+                    });
+                };
+                Batch::Cells(self.aggregate(rows, *group_col, *desc))
+            }
+            PlanNode::Sort {
+                input, col, desc, ..
+            } => {
+                let Batch::Ordinals(mut rows) = self.exec_node(input, counter)? else {
+                    return Err(SqlError::Bind {
+                        msg: "sort input is not an ordinal stream".to_owned(),
+                    });
+                };
+                let sw = Stopwatch::start();
+                // Ordinal order is domain order for every domain kind, so
+                // sorting ordinals sorts semantic values.
+                rows.sort_by_key(|r| r.get(*col).copied().unwrap_or(0));
+                if *desc {
+                    rows.reverse();
+                }
+                self.stage("sort", rows.len() as u64, 0, 0, sw);
+                Batch::Ordinals(rows)
+            }
+            PlanNode::Limit { input, n, .. } => {
+                let mut batch = self.exec_node(input, counter)?;
+                let sw = Stopwatch::start();
+                match &mut batch {
+                    Batch::Ordinals(rows) => rows.truncate(*n),
+                    Batch::Cells(rows) => rows.truncate(*n),
+                }
+                self.stage("limit", batch.len() as u64, 0, 0, sw);
+                batch
+            }
+            PlanNode::Project { input, cols, .. } => {
+                let Batch::Ordinals(rows) = self.exec_node(input, counter)? else {
+                    return Err(SqlError::Bind {
+                        msg: "projection input is not an ordinal stream".to_owned(),
+                    });
+                };
+                let sw = Stopwatch::start();
+                let sources: Vec<(usize, usize)> = cols
+                    .iter()
+                    .map(|&c| source_of(self.q, self.order, c))
+                    .collect();
+                let out: Vec<Vec<Cell>> = rows
+                    .iter()
+                    .map(|row| {
+                        cols.iter()
+                            .zip(sources.iter())
+                            .map(|(&c, &src)| {
+                                let ord = row.get(c).copied().unwrap_or(0);
+                                decode_cell(domain_of(self.q, src), ord)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                self.stage("project", out.len() as u64, 0, 0, sw);
+                Batch::Cells(out)
+            }
+        };
+        if let Some(slot) = self.actual_rows.get_mut(my_id) {
+            *slot = batch.len() as u64;
+        }
+        Ok(batch)
+    }
+}
+
+/// Decodes one ordinal to a display cell through its domain.
+fn decode_cell(domain: &Domain, ord: u64) -> Cell {
+    match key_of(domain, ord) {
+        KeyVal::Int(n) => Cell::Int(n),
+        KeyVal::Str(s) => Cell::Str(s),
+    }
+}
+
+/// One aggregate accumulator.
+enum Acc {
+    Count(u64),
+    Sum(i128),
+    Avg {
+        sum: i128,
+        n: u64,
+    },
+    Min(Option<u64>),
+    Max(Option<u64>),
+    /// A plain group-key column: remember the first ordinal seen.
+    Key(Option<u64>),
+}
+
+impl Acc {
+    fn for_item(item: &BoundItem) -> Acc {
+        use crate::ast::AggFunc;
+        match item {
+            BoundItem::Column { .. } => Acc::Key(None),
+            BoundItem::Aggregate { func, .. } => match func {
+                AggFunc::Count => Acc::Count(0),
+                AggFunc::Sum => Acc::Sum(0),
+                AggFunc::Avg => Acc::Avg { sum: 0, n: 0 },
+                AggFunc::Min => Acc::Min(None),
+                AggFunc::Max => Acc::Max(None),
+            },
+        }
+    }
+
+    /// The semantic integer value of `col`'s ordinal in `row`.
+    fn semantic(q: &BoundQuery, order: &[usize], col: (usize, usize), row: &[u64]) -> i128 {
+        let c = crate::plan::col_in_order(q, order, col);
+        let ord = row.get(c).copied().unwrap_or(0);
+        match key_of(domain_of(q, col), ord) {
+            KeyVal::Int(n) => n,
+            KeyVal::Str(_) => 0,
+        }
+    }
+
+    fn feed(&mut self, q: &BoundQuery, order: &[usize], item: &BoundItem, row: &[u64]) {
+        let arg = match item {
+            BoundItem::Column { col } => Some(*col),
+            BoundItem::Aggregate { arg, .. } => *arg,
+        };
+        match self {
+            Acc::Count(n) => *n += 1,
+            Acc::Sum(s) => {
+                if let Some(col) = arg {
+                    *s += Acc::semantic(q, order, col, row);
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(col) = arg {
+                    *sum += Acc::semantic(q, order, col, row);
+                    *n += 1;
+                }
+            }
+            Acc::Min(cur) => {
+                if let Some(col) = arg {
+                    let c = crate::plan::col_in_order(q, order, col);
+                    let ord = row.get(c).copied().unwrap_or(0);
+                    *cur = Some(cur.map_or(ord, |m| m.min(ord)));
+                }
+            }
+            Acc::Max(cur) => {
+                if let Some(col) = arg {
+                    let c = crate::plan::col_in_order(q, order, col);
+                    let ord = row.get(c).copied().unwrap_or(0);
+                    *cur = Some(cur.map_or(ord, |m| m.max(ord)));
+                }
+            }
+            Acc::Key(cur) => {
+                if let (Some(col), None) = (arg, &cur) {
+                    let c = crate::plan::col_in_order(q, order, col);
+                    *cur = row.get(c).copied();
+                }
+            }
+        }
+    }
+
+    fn finish(&self, q: &BoundQuery, item: &BoundItem) -> Cell {
+        let arg = match item {
+            BoundItem::Column { col } => Some(*col),
+            BoundItem::Aggregate { arg, .. } => *arg,
+        };
+        match self {
+            Acc::Count(n) => Cell::Int(i128::from(*n)),
+            Acc::Sum(s) => Cell::Int(*s),
+            Acc::Avg { n: 0, .. } => Cell::Null,
+            Acc::Avg { sum, n } => Cell::Float(*sum as f64 / *n as f64),
+            Acc::Min(ord) | Acc::Max(ord) | Acc::Key(ord) => match (ord, arg) {
+                (Some(o), Some(col)) => decode_cell(domain_of(q, col), *o),
+                _ => Cell::Null,
+            },
+        }
+    }
+}
+
+/// Executes `plan` for `q` against `db`.
+pub fn execute(db: &Database, q: &BoundQuery, plan: &PhysicalPlan) -> Result<ExecOutput, SqlError> {
+    let mut exec = Exec {
+        db,
+        q,
+        order: &plan.table_order,
+        stages: Vec::new(),
+        actual_rows: Vec::new(),
+    };
+    let mut counter = 0usize;
+    let batch = exec.exec_node(&plan.root, &mut counter)?;
+    let rows = match batch {
+        Batch::Cells(rows) => rows,
+        // An ordinal root only happens for plans without a projection tail,
+        // which the planner never emits; decode defensively anyway.
+        Batch::Ordinals(rows) => rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(c, &o)| decode_cell(domain_of(q, source_of(q, &plan.table_order, c)), o))
+                    .collect()
+            })
+            .collect(),
+    };
+    Ok(ExecOutput {
+        result: QueryResult {
+            headers: q.headers.clone(),
+            rows,
+        },
+        stages: exec.stages,
+        actual_rows: exec.actual_rows,
+    })
+}

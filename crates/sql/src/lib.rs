@@ -1,0 +1,93 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `avq-sql` — a SQL front end and cost-based planner over the AVQ
+//! operators.
+//!
+//! The pipeline is classic and small: a hand-rolled lexer and
+//! recursive-descent parser ([`parser`]) produce an AST ([`ast`]), the
+//! binder ([`binder`]) resolves names and types against the database
+//! catalog and lowers `WHERE` conjuncts to inclusive ordinal ranges, the
+//! planner ([`plan`]) enumerates access paths and left-deep join orders
+//! priced by the §5.3 cost model (with a decoded-cache residency
+//! discount), and the executor ([`exec`]) runs the chosen
+//! [`PhysicalPlan`] through `avq_db`'s stored operators. `EXPLAIN`
+//! renders the costed tree; `EXPLAIN ANALYZE` additionally executes and
+//! pairs estimated with actual row counts per node ([`render`]).
+//!
+//! The dialect: `SELECT` projection or `*`, `WHERE` with `=`, ranges and
+//! `AND`, `JOIN … ON` equijoins (up to three relations), `GROUP BY` with
+//! `COUNT`/`SUM`/`MIN`/`MAX`/`AVG`, `ORDER BY`, `LIMIT`, and
+//! `EXPLAIN [ANALYZE]` of any of the above.
+
+pub mod ast;
+pub mod binder;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod render;
+
+pub use ast::Statement;
+pub use binder::{bind, BoundQuery};
+pub use error::SqlError;
+pub use exec::{Cell, ExecOutput, QueryResult};
+pub use parser::parse;
+pub use plan::{PhysicalPlan, PlanNode};
+pub use render::{render_analyze, render_explain};
+
+use avq_db::Database;
+use avq_obs::names;
+
+/// What running one statement produced.
+#[derive(Debug)]
+pub enum SqlOutcome {
+    /// A result table (plain `SELECT`).
+    Table(QueryResult),
+    /// A rendered plan (`EXPLAIN [ANALYZE]`).
+    Plan(String),
+}
+
+impl SqlOutcome {
+    /// Renders the outcome for a terminal.
+    pub fn render(&self) -> String {
+        match self {
+            SqlOutcome::Table(t) => t.render(),
+            SqlOutcome::Plan(p) => p.clone(),
+        }
+    }
+}
+
+/// Parses, plans, and runs one SQL statement against `db`.
+pub fn run(db: &Database, sql: &str) -> Result<SqlOutcome, SqlError> {
+    avq_obs::counter!(names::SQL_STATEMENTS).inc();
+    let stmt = {
+        let _span = avq_obs::span!(names::SPAN_SQL_PARSE);
+        parse(sql)?
+    };
+    let (select, explain) = match stmt {
+        Statement::Select(s) => (s, None),
+        Statement::Explain { analyze, stmt } => (stmt, Some(analyze)),
+    };
+    let (bound, physical) = {
+        let _span = avq_obs::span!(names::SPAN_SQL_PLAN);
+        let bound = bind(db, &select)?;
+        let physical = plan::plan(db, &bound)?;
+        avq_obs::counter!(names::SQL_PLANS_CONSIDERED).add(physical.plans_considered);
+        (bound, physical)
+    };
+    match explain {
+        None => {
+            let _span = avq_obs::span!(names::SPAN_SQL_EXEC);
+            let out = exec::execute(db, &bound, &physical)?;
+            Ok(SqlOutcome::Table(out.result))
+        }
+        Some(false) => Ok(SqlOutcome::Plan(render_explain(&bound, &physical))),
+        Some(true) => {
+            let _span = avq_obs::span!(names::SPAN_SQL_EXEC);
+            let out = exec::execute(db, &bound, &physical)?;
+            Ok(SqlOutcome::Plan(render_analyze(&bound, &physical, &out)))
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! End-to-end correctness: every dialect feature executed through the full
+//! lex → parse → bind → plan → exec pipeline and checked against brute
+//! force over `scan_all`.
+
+use avq_db::{Database, DbConfig};
+use avq_schema::{Domain, Relation, Schema, Tuple};
+use avq_sql::{run, Cell, SqlOutcome};
+
+/// `people(dept enum{eng,hr,ops}, age ∈ [-10, 89], id < 1000)`, 300 rows,
+/// plus `teams(dept, size)` with one row per department, and a secondary
+/// index on `people.id`.
+fn db() -> Database {
+    let mut config = DbConfig::default();
+    config.codec.block_capacity = 512;
+    let mut db = Database::new(config);
+
+    let people = Schema::from_pairs(vec![
+        (
+            "dept",
+            Domain::enumerated(vec!["eng", "hr", "ops"]).unwrap(),
+        ),
+        ("age", Domain::int_range(-10, 89).unwrap()),
+        ("id", Domain::uint(1000).unwrap()),
+    ])
+    .unwrap();
+    let tuples: Vec<Tuple> = (0..300u64)
+        .map(|i| Tuple::from([i % 3, (i * 7) % 100, i]))
+        .collect();
+    db.create_relation("people", &Relation::from_tuples(people, tuples).unwrap())
+        .unwrap();
+    db.relation_mut("people")
+        .unwrap()
+        .create_secondary_index(2)
+        .unwrap();
+
+    let teams = Schema::from_pairs(vec![
+        (
+            "dept",
+            Domain::enumerated(vec!["eng", "hr", "ops"]).unwrap(),
+        ),
+        ("size", Domain::uint(500).unwrap()),
+    ])
+    .unwrap();
+    let rows: Vec<Tuple> = vec![
+        Tuple::from([0u64, 100]),
+        Tuple::from([1u64, 40]),
+        Tuple::from([2u64, 160]),
+    ];
+    db.create_relation("teams", &Relation::from_tuples(teams, rows).unwrap())
+        .unwrap();
+    db
+}
+
+fn table(db: &Database, sql: &str) -> avq_sql::QueryResult {
+    match run(db, sql).unwrap() {
+        SqlOutcome::Table(t) => t,
+        SqlOutcome::Plan(p) => panic!("expected a table, got a plan:\n{p}"),
+    }
+}
+
+fn plan_text(db: &Database, sql: &str) -> String {
+    match run(db, sql).unwrap() {
+        SqlOutcome::Plan(p) => p,
+        SqlOutcome::Table(_) => panic!("expected a plan"),
+    }
+}
+
+/// People rows as (dept ordinal, age ordinal, id) digit triples.
+fn people_digits(db: &Database) -> Vec<Vec<u64>> {
+    db.relation("people")
+        .unwrap()
+        .scan_all()
+        .unwrap()
+        .iter()
+        .map(|t| t.digits().to_vec())
+        .collect()
+}
+
+#[test]
+fn where_conjunction_matches_brute_force() {
+    let db = db();
+    let got = table(&db, "select * from people where age >= 0 and id < 100");
+    // age >= 0 is ordinal >= 10 in IntRange(-10, 89).
+    let want = people_digits(&db)
+        .iter()
+        .filter(|d| d[1] >= 10 && d[2] < 100)
+        .count();
+    assert_eq!(got.rows.len(), want);
+    assert_eq!(got.headers, vec!["dept", "age", "id"]);
+}
+
+#[test]
+fn projection_decodes_domain_values() {
+    let db = db();
+    let got = table(&db, "select id, age, dept from people where id = 13");
+    // Tuple 13: dept = 13 % 3 = 1 ("hr"), age ordinal = 91 % 100 = 91
+    // which decodes to -10 + 91 = 81.
+    assert_eq!(got.rows.len(), 1);
+    assert_eq!(
+        got.rows[0],
+        vec![Cell::Int(13), Cell::Int(81), Cell::Str("hr".to_owned())]
+    );
+}
+
+#[test]
+fn order_by_and_limit() {
+    let db = db();
+    let got = table(
+        &db,
+        "select id from people where id < 10 order by id desc limit 3",
+    );
+    let ids: Vec<_> = got.rows.iter().map(|r| r[0].clone()).collect();
+    assert_eq!(ids, vec![Cell::Int(9), Cell::Int(8), Cell::Int(7)]);
+}
+
+#[test]
+fn order_by_non_prefix_column_sorts_semantically() {
+    let db = db();
+    let got = table(&db, "select age from people where id < 5 order by age");
+    let ages: Vec<i128> = got
+        .rows
+        .iter()
+        .map(|r| match r[0] {
+            Cell::Int(n) => n,
+            ref c => panic!("unexpected cell {c:?}"),
+        })
+        .collect();
+    let mut sorted = ages.clone();
+    sorted.sort_unstable();
+    assert_eq!(ages, sorted);
+    assert_eq!(ages.len(), 5);
+}
+
+#[test]
+fn group_by_counts_every_department() {
+    let db = db();
+    let got = table(&db, "select dept, count(*) from people group by dept");
+    assert_eq!(got.headers, vec!["dept", "count(*)"]);
+    assert_eq!(
+        got.rows,
+        vec![
+            vec![Cell::Str("eng".to_owned()), Cell::Int(100)],
+            vec![Cell::Str("hr".to_owned()), Cell::Int(100)],
+            vec![Cell::Str("ops".to_owned()), Cell::Int(100)],
+        ]
+    );
+}
+
+#[test]
+fn ungrouped_aggregates_match_brute_force() {
+    let db = db();
+    let got = table(
+        &db,
+        "select count(*), sum(id), min(age), max(age) from people",
+    );
+    let digits = people_digits(&db);
+    let sum_id: i128 = digits.iter().map(|d| i128::from(d[2])).sum();
+    let min_age = digits.iter().map(|d| d[1] as i128 - 10).min().unwrap();
+    let max_age = digits.iter().map(|d| d[1] as i128 - 10).max().unwrap();
+    assert_eq!(
+        got.rows,
+        vec![vec![
+            Cell::Int(300),
+            Cell::Int(sum_id),
+            Cell::Int(min_age),
+            Cell::Int(max_age),
+        ]]
+    );
+}
+
+#[test]
+fn avg_is_float_and_empty_aggregates_are_null() {
+    let db = db();
+    let got = table(&db, "select avg(id) from people where id < 4");
+    assert_eq!(got.rows, vec![vec![Cell::Float(1.5)]]);
+    let got = table(
+        &db,
+        "select count(*), avg(id) from people where id = 999999999",
+    );
+    assert_eq!(got.rows, vec![vec![Cell::Int(0), Cell::Null]]);
+}
+
+#[test]
+fn equijoin_matches_brute_force() {
+    let db = db();
+    let got = table(
+        &db,
+        "select people.id, teams.size from people join teams on people.dept = teams.dept \
+         where people.id < 30",
+    );
+    // Every person matches exactly the one team of their department.
+    assert_eq!(got.rows.len(), 30);
+    // Person 4: dept = 4 % 3 = 1 ("hr") → team size 40.
+    assert!(got
+        .rows
+        .iter()
+        .any(|r| r == &vec![Cell::Int(4), Cell::Int(40)]));
+}
+
+#[test]
+fn join_with_group_by_aggregates_join_output() {
+    let db = db();
+    let got = table(
+        &db,
+        "select teams.size, count(*) from people join teams on people.dept = teams.dept \
+         group by teams.size",
+    );
+    // 100 people per department, keyed by that department's team size.
+    assert_eq!(
+        got.rows,
+        vec![
+            vec![Cell::Int(40), Cell::Int(100)],
+            vec![Cell::Int(100), Cell::Int(100)],
+            vec![Cell::Int(160), Cell::Int(100)],
+        ]
+    );
+}
+
+#[test]
+fn provably_empty_predicate_returns_no_rows() {
+    let db = db();
+    let got = table(&db, "select * from people where age < -10");
+    assert!(got.rows.is_empty());
+    assert!(got.render().ends_with("(0 rows)"));
+}
+
+#[test]
+fn explain_renders_costed_tree() {
+    let db = db();
+    let p = plan_text(&db, "explain select * from people where id = 7");
+    assert!(p.starts_with("EXPLAIN: select * from people where id = 7\n"));
+    assert!(p.contains("plan: "), "missing plan summary line:\n{p}");
+    assert!(p.contains("est_rows="), "missing estimates:\n{p}");
+    assert!(p.contains("plans considered:"), "missing footer:\n{p}");
+    assert!(!p.contains("actual_rows"), "EXPLAIN must not execute:\n{p}");
+}
+
+#[test]
+fn explain_analyze_pairs_estimates_with_actuals() {
+    let db = db();
+    let p = plan_text(&db, "explain analyze select * from people where id = 7");
+    assert!(p.starts_with("EXPLAIN ANALYZE:"));
+    assert!(p.contains("actual_rows="), "missing actuals:\n{p}");
+    // The stage table rides along, same format as `avqtool explain`.
+    assert!(p.contains("stage"), "missing stage table:\n{p}");
+    assert!(p.contains("total"), "missing total row:\n{p}");
+    // The probe for id = 7 finds exactly one row.
+    assert!(
+        p.contains("actual_rows=1"),
+        "expected one matching row:\n{p}"
+    );
+}
+
+#[test]
+fn render_table_has_headers_separator_and_footer() {
+    let db = db();
+    let text = table(&db, "select dept, count(*) from people group by dept").render();
+    let mut lines = text.lines();
+    assert_eq!(lines.next().unwrap().trim_end(), "dept | count(*)");
+    assert!(lines.next().unwrap().starts_with("-----+"));
+    assert!(text.ends_with("(3 rows)"));
+}
+
+#[test]
+fn statement_metrics_are_recorded() {
+    let db = db();
+    let before = avq_obs::global().snapshot();
+    let _ = table(&db, "select count(*) from people");
+    let _ = plan_text(&db, "explain select * from people");
+    let after = avq_obs::global().snapshot();
+    let delta = |name: &str| {
+        after.counters.get(name).copied().unwrap_or(0)
+            - before.counters.get(name).copied().unwrap_or(0)
+    };
+    assert_eq!(delta(avq_obs::names::SQL_STATEMENTS), 2);
+    assert!(delta(avq_obs::names::SQL_PLANS_CONSIDERED) >= 2);
+}

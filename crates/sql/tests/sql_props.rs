@@ -1,0 +1,239 @@
+//! Property tests for the SQL front end.
+//!
+//! Two invariants: (1) the canonical pretty-printer and the parser are
+//! inverse on generated statements (`parse(print(ast)) == ast`), and
+//! (2) the parser never panics — arbitrary garbage and truncated valid
+//! statements produce a typed [`SqlError`] carrying a byte position.
+
+use avq_sql::ast::{
+    AggFunc, CmpOp, ColRef, JoinClause, Literal, OrderBy, Predicate, Projection, SelectItem,
+    SelectStmt, Statement, TableRef,
+};
+use avq_sql::{parse, SqlError};
+use proptest::prelude::*;
+
+const TABLES: &[&str] = &["people", "teams", "events"];
+const COLUMNS: &[&str] = &["dept", "age", "id", "k"];
+const ALIASES: &[&str] = &["p", "q", "r"];
+const STRINGS: &[&str] = &["eng", "hr", "ops"];
+
+fn arb_colref() -> BoxedStrategy<ColRef> {
+    (
+        any::<prop::sample::Index>(),
+        any::<prop::sample::Index>(),
+        0u8..2,
+    )
+        .prop_map(|(t, c, qualify)| ColRef {
+            table: (qualify == 1).then(|| TABLES[t.index(TABLES.len())].to_owned()),
+            column: COLUMNS[c.index(COLUMNS.len())].to_owned(),
+        })
+        .boxed()
+}
+
+fn arb_literal() -> BoxedStrategy<Literal> {
+    prop_oneof![
+        (0u8..2, 0u64..5000)
+            .prop_map(|(neg, n)| {
+                // `-0` canonicalizes to `0`, keeping print∘parse idempotent.
+                let v = i128::from(n);
+                Literal::Number(if neg == 1 { -v } else { v })
+            })
+            .boxed(),
+        any::<prop::sample::Index>()
+            .prop_map(|i| Literal::Str(STRINGS[i.index(STRINGS.len())].to_owned()))
+            .boxed(),
+    ]
+    .boxed()
+}
+
+fn arb_item() -> BoxedStrategy<SelectItem> {
+    let aggs = [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Min,
+        AggFunc::Max,
+        AggFunc::Avg,
+    ];
+    prop_oneof![
+        arb_colref().prop_map(SelectItem::Column).boxed(),
+        (any::<prop::sample::Index>(), arb_colref(), 0u8..2)
+            .prop_map(move |(f, c, star)| {
+                let func = aggs[f.index(aggs.len())];
+                // `f(*)` is only grammatical for COUNT.
+                let arg = if star == 1 && matches!(func, AggFunc::Count) {
+                    None
+                } else {
+                    Some(c)
+                };
+                SelectItem::Aggregate { func, arg }
+            })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+fn arb_predicate() -> BoxedStrategy<Predicate> {
+    let ops = [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+    prop_oneof![
+        (arb_colref(), any::<prop::sample::Index>(), arb_literal())
+            .prop_map(move |(col, o, lit)| Predicate::Cmp {
+                col,
+                op: ops[o.index(ops.len())],
+                lit,
+            })
+            .boxed(),
+        (arb_colref(), arb_literal(), arb_literal())
+            .prop_map(|(col, lo, hi)| Predicate::Between { col, lo, hi })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+fn arb_table_ref() -> BoxedStrategy<TableRef> {
+    (
+        any::<prop::sample::Index>(),
+        any::<prop::sample::Index>(),
+        0u8..2,
+    )
+        .prop_map(|(t, a, aliased)| TableRef {
+            name: TABLES[t.index(TABLES.len())].to_owned(),
+            alias: (aliased == 1).then(|| ALIASES[a.index(ALIASES.len())].to_owned()),
+        })
+        .boxed()
+}
+
+fn arb_select() -> BoxedStrategy<SelectStmt> {
+    let projection = prop_oneof![
+        Just(Projection::Star).boxed(),
+        prop::collection::vec(arb_item(), 1..4)
+            .prop_map(Projection::Items)
+            .boxed(),
+    ];
+    (
+        (
+            projection,
+            arb_table_ref(),
+            prop::collection::vec(
+                (arb_table_ref(), arb_colref(), arb_colref())
+                    .prop_map(|(table, left, right)| JoinClause { table, left, right }),
+                0..3,
+            ),
+        ),
+        (
+            prop::collection::vec(arb_predicate(), 0..4),
+            (0u8..2, arb_colref()),
+            (0u8..3, arb_colref()),
+            (0u8..2, 0u64..10_000),
+        ),
+    )
+        .prop_map(
+            |((projection, from, joins), (predicates, (g, gcol), (o, ocol), (l, n)))| SelectStmt {
+                projection,
+                from,
+                joins,
+                predicates,
+                group_by: (g == 1).then_some(gcol),
+                order_by: (o > 0).then_some(OrderBy {
+                    col: ocol,
+                    desc: o == 2,
+                }),
+                limit: (l == 1).then_some(n),
+            },
+        )
+        .boxed()
+}
+
+fn arb_statement() -> BoxedStrategy<Statement> {
+    (0u8..3, arb_select())
+        .prop_map(|(kind, stmt)| match kind {
+            0 => Statement::Select(stmt),
+            1 => Statement::Explain {
+                analyze: false,
+                stmt,
+            },
+            _ => Statement::Explain {
+                analyze: true,
+                stmt,
+            },
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The canonical printer and the parser are inverse.
+    #[test]
+    fn print_parse_roundtrip(stmt in arb_statement()) {
+        let text = stmt.to_string();
+        let reparsed = parse(&text);
+        prop_assert!(reparsed.is_ok(), "canonical text failed to parse: {text}");
+        prop_assert_eq!(reparsed.unwrap(), stmt, "round-trip changed the AST for: {}", text);
+    }
+
+    /// Truncating a valid statement at any byte never panics, and any error
+    /// carries a position within the remaining input.
+    #[test]
+    fn truncation_yields_positioned_errors(stmt in arb_statement(), cut in 0usize..200) {
+        let text = stmt.to_string();
+        let cut = cut.min(text.len());
+        // Statements are pure ASCII, so every byte index is a char boundary.
+        let truncated = &text[..cut];
+        match parse(truncated) {
+            Ok(_) => {}
+            Err(e) => {
+                let pos = e.position();
+                prop_assert!(
+                    matches!(e, SqlError::Lex { .. } | SqlError::Parse { .. }),
+                    "unexpected error kind: {e}"
+                );
+                prop_assert!(
+                    pos.is_some() && pos.unwrap_or(0) <= truncated.len(),
+                    "position {:?} out of range for `{}`",
+                    pos,
+                    truncated
+                );
+            }
+        }
+    }
+
+    /// Arbitrary printable garbage never panics the lexer or parser.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(32u8..127, 0..120)) {
+        let text = String::from_utf8(bytes).unwrap_or_default();
+        let _ = parse(&text);
+    }
+}
+
+/// Non-property pin: a handful of adversarial inputs stay typed errors.
+#[test]
+fn adversarial_inputs_are_typed_errors() {
+    for bad in [
+        "",
+        ";",
+        "select",
+        "select *",
+        "select * from",
+        "select * from people where",
+        "select * from people where age",
+        "select * from people where age >",
+        "select * from people limit",
+        "select * from people order by",
+        "select * from people group",
+        "select sum( from people",
+        "select * from people where age between 1",
+        "select * from people where age between 1 and",
+        "select * from people 'unterminated",
+        "select * from people where id = 99999999999999999999999999999",
+        "explain",
+        "explain analyze",
+        "select * from people; extra",
+        "sel\u{0}ect 1",
+    ] {
+        match parse(bad) {
+            Ok(stmt) => panic!("`{bad}` unexpectedly parsed to {stmt:?}"),
+            Err(SqlError::Lex { .. } | SqlError::Parse { .. }) => {}
+            Err(other) => panic!("`{bad}` produced a non-parse error: {other}"),
+        }
+    }
+}
