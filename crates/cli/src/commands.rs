@@ -618,6 +618,110 @@ pub fn sql(path: &Path, stmt: &str, kernel: Option<&str>) -> Result<String, CliE
     Ok(format!("{}\n", outcome.render()))
 }
 
+/// A single-query collector honouring `--sample` / `--budget-ms`.
+fn trace_collector(sample: Option<u64>, budget_ms: Option<u64>) -> avq_obs::TraceCollector {
+    let policy = match sample {
+        None | Some(0) | Some(1) => avq_obs::SamplingPolicy::Always,
+        Some(n) => avq_obs::SamplingPolicy::OneIn(n),
+    };
+    let collector = avq_obs::TraceCollector::new(8, policy);
+    if let Some(ms) = budget_ms {
+        collector.set_slow_budget(std::time::Duration::from_millis(ms));
+    }
+    collector
+}
+
+/// Runs `stmt` under a fresh trace, returning the statement outcome, the
+/// sampled trace (if kept), and the collector (for the slow-query log).
+fn run_one_traced(
+    path: &Path,
+    stmt: &str,
+    kernel: Option<&str>,
+    collector: avq_obs::TraceCollector,
+) -> Result<
+    (
+        avq_sql::SqlOutcome,
+        Option<std::sync::Arc<avq_obs::TraceData>>,
+        avq_obs::TraceCollector,
+    ),
+    CliError,
+> {
+    let (target, _) = SqlTarget::open(path, kernel)?;
+    let ctx = collector.begin();
+    let result = avq_sql::run_traced(target.db(), stmt, &ctx);
+    let data = collector.finish(ctx);
+    Ok((result?, data, collector))
+}
+
+/// `avqtool sql <target> "<statement>" --trace [--sample n] [--budget-ms n]`
+/// — run one statement and print its span tree (plus the slow-query report
+/// when the statement blew the budget).
+pub fn sql_traced(
+    path: &Path,
+    stmt: &str,
+    kernel: Option<&str>,
+    sample: Option<u64>,
+    budget_ms: Option<u64>,
+) -> Result<String, CliError> {
+    let (outcome, data, collector) =
+        run_one_traced(path, stmt, kernel, trace_collector(sample, budget_ms))?;
+    let mut out = format!("{}\n", outcome.render());
+    match data {
+        Some(d) => {
+            out.push('\n');
+            out.push_str(&d.render_text(false));
+        }
+        None => out.push_str("\n(trace sampled out)\n"),
+    }
+    for d in collector.slow_queries() {
+        out.push('\n');
+        out.push_str(&d.render_slow(false));
+    }
+    Ok(out)
+}
+
+/// `avqtool trace export <target> "<statement>" [--format chrome|jsonl|text]`
+/// — run one statement fully traced and emit the trace in the requested
+/// format (default: Chrome trace-event JSON for `chrome://tracing`).
+pub fn trace_export(
+    path: &Path,
+    stmt: &str,
+    format: &str,
+    kernel: Option<&str>,
+) -> Result<String, CliError> {
+    let collector = trace_collector(None, None);
+    let (_, data, _) = run_one_traced(path, stmt, kernel, collector)?;
+    let d = data.ok_or("trace was not captured")?;
+    match format {
+        "chrome" => Ok(format!("{}\n", d.render_chrome())),
+        "jsonl" => Ok(d.render_jsonl()),
+        "text" => Ok(d.render_text(false)),
+        other => Err(format!("unknown trace format {other:?} (chrome|jsonl|text)").into()),
+    }
+}
+
+/// `avqtool trace slow <target> "<statement>" [--budget-ms n]` — run one
+/// statement with the slow-query log armed (default budget: 0 ms, so the
+/// statement always qualifies) and print the slow-query report.
+pub fn trace_slow(
+    path: &Path,
+    stmt: &str,
+    kernel: Option<&str>,
+    budget_ms: Option<u64>,
+) -> Result<String, CliError> {
+    let collector = trace_collector(None, Some(budget_ms.unwrap_or(0)));
+    let (_, _, collector) = run_one_traced(path, stmt, kernel, collector)?;
+    let slow = collector.slow_queries();
+    if slow.is_empty() {
+        return Ok("no slow queries (root span under budget)\n".to_owned());
+    }
+    Ok(slow
+        .iter()
+        .map(|d| d.render_slow(false))
+        .collect::<Vec<_>>()
+        .join("\n"))
+}
+
 /// The interactive loop behind `avqtool sql <target>`, split out over
 /// generic reader/writer so tests can drive it without a terminal.
 /// Statements run one per line; `\q`, `quit`, or `exit` leaves.
@@ -787,6 +891,21 @@ fn exercise_builtin() -> Result<(), CliError> {
         let rel = db.database().relation("sample")?;
         let _ = avq_db::equijoin(rel, 1, rel, 1)?;
         let _ = rel.aggregate(avq_db::Aggregate::Count, &avq_db::Selection::all())?;
+        // Drive the SQL path (parse/plan/exec span families) and one fully
+        // traced statement so the `avq.sql.*` and `avq.trace.*` families
+        // are live in every stats snapshot.
+        let _ = avq_sql::run(
+            db.database(),
+            "select k, count(*) from sample where v between 10 and 40 group by k",
+        )?;
+        let collector = avq_obs::TraceCollector::new(1, avq_obs::SamplingPolicy::Always);
+        let ctx = collector.begin();
+        let _ = avq_sql::run_traced(
+            db.database(),
+            "select a.k from sample a join sample b on a.k = b.k limit 4",
+            &ctx,
+        )?;
+        let _ = collector.finish(ctx);
         db.checkpoint()?;
         Ok(())
     })();
@@ -859,12 +978,19 @@ USAGE:
   avqtool explain-join <db-dir> <outer> <outer_attr> <inner> <inner_attr>
   avqtool sql <file.avq | db-dir> \"<statement>\"
   avqtool sql <file.avq | db-dir>            (interactive shell)
+  avqtool sql <target> \"<statement>\" --trace [--sample n] [--budget-ms n]
+  avqtool trace export <target> \"<statement>\" [--format chrome|jsonl|text]
+  avqtool trace slow <target> \"<statement>\" [--budget-ms n]
 
 FLAGS (any command):
   --metrics-out <path>   write a metrics snapshot after the command
                          (.prom/.txt -> Prometheus text, else JSON)
   --kernel scalar|swar   decode kernel for dump/query/verify/explain
                          (default: swar; scalar is the reference path)
+  --trace                print the span tree after `sql` (plus the
+                         slow-query report when over --budget-ms)
+  --sample <n>           keep one trace in n (default: every trace)
+  --budget-ms <n>        slow-query latency budget in milliseconds
 
 MODES: fieldwise | avq | chained (default) | bits
 
@@ -1288,6 +1414,146 @@ mod tests {
         std::fs::remove_dir_all(dir).ok();
     }
 
+    // Tentpole acceptance: a JOIN + GROUP BY under `--trace` produces a
+    // span tree from the root SQL span down to individual block-decode
+    // spans carrying cache-hit and kernel attributes.
+    #[test]
+    fn sql_traced_join_group_by_reaches_block_decodes() {
+        use avq_obs::names;
+        let (dir, db_dir) = seeded_db_dir("sql-trace");
+        let out = sql_traced(
+            &db_dir,
+            "select a.dept, count(*) from people a join people b on a.id = b.id group by a.dept",
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+        // The result table still comes first.
+        assert!(out.contains("dept | count(*)"), "{out}");
+        assert!(out.contains("(2 rows)"), "{out}");
+        // Root span with statement + plan attributes.
+        assert!(
+            out.contains(&format!("-> {} (", names::SPAN_SQL_QUERY)),
+            "{out}"
+        );
+        assert!(out.contains("statement=\"select a.dept"), "{out}");
+        assert!(out.contains("plan_summary="), "{out}");
+        assert!(out.contains("plans_considered="), "{out}");
+        // Per-stage spans with the ExplainReport stage vocabulary.
+        assert!(out.contains("stage=\"scan\""), "{out}");
+        assert!(out.contains("stage=\"aggregate\""), "{out}");
+        // Block-level decode spans with storage + kernel attribution.
+        assert!(
+            out.contains(&format!("-> {} (", names::SPAN_DB_BLOCK_READ)),
+            "{out}"
+        );
+        assert!(out.contains("cache_hit="), "{out}");
+        assert!(
+            out.contains(&format!("-> {} (", names::SPAN_CODEC_DECODE_BLOCK)),
+            "{out}"
+        );
+        assert!(out.contains("kernel="), "{out}");
+        assert!(out.contains("tuples="), "{out}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn sql_traced_sampling_and_slow_report() {
+        let (dir, db_dir) = seeded_db_dir("sql-trace-sample");
+        // Budget 0 ms promotes the statement to the slow log, so `--trace
+        // --budget-ms 0` appends the slow-query report after the tree.
+        let out = sql_traced(&db_dir, "select count(*) from people", None, None, Some(0)).unwrap();
+        assert!(out.contains("slow query: trace 1"), "{out}");
+        assert!(out.contains("sql: select count(*) from people"), "{out}");
+        assert!(out.contains("est_rows  actual_rows"), "{out}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn trace_export_formats_round_trip() {
+        let (dir, db_dir) = seeded_db_dir("trace-export");
+        let stmt = "select dept, count(*) from people group by dept";
+        let chrome = trace_export(&db_dir, stmt, "chrome", None).unwrap();
+        // Loadable by chrome://tracing: one top-level object with a
+        // traceEvents array of complete events.
+        assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+        assert!(
+            chrome.trim_end().ends_with("\"displayTimeUnit\":\"ns\"}"),
+            "{chrome}"
+        );
+        assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+        assert!(chrome.contains("avq.sql.query"), "{chrome}");
+        assert!(chrome.contains("avq.codec.decode_block"), "{chrome}");
+        assert_eq!(
+            chrome.matches('{').count(),
+            chrome.matches('}').count(),
+            "unbalanced braces: {chrome}"
+        );
+        let jsonl = trace_export(&db_dir, stmt, "jsonl", None).unwrap();
+        assert!(jsonl.lines().count() >= 4, "{jsonl}");
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"trace\":"), "{line}");
+            assert!(line.ends_with("}}"), "{line}");
+        }
+        let text = trace_export(&db_dir, stmt, "text", None).unwrap();
+        assert!(text.starts_with("trace "), "{text}");
+        assert!(trace_export(&db_dir, stmt, "yaml", None).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    // Satellite acceptance: the slow-query log captures SQL text, the
+    // chosen plan, and per-node estimated-vs-actual rows for a query
+    // forced over the latency budget.
+    #[test]
+    fn trace_slow_golden_capture() {
+        let (dir, db_dir) = seeded_db_dir("trace-slow");
+        let out = trace_slow(
+            &db_dir,
+            "select dept, count(*) from people where id < 50 group by dept",
+            None,
+            Some(0),
+        )
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("slow query: trace 1 (root "), "{out}");
+        assert_eq!(
+            lines[1],
+            "sql: select dept, count(*) from people where id < 50 group by dept"
+        );
+        assert!(lines[2].starts_with("plan: "), "{out}");
+        assert!(lines[3].ends_with("est_rows  actual_rows"), "{out}");
+        assert!(lines[3].starts_with("node"), "{out}");
+        // One table row per plan node, each ending in two integer columns.
+        let tree_start = lines
+            .iter()
+            .position(|l| l.starts_with("trace "))
+            .expect("span tree follows the table");
+        for row in &lines[4..tree_start] {
+            let cols: Vec<&str> = row.split_whitespace().collect();
+            let n = cols.len();
+            assert!(cols[n - 1].parse::<u64>().is_ok(), "{row}");
+            assert!(cols[n - 2].parse::<u64>().is_ok(), "{row}");
+        }
+        // The aggregate node produced exactly 2 groups.
+        assert!(
+            lines[4..tree_start]
+                .iter()
+                .any(|l| l.contains("aggregate group by") && l.trim_end().ends_with('2')),
+            "{out}"
+        );
+        // Under budget: a large budget yields no slow queries.
+        let quiet = trace_slow(
+            &db_dir,
+            "select count(*) from people",
+            None,
+            Some(3_600_000),
+        )
+        .unwrap();
+        assert_eq!(quiet, "no slow queries (root span under budget)\n");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
     // Satellite: every metric namespace must be live in the Prometheus
     // export after the built-in stats workload (this is what CI greps).
     #[test]
@@ -1305,11 +1571,18 @@ mod tests {
             names::DB_QUERIES,
             names::DB_JOINS,
             names::DB_CHECKPOINTS,
+            names::SQL_STATEMENTS,
+            names::SQL_PLANS_CONSIDERED,
+            names::TRACE_STARTED,
+            names::TRACE_SAMPLED,
         ];
         let spans = [
             names::SPAN_CODEC_ENCODE_BLOCK,
             names::SPAN_WAL_FSYNC,
             names::SPAN_DB_SELECT,
+            names::SPAN_SQL_PARSE,
+            names::SPAN_SQL_PLAN,
+            names::SPAN_SQL_EXEC,
         ];
         for family in counters
             .iter()

@@ -54,18 +54,31 @@ struct Switches {
     repair: bool,
     /// `--kernel scalar|swar` decode-kernel override for read commands.
     kernel: Option<String>,
+    /// `--trace`: print the span tree after a `sql` statement.
+    trace: bool,
+    /// `--sample <n>`: keep one trace in `n` (default: every trace).
+    sample: Option<u64>,
+    /// `--budget-ms <n>`: slow-query latency budget in milliseconds.
+    budget_ms: Option<u64>,
 }
 
 fn run(args: &[String]) -> Result<String, commands::CliError> {
     let mut args = args.to_vec();
-    let format = take_flag(&mut args, "--format")?.unwrap_or_else(|| "prom".to_owned());
+    let format = take_flag(&mut args, "--format")?;
     let metrics_out = take_flag(&mut args, "--metrics-out")?;
     let switches = Switches {
         deep: take_switch(&mut args, "--deep"),
         repair: take_switch(&mut args, "--repair"),
         kernel: take_flag(&mut args, "--kernel")?,
+        trace: take_switch(&mut args, "--trace"),
+        sample: take_flag(&mut args, "--sample")?
+            .map(|s| s.parse())
+            .transpose()?,
+        budget_ms: take_flag(&mut args, "--budget-ms")?
+            .map(|s| s.parse())
+            .transpose()?,
     };
-    let output = dispatch(&args, &format, &switches)?;
+    let output = dispatch(&args, format.as_deref(), &switches)?;
     match metrics_out {
         Some(p) => Ok(output + &commands::write_metrics(Path::new(&p))?),
         None => Ok(output),
@@ -74,7 +87,7 @@ fn run(args: &[String]) -> Result<String, commands::CliError> {
 
 fn dispatch(
     args: &[String],
-    format: &str,
+    format: Option<&str>,
     switches: &Switches,
 ) -> Result<String, commands::CliError> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
@@ -105,7 +118,9 @@ fn dispatch(
             &rest[2],
             rest.get(3).map(|s| s.parse()).transpose()?,
         ),
-        ("stats", rest) if rest.len() <= 1 => commands::stats(rest.first().map(Path::new), format),
+        ("stats", rest) if rest.len() <= 1 => {
+            commands::stats(rest.first().map(Path::new), format.unwrap_or("prom"))
+        }
         ("explain", [path, attr, lo, hi]) => {
             commands::explain_file(Path::new(path), attr, lo, hi, switches.kernel.as_deref())
         }
@@ -119,9 +134,28 @@ fn dispatch(
             commands::explain_join_dir(Path::new(dir), outer, outer_attr, inner, inner_attr)
         }
         ("sql", [target]) => commands::sql_repl(Path::new(target)),
+        ("sql", [target, stmt]) if switches.trace => commands::sql_traced(
+            Path::new(target),
+            stmt,
+            switches.kernel.as_deref(),
+            switches.sample,
+            switches.budget_ms,
+        ),
         ("sql", [target, stmt]) => {
             commands::sql(Path::new(target), stmt, switches.kernel.as_deref())
         }
+        ("trace", [sub, target, stmt]) if sub == "export" => commands::trace_export(
+            Path::new(target),
+            stmt,
+            format.unwrap_or("chrome"),
+            switches.kernel.as_deref(),
+        ),
+        ("trace", [sub, target, stmt]) if sub == "slow" => commands::trace_slow(
+            Path::new(target),
+            stmt,
+            switches.kernel.as_deref(),
+            switches.budget_ms,
+        ),
         ("help", _) | ("--help", _) | ("-h", _) => Ok(commands::USAGE.to_string()),
         (other, _) => Err(format!("unknown or malformed command {other:?}").into()),
     }

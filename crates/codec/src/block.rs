@@ -371,6 +371,29 @@ impl BlockCodec {
         result
     }
 
+    /// [`Self::decode_into_scratch`] with trace attribution: when `ctx` is
+    /// recording, the decode runs under an `avq.codec.decode_block` trace
+    /// span carrying the kernel name plus tuple and byte counts. With a
+    /// disabled context this is one branch on top of the untraced path.
+    pub fn decode_into_scratch_traced(
+        &self,
+        bytes: &[u8],
+        out: &mut Vec<Tuple>,
+        scratch: &mut DecodeScratch,
+        ctx: &avq_obs::TraceCtx,
+    ) -> Result<(), CodecError> {
+        if !ctx.is_enabled() {
+            return self.decode_into_scratch(bytes, out, scratch);
+        }
+        let base = out.len();
+        let guard = ctx.span(names::SPAN_CODEC_DECODE_BLOCK);
+        let result = self.decode_into_scratch(bytes, out, scratch);
+        guard.attr(names::ATTR_KERNEL, self.kernel.to_string());
+        guard.attr(names::ATTR_BYTES, bytes.len());
+        guard.attr(names::ATTR_TUPLES, out.len().saturating_sub(base));
+        result
+    }
+
     fn decode_inner(
         &self,
         bytes: &[u8],

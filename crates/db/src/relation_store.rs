@@ -283,22 +283,50 @@ impl StoredRelation {
     /// Public so block-at-a-time physical operators (the SQL executor in
     /// `avq-sql`) can stream candidate blocks without materializing scans.
     pub fn decode_block_into(&self, id: BlockId, out: &mut Vec<Tuple>) -> Result<(), DbError> {
+        self.decode_block_into_traced(id, out, &avq_obs::TraceCtx::disabled())
+    }
+
+    /// [`Self::decode_block_into`] with trace attribution: when `ctx` is
+    /// recording, the read runs under an `avq.db.block_read` trace span
+    /// carrying the block id and cache/pool-hit flags, and a cache miss
+    /// nests the codec's `avq.codec.decode_block` span beneath it. With a
+    /// disabled context the extra cost is one branch per call.
+    pub fn decode_block_into_traced(
+        &self,
+        id: BlockId,
+        out: &mut Vec<Tuple>,
+        ctx: &avq_obs::TraceCtx,
+    ) -> Result<(), DbError> {
+        let guard = ctx.span(names::SPAN_DB_BLOCK_READ);
+        if guard.is_recording() {
+            guard.attr(names::ATTR_BLOCK, id);
+        }
         if let Some(run) = self.decoded.get(id) {
             out.extend_from_slice(&run);
+            if guard.is_recording() {
+                guard.attr(names::ATTR_CACHE_HIT, true);
+            }
             return Ok(());
         }
+        let pool_before = guard.is_recording().then(|| self.pool.stats());
         let bytes = self.pool.read_with_retry(id, self.config.retry)?;
+        if let Some(before) = pool_before {
+            guard.attr(names::ATTR_CACHE_HIT, false);
+            let served_from_pool = self.pool.stats().since(&before).hits > 0;
+            guard.attr(names::ATTR_POOL_HIT, served_from_pool);
+        }
         let mut scratch = self.scratch.lock().expect("decode scratch poisoned");
         if self.decoded.is_enabled() {
             let mut run = Vec::new();
             self.codec
-                .decode_into_scratch(&bytes, &mut run, &mut scratch)?;
+                .decode_into_scratch_traced(&bytes, &mut run, &mut scratch, ctx)?;
             check_phi_order(&run)?;
             out.extend_from_slice(&run);
             self.decoded.insert(id, Arc::new(run));
         } else {
             let start = out.len();
-            self.codec.decode_into_scratch(&bytes, out, &mut scratch)?;
+            self.codec
+                .decode_into_scratch_traced(&bytes, out, &mut scratch, ctx)?;
             if let Err(e) = check_phi_order(&out[start..]) {
                 out.truncate(start);
                 return Err(e);

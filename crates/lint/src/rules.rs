@@ -12,7 +12,8 @@
 use crate::config;
 use crate::lexer::{balanced, DirectiveKind, Kind, Token};
 use crate::workspace::{
-    design_section, parse_metric_consts, table_backticks, SourceFile, Workspace,
+    design_section, named_table_backticks, parse_metric_consts, table_backticks, SourceFile,
+    Workspace,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -386,13 +387,34 @@ fn valid_metric_name(s: &str) -> bool {
             .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
 }
 
-/// AVQ-L004: metric names are declared once, well-formed, documented,
-/// and referenced through constants.
+/// A bare trace-attribute key: lowercase word characters, no dots (keys
+/// are span-local, deliberately outside the metric namespace).
+fn valid_attr_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// AVQ-L004: metric names and trace-attribute keys are declared once,
+/// well-formed, documented, and referenced through constants.
 fn l004_metric_names(ws: &Workspace, out: &mut Vec<Finding>) {
     let names_file = ws.file(config::METRIC_NAME_HOME);
     let mut const_values: BTreeMap<String, String> = BTreeMap::new();
+    let mut have_attrs = false;
     if let Some(nf) = names_file {
-        let (consts, all) = parse_metric_consts(&nf.scan);
+        let inv = parse_metric_consts(&nf.scan);
+        let attr_idents: BTreeSet<&str> = inv.trace_attrs.iter().map(String::as_str).collect();
+        have_attrs = !attr_idents.is_empty();
+        let consts: Vec<_> = inv
+            .consts
+            .iter()
+            .filter(|c| !attr_idents.contains(c.ident.as_str()))
+            .collect();
+        let attrs: Vec<_> = inv
+            .consts
+            .iter()
+            .filter(|c| attr_idents.contains(c.ident.as_str()))
+            .collect();
         let mut seen_values: BTreeMap<&str, &str> = BTreeMap::new();
         for c in &consts {
             if !valid_metric_name(&c.value) {
@@ -419,7 +441,7 @@ fn l004_metric_names(ws: &Workspace, out: &mut Vec<Finding>) {
             }
             const_values.insert(c.ident.clone(), c.value.clone());
         }
-        let all_set: BTreeSet<&str> = all.iter().map(String::as_str).collect();
+        let all_set: BTreeSet<&str> = inv.all.iter().map(String::as_str).collect();
         for c in &consts {
             if !all_set.contains(c.ident.as_str()) {
                 out.push(Finding {
@@ -430,7 +452,7 @@ fn l004_metric_names(ws: &Workspace, out: &mut Vec<Finding>) {
                 });
             }
         }
-        for ident in &all {
+        for ident in &inv.all {
             if !const_values.contains_key(ident) {
                 out.push(Finding {
                     file: nf.rel.clone(),
@@ -438,6 +460,90 @@ fn l004_metric_names(ws: &Workspace, out: &mut Vec<Finding>) {
                     rule: "AVQ-L004".into(),
                     message: format!("`names::ALL` lists unknown constant `{ident}`"),
                 });
+            }
+        }
+        // Trace-attribute keys: bare words, declared once, listed in
+        // `TRACE_ATTRS`, and two-way consistent with DESIGN.md §15.
+        let mut seen_attr_values: BTreeMap<&str, &str> = BTreeMap::new();
+        for c in &attrs {
+            if !valid_attr_name(&c.value) {
+                out.push(Finding {
+                    file: nf.rel.clone(),
+                    line: c.line,
+                    rule: "AVQ-L004".into(),
+                    message: format!(
+                        "trace attribute key `{}` is not a bare lowercase word ([a-z0-9_])",
+                        c.value
+                    ),
+                });
+            }
+            if let Some(other) = seen_attr_values.insert(&c.value, &c.ident) {
+                out.push(Finding {
+                    file: nf.rel.clone(),
+                    line: c.line,
+                    rule: "AVQ-L004".into(),
+                    message: format!(
+                        "trace attribute key `{}` is declared twice (`{}` and `{}`)",
+                        c.value, other, c.ident
+                    ),
+                });
+            }
+        }
+        let attr_const_idents: BTreeSet<&str> = attrs.iter().map(|c| c.ident.as_str()).collect();
+        for ident in &inv.trace_attrs {
+            if !attr_const_idents.contains(ident.as_str()) {
+                out.push(Finding {
+                    file: nf.rel.clone(),
+                    line: 1,
+                    rule: "AVQ-L004".into(),
+                    message: format!("`names::TRACE_ATTRS` lists unknown constant `{ident}`"),
+                });
+            }
+        }
+        if have_attrs {
+            let documented_attrs: BTreeSet<String> = design_section(&ws.root, 15)
+                .map(|s| {
+                    named_table_backticks(&s, "| attribute ")
+                        .into_iter()
+                        .collect()
+                })
+                .unwrap_or_default();
+            if documented_attrs.is_empty() {
+                out.push(Finding {
+                    file: "DESIGN.md".into(),
+                    line: 1,
+                    rule: "AVQ-L004".into(),
+                    message:
+                        "DESIGN.md §15 has no attribute inventory table to check trace keys against"
+                            .into(),
+                });
+            } else {
+                for c in &attrs {
+                    if valid_attr_name(&c.value) && !documented_attrs.contains(&c.value) {
+                        out.push(Finding {
+                            file: nf.rel.clone(),
+                            line: c.line,
+                            rule: "AVQ-L004".into(),
+                            message: format!(
+                                "trace attribute `{}` is not documented in the DESIGN.md §15 inventory",
+                                c.value
+                            ),
+                        });
+                    }
+                }
+                let declared: BTreeSet<&str> = attrs.iter().map(|c| c.value.as_str()).collect();
+                for key in &documented_attrs {
+                    if !declared.contains(key.as_str()) {
+                        out.push(Finding {
+                            file: "DESIGN.md".into(),
+                            line: 1,
+                            rule: "AVQ-L004".into(),
+                            message: format!(
+                                "DESIGN.md §15 documents attribute `{key}`, which `avq_obs::names` does not declare"
+                            ),
+                        });
+                    }
+                }
             }
         }
         // Two-way check against the DESIGN.md §10 metric inventory.
@@ -500,6 +606,40 @@ fn l004_metric_names(ws: &Workspace, out: &mut Vec<Finding>) {
                     format!(
                         "metric-name literal \"{}\" outside `avq_obs::names` (use the constants)",
                         tok.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // Same discipline for trace-attribute keys: `.attr("literal", …)` must
+    // spell the key through a `names::ATTR_*` constant instead. (Span-name
+    // arguments are `avq.`-namespaced, so the metric-literal ban above
+    // already covers them.) Only active once the workspace declares a
+    // `TRACE_ATTRS` inventory.
+    if have_attrs {
+        for f in &ws.files {
+            if f.rel == config::METRIC_NAME_HOME {
+                continue;
+            }
+            let t = &f.scan.tokens;
+            for (i, tok) in t.iter().enumerate() {
+                let is_attr_site = tok.kind == Kind::Ident && tok.text == "attr";
+                if !is_attr_site
+                    || !t.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    || !t.get(i + 2).is_some_and(|n| n.kind == Kind::Str)
+                {
+                    continue;
+                }
+                let key = &t[i + 2];
+                push(
+                    out,
+                    f,
+                    key.line,
+                    "AVQ-L004",
+                    format!(
+                        "trace-attribute literal \"{}\" outside `avq_obs::names` (use the `ATTR_*` constants)",
+                        key.text
                     ),
                 );
             }

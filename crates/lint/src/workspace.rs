@@ -142,11 +142,22 @@ pub struct MetricConst {
     pub line: u32,
 }
 
-/// Parse `pub const IDENT: &str = "…";` declarations and the `ALL`
-/// slice out of the scanned `names.rs` token stream.
-pub fn parse_metric_consts(scan: &Scan) -> (Vec<MetricConst>, Vec<String>) {
-    let mut consts = Vec::new();
-    let mut all = Vec::new();
+/// The constants parsed out of `names.rs`: string-valued declarations plus
+/// the two inventory slices.
+#[derive(Default)]
+pub struct NamesInventory {
+    /// Every `pub const IDENT: &str = "…";` declaration, in order.
+    pub consts: Vec<MetricConst>,
+    /// Identifiers listed in the `ALL` metric-name slice.
+    pub all: Vec<String>,
+    /// Identifiers listed in the `TRACE_ATTRS` attribute-key slice.
+    pub trace_attrs: Vec<String>,
+}
+
+/// Parse `pub const IDENT: &str = "…";` declarations and the `ALL` /
+/// `TRACE_ATTRS` slices out of the scanned `names.rs` token stream.
+pub fn parse_metric_consts(scan: &Scan) -> NamesInventory {
+    let mut inv = NamesInventory::default();
     let t = &scan.tokens;
     let mut i = 0usize;
     while i < t.len() {
@@ -158,11 +169,16 @@ pub fn parse_metric_consts(scan: &Scan) -> (Vec<MetricConst>, Vec<String>) {
                 j += 1;
             }
             if j < t.len() && t[j].is_punct('=') {
-                if ident == "ALL" {
+                if ident == "ALL" || ident == "TRACE_ATTRS" {
                     let mut k = j + 1;
                     while k < t.len() && !t[k].is_punct(';') {
                         if t[k].kind == Kind::Ident {
-                            all.push(t[k].text.clone());
+                            let list = if ident == "ALL" {
+                                &mut inv.all
+                            } else {
+                                &mut inv.trace_attrs
+                            };
+                            list.push(t[k].text.clone());
                         }
                         k += 1;
                     }
@@ -170,7 +186,7 @@ pub fn parse_metric_consts(scan: &Scan) -> (Vec<MetricConst>, Vec<String>) {
                     continue;
                 }
                 if let Some(v) = t.get(j + 1).filter(|v| v.kind == Kind::Str) {
-                    consts.push(MetricConst {
+                    inv.consts.push(MetricConst {
                         ident,
                         value: v.text.clone(),
                         line: v.line,
@@ -182,7 +198,7 @@ pub fn parse_metric_consts(scan: &Scan) -> (Vec<MetricConst>, Vec<String>) {
         }
         i += 1;
     }
-    (consts, all)
+    inv
 }
 
 /// Extract the body of a `## N.`-numbered DESIGN.md section, if the
@@ -204,6 +220,32 @@ pub fn design_section(root: &Path, number: u32) -> Option<String> {
     let body = &rest[body_start..];
     let end = body.find("\n## ").map(|i| i + 1).unwrap_or(body.len());
     Some(body[..end].to_string())
+}
+
+/// Backtick-quoted strings from the rows of the markdown table whose
+/// header row contains the column `header` — other tables in the section
+/// are ignored. Collection stops at the first non-`|` line after the table
+/// starts.
+pub fn named_table_backticks(section: &str, header: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_table = false;
+    for line in section.lines() {
+        let line = line.trim_start();
+        if !line.starts_with('|') {
+            if in_table {
+                break;
+            }
+            continue;
+        }
+        if !in_table {
+            if line.contains(header) {
+                in_table = true;
+            }
+            continue;
+        }
+        out.extend(table_backticks(line));
+    }
+    out
 }
 
 /// All backtick-quoted strings on table rows (`| … |` lines) of a
@@ -246,13 +288,15 @@ mod tests {
     #[test]
     fn metric_const_parsing() {
         let scan = lexer::scan(
-            "/// Doc.\npub const A: &str = \"avq.a\";\npub const B: &str = \"avq.b\";\npub const ALL: &[&str] = &[A, B];\npub fn prom(n: &str) -> String { n.into() }",
+            "/// Doc.\npub const A: &str = \"avq.a\";\npub const B: &str = \"avq.b\";\npub const ALL: &[&str] = &[A, B];\npub const K: &str = \"rows\";\npub const TRACE_ATTRS: &[&str] = &[K];\npub fn prom(n: &str) -> String { n.into() }",
         );
-        let (consts, all) = parse_metric_consts(&scan);
-        assert_eq!(consts.len(), 2);
-        assert_eq!(consts[0].ident, "A");
-        assert_eq!(consts[0].value, "avq.a");
-        assert_eq!(all, ["A", "B"]);
+        let inv = parse_metric_consts(&scan);
+        assert_eq!(inv.consts.len(), 3);
+        assert_eq!(inv.consts[0].ident, "A");
+        assert_eq!(inv.consts[0].value, "avq.a");
+        assert_eq!(inv.consts[2].ident, "K");
+        assert_eq!(inv.all, ["A", "B"]);
+        assert_eq!(inv.trace_attrs, ["K"]);
     }
 
     #[test]
@@ -260,5 +304,12 @@ mod tests {
         let got =
             table_backticks("| `avq.x` | counter |\nprose with `ignored`\n| `avq.y` | span |\n");
         assert_eq!(got, ["avq.x", "avq.y"]);
+    }
+
+    #[test]
+    fn named_table_extraction_skips_other_tables() {
+        let section = "| policy | keeps |\n| `always` | all |\n\nprose\n\n| attribute | type |\n| --- | --- |\n| `rows` | u64 |\n| `kernel` | str |\n\n| other | table |\n| `nope` | x |\n";
+        let got = named_table_backticks(section, "| attribute ");
+        assert_eq!(got, ["rows", "kernel"]);
     }
 }

@@ -14,6 +14,10 @@
 //! - [`Snapshot`] — owned registry state with `since()` deltas and
 //!   Prometheus-text / JSON renderers, used by `avqtool stats`, the
 //!   `--metrics-out` flag, and the bench harness.
+//! - [`trace`] — request-scoped structured tracing: explicitly-threaded
+//!   [`TraceCtx`] span trees with typed attributes, a sampling
+//!   ring-buffer [`TraceCollector`], a slow-query log, and pretty-text /
+//!   JSONL / Chrome-trace exporters (`avqtool sql --trace`).
 //!
 //! # Naming scheme
 //!
@@ -36,6 +40,7 @@ mod metric;
 pub mod names;
 mod registry;
 mod span;
+pub mod trace;
 
 pub use metric::{
     bucket_index, bucket_lower, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot,
@@ -43,3 +48,7 @@ pub use metric::{
 };
 pub use registry::{global, histogram_json, Registry, Snapshot};
 pub use span::{set_span_observer, SpanGuard, SpanObserver, Stopwatch};
+pub use trace::{
+    add_span_sink, AttrValue, QueryCapture, SamplingPolicy, SpanId, StageRows, TraceCollector,
+    TraceCtx, TraceData, TraceId, TraceSpan, TraceSpanGuard,
+};

@@ -77,6 +77,17 @@ pub const DB_CHECKPOINTS: &str = "avq.db.checkpoints";
 /// Blocks whose decode failed verification and were skipped or repaired.
 pub const CORRUPT_BLOCKS_TOTAL: &str = "avq.corrupt_blocks.total";
 
+// --- counters: trace --------------------------------------------------------
+
+/// Traces begun by a `TraceCollector`.
+pub const TRACE_STARTED: &str = "avq.trace.started";
+/// Finished traces the sampling policy kept in the ring buffer.
+pub const TRACE_SAMPLED: &str = "avq.trace.sampled";
+/// Finished traces the sampling policy discarded.
+pub const TRACE_DROPPED: &str = "avq.trace.dropped";
+/// Traces promoted to the slow-query log (root span over budget).
+pub const TRACE_SLOW: &str = "avq.trace.slow_queries";
+
 // --- histograms -------------------------------------------------------------
 
 /// Records per WAL group-commit batch.
@@ -119,6 +130,12 @@ pub const SPAN_SQL_PARSE: &str = "avq.sql.parse";
 pub const SPAN_SQL_PLAN: &str = "avq.sql.plan";
 /// Span around executing one planned SQL statement.
 pub const SPAN_SQL_EXEC: &str = "avq.sql.exec";
+/// Trace root span covering one whole SQL statement.
+pub const SPAN_SQL_QUERY: &str = "avq.sql.query";
+/// Trace span around one executor plan stage (scan, join, aggregate…).
+pub const SPAN_SQL_STAGE: &str = "avq.sql.stage";
+/// Trace span around fetching + decoding one stored block.
+pub const SPAN_DB_BLOCK_READ: &str = "avq.db.block_read";
 
 /// Maps a dot-namespaced metric name onto the Prometheus charset
 /// (`avq.wal.fsync.ns` → `avq_wal_fsync_ns`).
@@ -182,6 +199,69 @@ pub const ALL: &[&str] = &[
     SPAN_SQL_PARSE,
     SPAN_SQL_PLAN,
     SPAN_SQL_EXEC,
+    SPAN_SQL_QUERY,
+    SPAN_SQL_STAGE,
+    SPAN_DB_BLOCK_READ,
+    TRACE_STARTED,
+    TRACE_SAMPLED,
+    TRACE_DROPPED,
+    TRACE_SLOW,
+];
+
+// --- trace attribute keys ---------------------------------------------------
+//
+// Bare (non-dot-namespaced) keys for `TraceSpanGuard::attr`. They live in
+// `TRACE_ATTRS`, not `ALL`: attribute keys are span-local, so they are
+// deliberately outside the `avq.` metric namespace. AVQ-L004 validates
+// this slice separately and cross-checks it against the DESIGN.md §15
+// attribute inventory.
+
+/// Executor stage kind on an `avq.sql.stage` span (`scan`, `join`, …).
+pub const ATTR_STAGE: &str = "stage";
+/// Rows a span produced.
+pub const ATTR_ROWS: &str = "rows";
+/// Blocks fetched during a span.
+pub const ATTR_BLOCKS_READ: &str = "blocks_read";
+/// Decoded-cache + buffer-pool hits attributed to a span.
+pub const ATTR_CACHE_HITS: &str = "cache_hits";
+/// Whether one block read was served from the decoded cache.
+pub const ATTR_CACHE_HIT: &str = "cache_hit";
+/// Whether one block read was served from the buffer pool.
+pub const ATTR_POOL_HIT: &str = "pool_hit";
+/// Decode kernel that ran (`scalar` / `swar`).
+pub const ATTR_KERNEL: &str = "kernel";
+/// Block id a span touched.
+pub const ATTR_BLOCK: &str = "block";
+/// Tuples a span decoded.
+pub const ATTR_TUPLES: &str = "tuples";
+/// Coded bytes a span consumed.
+pub const ATTR_BYTES: &str = "bytes";
+/// One-line physical-plan summary on the root SQL span.
+pub const ATTR_PLAN_SUMMARY: &str = "plan_summary";
+/// SQL statement text on the root SQL span.
+pub const ATTR_STATEMENT: &str = "statement";
+/// Records in one WAL group-commit batch.
+pub const ATTR_BATCH_SIZE: &str = "batch_size";
+/// Plan alternatives the planner costed for this statement.
+pub const ATTR_PLANS_CONSIDERED: &str = "plans_considered";
+
+/// Every trace attribute key declared above, for exhaustive checks (tests
+/// and `avq-lint`'s two-way DESIGN.md §15 consistency pass).
+pub const TRACE_ATTRS: &[&str] = &[
+    ATTR_STAGE,
+    ATTR_ROWS,
+    ATTR_BLOCKS_READ,
+    ATTR_CACHE_HITS,
+    ATTR_CACHE_HIT,
+    ATTR_POOL_HIT,
+    ATTR_KERNEL,
+    ATTR_BLOCK,
+    ATTR_TUPLES,
+    ATTR_BYTES,
+    ATTR_PLAN_SUMMARY,
+    ATTR_STATEMENT,
+    ATTR_BATCH_SIZE,
+    ATTR_PLANS_CONSIDERED,
 ];
 
 #[cfg(test)]
@@ -202,6 +282,27 @@ mod tests {
                 "{name} has characters outside [a-z0-9._]"
             );
             assert!(seen.insert(*name), "duplicate metric name {name}");
+        }
+    }
+
+    /// Attribute keys are bare lowercase words: no dots (they are not
+    /// metric names), no `avq.` prefix, and no duplicates — including
+    /// against the metric namespace.
+    #[test]
+    fn trace_attrs_are_well_formed_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for key in super::TRACE_ATTRS {
+            assert!(!key.is_empty(), "empty attribute key");
+            assert!(
+                key.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{key} has characters outside [a-z0-9_]"
+            );
+            assert!(seen.insert(*key), "duplicate attribute key {key}");
+            assert!(
+                !super::ALL.contains(key),
+                "{key} is both a metric name and an attribute key"
+            );
         }
     }
 

@@ -7,13 +7,16 @@
 //! one `Instant::now`, and (on drop) one histogram record — cheap enough
 //! for per-block hot paths.
 //!
-//! An optional [`SpanObserver`] hook forwards span enter/exit events to an
-//! external tracing backend. With the `tracing-bridge` feature an adapter
-//! crate can install a `tracing`-subscriber-backed observer via
-//! [`set_span_observer`]; the core crate itself stays dependency-free.
+//! Span enter/exit events fan out to the sink set owned by
+//! [`crate::trace`] — the same path the structured-tracing subsystem uses
+//! — via [`crate::trace::add_span_sink`]. [`set_span_observer`] survives as
+//! the PR 3 compatibility wrapper (first call wins, later calls return
+//! `false`); observer bridges are just trace sinks now, so there is a
+//! single dispatch path instead of the old dedicated `OBSERVER` slot.
 
 use crate::metric::Histogram;
-use std::sync::OnceLock;
+use crate::trace;
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 /// A wall-clock stopwatch for ad-hoc stage timing (e.g. `EXPLAIN ANALYZE`).
@@ -54,17 +57,15 @@ pub trait SpanObserver: Send + Sync {
     fn exit(&self, name: &'static str, elapsed_ns: u64);
 }
 
-static OBSERVER: OnceLock<Box<dyn SpanObserver>> = OnceLock::new();
-
-/// Installs the process-wide span observer. Only the first call wins;
-/// returns `false` if an observer was already installed.
+/// Installs the process-wide span observer as a trace sink. Only the first
+/// call wins; returns `false` if an observer was already installed (or the
+/// sink set is full). New code should call [`crate::trace::add_span_sink`]
+/// directly, which supports more than one sink.
 pub fn set_span_observer(observer: Box<dyn SpanObserver>) -> bool {
-    OBSERVER.set(observer).is_ok()
-}
-
-#[inline]
-fn observer() -> Option<&'static dyn SpanObserver> {
-    OBSERVER.get().map(|b| b.as_ref())
+    if trace::LEGACY_OBSERVER_INSTALLED.swap(true, Ordering::SeqCst) {
+        return false;
+    }
+    trace::add_span_sink(observer)
 }
 
 /// An open timing span. Records its elapsed time into `hist` when dropped.
@@ -80,9 +81,7 @@ impl<'a> SpanGuard<'a> {
     /// Opens a span that records into `hist` on drop.
     #[inline]
     pub fn enter(name: &'static str, hist: &'a Histogram) -> Self {
-        if let Some(obs) = observer() {
-            obs.enter(name);
-        }
+        trace::emit_enter(name);
         SpanGuard {
             name,
             hist,
@@ -101,9 +100,7 @@ impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.hist.record(ns);
-        if let Some(obs) = observer() {
-            obs.exit(self.name, ns);
-        }
+        trace::emit_exit(self.name, ns);
     }
 }
 

@@ -19,7 +19,7 @@ use crate::binder::{BoundItem, BoundQuery};
 use crate::error::SqlError;
 use crate::plan::{domain_of, PhysicalPlan, PlanNode};
 use avq_db::{AccessPath, CacheMark, Database, RangePredicate, Selection, StageReport};
-use avq_obs::Stopwatch;
+use avq_obs::{names, AttrValue, Stopwatch, TraceCtx};
 use avq_schema::{Domain, Tuple, Value};
 use std::collections::BTreeMap;
 
@@ -182,6 +182,7 @@ struct Exec<'a> {
     db: &'a Database,
     q: &'a BoundQuery,
     order: &'a [usize],
+    ctx: &'a TraceCtx,
     stages: Vec<StageReport>,
     actual_rows: Vec<u64>,
 }
@@ -200,13 +201,43 @@ fn source_of(q: &BoundQuery, order: &[usize], col: usize) -> (usize, usize) {
 }
 
 impl<'a> Exec<'a> {
+    /// Records the stage report and, when tracing, retroactively attaches
+    /// a matching `avq.sql.stage` span covering the stage's elapsed time.
     fn stage(&mut self, stage: &'static str, rows: u64, blocks: u64, hits: u64, sw: Stopwatch) {
+        let elapsed = sw.elapsed();
+        if self.ctx.is_enabled() {
+            let mut attrs: Vec<(&'static str, AttrValue)> = vec![
+                (names::ATTR_STAGE, AttrValue::from(stage)),
+                (names::ATTR_ROWS, AttrValue::from(rows)),
+            ];
+            if blocks > 0 {
+                attrs.push((names::ATTR_BLOCKS_READ, AttrValue::from(blocks)));
+            }
+            if hits > 0 {
+                attrs.push((names::ATTR_CACHE_HITS, AttrValue::from(hits)));
+            }
+            self.ctx
+                .complete_span(names::SPAN_SQL_STAGE, elapsed, attrs);
+        }
+        self.report(stage, rows, blocks, hits, elapsed);
+    }
+
+    /// Pushes a [`StageReport`] without trace emission — for stages that
+    /// already ran under an *open* trace span (the scan decode loop).
+    fn report(
+        &mut self,
+        stage: &'static str,
+        rows: u64,
+        blocks: u64,
+        hits: u64,
+        elapsed: core::time::Duration,
+    ) {
         self.stages.push(StageReport {
             stage,
             rows,
             blocks,
             cache_hits: hits,
-            elapsed: sw.elapsed(),
+            elapsed,
         });
     }
 
@@ -240,15 +271,26 @@ impl<'a> Exec<'a> {
         let sw = Stopwatch::start();
         let mark = CacheMark::take(rel);
         let mut tuples: Vec<Tuple> = Vec::new();
-        for id in &candidates {
-            rel.decode_block_into(*id, &mut tuples)?;
+        {
+            // An *open* stage span (unlike the retroactive ones from
+            // `stage`) so per-block decode spans nest beneath it.
+            let guard = self.ctx.span(names::SPAN_SQL_STAGE);
+            for id in &candidates {
+                rel.decode_block_into_traced(*id, &mut tuples, self.ctx)?;
+            }
+            if guard.is_recording() {
+                guard.attr(names::ATTR_STAGE, "scan");
+                guard.attr(names::ATTR_ROWS, tuples.len());
+                guard.attr(names::ATTR_BLOCKS_READ, candidates.len());
+                guard.attr(names::ATTR_CACHE_HITS, mark.hits_since(rel));
+            }
         }
-        self.stage(
+        self.report(
             "scan",
             tuples.len() as u64,
             candidates.len() as u64,
             mark.hits_since(rel),
-            sw,
+            sw.elapsed(),
         );
 
         let sw = Stopwatch::start();
@@ -312,7 +354,7 @@ impl<'a> Exec<'a> {
                 probed_blocks += candidates.len() as u64;
                 let mut tuples: Vec<Tuple> = Vec::new();
                 for id in &candidates {
-                    rel.decode_block_into(*id, &mut tuples)?;
+                    rel.decode_block_into_traced(*id, &mut tuples, self.ctx)?;
                 }
                 for t in tuples.iter().filter(|t| probe_sel.matches(t)) {
                     matched += 1;
@@ -335,7 +377,7 @@ impl<'a> Exec<'a> {
             let candidates = rel.candidate_blocks(&sel, AccessPath::FullScan)?;
             let mut tuples: Vec<Tuple> = Vec::new();
             for id in &candidates {
-                rel.decode_block_into(*id, &mut tuples)?;
+                rel.decode_block_into_traced(*id, &mut tuples, self.ctx)?;
             }
             let mut matched = 0u64;
             for t in tuples.iter().filter(|t| sel.matches(t)) {
@@ -709,10 +751,23 @@ impl Acc {
 
 /// Executes `plan` for `q` against `db`.
 pub fn execute(db: &Database, q: &BoundQuery, plan: &PhysicalPlan) -> Result<ExecOutput, SqlError> {
+    execute_traced(db, q, plan, &TraceCtx::disabled())
+}
+
+/// [`execute`] with trace attribution: per-stage `avq.sql.stage` spans and
+/// storage-level block-read spans are recorded into `ctx` when it is
+/// enabled; a disabled `ctx` takes the exact untraced path.
+pub fn execute_traced(
+    db: &Database,
+    q: &BoundQuery,
+    plan: &PhysicalPlan,
+    ctx: &TraceCtx,
+) -> Result<ExecOutput, SqlError> {
     let mut exec = Exec {
         db,
         q,
         order: &plan.table_order,
+        ctx,
         stages: Vec::new(),
         actual_rows: Vec::new(),
     };

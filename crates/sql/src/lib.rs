@@ -61,9 +61,33 @@ impl SqlOutcome {
 
 /// Parses, plans, and runs one SQL statement against `db`.
 pub fn run(db: &Database, sql: &str) -> Result<SqlOutcome, SqlError> {
+    run_traced(db, sql, &avq_obs::TraceCtx::disabled())
+}
+
+/// [`run`] with per-query trace capture.
+///
+/// When `ctx` is recording, the statement executes under a root
+/// `avq.sql.query` span (attributes: `statement`, `plan_summary`,
+/// `plans_considered`) with child spans for parse, plan, and execute;
+/// the executor additionally records one `avq.sql.stage` span per
+/// operator stage, and storage-level block reads nest beneath the stage
+/// that issued them. The query text, chosen plan summary, and per-node
+/// estimated-vs-actual row counts are captured on the trace for the
+/// slow-query log. With a disabled `ctx` this is exactly [`run`]: the
+/// `span!` histograms and counters record either way.
+pub fn run_traced(
+    db: &Database,
+    sql: &str,
+    ctx: &avq_obs::TraceCtx,
+) -> Result<SqlOutcome, SqlError> {
     avq_obs::counter!(names::SQL_STATEMENTS).inc();
+    let root = ctx.span(names::SPAN_SQL_QUERY);
+    if root.is_recording() {
+        root.attr(names::ATTR_STATEMENT, sql);
+    }
     let stmt = {
         let _span = avq_obs::span!(names::SPAN_SQL_PARSE);
+        let _trace = ctx.span(names::SPAN_SQL_PARSE);
         parse(sql)?
     };
     let (select, explain) = match stmt {
@@ -72,21 +96,39 @@ pub fn run(db: &Database, sql: &str) -> Result<SqlOutcome, SqlError> {
     };
     let (bound, physical) = {
         let _span = avq_obs::span!(names::SPAN_SQL_PLAN);
+        let _trace = ctx.span(names::SPAN_SQL_PLAN);
         let bound = bind(db, &select)?;
         let physical = plan::plan(db, &bound)?;
         avq_obs::counter!(names::SQL_PLANS_CONSIDERED).add(physical.plans_considered);
         (bound, physical)
     };
+    if root.is_recording() {
+        root.attr(names::ATTR_PLAN_SUMMARY, physical.summary());
+        root.attr(names::ATTR_PLANS_CONSIDERED, physical.plans_considered);
+        ctx.set_query(sql, &physical.summary());
+    }
     match explain {
         None => {
-            let _span = avq_obs::span!(names::SPAN_SQL_EXEC);
-            let out = exec::execute(db, &bound, &physical)?;
+            let out = {
+                let _span = avq_obs::span!(names::SPAN_SQL_EXEC);
+                let _trace = ctx.span(names::SPAN_SQL_EXEC);
+                exec::execute_traced(db, &bound, &physical, ctx)?
+            };
+            if ctx.is_enabled() {
+                ctx.set_stage_rows(render::node_rows(&bound, &physical, &out.actual_rows));
+            }
             Ok(SqlOutcome::Table(out.result))
         }
         Some(false) => Ok(SqlOutcome::Plan(render_explain(&bound, &physical))),
         Some(true) => {
-            let _span = avq_obs::span!(names::SPAN_SQL_EXEC);
-            let out = exec::execute(db, &bound, &physical)?;
+            let out = {
+                let _span = avq_obs::span!(names::SPAN_SQL_EXEC);
+                let _trace = ctx.span(names::SPAN_SQL_EXEC);
+                exec::execute_traced(db, &bound, &physical, ctx)?
+            };
+            if ctx.is_enabled() {
+                ctx.set_stage_rows(render::node_rows(&bound, &physical, &out.actual_rows));
+            }
             Ok(SqlOutcome::Plan(render_analyze(&bound, &physical, &out)))
         }
     }

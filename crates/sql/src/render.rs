@@ -153,6 +153,35 @@ fn render_node(
     }
 }
 
+/// Per-plan-node estimated vs. actual row counts in the renderer's
+/// pre-order numbering, for slow-query trace capture. Labels match the
+/// `EXPLAIN` node descriptions so the slow log and `EXPLAIN ANALYZE`
+/// speak the same vocabulary.
+pub fn node_rows(q: &BoundQuery, plan: &PhysicalPlan, actuals: &[u64]) -> Vec<avq_obs::StageRows> {
+    fn walk(
+        q: &BoundQuery,
+        node: &PlanNode,
+        counter: &mut usize,
+        actuals: &[u64],
+        out: &mut Vec<avq_obs::StageRows>,
+    ) {
+        let my_id = *counter;
+        *counter += 1;
+        out.push(avq_obs::StageRows {
+            label: describe(q, node),
+            est_rows: node.est().rows.round() as u64,
+            actual_rows: actuals.get(my_id).copied().unwrap_or(0),
+        });
+        if let Some(child) = child_of(node) {
+            walk(q, child, counter, actuals, out);
+        }
+    }
+    let mut out = Vec::new();
+    let mut counter = 0usize;
+    walk(q, &plan.root, &mut counter, actuals, &mut out);
+    out
+}
+
 /// Renders `EXPLAIN` (no execution: estimates only).
 pub fn render_explain(q: &BoundQuery, plan: &PhysicalPlan) -> String {
     let mut out = String::new();
