@@ -610,11 +610,61 @@ impl SqlTarget {
     }
 }
 
+/// Resource-governance flags shared by the one-shot and interactive `sql`
+/// forms: `--timeout-ms`, `--max-decoded-mb`, and `--max-rows`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BudgetFlags {
+    /// `--timeout-ms <n>`: deadline on the simulated disk's virtual clock.
+    pub timeout_ms: Option<u64>,
+    /// `--max-decoded-mb <n>`: coded-bytes decode quota, in MiB.
+    pub max_decoded_mb: Option<u64>,
+    /// `--max-rows <n>`: rows-examined quota.
+    pub max_rows: Option<u64>,
+}
+
+impl BudgetFlags {
+    fn is_empty(&self) -> bool {
+        self.timeout_ms.is_none() && self.max_decoded_mb.is_none() && self.max_rows.is_none()
+    }
+
+    /// The [`avq_db::QueryBudget`] these flags describe.
+    fn budget(&self) -> avq_db::QueryBudget {
+        let mut b = avq_db::QueryBudget::unlimited();
+        if let Some(ms) = self.timeout_ms {
+            b = b.with_timeout_ms(ms as f64);
+        }
+        if let Some(mb) = self.max_decoded_mb {
+            b = b.with_max_decoded_bytes(mb << 20);
+        }
+        if let Some(n) = self.max_rows {
+            b = b.with_max_rows(n);
+        }
+        b
+    }
+
+    /// A governance context for one statement against `db` — disabled
+    /// (zero-overhead) when no flag was given.
+    fn gov_for(&self, db: &Database) -> avq_db::GovCtx {
+        if self.is_empty() {
+            avq_db::GovCtx::unlimited()
+        } else {
+            avq_db::GovCtx::new(self.budget(), db.clock().clone())
+        }
+    }
+}
+
 /// `avqtool sql <file.avq | db-dir> <statement>` — parse, plan, and run one
-/// SQL statement (see `avq_sql` for the dialect).
-pub fn sql(path: &Path, stmt: &str, kernel: Option<&str>) -> Result<String, CliError> {
+/// SQL statement (see `avq_sql` for the dialect) under the governance
+/// budget described by `flags`.
+pub fn sql(
+    path: &Path,
+    stmt: &str,
+    kernel: Option<&str>,
+    flags: &BudgetFlags,
+) -> Result<String, CliError> {
     let (target, _) = SqlTarget::open(path, kernel)?;
-    let outcome = avq_sql::run(target.db(), stmt)?;
+    let gov = flags.gov_for(target.db());
+    let outcome = avq_sql::run_governed(target.db(), stmt, &avq_obs::TraceCtx::disabled(), &gov)?;
     Ok(format!("{}\n", outcome.render()))
 }
 
@@ -638,6 +688,7 @@ fn run_one_traced(
     stmt: &str,
     kernel: Option<&str>,
     collector: avq_obs::TraceCollector,
+    flags: &BudgetFlags,
 ) -> Result<
     (
         avq_sql::SqlOutcome,
@@ -647,8 +698,9 @@ fn run_one_traced(
     CliError,
 > {
     let (target, _) = SqlTarget::open(path, kernel)?;
+    let gov = flags.gov_for(target.db());
     let ctx = collector.begin();
-    let result = avq_sql::run_traced(target.db(), stmt, &ctx);
+    let result = avq_sql::run_governed(target.db(), stmt, &ctx, &gov);
     let data = collector.finish(ctx);
     Ok((result?, data, collector))
 }
@@ -662,9 +714,15 @@ pub fn sql_traced(
     kernel: Option<&str>,
     sample: Option<u64>,
     budget_ms: Option<u64>,
+    flags: &BudgetFlags,
 ) -> Result<String, CliError> {
-    let (outcome, data, collector) =
-        run_one_traced(path, stmt, kernel, trace_collector(sample, budget_ms))?;
+    let (outcome, data, collector) = run_one_traced(
+        path,
+        stmt,
+        kernel,
+        trace_collector(sample, budget_ms),
+        flags,
+    )?;
     let mut out = format!("{}\n", outcome.render());
     match data {
         Some(d) => {
@@ -690,7 +748,7 @@ pub fn trace_export(
     kernel: Option<&str>,
 ) -> Result<String, CliError> {
     let collector = trace_collector(None, None);
-    let (_, data, _) = run_one_traced(path, stmt, kernel, collector)?;
+    let (_, data, _) = run_one_traced(path, stmt, kernel, collector, &BudgetFlags::default())?;
     let d = data.ok_or("trace was not captured")?;
     match format {
         "chrome" => Ok(format!("{}\n", d.render_chrome())),
@@ -710,7 +768,7 @@ pub fn trace_slow(
     budget_ms: Option<u64>,
 ) -> Result<String, CliError> {
     let collector = trace_collector(None, Some(budget_ms.unwrap_or(0)));
-    let (_, _, collector) = run_one_traced(path, stmt, kernel, collector)?;
+    let (_, _, collector) = run_one_traced(path, stmt, kernel, collector, &BudgetFlags::default())?;
     let slow = collector.slow_queries();
     if slow.is_empty() {
         return Ok("no slow queries (root span under budget)\n".to_owned());
@@ -724,8 +782,16 @@ pub fn trace_slow(
 
 /// The interactive loop behind `avqtool sql <target>`, split out over
 /// generic reader/writer so tests can drive it without a terminal.
-/// Statements run one per line; `\q`, `quit`, or `exit` leaves.
-pub fn sql_shell<R, W>(path: &Path, input: R, mut output: W) -> Result<(), CliError>
+/// Statements run one per line under the governance budget in `flags`;
+/// `\cancel` arms cooperative cancellation for the next statement (it
+/// starts executing and trips at its first poll point), and `\q`, `quit`,
+/// or `exit` leaves.
+pub fn sql_shell<R, W>(
+    path: &Path,
+    input: R,
+    mut output: W,
+    flags: &BudgetFlags,
+) -> Result<(), CliError>
 where
     R: std::io::BufRead,
     W: std::io::Write,
@@ -734,14 +800,29 @@ where
     writeln!(output, "avq-sql — relations: {names} (\\q to quit)")?;
     write!(output, "avq> ")?;
     output.flush()?;
+    let mut pending_cancel = false;
     for line in input.lines() {
         let line = line?;
         let stmt = line.trim();
         if matches!(stmt, "\\q" | "quit" | "exit") {
             break;
         }
-        if !stmt.is_empty() {
-            match avq_sql::run(target.db(), stmt) {
+        if stmt == "\\cancel" {
+            pending_cancel = true;
+            writeln!(output, "cancel armed: the next statement will be cancelled")?;
+        } else if !stmt.is_empty() {
+            // A pending cancel needs an *enabled* context even when no
+            // budget flag was given — a disabled one has nothing to trip.
+            let gov = if pending_cancel {
+                avq_db::GovCtx::new(flags.budget(), target.db().clock().clone())
+            } else {
+                flags.gov_for(target.db())
+            };
+            if pending_cancel {
+                gov.cancel();
+                pending_cancel = false;
+            }
+            match avq_sql::run_governed(target.db(), stmt, &avq_obs::TraceCtx::disabled(), &gov) {
                 Ok(outcome) => writeln!(output, "{}", outcome.render())?,
                 Err(e) => writeln!(output, "error: {e}")?,
             }
@@ -754,10 +835,10 @@ where
 }
 
 /// `avqtool sql <target>` with no statement: a REPL on stdin/stdout.
-pub fn sql_repl(path: &Path) -> Result<String, CliError> {
+pub fn sql_repl(path: &Path, flags: &BudgetFlags) -> Result<String, CliError> {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    sql_shell(path, stdin.lock(), stdout.lock())?;
+    sql_shell(path, stdin.lock(), stdout.lock(), flags)?;
     Ok(String::new())
 }
 
@@ -977,7 +1058,9 @@ USAGE:
   avqtool explain-join <file.avq> <outer_attr> <inner_attr>
   avqtool explain-join <db-dir> <outer> <outer_attr> <inner> <inner_attr>
   avqtool sql <file.avq | db-dir> \"<statement>\"
-  avqtool sql <file.avq | db-dir>            (interactive shell)
+  avqtool sql <file.avq | db-dir>            (interactive shell; \\cancel
+                                              arms cancellation of the
+                                              next statement)
   avqtool sql <target> \"<statement>\" --trace [--sample n] [--budget-ms n]
   avqtool trace export <target> \"<statement>\" [--format chrome|jsonl|text]
   avqtool trace slow <target> \"<statement>\" [--budget-ms n]
@@ -991,6 +1074,10 @@ FLAGS (any command):
                          slow-query report when over --budget-ms)
   --sample <n>           keep one trace in n (default: every trace)
   --budget-ms <n>        slow-query latency budget in milliseconds
+  --timeout-ms <n>       `sql` deadline on the virtual disk clock; a
+                         statement over it fails with a governance error
+  --max-decoded-mb <n>   `sql` quota on coded MiB decoded per statement
+  --max-rows <n>         `sql` quota on rows examined per statement
 
 MODES: fieldwise | avq | chained (default) | bits
 
@@ -1361,6 +1448,7 @@ mod tests {
             &db_dir,
             "select dept, count(*) from people group by dept order by dept limit 2",
             None,
+            &BudgetFlags::default(),
         )
         .unwrap();
         assert!(out.contains("dept | count(*)"), "{out}");
@@ -1369,11 +1457,18 @@ mod tests {
             &db_dir,
             "select count(*) from people a join people b on a.dept = b.dept where a.id < 1",
             None,
+            &BudgetFlags::default(),
         )
         .unwrap();
         // Person 0 is dept eng; 50 eng rows match on the inner side.
         assert!(out.contains("50"), "{out}");
-        let out = sql(&db_dir, "explain select * from people where id = 7", None).unwrap();
+        let out = sql(
+            &db_dir,
+            "explain select * from people where id = 7",
+            None,
+            &BudgetFlags::default(),
+        )
+        .unwrap();
         assert!(out.starts_with("EXPLAIN: "), "{out}");
         std::fs::remove_dir_all(dir).ok();
     }
@@ -1381,7 +1476,13 @@ mod tests {
     #[test]
     fn sql_one_shot_runs_against_an_avq_file() {
         let (dir, avq_path) = setup("sql-avq", 60);
-        let out = sql(&avq_path, "select years from data where years = 7", None).unwrap();
+        let out = sql(
+            &avq_path,
+            "select years from data where years = 7",
+            None,
+            &BudgetFlags::default(),
+        )
+        .unwrap();
         assert!(out.contains("years"), "{out}");
         // years = i % 50 over 60 rows: i = 7 and i = 57 both match.
         assert!(out.contains("(2 rows)"), "{out}");
@@ -1391,9 +1492,21 @@ mod tests {
     #[test]
     fn sql_errors_are_reported_not_panicked() {
         let (dir, avq_path) = setup("sql-err", 10);
-        let err = sql(&avq_path, "select * from nowhere", None).unwrap_err();
+        let err = sql(
+            &avq_path,
+            "select * from nowhere",
+            None,
+            &BudgetFlags::default(),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("nowhere"), "{err}");
-        let err = sql(&avq_path, "select * frum data", None).unwrap_err();
+        let err = sql(
+            &avq_path,
+            "select * frum data",
+            None,
+            &BudgetFlags::default(),
+        )
+        .unwrap_err();
         assert!(!err.to_string().is_empty());
         std::fs::remove_dir_all(dir).ok();
     }
@@ -1403,7 +1516,7 @@ mod tests {
         let (dir, avq_path) = setup("sql-repl", 30);
         let input = b"select count(*) from data\n\nbad syntax here\n\\q\n" as &[u8];
         let mut output = Vec::new();
-        sql_shell(&avq_path, input, &mut output).unwrap();
+        sql_shell(&avq_path, input, &mut output, &BudgetFlags::default()).unwrap();
         let text = String::from_utf8(output).unwrap();
         assert!(text.starts_with("avq-sql — relations: data"), "{text}");
         assert!(text.contains("count(*)"), "{text}");
@@ -1411,6 +1524,61 @@ mod tests {
         assert!(text.contains("error: "), "{text}");
         // One prompt per input line processed, plus the initial one.
         assert_eq!(text.matches("avq> ").count(), 4, "{text}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    // Pinned goldens for governance-error rendering: a trip surfaces in the
+    // same `error: <SqlError>` style as every other statement failure, with
+    // the stable GovernanceError message embedded.
+    #[test]
+    fn sql_governance_error_rendering_is_pinned() {
+        let (dir, avq_path) = setup("sql-gov", 200);
+        let flags = BudgetFlags {
+            max_rows: Some(1),
+            ..BudgetFlags::default()
+        };
+        let err = sql(&avq_path, "select count(*) from data", None, &flags).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "execution error: governance error: \
+             rows-examined quota exceeded: used 200 of 1"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn sql_shell_cancel_arms_cancellation_of_next_statement() {
+        let (dir, avq_path) = setup("sql-cancel", 30);
+        let input =
+            b"\\cancel\nselect count(*) from data\nselect count(*) from data\n\\q\n" as &[u8];
+        let mut output = Vec::new();
+        sql_shell(&avq_path, input, &mut output, &BudgetFlags::default()).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(
+            text.contains("cancel armed: the next statement will be cancelled"),
+            "{text}"
+        );
+        // The cancelled statement trips cooperatively at its first poll
+        // point; the one after runs clean.
+        assert!(
+            text.contains("error: execution error: governance error: query cancelled"),
+            "{text}"
+        );
+        assert!(text.contains("30"), "{text}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn sql_one_shot_decoded_quota_flag_counts_coded_bytes() {
+        let (dir, avq_path) = setup("sql-decmb", 200);
+        // A fully-cached scan re-decodes nothing, so a generous decode
+        // quota passes while the rows quota (always charged) still guards.
+        let flags = BudgetFlags {
+            max_decoded_mb: Some(64),
+            ..BudgetFlags::default()
+        };
+        let out = sql(&avq_path, "select count(*) from data", None, &flags).unwrap();
+        assert!(out.contains("200"), "{out}");
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -1427,6 +1595,7 @@ mod tests {
             None,
             None,
             None,
+            &BudgetFlags::default(),
         )
         .unwrap();
         // The result table still comes first.
@@ -1463,7 +1632,15 @@ mod tests {
         let (dir, db_dir) = seeded_db_dir("sql-trace-sample");
         // Budget 0 ms promotes the statement to the slow log, so `--trace
         // --budget-ms 0` appends the slow-query report after the tree.
-        let out = sql_traced(&db_dir, "select count(*) from people", None, None, Some(0)).unwrap();
+        let out = sql_traced(
+            &db_dir,
+            "select count(*) from people",
+            None,
+            None,
+            Some(0),
+            &BudgetFlags::default(),
+        )
+        .unwrap();
         assert!(out.contains("slow query: trace 1"), "{out}");
         assert!(out.contains("sql: select count(*) from people"), "{out}");
         assert!(out.contains("est_rows  actual_rows"), "{out}");

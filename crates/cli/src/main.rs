@@ -60,6 +60,9 @@ struct Switches {
     sample: Option<u64>,
     /// `--budget-ms <n>`: slow-query latency budget in milliseconds.
     budget_ms: Option<u64>,
+    /// `--timeout-ms` / `--max-decoded-mb` / `--max-rows`: the governance
+    /// budget for `sql` statements.
+    budget: commands::BudgetFlags,
 }
 
 fn run(args: &[String]) -> Result<String, commands::CliError> {
@@ -77,11 +80,28 @@ fn run(args: &[String]) -> Result<String, commands::CliError> {
         budget_ms: take_flag(&mut args, "--budget-ms")?
             .map(|s| s.parse())
             .transpose()?,
+        budget: commands::BudgetFlags {
+            timeout_ms: take_flag(&mut args, "--timeout-ms")?
+                .map(|s| s.parse())
+                .transpose()?,
+            max_decoded_mb: take_flag(&mut args, "--max-decoded-mb")?
+                .map(|s| s.parse())
+                .transpose()?,
+            max_rows: take_flag(&mut args, "--max-rows")?
+                .map(|s| s.parse())
+                .transpose()?,
+        },
     };
-    let output = dispatch(&args, format.as_deref(), &switches)?;
+    let result = dispatch(&args, format.as_deref(), &switches);
     match metrics_out {
-        Some(p) => Ok(output + &commands::write_metrics(Path::new(&p))?),
-        None => Ok(output),
+        // The snapshot is written even when the command failed, so a
+        // governance trip (timeout, quota, shed) still surfaces its
+        // `avq.gov.*` counters for inspection.
+        Some(p) => {
+            let note = commands::write_metrics(Path::new(&p))?;
+            result.map(|output| output + &note)
+        }
+        None => result,
     }
 }
 
@@ -133,17 +153,21 @@ fn dispatch(
         ("explain-join", [dir, outer, outer_attr, inner, inner_attr]) => {
             commands::explain_join_dir(Path::new(dir), outer, outer_attr, inner, inner_attr)
         }
-        ("sql", [target]) => commands::sql_repl(Path::new(target)),
+        ("sql", [target]) => commands::sql_repl(Path::new(target), &switches.budget),
         ("sql", [target, stmt]) if switches.trace => commands::sql_traced(
             Path::new(target),
             stmt,
             switches.kernel.as_deref(),
             switches.sample,
             switches.budget_ms,
+            &switches.budget,
         ),
-        ("sql", [target, stmt]) => {
-            commands::sql(Path::new(target), stmt, switches.kernel.as_deref())
-        }
+        ("sql", [target, stmt]) => commands::sql(
+            Path::new(target),
+            stmt,
+            switches.kernel.as_deref(),
+            &switches.budget,
+        ),
         ("trace", [sub, target, stmt]) if sub == "export" => commands::trace_export(
             Path::new(target),
             stmt,

@@ -394,6 +394,27 @@ impl BlockCodec {
         result
     }
 
+    /// [`Self::decode_into_scratch_traced`] under a governance budget: the
+    /// block boundary is the poll point — a tripped budget or a cancelled
+    /// query refuses the decode before any work — and on success the coded
+    /// bytes in and tuples out are charged to `gov`, so quotas overshoot by
+    /// at most one block. With disabled contexts this costs two branches on
+    /// top of the bare scratch path.
+    pub fn decode_into_scratch_governed(
+        &self,
+        bytes: &[u8],
+        out: &mut Vec<Tuple>,
+        scratch: &mut DecodeScratch,
+        ctx: &avq_obs::TraceCtx,
+        gov: &avq_obs::GovCtx,
+    ) -> Result<(), crate::GovernedDecodeError> {
+        gov.poll()?;
+        let base = out.len();
+        self.decode_into_scratch_traced(bytes, out, scratch, ctx)?;
+        gov.charge_decoded(bytes.len() as u64, (out.len() - base) as u64);
+        Ok(())
+    }
+
     fn decode_inner(
         &self,
         bytes: &[u8],

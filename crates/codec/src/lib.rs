@@ -62,7 +62,7 @@ mod update;
 
 pub use block::{BlockCodec, DecodeScratch, BLOCK_HEADER_BYTES};
 pub use compress::{compress, compress_sorted, BlockMeta, CodecOptions, CodedRelation};
-pub use error::CodecError;
+pub use error::{CodecError, GovernedDecodeError};
 pub use kernel::DecodeKernel;
 pub use mode::{CodingMode, RepChoice};
 pub use packer::BlockPacker;

@@ -1,0 +1,427 @@
+//! Admission control: a concurrency gate with a bounded, priority-aware
+//! wait queue and load shedding.
+//!
+//! The governance layer bounds what one query may consume; this module
+//! bounds how many consume at once. An [`AdmissionController`] holds a
+//! fixed number of execution slots. A query [`admit`]s itself before
+//! running and holds the returned [`AdmissionPermit`] for the duration;
+//! dropping the permit frees the slot and wakes the next waiter.
+//!
+//! The state machine per query:
+//!
+//! ```text
+//!          slots free, no higher-priority waiter
+//! admit() ───────────────────────────────────────▶ Running ─▶ (drop) Released
+//!    │
+//!    │ queue full ──────────────▶ Shed{QueueFull}
+//!    │ deadline < estimated wait ▶ Shed{DeadlineUnmeetable}
+//!    │
+//!    ▼
+//! Queued ──(head of queue, slot frees)──▶ Running
+//!    │
+//!    └─(budget trips while waiting)──▶ Timeout / Cancelled
+//! ```
+//!
+//! Priorities are per-class: [`QueryClass::Interactive`] waiters are
+//! always granted before [`QueryClass::Background`] (scrub, checkpoint,
+//! analytics) waiters, FIFO within each class. The wait queue is bounded
+//! by [`AdmissionConfig::queue_limit`]: at overload the controller sheds —
+//! a typed [`GovernanceError::Shed`] the caller can convert into
+//! backpressure — rather than queueing unboundedly.
+//!
+//! Shedding on unmeetable deadlines uses an EWMA of recent *virtual*
+//! service times: if a query's remaining deadline is smaller than the
+//! estimated queue wait, running it would only waste a slot on a result
+//! nobody can use — refuse it up front (the "goodput over throughput"
+//! rule). Queue-wait time itself is recorded in real nanoseconds through
+//! [`avq_obs::Stopwatch`] (the sanctioned wall-clock wrapper) into the
+//! `avq.gov.queue_wait_ns` histogram, because waiters block real threads.
+
+use avq_obs::{names, GovCtx, GovernanceError, NowMs, ShedReason, Stopwatch};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Scheduling class a query admits itself under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Latency-sensitive foreground work; always granted before background.
+    Interactive,
+    /// Scrub, checkpoint, and analytics work; yields to interactive.
+    Background,
+}
+
+/// Sizing of the admission gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Queries allowed to run concurrently (minimum 1).
+    pub slots: usize,
+    /// Maximum queued waiters across both classes before shedding.
+    pub queue_limit: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            slots: 4,
+            queue_limit: 16,
+        }
+    }
+}
+
+/// How often a queued waiter re-checks its budget and queue position.
+const WAIT_SLICE: Duration = Duration::from_millis(1);
+
+/// EWMA weight of the newest service-time sample.
+const EWMA_ALPHA: f64 = 0.2;
+
+struct State {
+    running: usize,
+    /// Waiting ticket numbers per class, FIFO. A waiter that gives up
+    /// (budget trip) removes its ticket, so the front is always live.
+    interactive: VecDeque<u64>,
+    background: VecDeque<u64>,
+    next_ticket: u64,
+    /// EWMA of per-query virtual service time, ms; 0 until the first
+    /// permit is released.
+    avg_service_ms: f64,
+}
+
+impl State {
+    fn queued(&self) -> usize {
+        self.interactive.len() + self.background.len()
+    }
+
+    fn queue_of(&mut self, class: QueryClass) -> &mut VecDeque<u64> {
+        match class {
+            QueryClass::Interactive => &mut self.interactive,
+            QueryClass::Background => &mut self.background,
+        }
+    }
+
+    /// True when ticket `seq` of `class` is next in line overall:
+    /// interactive waiters outrank every background waiter.
+    fn is_head(&self, class: QueryClass, seq: u64) -> bool {
+        match class {
+            QueryClass::Interactive => self.interactive.front() == Some(&seq),
+            QueryClass::Background => {
+                self.interactive.is_empty() && self.background.front() == Some(&seq)
+            }
+        }
+    }
+
+    /// Expected queue wait in virtual ms for a newly queued waiter, from
+    /// the service-time EWMA: everyone already queued plus the running
+    /// cohort must drain through `slots` first.
+    fn estimated_wait_ms(&self, slots: usize) -> f64 {
+        self.avg_service_ms * ((self.queued() + 1) as f64 / slots.max(1) as f64)
+    }
+}
+
+/// A concurrency gate with a bounded priority wait queue. See the module
+/// docs for the state machine.
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    clock: Arc<dyn NowMs>,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for AdmissionController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.lock();
+        f.debug_struct("AdmissionController")
+            .field("slots", &self.cfg.slots)
+            .field("queue_limit", &self.cfg.queue_limit)
+            .field("running", &st.running)
+            .field("queued", &st.queued())
+            .finish()
+    }
+}
+
+impl AdmissionController {
+    /// Builds a gate of `cfg.slots` slots; virtual service times for the
+    /// deadline-unmeetable estimate are read from `clock`.
+    pub fn new(cfg: AdmissionConfig, clock: Arc<dyn NowMs>) -> Self {
+        AdmissionController {
+            cfg: AdmissionConfig {
+                slots: cfg.slots.max(1),
+                queue_limit: cfg.queue_limit,
+            },
+            clock,
+            state: Mutex::new(State {
+                running: 0,
+                interactive: VecDeque::new(),
+                background: VecDeque::new(),
+                next_ticket: 0,
+                avg_service_ms: 0.0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The configured sizing.
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    /// Queries currently holding a slot.
+    pub fn running(&self) -> usize {
+        self.lock().running
+    }
+
+    /// Waiters currently queued (both classes).
+    pub fn queued(&self) -> usize {
+        self.lock().queued()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Requests a slot, blocking in the bounded wait queue if none is
+    /// free. Returns the slot's RAII permit, or a typed refusal:
+    /// [`GovernanceError::Shed`] when the queue is full or the deadline
+    /// cannot be met given the estimated wait, and the budget's own
+    /// `Timeout`/`Cancelled` if it trips while queued.
+    pub fn admit(
+        &self,
+        class: QueryClass,
+        gov: &GovCtx,
+    ) -> Result<AdmissionPermit<'_>, GovernanceError> {
+        let waited = Stopwatch::start();
+        let mut st = self.lock();
+
+        // Fast path: a free slot and nobody of equal-or-higher priority
+        // already waiting for it.
+        let can_run_now = st.running < self.cfg.slots
+            && match class {
+                QueryClass::Interactive => st.interactive.is_empty(),
+                QueryClass::Background => st.queued() == 0,
+            };
+        if can_run_now {
+            st.running += 1;
+            drop(st);
+            return Ok(self.grant(&waited));
+        }
+
+        // Must queue: shed instead of queueing unboundedly or pointlessly.
+        if st.queued() >= self.cfg.queue_limit {
+            return Err(self.shed(ShedReason::QueueFull));
+        }
+        if let Some(remaining) = gov.remaining_ms() {
+            if remaining <= 0.0 || remaining < st.estimated_wait_ms(self.cfg.slots) {
+                return Err(self.shed(ShedReason::DeadlineUnmeetable));
+            }
+        }
+
+        let seq = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue_of(class).push_back(seq);
+        loop {
+            // A budget that trips while queued (cancel, or the virtual
+            // deadline passing as running queries charge the clock) gives
+            // the slot up; its typed error surfaces as the outcome.
+            if let Err(e) = gov.poll() {
+                st.queue_of(class).retain(|&s| s != seq);
+                drop(st);
+                self.cv.notify_all();
+                return Err(e);
+            }
+            if st.running < self.cfg.slots && st.is_head(class, seq) {
+                st.queue_of(class).pop_front();
+                st.running += 1;
+                drop(st);
+                return Ok(self.grant(&waited));
+            }
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(st, WAIT_SLICE)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    fn grant(&self, waited: &Stopwatch) -> AdmissionPermit<'_> {
+        avq_obs::counter!(names::GOV_ADMITTED).inc();
+        let ns = u64::try_from(waited.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        avq_obs::histogram!(names::GOV_QUEUE_WAIT_NS).record(ns);
+        AdmissionPermit {
+            ctrl: self,
+            started_ms: self.clock.now_ms(),
+        }
+    }
+
+    fn shed(&self, reason: ShedReason) -> GovernanceError {
+        avq_obs::counter!(names::GOV_SHED).inc();
+        GovernanceError::Shed { reason }
+    }
+}
+
+/// RAII slot of an [`AdmissionController`]: held for the life of the
+/// admitted query; dropping it releases the slot, folds the query's
+/// virtual service time into the wait estimate, and wakes the queue.
+#[must_use = "dropping the permit releases the admission slot"]
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    ctrl: &'a AdmissionController,
+    started_ms: f64,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let service_ms = (self.ctrl.clock.now_ms() - self.started_ms).max(0.0);
+        let mut st = self.ctrl.lock();
+        st.running = st.running.saturating_sub(1);
+        st.avg_service_ms = if st.avg_service_ms == 0.0 {
+            service_ms
+        } else {
+            st.avg_service_ms * (1.0 - EWMA_ALPHA) + service_ms * EWMA_ALPHA
+        };
+        drop(st);
+        self.ctrl.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avq_obs::QueryBudget;
+    use avq_storage::SimClock;
+
+    fn controller(slots: usize, queue_limit: usize) -> AdmissionController {
+        AdmissionController::new(
+            AdmissionConfig { slots, queue_limit },
+            Arc::new(SimClock::new()),
+        )
+    }
+
+    #[test]
+    fn grants_up_to_slots_then_sheds_when_queue_full() {
+        let ctrl = controller(2, 0);
+        let gov = GovCtx::unlimited();
+        let p1 = ctrl.admit(QueryClass::Interactive, &gov).unwrap();
+        let p2 = ctrl.admit(QueryClass::Interactive, &gov).unwrap();
+        assert_eq!(ctrl.running(), 2);
+        // Zero queue capacity: the third query sheds instead of waiting.
+        let err = ctrl.admit(QueryClass::Interactive, &gov).unwrap_err();
+        assert_eq!(
+            err,
+            GovernanceError::Shed {
+                reason: ShedReason::QueueFull
+            }
+        );
+        drop(p1);
+        drop(p2);
+        assert_eq!(ctrl.running(), 0);
+        let _p = ctrl.admit(QueryClass::Background, &gov).unwrap();
+    }
+
+    #[test]
+    fn queued_waiter_runs_after_release() {
+        let ctrl = Arc::new(controller(1, 4));
+        let gov = GovCtx::unlimited();
+        let permit = ctrl.admit(QueryClass::Interactive, &gov).unwrap();
+        let ctrl2 = Arc::clone(&ctrl);
+        let waiter = std::thread::spawn(move || {
+            let gov = GovCtx::unlimited();
+            let p = ctrl2.admit(QueryClass::Interactive, &gov).unwrap();
+            drop(p);
+            true
+        });
+        // Give the waiter time to enqueue, then free the slot.
+        while ctrl.queued() == 0 {
+            std::thread::yield_now();
+        }
+        drop(permit);
+        assert!(waiter.join().unwrap());
+        assert_eq!(ctrl.running(), 0);
+    }
+
+    #[test]
+    fn interactive_outranks_background_in_the_queue() {
+        let ctrl = Arc::new(controller(1, 8));
+        let gov = GovCtx::unlimited();
+        let permit = ctrl.admit(QueryClass::Background, &gov).unwrap();
+
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let spawn = |class: QueryClass, tag: &'static str| {
+            let ctrl = Arc::clone(&ctrl);
+            let order = Arc::clone(&order);
+            std::thread::spawn(move || {
+                let gov = GovCtx::unlimited();
+                let p = ctrl.admit(class, &gov).unwrap();
+                order.lock().unwrap().push(tag);
+                // Hold briefly so later grants queue behind the release.
+                std::thread::sleep(Duration::from_millis(2));
+                drop(p);
+            })
+        };
+        let bg = spawn(QueryClass::Background, "background");
+        while ctrl.queued() < 1 {
+            std::thread::yield_now();
+        }
+        let fg = spawn(QueryClass::Interactive, "interactive");
+        while ctrl.queued() < 2 {
+            std::thread::yield_now();
+        }
+        drop(permit);
+        fg.join().unwrap();
+        bg.join().unwrap();
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["interactive", "background"],
+            "the later interactive waiter is granted first"
+        );
+    }
+
+    #[test]
+    fn spent_deadline_is_shed_not_queued() {
+        let clock = Arc::new(SimClock::new());
+        let ctrl = AdmissionController::new(
+            AdmissionConfig {
+                slots: 1,
+                queue_limit: 8,
+            },
+            clock.clone(),
+        );
+        let unlimited = GovCtx::unlimited();
+        let _permit = ctrl.admit(QueryClass::Interactive, &unlimited).unwrap();
+
+        let gov = GovCtx::new(QueryBudget::unlimited().with_timeout_ms(5.0), clock.clone());
+        clock.advance_ms(10.0);
+        let err = ctrl.admit(QueryClass::Interactive, &gov).unwrap_err();
+        assert_eq!(
+            err,
+            GovernanceError::Shed {
+                reason: ShedReason::DeadlineUnmeetable
+            }
+        );
+    }
+
+    #[test]
+    fn cancelled_waiter_leaves_the_queue() {
+        let ctrl = Arc::new(controller(1, 4));
+        let gov = GovCtx::unlimited();
+        let permit = ctrl.admit(QueryClass::Interactive, &gov).unwrap();
+
+        let clock = Arc::new(SimClock::new());
+        let waiting = GovCtx::new(QueryBudget::unlimited(), clock);
+        let handle = waiting.clone();
+        let ctrl2 = Arc::clone(&ctrl);
+        let waiter =
+            std::thread::spawn(move || ctrl2.admit(QueryClass::Interactive, &waiting).map(|_p| ()));
+        while ctrl.queued() == 0 {
+            std::thread::yield_now();
+        }
+        handle.cancel();
+        let got = waiter.join().unwrap();
+        assert_eq!(got.unwrap_err(), GovernanceError::Cancelled);
+        assert_eq!(ctrl.queued(), 0, "cancelled ticket removed");
+        drop(permit);
+        // The slot is still usable afterwards.
+        let _p = ctrl.admit(QueryClass::Background, &gov).unwrap();
+    }
+}

@@ -41,6 +41,9 @@ pub enum DbError {
         /// Human-readable cause.
         detail: String,
     },
+    /// A resource-governance trip: the query timed out, was cancelled,
+    /// blew a quota, or was shed by the admission controller.
+    Governance(avq_obs::GovernanceError),
 }
 
 impl fmt::Display for DbError {
@@ -57,6 +60,7 @@ impl fmt::Display for DbError {
                 write!(f, "secondary index already exists on attribute {attribute}")
             }
             DbError::Durability { detail } => write!(f, "durability error: {detail}"),
+            DbError::Governance(e) => write!(f, "governance error: {e}"),
         }
     }
 }
@@ -87,6 +91,21 @@ impl From<IndexError> for DbError {
 impl From<StorageError> for DbError {
     fn from(e: StorageError) -> Self {
         DbError::Storage(e)
+    }
+}
+
+impl From<avq_obs::GovernanceError> for DbError {
+    fn from(e: avq_obs::GovernanceError) -> Self {
+        DbError::Governance(e)
+    }
+}
+
+impl From<avq_codec::GovernedDecodeError> for DbError {
+    fn from(e: avq_codec::GovernedDecodeError) -> Self {
+        match e {
+            avq_codec::GovernedDecodeError::Codec(c) => DbError::from(c),
+            avq_codec::GovernedDecodeError::Governance(g) => DbError::Governance(g),
+        }
     }
 }
 

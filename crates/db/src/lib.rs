@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod aggregate;
 mod config;
 mod cost;
@@ -55,6 +56,7 @@ mod relation_store;
 mod scan;
 mod secondary;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, QueryClass};
 pub use aggregate::{Aggregate, AggregateValue};
 pub use config::{DbConfig, ScanPolicy};
 pub use cost::QueryCost;
@@ -69,6 +71,8 @@ pub use avq_storage::RetryPolicy;
 pub use extsort::{ExternalSorter, SortedStream};
 pub use join::{block_nested_loop, equijoin, index_nested_loop, JoinStrategy};
 pub use query::{AccessPath, RangePredicate, Selection};
-pub use relation_store::{uncoded_block_count, StoredBlock, StoredRelation};
+pub use relation_store::{tuple_mem_bytes, uncoded_block_count, StoredBlock, StoredRelation};
+
+pub use avq_obs::{GovCtx, GovUsage, GovernanceError, QueryBudget, QuotaKind, ShedReason};
 pub use scan::RangeScan;
 pub use secondary::SecondaryIndex;

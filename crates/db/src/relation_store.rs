@@ -297,19 +297,43 @@ impl StoredRelation {
         out: &mut Vec<Tuple>,
         ctx: &avq_obs::TraceCtx,
     ) -> Result<(), DbError> {
+        self.decode_block_governed(id, out, ctx, &avq_obs::GovCtx::unlimited())
+    }
+
+    /// [`Self::decode_block_into_traced`] under a governance budget: the
+    /// block boundary is the poll point — a cancelled query or a tripped
+    /// deadline/quota surfaces [`DbError::Governance`] before the block is
+    /// served — the retry policy is clamped to the query's remaining
+    /// deadline, and the block's coded bytes and tuples are charged to
+    /// `gov` (cache hits charge tuples only: nothing was re-decoded, but
+    /// the rows were still examined). Disabled contexts add one branch per
+    /// call over the traced path.
+    pub fn decode_block_governed(
+        &self,
+        id: BlockId,
+        out: &mut Vec<Tuple>,
+        ctx: &avq_obs::TraceCtx,
+        gov: &avq_obs::GovCtx,
+    ) -> Result<(), DbError> {
         let guard = ctx.span(names::SPAN_DB_BLOCK_READ);
         if guard.is_recording() {
             guard.attr(names::ATTR_BLOCK, id);
         }
         if let Some(run) = self.decoded.get(id) {
+            gov.poll()?;
             out.extend_from_slice(&run);
+            gov.charge_decoded(0, run.len() as u64);
             if guard.is_recording() {
                 guard.attr(names::ATTR_CACHE_HIT, true);
             }
             return Ok(());
         }
         let pool_before = guard.is_recording().then(|| self.pool.stats());
-        let bytes = self.pool.read_with_retry(id, self.config.retry)?;
+        let retry = match gov.remaining_ms() {
+            Some(rem) => self.config.retry.clamped_to_ms(rem),
+            None => self.config.retry,
+        };
+        let bytes = self.pool.read_with_retry(id, retry)?;
         if let Some(before) = pool_before {
             guard.attr(names::ATTR_CACHE_HIT, false);
             let served_from_pool = self.pool.stats().since(&before).hits > 0;
@@ -319,14 +343,14 @@ impl StoredRelation {
         if self.decoded.is_enabled() {
             let mut run = Vec::new();
             self.codec
-                .decode_into_scratch_traced(&bytes, &mut run, &mut scratch, ctx)?;
+                .decode_into_scratch_governed(&bytes, &mut run, &mut scratch, ctx, gov)?;
             check_phi_order(&run)?;
             out.extend_from_slice(&run);
             self.decoded.insert(id, Arc::new(run));
         } else {
             let start = out.len();
             self.codec
-                .decode_into_scratch_traced(&bytes, out, &mut scratch, ctx)?;
+                .decode_into_scratch_governed(&bytes, out, &mut scratch, ctx, gov)?;
             if let Err(e) = check_phi_order(&out[start..]) {
                 out.truncate(start);
                 return Err(e);
@@ -345,11 +369,26 @@ impl StoredRelation {
         id: BlockId,
         out: &mut Vec<Tuple>,
     ) -> Result<bool, DbError> {
+        self.decode_block_policy_governed(id, out, &avq_obs::GovCtx::unlimited())
+    }
+
+    /// [`Self::decode_block_policy`] under a governance budget. A
+    /// [`DbError::Governance`] trip is *not* block corruption: it always
+    /// aborts the scan — even under [`ScanPolicy::SkipCorrupt`] — so a
+    /// tripped query can never masquerade as a short result. Quarantined
+    /// and skipped blocks charge nothing: budget accounting covers exactly
+    /// the blocks actually served.
+    pub(crate) fn decode_block_policy_governed(
+        &self,
+        id: BlockId,
+        out: &mut Vec<Tuple>,
+        gov: &avq_obs::GovCtx,
+    ) -> Result<bool, DbError> {
         let skip = self.config.scan_policy == ScanPolicy::SkipCorrupt;
         if skip && self.is_quarantined(id) {
             return Ok(false);
         }
-        match self.decode_block_into(id, out) {
+        match self.decode_block_governed(id, out, &avq_obs::TraceCtx::disabled(), gov) {
             Ok(()) => Ok(true),
             Err(e) if skip && is_block_corruption(&e) => {
                 self.quarantine(id);
@@ -472,9 +511,16 @@ impl StoredRelation {
     /// Under [`ScanPolicy::SkipCorrupt`] damaged blocks are quarantined and
     /// the surviving blocks' tuples are returned.
     pub fn scan_all(&self) -> Result<Vec<Tuple>, DbError> {
+        self.scan_all_governed(&avq_obs::GovCtx::unlimited())
+    }
+
+    /// [`Self::scan_all`] under a governance budget: each block boundary
+    /// polls `gov`, so cancellation or a tripped deadline/quota aborts the
+    /// scan with [`DbError::Governance`] within one block.
+    pub fn scan_all_governed(&self, gov: &avq_obs::GovCtx) -> Result<Vec<Tuple>, DbError> {
         let mut out = Vec::with_capacity(self.tuple_count);
         for b in &self.blocks {
-            self.decode_block_policy(b.id, &mut out)?;
+            self.decode_block_policy_governed(b.id, &mut out, gov)?;
         }
         Ok(out)
     }
@@ -535,6 +581,20 @@ impl StoredRelation {
         lo: u64,
         hi: u64,
     ) -> Result<(Vec<Tuple>, QueryCost), DbError> {
+        self.select_range_governed(attr, lo, hi, &avq_obs::GovCtx::unlimited())
+    }
+
+    /// [`Self::select_range`] under a governance budget: every block
+    /// boundary polls `gov`, matched tuples are charged against the memory
+    /// budget as they materialize, and a trip surfaces
+    /// [`DbError::Governance`] within one block.
+    pub fn select_range_governed(
+        &self,
+        attr: usize,
+        lo: u64,
+        hi: u64,
+        gov: &avq_obs::GovCtx,
+    ) -> Result<(Vec<Tuple>, QueryCost), DbError> {
         let _span = avq_obs::span!(names::SPAN_DB_SELECT);
         avq_obs::counter!(names::DB_QUERIES).inc();
         let mut tracker = CostTracker::new(&self.device);
@@ -547,22 +607,25 @@ impl StoredRelation {
         };
         tracker.end_index_phase();
 
+        let tuple_mem = tuple_mem_bytes(&self.schema);
         let mut out = Vec::new();
         let mut scratch = Vec::new();
         for id in candidates {
             scratch.clear();
-            if !self.decode_block_policy(id, &mut scratch)? {
+            if !self.decode_block_policy_governed(id, &mut scratch, gov)? {
                 continue;
             }
             self.charge_cpu(1);
             tracker.cost.data_blocks += 1;
             tracker.cost.tuples_scanned += scratch.len();
+            let before = out.len();
             for t in &scratch {
                 let v = t.digits()[attr];
                 if v >= lo && v <= hi {
                     out.push(t.clone());
                 }
             }
+            gov.charge_mem((out.len() - before) as u64 * tuple_mem);
         }
         tracker.cost.tuples_matched = out.len();
         tracker.end_data_phase();
@@ -826,6 +889,14 @@ fn is_block_corruption(e: &DbError) -> bool {
         e,
         DbError::Codec(_) | DbError::Schema(_) | DbError::Storage(StorageError::Io { .. })
     )
+}
+
+/// Approximate heap bytes one materialized [`Tuple`] of this schema
+/// occupies (its digit buffer plus container overhead) — the unit the
+/// governance memory budget charges for query-proportional state such as
+/// selection results and join hash tables.
+pub fn tuple_mem_bytes(schema: &Schema) -> u64 {
+    schema.arity() as u64 * 8 + 32
 }
 
 /// Serializes a tuple into its fixed-width primary-index key (byte order =

@@ -23,11 +23,26 @@ pub struct RangeScan<'a> {
     error: Option<DbError>,
     done: bool,
     lo: Tuple,
+    /// Governance handle polled at each block boundary (refill).
+    gov: avq_obs::GovCtx,
 }
 
 impl StoredRelation {
     /// Starts a streaming scan of the φ range `[lo, hi]`.
     pub fn range_scan(&self, lo: Tuple, hi: Tuple) -> Result<RangeScan<'_>, DbError> {
+        self.range_scan_governed(lo, hi, avq_obs::GovCtx::unlimited())
+    }
+
+    /// [`Self::range_scan`] under a governance budget: each refill (block
+    /// boundary) polls `gov`, so a cancelled or tripped scan stops yielding
+    /// within one block and surfaces [`DbError::Governance`] through
+    /// [`RangeScan::take_error`] — never a silently truncated stream.
+    pub fn range_scan_governed(
+        &self,
+        lo: Tuple,
+        hi: Tuple,
+        gov: avq_obs::GovCtx,
+    ) -> Result<RangeScan<'_>, DbError> {
         self.schema().validate_tuple(&lo)?;
         self.schema().validate_tuple(&hi)?;
         // First block whose max >= lo.
@@ -42,6 +57,7 @@ impl StoredRelation {
             error: None,
             done: false,
             lo,
+            gov,
         })
     }
 }
@@ -74,7 +90,10 @@ impl RangeScan<'_> {
             self.buf.clear();
             // Policy-aware: under `SkipCorrupt` a damaged block is
             // quarantined and the scan moves on to the next one.
-            match self.rel.decode_block_policy(id, &mut self.buf) {
+            match self
+                .rel
+                .decode_block_policy_governed(id, &mut self.buf, &self.gov)
+            {
                 Ok(true) => {}
                 Ok(false) => continue,
                 Err(e) => {

@@ -154,6 +154,7 @@ fn transient_faults_are_retried_not_quarantined() {
     let config = small_config(ScanPolicy::SkipCorrupt).with_retry(RetryPolicy {
         max_attempts: 3,
         backoff_ms: 1.0,
+        ..RetryPolicy::default()
     });
     let (device, pool, stored) = setup(500, config);
     let reference = stored.scan_all().unwrap();
@@ -184,6 +185,7 @@ fn exhausted_retries_quarantine_under_skip_corrupt() {
     let config = small_config(ScanPolicy::SkipCorrupt).with_retry(RetryPolicy {
         max_attempts: 2,
         backoff_ms: 0.5,
+        ..RetryPolicy::default()
     });
     let (device, pool, stored) = setup(500, config);
     let full = stored.scan_all().unwrap();
@@ -201,6 +203,42 @@ fn exhausted_retries_quarantine_under_skip_corrupt() {
         "only the stuck block's tuples are missing"
     );
     assert_eq!(stored.quarantined_blocks(), vec![victim]);
+}
+
+/// A retry policy whose total-time budget is tighter than its attempt
+/// budget gives up on time, not attempts: with 1 ms of total backoff
+/// allowed, the second (2 ms) backoff is refused even though attempts
+/// remain, and the block degrades like a hard fault under `SkipCorrupt`.
+#[test]
+fn retry_total_budget_caps_healing_time() {
+    let _guard = counter_lock();
+    let config = small_config(ScanPolicy::SkipCorrupt).with_retry(RetryPolicy {
+        max_attempts: 10,
+        backoff_ms: 1.0,
+        max_total_ms: 1.0,
+    });
+    let (device, pool, stored) = setup(500, config);
+    let full = stored.scan_all().unwrap();
+    let victim = stored.blocks()[0].id;
+    device.set_fault_plan(
+        FaultPlan::new(17).with_fault_on(FaultKind::TransientRead { failures: 4 }, [victim]),
+    );
+    pool.clear();
+    stored.clear_decoded_cache();
+
+    let before = retry_counter();
+    let clock_before = device.clock().now_ms();
+    let got = stored.scan_all().unwrap();
+    assert_eq!(
+        got.len(),
+        full.len() - stored.blocks()[0].count,
+        "the block cannot heal inside the time budget"
+    );
+    assert_eq!(stored.quarantined_blocks(), vec![victim]);
+    assert_eq!(retry_counter() - before, 1, "only the 1 ms retry fits");
+    // The clock delta includes simulated disk transfers for the whole scan;
+    // the backoff contributes at least its budgeted 1 ms.
+    assert!(device.clock().now_ms() - clock_before >= 1.0 - 1e-9);
 }
 
 /// Silent bit flips: whatever the damaged block decodes to, the scan never

@@ -18,6 +18,10 @@
 //!   [`TraceCtx`] span trees with typed attributes, a sampling
 //!   ring-buffer [`TraceCollector`], a slow-query log, and pretty-text /
 //!   JSONL / Chrome-trace exporters (`avqtool sql --trace`).
+//! - [`gov`] — per-query resource governance: explicitly-threaded
+//!   [`GovCtx`] budgets (virtual-clock deadline, decoded-bytes / rows /
+//!   memory quotas), cooperative cancellation polled at block boundaries,
+//!   and the typed [`GovernanceError`] a tripped query unwinds with.
 //!
 //! # Naming scheme
 //!
@@ -36,12 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gov;
 mod metric;
 pub mod names;
 mod registry;
 mod span;
 pub mod trace;
 
+pub use gov::{GovCtx, GovUsage, GovernanceError, NowMs, QueryBudget, QuotaKind, ShedReason};
 pub use metric::{
     bucket_index, bucket_lower, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot,
     HISTOGRAM_BUCKETS,

@@ -19,7 +19,7 @@ use crate::binder::{BoundItem, BoundQuery};
 use crate::error::SqlError;
 use crate::plan::{domain_of, PhysicalPlan, PlanNode};
 use avq_db::{AccessPath, CacheMark, Database, RangePredicate, Selection, StageReport};
-use avq_obs::{names, AttrValue, Stopwatch, TraceCtx};
+use avq_obs::{names, AttrValue, GovCtx, Stopwatch, TraceCtx};
 use avq_schema::{Domain, Tuple, Value};
 use std::collections::BTreeMap;
 
@@ -183,8 +183,17 @@ struct Exec<'a> {
     q: &'a BoundQuery,
     order: &'a [usize],
     ctx: &'a TraceCtx,
+    gov: &'a GovCtx,
     stages: Vec<StageReport>,
     actual_rows: Vec<u64>,
+}
+
+/// Memory charged to the governance budget for a materialized batch of
+/// `rows` ordinal rows of `width` columns — mirrors
+/// [`avq_db::tuple_mem_bytes`]'s `arity*8 + 32` model so SQL-level
+/// intermediates and storage-level decodes price a tuple identically.
+fn batch_mem_bytes(rows: usize, width: usize) -> u64 {
+    rows as u64 * (width as u64 * 8 + 32)
 }
 
 /// Maps an output-row column index back to its `(table, attr)` source.
@@ -276,7 +285,7 @@ impl<'a> Exec<'a> {
             // `stage`) so per-block decode spans nest beneath it.
             let guard = self.ctx.span(names::SPAN_SQL_STAGE);
             for id in &candidates {
-                rel.decode_block_into_traced(*id, &mut tuples, self.ctx)?;
+                rel.decode_block_governed(*id, &mut tuples, self.ctx, self.gov)?;
             }
             if guard.is_recording() {
                 guard.attr(names::ATTR_STAGE, "scan");
@@ -299,6 +308,9 @@ impl<'a> Exec<'a> {
             .filter(|t| sel.matches(t))
             .map(|t| t.digits().to_vec())
             .collect();
+        self.gov
+            .charge_mem(batch_mem_bytes(rows.len(), bt.schema.arity()));
+        self.gov.poll().map_err(avq_db::DbError::from)?;
         self.stage("filter", rows.len() as u64, 0, 0, sw);
         Ok(rows)
     }
@@ -354,7 +366,7 @@ impl<'a> Exec<'a> {
                 probed_blocks += candidates.len() as u64;
                 let mut tuples: Vec<Tuple> = Vec::new();
                 for id in &candidates {
-                    rel.decode_block_into_traced(*id, &mut tuples, self.ctx)?;
+                    rel.decode_block_governed(*id, &mut tuples, self.ctx, self.gov)?;
                 }
                 for t in tuples.iter().filter(|t| probe_sel.matches(t)) {
                     matched += 1;
@@ -377,7 +389,7 @@ impl<'a> Exec<'a> {
             let candidates = rel.candidate_blocks(&sel, AccessPath::FullScan)?;
             let mut tuples: Vec<Tuple> = Vec::new();
             for id in &candidates {
-                rel.decode_block_into_traced(*id, &mut tuples, self.ctx)?;
+                rel.decode_block_governed(*id, &mut tuples, self.ctx, self.gov)?;
             }
             let mut matched = 0u64;
             for t in tuples.iter().filter(|t| sel.matches(t)) {
@@ -412,6 +424,9 @@ impl<'a> Exec<'a> {
                 }
             }
         }
+        self.gov
+            .charge_mem(batch_mem_bytes(out.len(), out.first().map_or(0, Vec::len)));
+        self.gov.poll().map_err(avq_db::DbError::from)?;
         self.stage("join", out.len() as u64, 0, 0, sw);
         Ok(out)
     }
@@ -465,6 +480,9 @@ impl<'a> Exec<'a> {
                 }
             }
         }
+        self.gov
+            .charge_mem(batch_mem_bytes(out.len(), out.first().map_or(0, Vec::len)));
+        self.gov.poll().map_err(avq_db::DbError::from)?;
         self.stage("join", out.len() as u64, 0, 0, sw);
         Ok(out)
     }
@@ -763,11 +781,30 @@ pub fn execute_traced(
     plan: &PhysicalPlan,
     ctx: &TraceCtx,
 ) -> Result<ExecOutput, SqlError> {
+    execute_governed(db, q, plan, ctx, &GovCtx::unlimited())
+}
+
+/// [`execute_traced`] under a resource-governance budget.
+///
+/// Every block decoded on behalf of the query is a poll point (deadline,
+/// cancellation, decoded-bytes/rows quotas), each materialized batch —
+/// scan output, join output — charges the memory budget, and a trip
+/// unwinds as [`SqlError::Exec`] wrapping
+/// [`avq_db::DbError::Governance`]. An unlimited `gov` adds one branch
+/// per poll point over the traced path.
+pub fn execute_governed(
+    db: &Database,
+    q: &BoundQuery,
+    plan: &PhysicalPlan,
+    ctx: &TraceCtx,
+    gov: &GovCtx,
+) -> Result<ExecOutput, SqlError> {
     let mut exec = Exec {
         db,
         q,
         order: &plan.table_order,
         ctx,
+        gov,
         stages: Vec::new(),
         actual_rows: Vec::new(),
     };

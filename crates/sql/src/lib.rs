@@ -80,6 +80,35 @@ pub fn run_traced(
     sql: &str,
     ctx: &avq_obs::TraceCtx,
 ) -> Result<SqlOutcome, SqlError> {
+    run_governed(db, sql, ctx, &avq_obs::GovCtx::unlimited())
+}
+
+/// [`run_traced`] under a resource-governance budget.
+///
+/// The statement executes inside `gov`'s deadline, quota, and
+/// cancellation envelope: every block decoded on its behalf is a poll
+/// point, and a trip surfaces as [`SqlError::Exec`] wrapping
+/// [`avq_db::DbError::Governance`] — never a silently truncated result.
+/// The budget's usage histograms are flushed (`gov.finish()`) whether the
+/// statement succeeds or trips. An unlimited `gov` takes the exact
+/// [`run_traced`] path plus one branch per poll point.
+pub fn run_governed(
+    db: &Database,
+    sql: &str,
+    ctx: &avq_obs::TraceCtx,
+    gov: &avq_obs::GovCtx,
+) -> Result<SqlOutcome, SqlError> {
+    let out = run_governed_inner(db, sql, ctx, gov);
+    gov.finish();
+    out
+}
+
+fn run_governed_inner(
+    db: &Database,
+    sql: &str,
+    ctx: &avq_obs::TraceCtx,
+    gov: &avq_obs::GovCtx,
+) -> Result<SqlOutcome, SqlError> {
     avq_obs::counter!(names::SQL_STATEMENTS).inc();
     let root = ctx.span(names::SPAN_SQL_QUERY);
     if root.is_recording() {
@@ -112,7 +141,7 @@ pub fn run_traced(
             let out = {
                 let _span = avq_obs::span!(names::SPAN_SQL_EXEC);
                 let _trace = ctx.span(names::SPAN_SQL_EXEC);
-                exec::execute_traced(db, &bound, &physical, ctx)?
+                exec::execute_governed(db, &bound, &physical, ctx, gov)?
             };
             if ctx.is_enabled() {
                 ctx.set_stage_rows(render::node_rows(&bound, &physical, &out.actual_rows));
@@ -124,7 +153,7 @@ pub fn run_traced(
             let out = {
                 let _span = avq_obs::span!(names::SPAN_SQL_EXEC);
                 let _trace = ctx.span(names::SPAN_SQL_EXEC);
-                exec::execute_traced(db, &bound, &physical, ctx)?
+                exec::execute_governed(db, &bound, &physical, ctx, gov)?
             };
             if ctx.is_enabled() {
                 ctx.set_stage_rows(render::node_rows(&bound, &physical, &out.actual_rows));

@@ -261,6 +261,118 @@ fn render_table_has_headers_separator_and_footer() {
     assert!(text.ends_with("(3 rows)"));
 }
 
+fn governed(
+    db: &Database,
+    sql: &str,
+    gov: &avq_db::GovCtx,
+) -> Result<SqlOutcome, avq_sql::SqlError> {
+    avq_sql::run_governed(db, sql, &avq_obs::TraceCtx::disabled(), gov)
+}
+
+/// Unwraps the governance trip inside a failed statement.
+fn gov_error(r: Result<SqlOutcome, avq_sql::SqlError>) -> avq_db::GovernanceError {
+    match r {
+        Err(avq_sql::SqlError::Exec {
+            source: avq_db::DbError::Governance(g),
+        }) => g,
+        other => panic!("expected a governance trip, got {other:?}"),
+    }
+}
+
+#[test]
+fn rows_quota_trips_with_typed_error() {
+    let db = db();
+    let gov = avq_db::GovCtx::new(
+        avq_db::QueryBudget::unlimited().with_max_rows(10),
+        db.clock().clone(),
+    );
+    let err = gov_error(governed(&db, "select count(*) from people", &gov));
+    assert!(
+        matches!(
+            err,
+            avq_db::GovernanceError::QuotaExceeded {
+                kind: avq_db::QuotaKind::Rows,
+                limit: 10,
+                ..
+            }
+        ),
+        "unexpected trip: {err}"
+    );
+    // Overshoot is bounded by one block: the quota is checked at block
+    // boundaries, so usage never exceeds limit + block_capacity.
+    assert!(gov.usage().rows <= 10 + 512);
+}
+
+#[test]
+fn deadline_trips_on_virtual_disk_time() {
+    let db = db();
+    let gov = avq_db::GovCtx::new(
+        avq_db::QueryBudget::unlimited().with_timeout_ms(5.0),
+        db.clock().clone(),
+    );
+    // Deadlines are measured on the shared virtual clock: queue wait or
+    // another query's disk transfers spend this query's budget too.
+    db.clock().advance_ms(20.0);
+    let err = gov_error(governed(&db, "select count(*) from people", &gov));
+    assert!(
+        matches!(err, avq_db::GovernanceError::Timeout { .. }),
+        "unexpected trip: {err}"
+    );
+}
+
+#[test]
+fn cancelled_query_surfaces_cancelled() {
+    let db = db();
+    let gov = avq_db::GovCtx::new(avq_db::QueryBudget::unlimited(), db.clock().clone());
+    gov.cancel();
+    let err = gov_error(governed(&db, "select * from people", &gov));
+    assert_eq!(err, avq_db::GovernanceError::Cancelled);
+}
+
+#[test]
+fn memory_budget_trips_on_materialized_join() {
+    let db = db();
+    // 300 joined rows of 5 columns each cost well over 1 KiB under the
+    // arity*8 + 32 model; a scan-only query of the small side fits.
+    let gov = avq_db::GovCtx::new(
+        avq_db::QueryBudget::unlimited().with_max_mem_bytes(1024),
+        db.clock().clone(),
+    );
+    let err = gov_error(governed(
+        &db,
+        "select * from people join teams on people.dept = teams.dept",
+        &gov,
+    ));
+    assert!(
+        matches!(
+            err,
+            avq_db::GovernanceError::QuotaExceeded {
+                kind: avq_db::QuotaKind::Memory,
+                ..
+            }
+        ),
+        "unexpected trip: {err}"
+    );
+
+    let small = avq_db::GovCtx::new(
+        avq_db::QueryBudget::unlimited().with_max_mem_bytes(1 << 20),
+        db.clock().clone(),
+    );
+    assert!(governed(&db, "select * from teams", &small).is_ok());
+}
+
+#[test]
+fn unlimited_budget_matches_ungoverned_result() {
+    let db = db();
+    let gov = avq_db::GovCtx::unlimited();
+    let got = match governed(&db, "select count(*) from people", &gov).unwrap() {
+        SqlOutcome::Table(t) => t,
+        SqlOutcome::Plan(p) => panic!("expected a table, got a plan:\n{p}"),
+    };
+    let want = table(&db, "select count(*) from people");
+    assert_eq!(got.rows, want.rows);
+}
+
 #[test]
 fn statement_metrics_are_recorded() {
     let db = db();

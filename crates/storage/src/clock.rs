@@ -42,6 +42,15 @@ impl SimClock {
     }
 }
 
+/// Governance deadlines (`avq_obs::GovCtx`) read virtual time through this
+/// impl, so a query budget is charged by the same simulated I/O and CPU
+/// costs the experiments report — never by a real wall clock.
+impl avq_obs::NowMs for SimClock {
+    fn now_ms(&self) -> f64 {
+        SimClock::now_ms(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

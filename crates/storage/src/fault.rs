@@ -229,14 +229,22 @@ impl FaultPlan {
 ///
 /// `read_with_retry` (on [`crate::BufferPool`]) re-attempts a read up to
 /// `max_attempts` total tries, charging `backoff_ms` (doubling per retry)
-/// to the device's virtual clock between attempts. Only errors marked
-/// `transient` are retried; hard faults surface immediately.
+/// to the device's virtual clock between attempts, and never charging more
+/// than `max_total_ms` of backoff in total across one call. Only errors
+/// marked `transient` are retried; hard faults surface immediately. A
+/// governed query clamps the cap to its remaining deadline with
+/// [`RetryPolicy::clamped_to_ms`], so retries can never outlive the query
+/// budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Total attempts, including the first (minimum 1).
     pub max_attempts: u32,
     /// Virtual backoff before the first retry; doubles on each further one.
     pub backoff_ms: f64,
+    /// Total-budget cap: a retry whose backoff would push the cumulative
+    /// virtual backoff of this call past this many ms is not taken — the
+    /// transient error surfaces instead.
+    pub max_total_ms: f64,
 }
 
 impl Default for RetryPolicy {
@@ -244,6 +252,7 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             backoff_ms: 1.0,
+            max_total_ms: 100.0,
         }
     }
 }
@@ -254,13 +263,34 @@ impl RetryPolicy {
         RetryPolicy {
             max_attempts: 1,
             backoff_ms: 0.0,
+            max_total_ms: 0.0,
         }
+    }
+
+    /// Replaces the total backoff budget.
+    #[must_use]
+    pub fn with_total_budget_ms(mut self, ms: f64) -> Self {
+        self.max_total_ms = ms.max(0.0);
+        self
+    }
+
+    /// Tightens the total backoff budget to at most `remaining_ms` — the
+    /// hook a governed query uses so retry backoff never exceeds its
+    /// remaining deadline. Never loosens the cap.
+    #[must_use]
+    pub fn clamped_to_ms(mut self, remaining_ms: f64) -> Self {
+        if remaining_ms < self.max_total_ms {
+            self.max_total_ms = remaining_ms.max(0.0);
+        }
+        self
     }
 }
 
 /// Runs `op` under `policy`, retrying transient [`StorageError::Io`]
 /// failures with exponential virtual backoff charged to `clock`. Each retry
-/// increments the `avq.io_retries.total` counter.
+/// increments the `avq.io_retries.total` counter. Retrying stops — and the
+/// transient error surfaces — once another backoff would push the call past
+/// `policy.max_total_ms` of cumulative charged backoff.
 pub fn retry_with_backoff<T>(
     policy: RetryPolicy,
     clock: &SimClock,
@@ -268,14 +298,21 @@ pub fn retry_with_backoff<T>(
 ) -> Result<T, StorageError> {
     let attempts = policy.max_attempts.max(1);
     let mut backoff = policy.backoff_ms;
+    let mut spent = 0.0;
     let mut attempt = 1;
     loop {
         match op() {
-            Err(StorageError::Io {
-                transient: true, ..
-            }) if attempt < attempts => {
+            Err(
+                err @ StorageError::Io {
+                    transient: true, ..
+                },
+            ) if attempt < attempts => {
+                if spent + backoff > policy.max_total_ms {
+                    return Err(err);
+                }
                 avq_obs::counter!(names::IO_RETRIES_TOTAL).inc();
                 clock.advance_ms(backoff);
+                spent += backoff;
                 backoff *= 2.0;
                 attempt += 1;
             }
@@ -514,6 +551,52 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn retry_total_budget_caps_backoff() {
+        // 10 attempts of doubling backoff would charge 1+2+4+… ms; a 3 ms
+        // total budget lets only the first two retries run.
+        let clock = SimClock::new();
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            backoff_ms: 1.0,
+            max_total_ms: 3.0,
+        };
+        let mut calls = 0u32;
+        let out: Result<(), _> = retry_with_backoff(policy, &clock, || {
+            calls += 1;
+            Err(StorageError::Io {
+                id: 0,
+                detail: "always flaky",
+                transient: true,
+            })
+        });
+        assert!(matches!(
+            out,
+            Err(StorageError::Io {
+                transient: true,
+                ..
+            })
+        ));
+        assert_eq!(calls, 3, "first try + two retries inside the 3 ms budget");
+        assert!((clock.now_ms() - 3.0).abs() < 1e-9);
+
+        // Clamping to a spent deadline refuses the very first retry.
+        let clock = SimClock::new();
+        let mut calls = 0u32;
+        let out: Result<(), _> =
+            retry_with_backoff(RetryPolicy::default().clamped_to_ms(0.0), &clock, || {
+                calls += 1;
+                Err(StorageError::Io {
+                    id: 0,
+                    detail: "always flaky",
+                    transient: true,
+                })
+            });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+        assert_eq!(clock.now_ms(), 0.0, "no backoff charged past the deadline");
     }
 
     #[test]

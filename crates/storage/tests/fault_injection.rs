@@ -118,6 +118,7 @@ fn transient_read_heals_through_retry() {
     let policy = RetryPolicy {
         max_attempts: 3,
         backoff_ms: 2.0,
+        ..RetryPolicy::default()
     };
     let before = device.clock().now_ms();
     let got = pool.read_with_retry(ids[7], policy).unwrap();
