@@ -683,7 +683,7 @@ fn trace_collector(sample: Option<u64>, budget_ms: Option<u64>) -> avq_obs::Trac
 
 /// Runs `stmt` under a fresh trace, returning the statement outcome, the
 /// sampled trace (if kept), and the collector (for the slow-query log).
-fn run_one_traced(
+fn run_one_with_trace(
     path: &Path,
     stmt: &str,
     kernel: Option<&str>,
@@ -708,7 +708,7 @@ fn run_one_traced(
 /// `avqtool sql <target> "<statement>" --trace [--sample n] [--budget-ms n]`
 /// — run one statement and print its span tree (plus the slow-query report
 /// when the statement blew the budget).
-pub fn sql_traced(
+pub fn sql_with_trace(
     path: &Path,
     stmt: &str,
     kernel: Option<&str>,
@@ -716,7 +716,7 @@ pub fn sql_traced(
     budget_ms: Option<u64>,
     flags: &BudgetFlags,
 ) -> Result<String, CliError> {
-    let (outcome, data, collector) = run_one_traced(
+    let (outcome, data, collector) = run_one_with_trace(
         path,
         stmt,
         kernel,
@@ -748,7 +748,7 @@ pub fn trace_export(
     kernel: Option<&str>,
 ) -> Result<String, CliError> {
     let collector = trace_collector(None, None);
-    let (_, data, _) = run_one_traced(path, stmt, kernel, collector, &BudgetFlags::default())?;
+    let (_, data, _) = run_one_with_trace(path, stmt, kernel, collector, &BudgetFlags::default())?;
     let d = data.ok_or("trace was not captured")?;
     match format {
         "chrome" => Ok(format!("{}\n", d.render_chrome())),
@@ -768,7 +768,8 @@ pub fn trace_slow(
     budget_ms: Option<u64>,
 ) -> Result<String, CliError> {
     let collector = trace_collector(None, Some(budget_ms.unwrap_or(0)));
-    let (_, _, collector) = run_one_traced(path, stmt, kernel, collector, &BudgetFlags::default())?;
+    let (_, _, collector) =
+        run_one_with_trace(path, stmt, kernel, collector, &BudgetFlags::default())?;
     let slow = collector.slow_queries();
     if slow.is_empty() {
         return Ok("no slow queries (root span under budget)\n".to_owned());
@@ -1589,7 +1590,7 @@ mod tests {
     fn sql_traced_join_group_by_reaches_block_decodes() {
         use avq_obs::names;
         let (dir, db_dir) = seeded_db_dir("sql-trace");
-        let out = sql_traced(
+        let out = sql_with_trace(
             &db_dir,
             "select a.dept, count(*) from people a join people b on a.id = b.id group by a.dept",
             None,
@@ -1632,7 +1633,7 @@ mod tests {
         let (dir, db_dir) = seeded_db_dir("sql-trace-sample");
         // Budget 0 ms promotes the statement to the slow log, so `--trace
         // --budget-ms 0` appends the slow-query report after the tree.
-        let out = sql_traced(
+        let out = sql_with_trace(
             &db_dir,
             "select count(*) from people",
             None,

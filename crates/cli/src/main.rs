@@ -154,7 +154,7 @@ fn dispatch(
             commands::explain_join_dir(Path::new(dir), outer, outer_attr, inner, inner_attr)
         }
         ("sql", [target]) => commands::sql_repl(Path::new(target), &switches.budget),
-        ("sql", [target, stmt]) if switches.trace => commands::sql_traced(
+        ("sql", [target, stmt]) if switches.trace => commands::sql_with_trace(
             Path::new(target),
             stmt,
             switches.kernel.as_deref(),

@@ -337,6 +337,7 @@ impl BlockCodec {
     /// buffers; decode loops should use [`Self::decode_into_scratch`] to
     /// reuse them across blocks.
     pub fn decode_into(&self, bytes: &[u8], out: &mut Vec<Tuple>) -> Result<(), CodecError> {
+        // lint: allow(AVQ-L008, one-shot convenience decode with fresh scratch; governed loops call decode_into_scratch_governed directly)
         self.decode_into_scratch(bytes, out, &mut DecodeScratch::new())
     }
 
@@ -441,6 +442,7 @@ impl BlockCodec {
                     detail: format!("field-wise body truncated: need {need} bytes"),
                 });
             };
+            // lint: sanitized(u is a wire u16, and the body length check above bounds u*m)
             out.reserve(u);
             if m == 0 {
                 // Zero-width tuples: the body is empty and every record
@@ -500,6 +502,7 @@ impl BlockCodec {
         if n == 0 {
             // Zero-arity schema: every difference is empty, so every tuple
             // is the representative. Nothing to parse and nothing can fail.
+            // lint: sanitized(u is a wire u16, at most 64Ki clones of the representative)
             out.reserve(u);
             for _ in 0..u {
                 out.push(rep.clone());
@@ -516,6 +519,7 @@ impl BlockCodec {
             big_bytes,
         } = scratch;
         diffs.clear();
+        // lint: sanitized(u is a wire u16, so the arena holds at most 64Ki * arity words)
         diffs.reserve((u - 1) * n);
         match (self.mode, self.kernel) {
             (CodingMode::AvqChainedBits, DecodeKernel::Scalar) => {
@@ -565,6 +569,7 @@ impl BlockCodec {
                 // pre-checked per value (O(1) against ‖𝓡‖), so errors
                 // surface at the same entry index as the scalar kernel.
                 let mut wr = WordReader::new(bytes.get(pos..).unwrap_or(&[]));
+                // lint: sanitized(u is a wire u16, so the arena holds at most 64Ki * arity words)
                 diffs.resize((u - 1) * n, 0);
                 values.clear();
                 let mut run_start = 0usize;
@@ -602,6 +607,7 @@ impl BlockCodec {
                         }
                         values.clear();
                         run_start = k + 1;
+                        // lint: sanitized(read_bits_big_into rejects bl beyond remaining_bits before staging)
                         wr.read_bits_big_into(bl, big_bytes, big).ok_or_else(|| {
                             CodecError::Corrupt {
                                 section: "entries",
@@ -634,6 +640,7 @@ impl BlockCodec {
             }
         }
 
+        // lint: sanitized(u is a wire u16, at most 64Ki reconstructed tuples)
         out.reserve(u);
         running.clear();
         running.extend_from_slice(rep.digits());
@@ -797,6 +804,7 @@ impl BlockCodec {
             core::cmp::Ordering::Less => {
                 // Target precedes the representative: only the first
                 // rep_idx entries matter.
+                // lint: sanitized(u is a wire u16; parse_entries sizes its arena by count, at most 64Ki)
                 let diffs = self.parse_entries(bytes, body + m, u - 1)?;
                 let radix = self.schema.radix();
                 match self.mode {
@@ -837,6 +845,7 @@ impl BlockCodec {
                 // Target follows the representative: reconstruct forward
                 // from it with early exit (the first-half entries are parsed
                 // but never reconstructed).
+                // lint: sanitized(u is a wire u16; parse_entries sizes its arena by count, at most 64Ki)
                 let diffs = self.parse_entries(bytes, body + m, u - 1)?;
                 let radix = self.schema.radix();
                 let rep_digits = rep.into_digits();

@@ -297,7 +297,7 @@ impl StoredRelation {
         out: &mut Vec<Tuple>,
         ctx: &avq_obs::TraceCtx,
     ) -> Result<(), DbError> {
-        self.decode_block_governed(id, out, ctx, &avq_obs::GovCtx::unlimited())
+        self.decode_block_into_governed(id, out, ctx, &avq_obs::GovCtx::unlimited())
     }
 
     /// [`Self::decode_block_into_traced`] under a governance budget: the
@@ -308,7 +308,7 @@ impl StoredRelation {
     /// `gov` (cache hits charge tuples only: nothing was re-decoded, but
     /// the rows were still examined). Disabled contexts add one branch per
     /// call over the traced path.
-    pub fn decode_block_governed(
+    pub fn decode_block_into_governed(
         &self,
         id: BlockId,
         out: &mut Vec<Tuple>,
@@ -343,6 +343,7 @@ impl StoredRelation {
         if self.decoded.is_enabled() {
             let mut run = Vec::new();
             self.codec
+                // lint: allow(AVQ-L009, the scratch arena is the decode workspace itself; serializing decodes on it is the lock's purpose)
                 .decode_into_scratch_governed(&bytes, &mut run, &mut scratch, ctx, gov)?;
             check_phi_order(&run)?;
             out.extend_from_slice(&run);
@@ -350,6 +351,7 @@ impl StoredRelation {
         } else {
             let start = out.len();
             self.codec
+                // lint: allow(AVQ-L009, the scratch arena is the decode workspace itself; serializing decodes on it is the lock's purpose)
                 .decode_into_scratch_governed(&bytes, out, &mut scratch, ctx, gov)?;
             if let Err(e) = check_phi_order(&out[start..]) {
                 out.truncate(start);
@@ -388,7 +390,7 @@ impl StoredRelation {
         if skip && self.is_quarantined(id) {
             return Ok(false);
         }
-        match self.decode_block_governed(id, out, &avq_obs::TraceCtx::disabled(), gov) {
+        match self.decode_block_into_governed(id, out, &avq_obs::TraceCtx::disabled(), gov) {
             Ok(()) => Ok(true),
             Err(e) if skip && is_block_corruption(&e) => {
                 self.quarantine(id);

@@ -1,0 +1,517 @@
+//! Flow-insensitive intraprocedural taint propagation.
+//!
+//! The engine answers one question per function body: starting from a
+//! seed set of tainted binding names (plus any calls to registered
+//! byte-source functions inside the body), which names are tainted at
+//! the end of a bounded fixpoint over the body's `let` statements, which
+//! *sinks* (allocation sizes, slice indices) do tainted values reach,
+//! and which call arguments carry taint out of the function?
+//!
+//! Deliberate approximations, all on the false-negative side except
+//! where noted (DESIGN.md §17):
+//! - flow-insensitive: a name validated *anywhere* in the body counts as
+//!   clean everywhere in it (false-negative);
+//! - a `let` whose initializer contains a registered validator call is
+//!   never tainted by that initializer (false-negative);
+//! - field accesses (`x.len`) and struct-literal field names are not
+//!   treated as uses of a tainted `len` binding (false-negative);
+//! - loop/match bindings (`for x in …`) are not tracked (false-negative);
+//! - any identifier token sharing a tainted name is a use of it, even a
+//!   shadowed rebinding (the one false-*positive* direction, answered
+//!   with `// lint: sanitized(<why>)` waivers).
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::CallSite;
+use crate::lexer::{balanced, Kind, Token};
+
+/// Names the taint engine consults, borrowed from the lint config (or a
+/// test harness).
+pub struct TaintConfig<'a> {
+    /// Functions whose *return value* is untrusted bytes/integers.
+    pub sources: &'a [&'a str],
+    /// Methods that fill their *receiver* from untrusted bytes.
+    pub fill_sources: &'a [&'a str],
+    /// Functions/methods that validate or clamp; arguments and receivers
+    /// passing through them count as clean.
+    pub validators: &'a [&'a str],
+    /// Call names whose arguments are allocation-size sinks.
+    pub sink_calls: &'a [&'a str],
+}
+
+/// One tainted value reaching a sink.
+#[derive(Debug, Clone)]
+pub struct SinkHit {
+    /// 1-based source line of the sink.
+    pub line: u32,
+    /// Sink class, e.g. `allocation size` or `slice index`.
+    pub what: &'static str,
+    /// The sink expression's anchor (`with_capacity`, `vec!`, `[…]`).
+    pub sink: String,
+    /// The tainted name that reached it.
+    pub ident: String,
+}
+
+/// The result of analyzing one body.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Final tainted name set (asserted by the unit tests; the rules
+    /// consume `hits` and `tainted_args`).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub tainted: BTreeSet<String>,
+    /// Tainted values reaching local sinks, in body order.
+    pub hits: Vec<SinkHit>,
+    /// `(index into the provided site list, tainted argument positions,
+    /// tainted name)` for every call passing taint onward.
+    pub tainted_args: Vec<(usize, usize, String)>,
+}
+
+/// One `let` statement: bound names and initializer token range.
+struct LetStmt {
+    pats: Vec<String>,
+    rhs: Option<(usize, usize)>,
+}
+
+/// Analyzer for one function body.
+pub struct Intra<'a> {
+    toks: &'a [Token],
+    body: (usize, usize),
+    sites: Vec<&'a CallSite>,
+    lets: Vec<LetStmt>,
+}
+
+impl<'a> Intra<'a> {
+    /// Prepare the body `[open, close]` of one fn whose call sites are
+    /// `sites` (each site's `name_tok` must lie inside the body).
+    pub fn new(toks: &'a [Token], body: (usize, usize), sites: Vec<&'a CallSite>) -> Intra<'a> {
+        let lets = parse_lets(toks, body);
+        Intra {
+            toks,
+            body,
+            sites,
+            lets,
+        }
+    }
+
+    /// Run the fixpoint from `seeds` and scan for sinks. With
+    /// `track_sources`, calls to registered source functions seed taint
+    /// too (the top-level mode); without it, only the seeds propagate
+    /// (the mode used for parameter summaries, so a callee's own source
+    /// calls don't pollute the per-parameter answer).
+    pub fn analyze(
+        &self,
+        seeds: &BTreeSet<String>,
+        cfg: &TaintConfig<'_>,
+        track_sources: bool,
+    ) -> Analysis {
+        // Names cleansed anywhere in the body: arguments and receivers
+        // of validator calls.
+        let mut cleansed: BTreeSet<String> = BTreeSet::new();
+        for s in &self.sites {
+            if !cfg.validators.contains(&s.name.as_str()) {
+                continue;
+            }
+            for &(a, b) in &s.args {
+                collect_used_idents(&self.toks[a..b], &mut cleansed);
+            }
+            if let Some((a, b)) = s.receiver {
+                collect_used_idents(&self.toks[a..b], &mut cleansed);
+            }
+        }
+
+        let mut tainted: BTreeSet<String> = seeds
+            .iter()
+            .filter(|s| !cleansed.contains(*s))
+            .cloned()
+            .collect();
+
+        // Fill-style sources taint their receiver unconditionally.
+        for s in &self.sites {
+            if track_sources && cfg.fill_sources.contains(&s.name.as_str()) {
+                if let Some((a, b)) = s.receiver {
+                    if b - a == 1 && self.toks[a].kind == Kind::Ident {
+                        let name = self.toks[a].text.clone();
+                        if !cleansed.contains(&name) {
+                            tainted.insert(name);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Bounded fixpoint over the `let` statements.
+        for _ in 0..10 {
+            let mut changed = false;
+            for l in &self.lets {
+                let Some(rhs) = l.rhs else { continue };
+                if self.range_has_validator(rhs, cfg) {
+                    continue;
+                }
+                let dirty = (track_sources && self.range_has_source(rhs, cfg))
+                    || range_uses_any(&self.toks[rhs.0..rhs.1], &tainted);
+                if !dirty {
+                    continue;
+                }
+                for p in &l.pats {
+                    if !cleansed.contains(p) && tainted.insert(p.clone()) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut out = Analysis {
+            tainted: tainted.clone(),
+            ..Analysis::default()
+        };
+
+        // Sinks: registered allocation calls…
+        for s in &self.sites {
+            if !cfg.sink_calls.contains(&s.name.as_str()) {
+                continue;
+            }
+            for &(a, b) in &s.args {
+                if let Some(ident) = self.first_dirty(a, b, &tainted, cfg, track_sources) {
+                    out.hits.push(SinkHit {
+                        line: s.line,
+                        what: "allocation size",
+                        sink: s.name.clone(),
+                        ident,
+                    });
+                    break;
+                }
+            }
+        }
+        // …`vec![_; n]` macro lengths…
+        let t = self.toks;
+        for i in self.body.0 + 1..self.body.1 {
+            if t[i].is_ident("vec")
+                && t.get(i + 1).is_some_and(|x| x.is_punct('!'))
+                && t.get(i + 2).is_some_and(|x| x.is_punct('['))
+            {
+                let Some(end) = balanced(t, i + 2, '[', ']') else {
+                    continue;
+                };
+                if let Some(semi) = top_level_semicolon(&t[i + 3..end]) {
+                    let len = (i + 3 + semi + 1, end);
+                    if let Some(ident) =
+                        self.first_dirty(len.0, len.1, &tainted, cfg, track_sources)
+                    {
+                        out.hits.push(SinkHit {
+                            line: t[i].line,
+                            what: "allocation size",
+                            sink: "vec![_; n]".into(),
+                            ident,
+                        });
+                    }
+                }
+            }
+            // …and direct index expressions.
+            if t[i].is_punct('[') && i > self.body.0 + 1 {
+                let prev = &t[i - 1];
+                let indexes = prev.is_punct(')')
+                    || prev.is_punct(']')
+                    || (prev.kind == Kind::Ident && !is_stmt_keyword(&prev.text));
+                if !indexes {
+                    continue;
+                }
+                let Some(end) = balanced(t, i, '[', ']') else {
+                    continue;
+                };
+                if let Some(ident) = self.first_dirty(i + 1, end, &tainted, cfg, track_sources) {
+                    out.hits.push(SinkHit {
+                        line: t[i].line,
+                        what: "slice index",
+                        sink: "[…]".into(),
+                        ident,
+                    });
+                }
+            }
+        }
+        out.hits.sort_by_key(|h| h.line);
+
+        // Taint escaping through call arguments.
+        for (si, s) in self.sites.iter().enumerate() {
+            for (pos, &(a, b)) in s.args.iter().enumerate() {
+                if let Some(ident) = self.first_dirty(a, b, &tainted, cfg, track_sources) {
+                    out.tainted_args.push((si, pos, ident));
+                }
+            }
+        }
+        out
+    }
+
+    /// A tainted name (or, in source-tracking mode, the name of a
+    /// source call) used inside the token range, if any — skipping
+    /// ranges that pass a validator.
+    fn first_dirty(
+        &self,
+        a: usize,
+        b: usize,
+        tainted: &BTreeSet<String>,
+        cfg: &TaintConfig<'_>,
+        track_sources: bool,
+    ) -> Option<String> {
+        if self.range_has_validator((a, b), cfg) {
+            return None;
+        }
+        let slice = &self.toks[a..b];
+        let mut used = BTreeSet::new();
+        collect_used_idents(slice, &mut used);
+        if let Some(hit) = used.iter().find(|u| tainted.contains(*u)) {
+            return Some(hit.clone());
+        }
+        if track_sources {
+            for s in &self.sites {
+                if s.name_tok >= a && s.name_tok < b && cfg.sources.contains(&s.name.as_str()) {
+                    return Some(format!("{}(…)", s.name));
+                }
+            }
+        }
+        None
+    }
+
+    fn range_has_source(&self, (a, b): (usize, usize), cfg: &TaintConfig<'_>) -> bool {
+        self.sites
+            .iter()
+            .any(|s| s.name_tok >= a && s.name_tok < b && cfg.sources.contains(&s.name.as_str()))
+    }
+
+    fn range_has_validator(&self, (a, b): (usize, usize), cfg: &TaintConfig<'_>) -> bool {
+        self.sites
+            .iter()
+            .any(|s| s.name_tok >= a && s.name_tok < b && cfg.validators.contains(&s.name.as_str()))
+    }
+}
+
+/// Statement keywords that legally precede `[` without indexing.
+fn is_stmt_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return" | "break" | "in" | "if" | "else" | "match" | "mut" | "let" | "as" | "move"
+    )
+}
+
+/// Identifier *uses* in a token slice: plain identifiers, excluding
+/// field accesses (preceded by `.`), struct-literal field names /
+/// labeled arguments (followed by a single `:`), and keywords.
+fn collect_used_idents(slice: &[Token], out: &mut BTreeSet<String>) {
+    for (j, tok) in slice.iter().enumerate() {
+        if tok.kind != Kind::Ident || is_stmt_keyword(&tok.text) {
+            continue;
+        }
+        if !tok
+            .text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_')
+        {
+            continue;
+        }
+        if j > 0 && slice[j - 1].is_punct('.') {
+            continue;
+        }
+        let next_colon = slice.get(j + 1).is_some_and(|x| x.is_punct(':'));
+        let path = slice.get(j + 2).is_some_and(|x| x.is_punct(':'));
+        if next_colon && !path {
+            continue;
+        }
+        out.insert(tok.text.clone());
+    }
+}
+
+/// Does the slice use any name from `set`?
+fn range_uses_any(slice: &[Token], set: &BTreeSet<String>) -> bool {
+    if set.is_empty() {
+        return false;
+    }
+    let mut used = BTreeSet::new();
+    collect_used_idents(slice, &mut used);
+    used.iter().any(|u| set.contains(u))
+}
+
+/// First `;` at bracket depth zero in a delimiter group's tokens.
+fn top_level_semicolon(group: &[Token]) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in group.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// Parse the `let` statements of a body range: bound lowercase names and
+/// initializer extent.
+fn parse_lets(t: &[Token], (open, close): (usize, usize)) -> Vec<LetStmt> {
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        if !t[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        // Collect pattern names up to the `=` (or `;` for `let x;`).
+        let mut pats = Vec::new();
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut eq = None;
+        while j < close {
+            let x = &t[j];
+            if x.is_punct('(') || x.is_punct('[') || x.is_punct('{') || x.is_punct('<') {
+                depth += 1;
+            } else if x.is_punct(')') || x.is_punct(']') || x.is_punct('}') || x.is_punct('>') {
+                depth -= 1;
+            } else if x.is_punct(';') && depth <= 0 {
+                break;
+            } else if x.is_punct('=') && depth <= 0 {
+                // `=` but not `==`, `=>`, `>=`, `<=`, `!=`.
+                let two = t
+                    .get(j + 1)
+                    .is_some_and(|n| n.is_punct('=') || n.is_punct('>'));
+                let prior = j > 0
+                    && matches!(
+                        t[j - 1].text.as_str(),
+                        "=" | "<" | ">" | "!" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+                    )
+                    && t[j - 1].kind == Kind::Punct;
+                if !two && !prior {
+                    eq = Some(j);
+                    break;
+                }
+            } else if x.kind == Kind::Ident
+                && !matches!(x.text.as_str(), "mut" | "ref" | "let")
+                && x.text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_')
+            {
+                pats.push(x.text.clone());
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else {
+            out.push(LetStmt { pats, rhs: None });
+            i = j + 1;
+            continue;
+        };
+        // Initializer: from after `=` to the `;` at relative depth 0.
+        let mut depth = 0i32;
+        let mut k = eq + 1;
+        let mut end = close;
+        while k < close {
+            let x = &t[k];
+            if x.is_punct('(') || x.is_punct('[') || x.is_punct('{') {
+                depth += 1;
+            } else if x.is_punct(')') || x.is_punct(']') || x.is_punct('}') {
+                depth -= 1;
+                if depth < 0 {
+                    end = k;
+                    break;
+                }
+            } else if x.is_punct(';') && depth == 0 {
+                end = k;
+                break;
+            }
+            k += 1;
+        }
+        out.push(LetStmt {
+            pats,
+            rhs: Some((eq + 1, end)),
+        });
+        i = eq + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::lexer::scan;
+    use crate::symbols::Symbols;
+    use crate::workspace::{SourceFile, Workspace};
+
+    const CFG: TaintConfig<'static> = TaintConfig {
+        sources: &["read_header", "load_be"],
+        fill_sources: &["set_from_bytes_be"],
+        validators: &["check_count", "min"],
+        sink_calls: &["with_capacity", "reserve"],
+    };
+
+    fn analyze(body_src: &str) -> Analysis {
+        let src = format!("fn probe(bytes: &[u8]) {{\n{body_src}\n}}");
+        let ws = Workspace {
+            files: vec![SourceFile {
+                rel: "crates/x/src/a.rs".into(),
+                scan: scan(&src),
+            }],
+            members: Vec::new(),
+            root: std::path::PathBuf::from("."),
+        };
+        let syms = Symbols::build(&ws);
+        let cg = CallGraph::build(&ws, &syms);
+        let f = &syms.fns[0];
+        let intra = Intra::new(
+            &ws.files[0].scan.tokens,
+            f.body.unwrap(),
+            cg.sites_of(0).collect(),
+        );
+        intra.analyze(&BTreeSet::new(), &CFG, true)
+    }
+
+    #[test]
+    fn source_to_sink_is_caught() {
+        let a =
+            analyze("let (u, idx) = read_header(bytes)?;\nlet mut v = Vec::new();\nv.reserve(u);");
+        assert!(a.tainted.contains("u"));
+        assert_eq!(a.hits.len(), 1);
+        assert_eq!(a.hits[0].what, "allocation size");
+        assert_eq!(a.hits[0].ident, "u");
+    }
+
+    #[test]
+    fn propagation_through_lets_and_vec_macro() {
+        let a = analyze("let u = load_be(bytes, 0, 4);\nlet n = u * 3;\nlet v = vec![0u8; n + 1];");
+        assert!(a.tainted.contains("n"));
+        assert_eq!(a.hits.len(), 1);
+        assert_eq!(a.hits[0].sink, "vec![_; n]");
+    }
+
+    #[test]
+    fn validators_cleanse() {
+        let a = analyze(
+            "let u = load_be(bytes, 0, 4);\nlet n = check_count(u)?;\nlet v = Vec::with_capacity(n);",
+        );
+        assert!(a.hits.is_empty(), "{:?}", a.hits);
+        // A clamped rhs is also clean.
+        let b = analyze(
+            "let u = load_be(bytes, 0, 4);\nlet n = u.min(64);\nlet v = Vec::with_capacity(n);",
+        );
+        assert!(b.hits.is_empty(), "{:?}", b.hits);
+    }
+
+    #[test]
+    fn fill_source_taints_receiver_and_index_sink_fires() {
+        let a = analyze(
+            "let mut big = 0u64;\nbig.set_from_bytes_be(bytes);\nlet x = table[big as usize];",
+        );
+        assert!(a.tainted.contains("big"));
+        assert_eq!(a.hits.len(), 1);
+        assert_eq!(a.hits[0].what, "slice index");
+    }
+
+    #[test]
+    fn tainted_args_escape() {
+        let a = analyze("let u = load_be(bytes, 0, 4);\nconsume(u);");
+        assert_eq!(a.tainted_args.len(), 1);
+        assert!(a.tainted_args.iter().any(|(_, _, id)| id == "u"));
+    }
+}

@@ -2,6 +2,7 @@
 //! a stable JSON form (`--format json`) pinned by the golden tests and
 //! uploaded as a CI artifact.
 
+use crate::docs;
 use crate::rules::Report;
 use std::fmt::Write as _;
 
@@ -50,11 +51,12 @@ pub fn json(report: &Report) -> String {
         let sep = if i == 0 { "" } else { "," };
         let _ = write!(
             s,
-            "{sep}\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            "{sep}\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"explain\": \"{}\"}}",
             esc(&f.file),
             f.line,
             esc(&f.rule),
-            esc(&f.message)
+            esc(&f.message),
+            esc(docs::summary(&f.rule))
         );
     }
     if !report.findings.is_empty() {

@@ -1,0 +1,150 @@
+//! AVQ-L010 — atomics audit.
+//!
+//! Every `Ordering::<Variant>` literal in production code must match a
+//! row of the per-site inventory (`config::ATOMICS`, mirrored in the
+//! DESIGN.md §17 table, two-way checked), keyed by file, enclosing
+//! function (`<static>` for file scope), and ordering. Unused inventory
+//! rows are findings too, so the inventory cannot rot.
+
+use std::collections::BTreeSet;
+
+use super::Finding;
+use crate::config::ATOMICS;
+use crate::lexer::Kind;
+use crate::symbols::Symbols;
+use crate::workspace::{design_section, named_table_rows, Workspace};
+
+/// The five memory-ordering variants.
+const VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Run AVQ-L010 over the workspace.
+pub fn check(ws: &Workspace, syms: &Symbols, out: &mut Vec<Finding>) {
+    let mut used_rows: BTreeSet<usize> = BTreeSet::new();
+    for (fidx, file) in ws.files.iter().enumerate() {
+        let t = &file.scan.tokens;
+        for i in 0..t.len() {
+            if !(t[i].is_ident("Ordering")
+                && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                && t.get(i + 3)
+                    .is_some_and(|x| x.kind == Kind::Ident && VARIANTS.contains(&x.text.as_str())))
+            {
+                continue;
+            }
+            let ordering = t[i + 3].text.as_str();
+            let func = syms
+                .enclosing(fidx, i)
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| "<static>".into());
+            let row = ATOMICS.iter().position(|r| {
+                r.file == file.rel && r.func == func && r.orderings.contains(&ordering)
+            });
+            match row {
+                Some(idx) => {
+                    used_rows.insert(idx);
+                }
+                None => out.push(Finding {
+                    file: file.rel.clone(),
+                    line: t[i].line,
+                    rule: "AVQ-L010".into(),
+                    message: format!(
+                        "`Ordering::{ordering}` in `{func}` is not in the atomics inventory — add (\"{}\", \"{func}\", {ordering}) to config::ATOMICS and DESIGN.md §17 with a why",
+                        file.rel
+                    ),
+                }),
+            }
+        }
+    }
+    check_unused_rows(ws, &used_rows, out);
+    check_design_table(ws, out);
+}
+
+/// Inventory rows for files present in this workspace that matched no
+/// site are stale.
+fn check_unused_rows(ws: &Workspace, used: &BTreeSet<usize>, out: &mut Vec<Finding>) {
+    for (idx, row) in ATOMICS.iter().enumerate() {
+        if used.contains(&idx) {
+            continue;
+        }
+        if !ws.files.iter().any(|f| f.rel == row.file) {
+            continue; // fixture trees carry only a slice of the inventory
+        }
+        out.push(Finding {
+            file: row.file.to_string(),
+            line: 1,
+            rule: "AVQ-L010".into(),
+            message: format!(
+                "stale inventory row: no `Ordering::` site in `{}` matches ({}, [{}]) — drop it from config::ATOMICS and DESIGN.md §17",
+                row.func,
+                row.func,
+                row.orderings.join(", ")
+            ),
+        });
+    }
+}
+
+/// Two-way check of config::ATOMICS against the DESIGN.md §17 table
+/// (columns `file`, `fn`, `orderings`). Skipped when the tree has no
+/// DESIGN.md (fixtures).
+fn check_design_table(ws: &Workspace, out: &mut Vec<Finding>) {
+    if !ws.root.join("DESIGN.md").is_file() {
+        return;
+    }
+    let push = |out: &mut Vec<Finding>, message: String| {
+        out.push(Finding {
+            file: "DESIGN.md".into(),
+            line: 1,
+            rule: "AVQ-L010".into(),
+            message,
+        });
+    };
+    let Some(section) = design_section(&ws.root, 17) else {
+        push(
+            out,
+            "DESIGN.md §17 (static analysis) is missing — the atomics inventory table lives there"
+                .into(),
+        );
+        return;
+    };
+    // A doc row is `| file | fn | ord, ord | why |` with the first three
+    // columns backticked; orderings cells may list several variants.
+    let doc: BTreeSet<(String, String, String)> = named_table_rows(&section, "orderings")
+        .into_iter()
+        .filter(|r| r.len() >= 3)
+        .map(|r| (r[0].clone(), r[1].clone(), normalize(&r[2..].join(","))))
+        .collect();
+    let code: BTreeSet<(String, String, String)> = ATOMICS
+        .iter()
+        .map(|r| {
+            (
+                r.file.to_string(),
+                r.func.to_string(),
+                normalize(&r.orderings.join(",")),
+            )
+        })
+        .collect();
+    for (file, func, ords) in code.difference(&doc) {
+        push(
+            out,
+            format!("atomics row ({file}, {func}, [{ords}]) is in config::ATOMICS but not in the §17 table"),
+        );
+    }
+    for (file, func, ords) in doc.difference(&code) {
+        push(
+            out,
+            format!("§17 atomics table row ({file}, {func}, [{ords}]) has no matching config::ATOMICS entry"),
+        );
+    }
+}
+
+/// Comma-list normalized to a sorted, deduped, canonical string.
+fn normalize(s: &str) -> String {
+    let mut parts: Vec<&str> = s
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect();
+    parts.sort_unstable();
+    parts.dedup();
+    parts.join(",")
+}

@@ -1,4 +1,4 @@
-//! The rule engine: six project-native rules over the scanned
+//! The rule engine: ten project-native rules over the scanned
 //! workspace, plus waiver resolution.
 //!
 //! Rules first collect *candidate* findings; resolution then matches
@@ -8,9 +8,21 @@
 //! directive that waived nothing (or failed to parse) is itself a
 //! finding. This ordering means a stale waiver can never silently hide
 //! future regressions.
+//!
+//! AVQ-L001–L006 are per-file token rules and live here; the four
+//! cross-procedural rules added with the semantic layer live in the
+//! submodules: [`taint`] (AVQ-L007), [`wrappers`] (AVQ-L008), [`locks`]
+//! (AVQ-L009), and [`atomics`] (AVQ-L010).
 
+mod atomics;
+mod locks;
+mod taint;
+mod wrappers;
+
+use crate::callgraph::CallGraph;
 use crate::config;
 use crate::lexer::{balanced, DirectiveKind, Kind, Token};
+use crate::symbols::Symbols;
 use crate::workspace::{
     design_section, named_table_backticks, parse_metric_consts, table_backticks, SourceFile,
     Workspace,
@@ -52,28 +64,56 @@ pub struct Report {
     pub waivers: Vec<Waiver>,
 }
 
-/// Run every rule over the workspace and resolve waivers.
-pub fn run(ws: &mut Workspace) -> Report {
+/// Run the rules — all of them, or just `only` — and resolve waivers.
+/// Filtered runs skip waiver hygiene (a waiver for any rule that didn't
+/// run would otherwise look unused).
+pub fn run_filtered(ws: &mut Workspace, only: Option<&str>) -> Report {
+    let syms = Symbols::build(ws);
+    let cg = CallGraph::build(ws, &syms);
+    let on = |rule: &str| only.is_none_or(|o| o == rule);
     let mut candidates = Vec::new();
     for f in &ws.files {
         if config::in_scope(&f.rel, config::DECODE_PATHS) {
-            l001_panic_freedom(f, &mut candidates);
-            l002_bounded_capacity(f, &mut candidates);
+            if on("AVQ-L001") {
+                l001_panic_freedom(f, &mut candidates);
+            }
+            if on("AVQ-L002") {
+                l002_bounded_capacity(f, &mut candidates);
+            }
         }
-        if !config::in_scope(&f.rel, config::CLOCK_EXEMPT) {
+        if on("AVQ-L005") && !config::in_scope(&f.rel, config::CLOCK_EXEMPT) {
             l005_virtual_clock(f, &mut candidates);
         }
     }
-    l003_crate_root_hygiene(ws, &mut candidates);
-    l004_metric_names(ws, &mut candidates);
-    l006_corrupt_sections(ws, &mut candidates);
+    if on("AVQ-L003") {
+        l003_crate_root_hygiene(ws, &mut candidates);
+    }
+    if on("AVQ-L004") {
+        l004_metric_names(ws, &mut candidates);
+    }
+    if on("AVQ-L006") {
+        l006_corrupt_sections(ws, &mut candidates);
+    }
+    if on("AVQ-L007") {
+        taint::check(ws, &syms, &cg, &mut candidates);
+    }
+    if on("AVQ-L008") {
+        wrappers::check(ws, &syms, &cg, &mut candidates);
+    }
+    if on("AVQ-L009") {
+        locks::check(ws, &syms, &mut candidates);
+    }
+    if on("AVQ-L010") {
+        atomics::check(ws, &syms, &mut candidates);
+    }
 
-    resolve(ws, candidates)
+    resolve(ws, candidates, only.is_none())
 }
 
 /// Match candidates against directives; collect final findings and the
-/// waiver summary.
-fn resolve(ws: &mut Workspace, candidates: Vec<Finding>) -> Report {
+/// waiver summary. `hygiene` enables the unused/malformed-waiver
+/// findings (full runs only).
+fn resolve(ws: &mut Workspace, candidates: Vec<Finding>, hygiene: bool) -> Report {
     let mut findings = Vec::new();
     for c in candidates {
         let mut waived = false;
@@ -87,7 +127,10 @@ fn resolve(ws: &mut Workspace, candidates: Vec<Finding>) -> Report {
             for (d, eff) in file.scan.directives.iter_mut().zip(effective) {
                 let applies = match &d.kind {
                     DirectiveKind::Allow(rule) => *rule == c.rule,
-                    DirectiveKind::Bounded => c.rule == "AVQ-L002",
+                    // A bounded claim asserts the length was validated,
+                    // so it satisfies the taint rule on its line too.
+                    DirectiveKind::Bounded => c.rule == "AVQ-L002" || c.rule == "AVQ-L007",
+                    DirectiveKind::Sanitized => c.rule == "AVQ-L007",
                     DirectiveKind::Malformed(_) => false,
                 };
                 if applies && eff == c.line {
@@ -103,39 +146,51 @@ fn resolve(ws: &mut Workspace, candidates: Vec<Finding>) -> Report {
     }
 
     let mut waivers = Vec::new();
-    for f in &ws.files {
-        for d in &f.scan.directives {
-            match &d.kind {
-                DirectiveKind::Malformed(msg) => findings.push(Finding {
-                    file: f.rel.clone(),
-                    line: d.line,
-                    rule: "AVQ-WAIVER".into(),
-                    message: msg.clone(),
-                }),
-                _ if !d.used => findings.push(Finding {
-                    file: f.rel.clone(),
-                    line: d.line,
-                    rule: "AVQ-WAIVER".into(),
-                    message: "unused waiver: no finding on its line to suppress".into(),
-                }),
-                DirectiveKind::Allow(rule) => waivers.push(Waiver {
-                    file: f.rel.clone(),
-                    line: d.line,
-                    rule: rule.clone(),
-                    reason: d.reason.clone(),
-                }),
-                DirectiveKind::Bounded => waivers.push(Waiver {
-                    file: f.rel.clone(),
-                    line: d.line,
-                    rule: "AVQ-L002".into(),
-                    reason: d.reason.clone(),
-                }),
+    if hygiene {
+        for f in &ws.files {
+            for d in &f.scan.directives {
+                match &d.kind {
+                    DirectiveKind::Malformed(msg) => findings.push(Finding {
+                        file: f.rel.clone(),
+                        line: d.line,
+                        rule: "AVQ-WAIVER".into(),
+                        message: msg.clone(),
+                    }),
+                    _ if !d.used => findings.push(Finding {
+                        file: f.rel.clone(),
+                        line: d.line,
+                        rule: "AVQ-WAIVER".into(),
+                        message: "unused waiver: no finding on its line to suppress".into(),
+                    }),
+                    DirectiveKind::Allow(rule) => waivers.push(Waiver {
+                        file: f.rel.clone(),
+                        line: d.line,
+                        rule: rule.clone(),
+                        reason: d.reason.clone(),
+                    }),
+                    DirectiveKind::Bounded => waivers.push(Waiver {
+                        file: f.rel.clone(),
+                        line: d.line,
+                        rule: "AVQ-L002".into(),
+                        reason: d.reason.clone(),
+                    }),
+                    DirectiveKind::Sanitized => waivers.push(Waiver {
+                        file: f.rel.clone(),
+                        line: d.line,
+                        rule: "AVQ-L007".into(),
+                        reason: d.reason.clone(),
+                    }),
+                }
             }
         }
     }
 
     findings.sort_by(|a, b| {
         (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+    // Overlapping analyses can derive the same fact twice; report once.
+    findings.dedup_by(|a, b| {
+        a.file == b.file && a.line == b.line && a.rule == b.rule && a.message == b.message
     });
     waivers.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Report { findings, waivers }

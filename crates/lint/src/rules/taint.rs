@@ -1,0 +1,158 @@
+//! AVQ-L007 — interprocedural taint tracking.
+//!
+//! Top level: every function body is analyzed with source-call tracking
+//! on; tainted values reaching local sinks are findings at the sink
+//! line. Tainted values escaping through a *resolved* call are chased
+//! into the callee via memoized per-parameter summaries (does parameter
+//! `k` of `f` reach a sink, ignoring `f`'s own source calls?) to a
+//! bounded depth; a positive answer is a finding at the call line in
+//! the caller — which is also where a `// lint: sanitized(<why>)`
+//! waiver belongs, since the caller owns the knowledge of why the value
+//! is safe.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::Finding;
+use crate::callgraph::{CallGraph, CallSite};
+use crate::config;
+use crate::dataflow::{Intra, TaintConfig};
+use crate::symbols::Symbols;
+use crate::workspace::Workspace;
+
+/// Interprocedural chase depth (call hops).
+const DEPTH: usize = 4;
+
+/// A positive per-parameter summary: the sink class and how many call
+/// hops deep it sits.
+#[derive(Clone)]
+struct Summary {
+    what: &'static str,
+    hops: usize,
+}
+
+struct Engine<'a> {
+    ws: &'a Workspace,
+    syms: &'a Symbols,
+    cg: &'a CallGraph,
+    cfg: TaintConfig<'a>,
+    memo: BTreeMap<(usize, usize), Option<Summary>>,
+    visiting: BTreeSet<(usize, usize)>,
+}
+
+impl<'a> Engine<'a> {
+    fn intra(&self, fi: usize) -> Option<Intra<'a>> {
+        let f = &self.syms.fns[fi];
+        let body = f.body?;
+        let toks = &self.ws.files[f.file].scan.tokens;
+        Some(Intra::new(toks, body, self.cg.sites_of(fi).collect()))
+    }
+
+    /// Does parameter `pidx` of fn `fi` reach a sink (directly or through
+    /// further resolved calls)? Memoized; cycles and exhausted depth
+    /// answer `None` (the documented false-negative posture).
+    fn param_sink(&mut self, fi: usize, pidx: usize, depth: usize) -> Option<Summary> {
+        if let Some(m) = self.memo.get(&(fi, pidx)) {
+            return m.clone();
+        }
+        if depth == 0 || !self.visiting.insert((fi, pidx)) {
+            return None;
+        }
+        let result = self.compute(fi, pidx, depth);
+        self.visiting.remove(&(fi, pidx));
+        self.memo.insert((fi, pidx), result.clone());
+        result
+    }
+
+    fn compute(&mut self, fi: usize, pidx: usize, depth: usize) -> Option<Summary> {
+        let f = &self.syms.fns[fi];
+        let p = f.params.get(pidx)?;
+        if p.name.is_empty() || p.name == "self" {
+            return None;
+        }
+        let seeds = BTreeSet::from([p.name.clone()]);
+        let intra = self.intra(fi)?;
+        let a = intra.analyze(&seeds, &self.cfg, false);
+        if let Some(h) = a.hits.first() {
+            return Some(Summary {
+                what: h.what,
+                hops: 1,
+            });
+        }
+        let sites: Vec<&CallSite> = self.cg.sites_of(fi).collect();
+        for (si, pos, _) in &a.tainted_args {
+            let site = sites[*si];
+            let Some(t) = site.target else { continue };
+            let callee = &self.syms.fns[t];
+            let cpidx = pos + callee.has_self as usize;
+            if let Some(s) = self.param_sink(t, cpidx, depth - 1) {
+                return Some(Summary {
+                    what: s.what,
+                    hops: s.hops + 1,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Run AVQ-L007 over the workspace.
+pub fn check(ws: &Workspace, syms: &Symbols, cg: &CallGraph, out: &mut Vec<Finding>) {
+    let mut eng = Engine {
+        ws,
+        syms,
+        cg,
+        cfg: TaintConfig {
+            sources: config::TAINT_SOURCES,
+            fill_sources: config::TAINT_FILL_SOURCES,
+            validators: config::TAINT_VALIDATORS,
+            sink_calls: config::TAINT_SINK_CALLS,
+        },
+        memo: BTreeMap::new(),
+        visiting: BTreeSet::new(),
+    };
+    for (fi, f) in syms.fns.iter().enumerate() {
+        if f.body.is_none() {
+            continue;
+        }
+        // The source primitives *are* the byte readers; analyzing their
+        // bodies against their own family would flag the implementation
+        // of the very boundary the rule protects.
+        if config::TAINT_SOURCES.contains(&f.name.as_str()) {
+            continue;
+        }
+        let Some(intra) = eng.intra(fi) else { continue };
+        let a = intra.analyze(&BTreeSet::new(), &eng.cfg, true);
+        for h in &a.hits {
+            out.push(Finding {
+                file: f.rel.clone(),
+                line: h.line,
+                rule: "AVQ-L007".into(),
+                message: format!(
+                    "tainted `{}` flows into {} sink `{}` without passing a validator (validate/clamp it or add `// lint: sanitized(<why>)`)",
+                    h.ident, h.what, h.sink
+                ),
+            });
+        }
+        let sites: Vec<&CallSite> = cg.sites_of(fi).collect();
+        for (si, pos, ident) in &a.tainted_args {
+            let site = sites[*si];
+            let Some(t) = site.target else { continue };
+            let callee = &syms.fns[t];
+            if config::TAINT_SOURCES.contains(&callee.name.as_str()) {
+                continue;
+            }
+            let cpidx = pos + callee.has_self as usize;
+            if let Some(s) = eng.param_sink(t, cpidx, DEPTH) {
+                out.push(Finding {
+                    file: f.rel.clone(),
+                    line: site.line,
+                    rule: "AVQ-L007".into(),
+                    message: format!(
+                        "tainted `{}` passed to `{}` reaches a {} sink {} call(s) deep (validate first or add `// lint: sanitized(<why>)`)",
+                        ident, callee.name, s.what, s.hops
+                    ),
+                });
+            }
+        }
+    }
+}

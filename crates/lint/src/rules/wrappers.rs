@@ -1,0 +1,219 @@
+//! AVQ-L008 — wrapper-family drift.
+//!
+//! A *family* is a plain fn plus its `_traced` / `_governed` siblings in
+//! the same file and impl block. The rule proves four properties:
+//! signatures agree modulo trailing ctx parameters, exactly one member
+//! carries the implementation (the rest delegate to a family member),
+//! no suffixed member is an orphan, and functions reachable from
+//! governed roots call the governed variant of any fn that has one — so
+//! governance actually propagates down the decode path.
+
+use std::collections::BTreeMap;
+
+use super::Finding;
+use crate::callgraph::{reachable, CallGraph};
+use crate::symbols::{FnDef, Symbols};
+use crate::workspace::Workspace;
+
+/// Wrapper-family suffixes, in ctx-parameter order.
+const SUFFIXES: &[&str] = &["_traced", "_governed"];
+
+/// Context parameter types that wrappers thread through.
+const CTX_TYPES: &[&str] = &["TraceCtx", "GovCtx"];
+
+/// The base name if `name` carries a family suffix.
+fn base_of(name: &str) -> Option<&str> {
+    SUFFIXES
+        .iter()
+        .find_map(|s| name.strip_suffix(s))
+        .filter(|b| !b.is_empty())
+}
+
+/// Is this parameter a threaded context (by type text)?
+fn is_ctx_param(ty: &str) -> bool {
+    CTX_TYPES.iter().any(|c| ty.contains(c))
+}
+
+/// Key identifying the namespace a fn lives in: (file, impl type).
+fn ns_key(f: &FnDef) -> (usize, String) {
+    (f.file, f.impl_type.clone().unwrap_or_default())
+}
+
+/// Does fn `fi` contain a call site naming another member of `family`?
+fn delegates(cg: &CallGraph, fi: usize, family: &[usize], syms: &Symbols) -> bool {
+    let self_name = &syms.fns[fi].name;
+    cg.sites_of(fi).any(|s| {
+        s.name != *self_name
+            && family
+                .iter()
+                .any(|&m| m != fi && syms.fns[m].name == s.name)
+    })
+}
+
+/// Run AVQ-L008 over the workspace.
+pub fn check(ws: &Workspace, syms: &Symbols, cg: &CallGraph, out: &mut Vec<Finding>) {
+    let _ = ws;
+    // Group fns into families: (file, impl, base) → member indices.
+    let mut families: BTreeMap<(usize, String, String), Vec<usize>> = BTreeMap::new();
+    for (fi, f) in syms.fns.iter().enumerate() {
+        let base = base_of(&f.name).unwrap_or(&f.name).to_string();
+        let (file, imp) = ns_key(f);
+        families.entry((file, imp, base)).or_default().push(fi);
+    }
+
+    for ((_, _, base), members) in &families {
+        // A family only exists once a suffixed wrapper does; bare fns
+        // that merely share a name (trait `from` impls, operator
+        // methods) are not families.
+        let wrappers: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&m| syms.fns[m].name != *base)
+            .collect();
+        if wrappers.is_empty() {
+            continue;
+        }
+        let plain = members.iter().copied().find(|&m| syms.fns[m].name == *base);
+        let Some(plain) = plain else {
+            for &m in &wrappers {
+                let f = &syms.fns[m];
+                out.push(Finding {
+                    file: f.rel.clone(),
+                    line: f.line,
+                    rule: "AVQ-L008".into(),
+                    message: format!(
+                        "`{}` has no plain `{}` in the same file/impl — wrapper without a base (orphan)",
+                        f.name, base
+                    ),
+                });
+            }
+            continue;
+        };
+
+        let pf = &syms.fns[plain];
+        let plain_core: Vec<_> = pf.params.iter().filter(|p| !is_ctx_param(&p.ty)).collect();
+
+        // (a) signature agreement modulo trailing ctx params.
+        for &m in &wrappers {
+            let f = &syms.fns[m];
+            let core: Vec<_> = f.params.iter().filter(|p| !is_ctx_param(&p.ty)).collect();
+            let trailing_ctx = f
+                .params
+                .iter()
+                .skip_while(|p| !is_ctx_param(&p.ty))
+                .all(|p| is_ctx_param(&p.ty));
+            if f.has_self != pf.has_self
+                || core.len() != plain_core.len()
+                || core
+                    .iter()
+                    .zip(&plain_core)
+                    .any(|(a, b)| a.name != b.name || a.ty != b.ty)
+            {
+                out.push(Finding {
+                    file: f.rel.clone(),
+                    line: f.line,
+                    rule: "AVQ-L008".into(),
+                    message: format!(
+                        "`{}` signature drifts from `{}` (non-ctx parameters must match the plain variant exactly)",
+                        f.name, pf.name
+                    ),
+                });
+            } else if !trailing_ctx {
+                out.push(Finding {
+                    file: f.rel.clone(),
+                    line: f.line,
+                    rule: "AVQ-L008".into(),
+                    message: format!(
+                        "`{}`: ctx parameters (TraceCtx/GovCtx) must come after all shared parameters",
+                        f.name
+                    ),
+                });
+            }
+        }
+
+        // (b) single implementation, everyone else delegates.
+        {
+            let family: Vec<usize> = std::iter::once(plain)
+                .chain(wrappers.iter().copied())
+                .collect();
+            let impls: Vec<usize> = family
+                .iter()
+                .copied()
+                .filter(|&m| syms.fns[m].body.is_some() && !delegates(cg, m, &family, syms))
+                .collect();
+            if impls.is_empty() && family.iter().all(|&m| syms.fns[m].body.is_some()) {
+                let f = &syms.fns[plain];
+                out.push(Finding {
+                    file: f.rel.clone(),
+                    line: f.line,
+                    rule: "AVQ-L008".into(),
+                    message: format!(
+                        "family `{}`: every member delegates — no implementation found (delegation cycle?)",
+                        base
+                    ),
+                });
+            }
+            if impls.len() > 1 {
+                for &m in &impls {
+                    let f = &syms.fns[m];
+                    if f.name == *base {
+                        continue; // the plain member may carry the impl
+                    }
+                    out.push(Finding {
+                        file: f.rel.clone(),
+                        line: f.line,
+                        rule: "AVQ-L008".into(),
+                        message: format!(
+                            "`{}` forks the family body instead of delegating — exactly one member of `{}` may carry the implementation",
+                            f.name, base
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // (c) governed discipline: fns reachable from `_governed` roots must
+    // call governed variants where one exists.
+    let roots: Vec<usize> = syms
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.name.ends_with("_governed"))
+        .map(|(i, _)| i)
+        .collect();
+    let reach = reachable(&cg.edges, &roots);
+    for (fi, f) in syms.fns.iter().enumerate() {
+        if !reach[fi] {
+            continue;
+        }
+        let caller_base = base_of(&f.name).unwrap_or(&f.name).to_string();
+        for site in cg.sites_of(fi) {
+            let Some(t) = site.target else { continue };
+            let callee = &syms.fns[t];
+            if base_of(&callee.name).is_some() {
+                continue; // already a suffixed variant
+            }
+            if callee.name == caller_base {
+                continue; // delegation inside the caller's own family
+            }
+            let gov = format!("{}_governed", callee.name);
+            let callee_ns = ns_key(callee);
+            let has_gov = syms
+                .fns
+                .iter()
+                .any(|g| g.name == gov && ns_key(g) == callee_ns);
+            if has_gov {
+                out.push(Finding {
+                    file: f.rel.clone(),
+                    line: site.line,
+                    rule: "AVQ-L008".into(),
+                    message: format!(
+                        "`{}` is on a governed path but calls plain `{}` — call `{}` so governance propagates",
+                        f.name, callee.name, gov
+                    ),
+                });
+            }
+        }
+    }
+}

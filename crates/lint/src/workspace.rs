@@ -248,6 +248,36 @@ pub fn named_table_backticks(section: &str, header: &str) -> Vec<String> {
     out
 }
 
+/// Like [`named_table_backticks`], but keeps each row's backticked
+/// cells grouped: one inner `Vec` per table row (separator rows, which
+/// have no backticks, come back empty and are dropped). Used for the
+/// §17 lock-hierarchy and atomics inventories, where a row is a tuple,
+/// not a bag of names.
+pub fn named_table_rows(section: &str, header: &str) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    let mut in_table = false;
+    for line in section.lines() {
+        let line = line.trim_start();
+        if !line.starts_with('|') {
+            if in_table {
+                break;
+            }
+            continue;
+        }
+        if !in_table {
+            if line.contains(header) {
+                in_table = true;
+            }
+            continue;
+        }
+        let cells = table_backticks(line);
+        if !cells.is_empty() {
+            out.push(cells);
+        }
+    }
+    out
+}
+
 /// All backtick-quoted strings on table rows (`| … |` lines) of a
 /// markdown section.
 pub fn table_backticks(section: &str) -> Vec<String> {

@@ -1,0 +1,47 @@
+//! AVQ-L007 fixture: taint reaching sinks directly, through two call
+//! hops, and one site waived as sanitized.
+
+/// Direct intraprocedural flow: wire count straight into an allocation.
+fn direct(bytes: &[u8]) -> Vec<u64> {
+    let count = read_header(bytes);
+    Vec::with_capacity(count)
+}
+
+/// Interprocedural flow: the tainted count travels two calls deep
+/// before hitting the allocation sink in `sized_arena`.
+fn entry(bytes: &[u8]) -> Vec<u64> {
+    let count = read_header(bytes);
+    build_rows(count)
+}
+
+fn build_rows(n: usize) -> Vec<u64> {
+    sized_arena(n)
+}
+
+fn sized_arena(n: usize) -> Vec<u64> {
+    let mut v = Vec::new();
+    v.reserve(n);
+    v
+}
+
+/// Validated flow: passing through a registered validator clears taint.
+fn validated(bytes: &[u8]) -> Vec<u64> {
+    let count = read_header(bytes);
+    let count = check_count(count);
+    Vec::with_capacity(count)
+}
+
+/// Waived flow: safe by construction, documented at the sink.
+fn waived(bytes: &[u8]) -> Vec<u64> {
+    let count = read_header(bytes);
+    // lint: sanitized(count is a wire u16 in this fixture, at most 64Ki)
+    Vec::with_capacity(count)
+}
+
+fn read_header(bytes: &[u8]) -> usize {
+    bytes.len()
+}
+
+fn check_count(n: usize) -> usize {
+    n.min(1 << 16)
+}

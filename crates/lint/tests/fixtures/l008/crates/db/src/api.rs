@@ -1,0 +1,52 @@
+//! AVQ-L008 fixture: a forked family body, a signature drift, an
+//! orphan wrapper, and a governed path calling a plain variant.
+
+/// Ctx stand-ins mirroring the real workspace types.
+pub struct TraceCtx;
+/// Governance context stand-in.
+pub struct GovCtx;
+
+// Forked body: `save_traced` reimplements `save` instead of delegating.
+fn save(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn save_traced(buf: &mut Vec<u8>, v: u8, ctx: &TraceCtx) {
+    let _ = ctx;
+    buf.push(v.wrapping_add(1));
+}
+
+// Signature drift: the shared parameter changes type across the family.
+fn load(a: u32) -> u32 {
+    a + 1
+}
+
+fn load_traced(a: u64, ctx: &TraceCtx) -> u32 {
+    let _ = ctx;
+    load(a as u32)
+}
+
+// Orphan: a suffixed wrapper with no plain `emit` in this file.
+fn emit_governed(ctx: &GovCtx) {
+    let _ = ctx;
+}
+
+// Governed discipline: `run_governed` is a governed root, so its call
+// to plain `step` must use `step_governed` instead.
+fn run(total: usize) -> usize {
+    run_governed(total, &GovCtx)
+}
+
+fn run_governed(total: usize, ctx: &GovCtx) -> usize {
+    let _ = ctx;
+    step(total)
+}
+
+fn step(n: usize) -> usize {
+    n * 2
+}
+
+fn step_governed(n: usize, ctx: &GovCtx) -> usize {
+    let _ = ctx;
+    step(n)
+}

@@ -1,0 +1,12 @@
+//! AVQ-L010 fixture: an `Ordering::` literal with no matching row in
+//! the per-site atomics inventory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PUBLISHED: AtomicU64 = AtomicU64::new(0);
+
+/// Stores with an ordering that `config::ATOMICS` does not list for
+/// this file/function pair.
+pub fn publish(v: u64) {
+    PUBLISHED.store(v, Ordering::SeqCst);
+}

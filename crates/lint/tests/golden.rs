@@ -77,6 +77,26 @@ fn waiver_hygiene_fixture() {
     assert_golden("waiver");
 }
 
+#[test]
+fn l007_taint_tracking_fixture() {
+    assert_golden("l007");
+}
+
+#[test]
+fn l008_wrapper_drift_fixture() {
+    assert_golden("l008");
+}
+
+#[test]
+fn l009_lock_discipline_fixture() {
+    assert_golden("l009");
+}
+
+#[test]
+fn l010_atomics_audit_fixture() {
+    assert_golden("l010");
+}
+
 /// The real workspace lints clean: zero findings, exit 0, and every
 /// waiver in effect carries a written reason.
 #[test]
@@ -92,6 +112,128 @@ fn workspace_is_clean() {
         "workspace must lint clean; output:\n{stdout}\nstderr:\n{stderr}"
     );
     assert!(stdout.contains("avq-lint: clean — 0 findings"), "{stdout}");
+}
+
+/// The real workspace lints clean under every rule individually: the
+/// `--rule` filter isolates each pass and all ten must report zero
+/// findings on their own.
+#[test]
+fn workspace_is_clean_per_rule() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    for n in 1..=10 {
+        let rule = format!("AVQ-L{n:03}");
+        let out = Command::new(env!("CARGO_BIN_EXE_avq-lint"))
+            .arg("check")
+            .arg("--root")
+            .arg(&root)
+            .arg("--rule")
+            .arg(&rule)
+            .output()
+            .expect("run avq-lint");
+        let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "workspace must be clean under {rule} alone; output:\n{stdout}"
+        );
+    }
+}
+
+/// `--rule` narrows a fixture run to the named rule only.
+#[test]
+fn rule_filter_isolates_one_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_avq-lint"))
+        .arg("check")
+        .arg("--root")
+        .arg(fixture("l009"))
+        .arg("--rule")
+        .arg("AVQ-L010")
+        .output()
+        .expect("run avq-lint");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(!stdout.contains("AVQ-L009"), "{stdout}");
+}
+
+/// `--explain` prints the rule's long-form help and exits 0; an unknown
+/// rule id is a usage error.
+#[test]
+fn explain_prints_rule_help() {
+    let out = Command::new(env!("CARGO_BIN_EXE_avq-lint"))
+        .arg("--explain")
+        .arg("AVQ-L007")
+        .output()
+        .expect("run avq-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(stdout.contains("AVQ-L007"), "{stdout}");
+    assert!(stdout.contains("sanitized"), "{stdout}");
+
+    let bad = Command::new(env!("CARGO_BIN_EXE_avq-lint"))
+        .arg("--explain")
+        .arg("AVQ-L999")
+        .output()
+        .expect("run avq-lint");
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+/// `--emit` writes the call graph as deterministic JSON: two runs over
+/// the same tree produce byte-identical output.
+#[test]
+fn emitted_callgraph_is_deterministic() {
+    let dir = std::env::temp_dir();
+    let a = dir.join("avq_lint_cg_a.json");
+    let b = dir.join("avq_lint_cg_b.json");
+    for path in [&a, &b] {
+        let out = Command::new(env!("CARGO_BIN_EXE_avq-lint"))
+            .arg("check")
+            .arg("--root")
+            .arg(fixture("l008"))
+            .arg("--emit")
+            .arg(path)
+            .output()
+            .expect("run avq-lint");
+        assert!(out.status.code().is_some(), "emit run must finish");
+    }
+    let ja = std::fs::read_to_string(&a).expect("emit a");
+    let jb = std::fs::read_to_string(&b).expect("emit b");
+    assert_eq!(ja, jb, "call-graph emission must be deterministic");
+    assert!(ja.contains("::run_governed\""), "{ja}");
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}
+
+/// The pinned call-graph snapshot in `results/` matches what the linter
+/// emits for the current workspace.
+#[test]
+fn callgraph_snapshot_is_current() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let out_path = std::env::temp_dir().join("avq_lint_cg_ws.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_avq-lint"))
+        .arg("check")
+        .arg("--root")
+        .arg(&root)
+        .arg("--emit")
+        .arg(&out_path)
+        .output()
+        .expect("run avq-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let emitted = std::fs::read_to_string(&out_path).expect("emitted callgraph");
+    let pinned = std::fs::read_to_string(root.join("results/callgraph.json"))
+        .expect("results/callgraph.json");
+    assert_eq!(
+        emitted, pinned,
+        "results/callgraph.json drifted — re-run `avq-lint check --emit results/callgraph.json`"
+    );
+    let _ = std::fs::remove_file(&out_path);
 }
 
 /// Human output for a failing fixture names the rule and the file:line.

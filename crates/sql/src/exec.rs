@@ -285,7 +285,7 @@ impl<'a> Exec<'a> {
             // `stage`) so per-block decode spans nest beneath it.
             let guard = self.ctx.span(names::SPAN_SQL_STAGE);
             for id in &candidates {
-                rel.decode_block_governed(*id, &mut tuples, self.ctx, self.gov)?;
+                rel.decode_block_into_governed(*id, &mut tuples, self.ctx, self.gov)?;
             }
             if guard.is_recording() {
                 guard.attr(names::ATTR_STAGE, "scan");
@@ -366,7 +366,7 @@ impl<'a> Exec<'a> {
                 probed_blocks += candidates.len() as u64;
                 let mut tuples: Vec<Tuple> = Vec::new();
                 for id in &candidates {
-                    rel.decode_block_governed(*id, &mut tuples, self.ctx, self.gov)?;
+                    rel.decode_block_into_governed(*id, &mut tuples, self.ctx, self.gov)?;
                 }
                 for t in tuples.iter().filter(|t| probe_sel.matches(t)) {
                     matched += 1;
@@ -389,7 +389,7 @@ impl<'a> Exec<'a> {
             let candidates = rel.candidate_blocks(&sel, AccessPath::FullScan)?;
             let mut tuples: Vec<Tuple> = Vec::new();
             for id in &candidates {
-                rel.decode_block_governed(*id, &mut tuples, self.ctx, self.gov)?;
+                rel.decode_block_into_governed(*id, &mut tuples, self.ctx, self.gov)?;
             }
             let mut matched = 0u64;
             for t in tuples.iter().filter(|t| sel.matches(t)) {
